@@ -1,0 +1,383 @@
+package simjoin
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§7, Appendix F) at a reduced scale, plus kernel micro-benchmarks and the
+// ablations of DESIGN.md. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The full-scale tables are printed by cmd/experiments; here each experiment
+// is executed end to end so regressions in any stage (generators, NLQ
+// pipeline, bounds, join, templates, Q/A) show up as timing or metric
+// changes. Custom metrics expose the headline number of each artifact.
+
+import (
+	"math/rand"
+	"testing"
+
+	"simjoin/internal/core"
+	"simjoin/internal/experiments"
+	"simjoin/internal/filter"
+	"simjoin/internal/ged"
+	"simjoin/internal/graph"
+	"simjoin/internal/nlq"
+	"simjoin/internal/ugraph"
+	"simjoin/internal/workload"
+)
+
+// benchScale keeps each experiment iteration around a second or less.
+const benchScale = experiments.Scale(0.25)
+
+func BenchmarkTable2Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2Datasets(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3EffectTau(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3EffectTau(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9EffectAlpha(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9EffectAlpha(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10CaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cases, err := experiments.Fig10CaseStudy(benchScale, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cases) == 0 {
+			b.Fatal("case study produced no templates")
+		}
+	}
+}
+
+func BenchmarkFig11AlphaEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11AlphaEfficiency(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12TauEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12TauEfficiency(benchScale, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13GroupNumber(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13GroupNumber(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14LabelCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig14LabelCount(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15FilterComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig15FilterComparison(benchScale, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4QASystems(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4QASystems(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5MatchProportion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5MatchProportion(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig17RelationCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig17RelationCount(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig18FailureAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig18FailureAnalysis(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablations (DESIGN.md §4).
+
+func BenchmarkAblationBoundTightness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBoundTightness(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEarlyExit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationEarlyExit(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGroupingPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGroupingPolicy(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationParallelism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationParallelism(benchScale, []int{1, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEdgeUncertainty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationEdgeUncertainty(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTotalProbabilityBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTotalProbabilityBound(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationIndexedJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationIndexedJoin(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEngines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationEngines(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Kernel micro-benchmarks.
+
+func benchGraphPair(seed int64, n, e int) (*graph.Graph, *graph.Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"A", "B", "C", "D", "E", "?x"}
+	mk := func() *graph.Graph {
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			g.AddVertex(labels[rng.Intn(len(labels))])
+		}
+		for t := 0; t < e*3 && g.NumEdges() < e; t++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, "p")
+			}
+		}
+		return g
+	}
+	return mk(), mk()
+}
+
+func BenchmarkGEDExact(b *testing.B) {
+	q, g := benchGraphPair(1, 7, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ged.Distance(q, g)
+	}
+}
+
+func BenchmarkGEDThreshold(b *testing.B) {
+	q, g := benchGraphPair(2, 10, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ged.WithinThreshold(q, g, 3)
+	}
+}
+
+func BenchmarkCSSLowerBound(b *testing.B) {
+	q, g := benchGraphPair(3, 16, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filter.CSSLowerBound(q, g)
+	}
+}
+
+func BenchmarkCSSLowerBoundUncertain(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 2
+	d, u := workload.ER(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filter.CSSLowerBoundUncertain(d[0], u[0])
+	}
+}
+
+func BenchmarkSimilarityUpperBound(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 2
+	d, u := workload.ER(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filter.SimilarityUpperBound(d[0], u[0], 2)
+	}
+}
+
+func BenchmarkWorldEnumeration(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 1
+	_, u := workload.ER(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		u[0].Worlds(func(*graph.Graph, float64) bool { n++; return true })
+	}
+}
+
+func BenchmarkPartitionWorlds(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 1
+	_, u := workload.ER(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u[0].PartitionWorlds(10, nil)
+	}
+}
+
+func BenchmarkJoinER(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 15
+	d, u := workload.ER(cfg)
+	opts := core.DefaultOptions()
+	opts.Tau = 2
+	opts.Alpha = 0.5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Join(d, u, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNLQInterpret(b *testing.B) {
+	w, err := workload.GenerateQA(workload.QALD3Config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = w
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := experiments.Prepare(w)
+		if len(p.U) == 0 {
+			b.Fatal("nothing interpreted")
+		}
+	}
+}
+
+func BenchmarkGEDApproximate(b *testing.B) {
+	q, g := benchGraphPair(4, 40, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ged.Approximate(q, g, 4)
+	}
+}
+
+func BenchmarkJoinIndexedER(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 15
+	d, u := workload.ER(cfg)
+	idx := core.BuildIndex(d)
+	opts := core.DefaultOptions()
+	opts.Tau = 2
+	opts.Alpha = 0.5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.JoinIndexed(idx, u, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinTopK(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 12
+	d, u := workload.ER(cfg)
+	opts := core.DefaultOptions()
+	opts.Tau = 2
+	opts.Alpha = 0.2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.JoinTopK(d, u, opts, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeEditDistance(b *testing.B) {
+	w, err := workload.GenerateQA(workload.QALD3Config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	t1 := nlq.BuildDepTree(w.Questions[0].Text, w.KB.Lexicon)
+	t2 := nlq.BuildDepTree(w.Questions[1].Text, w.KB.Lexicon)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nlq.TreeEditDistance(t1, t2)
+	}
+}
+
+var sinkUG *ugraph.Graph
+
+func BenchmarkUncertainClone(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 1
+	_, u := workload.ER(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkUG = u[0].Clone()
+	}
+}

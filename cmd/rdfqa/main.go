@@ -1,0 +1,157 @@
+// Command rdfqa is the end-to-end template-based question answering system
+// of §2.2: it generates the synthetic knowledge base, learns templates by
+// joining the question and SPARQL workloads, and then answers questions —
+// from -q flags, or interactively from stdin.
+//
+//	rdfqa -q "Which politician graduated from Grand Elm University?"
+//	rdfqa -system ganswer        # compare with the direct-translation baseline
+//	echo "Who wrote The Silent River?" | rdfqa
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"simjoin/internal/experiments"
+	"simjoin/internal/qa"
+	"simjoin/internal/template"
+	"simjoin/internal/workload"
+)
+
+func main() {
+	var (
+		system    = flag.String("system", "template", "qa system: template|ganswer|deanna")
+		question  = flag.String("q", "", "question to answer (default: read stdin)")
+		minPhi    = flag.Float64("phi", 0.5, "minimum template matching proportion")
+		scale     = flag.Float64("scale", 1.0, "training workload scale")
+		verbose   = flag.Bool("v", false, "print the generated SPARQL")
+		saveTmpls = flag.String("save", "", "write learned templates to this JSON file")
+		loadTmpls = flag.String("load", "", "load templates from this JSON file instead of training")
+		samples   = flag.Int("samples", 0, "print n sample questions answerable over the generated KB and exit")
+	)
+	flag.Parse()
+
+	if *samples > 0 {
+		cfg := workload.QALD3Config()
+		w, err := workload.GenerateQA(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdfqa:", err)
+			os.Exit(1)
+		}
+		for _, q := range w.HoldoutQuestions(1234, *samples, 0) {
+			fmt.Println(q.Text)
+		}
+		return
+	}
+
+	if err := run(*system, *question, *minPhi, experiments.Scale(*scale), *verbose, *saveTmpls, *loadTmpls); err != nil {
+		fmt.Fprintln(os.Stderr, "rdfqa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(system, question string, minPhi float64, scale experiments.Scale, verbose bool, saveTmpls, loadTmpls string) error {
+	fmt.Fprintln(os.Stderr, "generating knowledge base and workloads...")
+	cfg := workload.QALD3Config()
+	cfg.Questions = int(float64(cfg.Questions) * 2 * float64(scale))
+	w, err := workload.GenerateQA(cfg)
+	if err != nil {
+		return err
+	}
+
+	var sys qa.System
+	switch system {
+	case "template":
+		var store *template.Store
+		if loadTmpls != "" {
+			f, err := os.Open(loadTmpls)
+			if err != nil {
+				return err
+			}
+			store, err = template.LoadStore(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "loaded %d templates from %s\n", store.Len(), loadTmpls)
+		} else {
+			p := experiments.Prepare(w)
+			fmt.Fprintln(os.Stderr, "learning templates via SimJ...")
+			pairs, _, err := p.Join(experiments.DefaultJoinOptions())
+			if err != nil {
+				return err
+			}
+			store, _ = p.BuildTemplates(pairs)
+			fmt.Fprintf(os.Stderr, "learned %d templates from %d pairs\n", store.Len(), len(pairs))
+		}
+		if saveTmpls != "" {
+			f, err := os.Create(saveTmpls)
+			if err != nil {
+				return err
+			}
+			if err := store.Save(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "saved %d templates to %s\n", store.Len(), saveTmpls)
+		}
+		ts := &qa.TemplateSystem{Store: store, Lex: w.KB.Lexicon, KB: w.KB.Store, MinPhi: minPhi}
+		sys = ts
+		if verbose {
+			for i, t := range store.Templates() {
+				if i >= 10 {
+					break
+				}
+				fmt.Fprintf(os.Stderr, "  tpl[%d] support=%d  %s\n", i, t.Support, t)
+			}
+		}
+	case "ganswer":
+		sys = &qa.GAnswerSystem{Lex: w.KB.Lexicon, KB: w.KB.Store}
+	case "deanna":
+		sys = &qa.DeannaSystem{Lex: w.KB.Lexicon, KB: w.KB.Store}
+	default:
+		return fmt.Errorf("unknown system %q", system)
+	}
+
+	answer := func(q string) {
+		res, err := sys.Answer(q)
+		if err != nil {
+			fmt.Printf("no answer: %v\n", err)
+			return
+		}
+		var vals []string
+		seen := map[string]bool{}
+		for _, b := range res {
+			for _, v := range b {
+				if !seen[v] {
+					seen[v] = true
+					vals = append(vals, v)
+				}
+			}
+		}
+		sort.Strings(vals)
+		fmt.Printf("%s\n", strings.Join(vals, ", "))
+	}
+
+	if question != "" {
+		answer(question)
+		return nil
+	}
+	fmt.Fprintln(os.Stderr, "ready; enter questions (ctrl-D to quit)")
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		answer(line)
+	}
+	return sc.Err()
+}

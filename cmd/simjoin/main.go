@@ -1,0 +1,147 @@
+// Command simjoin runs the uncertain graph similarity join (Def. 7) over a
+// generated workload and reports the matched pairs and join statistics.
+//
+//	simjoin -workload qald -tau 1 -alpha 0.9 -mode opt -gn 10 -show 5
+//
+// Workloads: qald, webq, mm (question/SPARQL pairs through the full NLQ
+// pipeline) and er, sf (synthetic uncertain graphs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"simjoin/internal/core"
+	"simjoin/internal/experiments"
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+	"simjoin/internal/workload"
+)
+
+func main() {
+	var (
+		wl    = flag.String("workload", "qald", "workload: qald|webq|mm|er|sf")
+		tau   = flag.Int("tau", 1, "GED threshold")
+		alpha = flag.Float64("alpha", 0.9, "similarity probability threshold")
+		mode  = flag.String("mode", "opt", "pruning mode: css|simj|opt")
+		gn    = flag.Int("gn", 10, "possible-world group count (opt mode)")
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		show  = flag.Int("show", 5, "matched pairs to print")
+		dump  = flag.String("dump", "", "save the generated QA workload to this directory and exit")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		var cfg workload.QAConfig
+		switch *wl {
+		case "qald":
+			cfg = workload.QALD3Config()
+		case "webq":
+			cfg = workload.WebQConfig(0.35)
+		case "mm":
+			cfg = workload.MMConfig()
+		default:
+			fmt.Fprintf(os.Stderr, "simjoin: -dump supports qald|webq|mm, not %q\n", *wl)
+			os.Exit(1)
+		}
+		cfg.Questions = int(float64(cfg.Questions) * *scale)
+		cfg.ExtraQueries = int(float64(cfg.ExtraQueries) * *scale)
+		w, err := workload.GenerateQA(cfg)
+		if err == nil {
+			err = w.Save(*dump)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simjoin:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %d questions, %d queries, %d triples to %s\n",
+			len(w.Questions), len(w.Sparql), w.KB.Store.Len(), *dump)
+		return
+	}
+
+	if err := run(*wl, *tau, *alpha, *mode, *gn, experiments.Scale(*scale), *show); err != nil {
+		fmt.Fprintln(os.Stderr, "simjoin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl string, tau int, alpha float64, modeName string, gn int, scale experiments.Scale, show int) error {
+	opts := core.DefaultOptions()
+	opts.Tau = tau
+	opts.Alpha = alpha
+	opts.GroupCount = gn
+	switch modeName {
+	case "css":
+		opts.Mode = core.ModeCSSOnly
+	case "simj":
+		opts.Mode = core.ModeSimJ
+	case "opt":
+		opts.Mode = core.ModeSimJOpt
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	var (
+		d        []*graph.Graph
+		u        []*ugraph.Graph
+		describe func(p core.Pair) string
+	)
+	switch wl {
+	case "qald", "webq", "mm":
+		var cfg workload.QAConfig
+		switch wl {
+		case "qald":
+			cfg = workload.QALD3Config()
+		case "webq":
+			cfg = workload.WebQConfig(0.35)
+		default:
+			cfg = workload.MMConfig()
+		}
+		cfg.Questions = int(float64(cfg.Questions) * float64(scale))
+		cfg.ExtraQueries = int(float64(cfg.ExtraQueries) * float64(scale))
+		w, err := workload.GenerateQA(cfg)
+		if err != nil {
+			return err
+		}
+		p := experiments.Prepare(w)
+		d, u = p.D, p.U
+		describe = func(pr core.Pair) string {
+			return fmt.Sprintf("Q%-4d %q\n       %s", pr.G,
+				w.Questions[p.QuestionOf[pr.G]].Text, w.Sparql[pr.Q].Query)
+		}
+	case "er", "sf":
+		cfg := workload.DefaultSyntheticConfig()
+		cfg.Count = int(float64(cfg.Count) * float64(scale))
+		if wl == "er" {
+			d, u = workload.ER(cfg)
+		} else {
+			d, u = workload.SF(cfg)
+		}
+		describe = func(pr core.Pair) string {
+			return fmt.Sprintf("D[%d] ~ U[%d]", pr.Q, pr.G)
+		}
+	default:
+		return fmt.Errorf("unknown workload %q", wl)
+	}
+
+	fmt.Printf("joining |D|=%d certain graphs with |U|=%d uncertain graphs (tau=%d alpha=%v mode=%s)\n",
+		len(d), len(u), opts.Tau, opts.Alpha, opts.Mode)
+	start := time.Now()
+	pairs, st, err := core.Join(d, u, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pairs: %d in %v\n", len(pairs), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("stats: css-pruned=%d prob-pruned=%d candidates=%d (ratio %.4f) worlds=%d ged-calls=%d\n",
+		st.CSSPruned, st.ProbPruned, st.Candidates, st.CandidateRatio(), st.WorldsChecked, st.GEDCalls)
+	for i, pr := range pairs {
+		if i >= show {
+			fmt.Printf("... and %d more\n", len(pairs)-show)
+			break
+		}
+		fmt.Printf("[%d] SimP=%.3f ged=%d  %s\n", i+1, pr.SimP, pr.Distance, describe(pr))
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package simjoin is a from-scratch Go reproduction of "How to Build
+// Templates for RDF Question/Answering — An Uncertain Graph Similarity Join
+// Approach" (SIGMOD 2015).
+//
+// The system joins a workload of SPARQL queries (certain graphs) with a
+// workload of natural-language questions (uncertain graphs, ambiguous entity
+// links modelled as per-vertex label distributions) under the predicate
+// SimPτ(q,g) ≥ α, and turns matched pairs into question-answering templates.
+//
+// The implementation lives under internal/ (see DESIGN.md for the package
+// map); cmd/ holds the executables; examples/ holds runnable walkthroughs;
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation (EXPERIMENTS.md records paper-vs-measured).
+package simjoin

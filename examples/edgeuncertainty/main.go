@@ -1,0 +1,72 @@
+// Edgeuncertainty demonstrates the paper's §3.1.1 "general case": modelling
+// uncertain RELATION paraphrases with fictitious vertices (graph.Reify).
+//
+// The phrase "staying in" could mean livesIn (0.45) or birthPlace (0.55).
+// Collapsing to the top paraphrase joins the question with the WRONG query;
+// the reified join keeps both readings alive as possible worlds and matches
+// the right query too — with exactly the probability the paraphrase
+// dictionary assigns it.
+//
+//	go run ./examples/edgeuncertainty
+package main
+
+import (
+	"fmt"
+
+	"simjoin/internal/core"
+	"simjoin/internal/graph"
+	"simjoin/internal/linker"
+	"simjoin/internal/nlq"
+	"simjoin/internal/sparql"
+	"simjoin/internal/ugraph"
+)
+
+func main() {
+	lex := linker.NewLexicon()
+	lex.AddEntity("Cedarville", "Cedarville", "City", 1.0)
+	lex.AddRelation("staying in", "birthPlace", 0.55)
+	lex.AddRelation("staying in", "livesIn", 0.45)
+	lex.AddClass("musician", "Musician")
+
+	question := "Which musician staying in Cedarville?"
+	livesInQ := sparql.MustBuildQueryGraph(sparql.MustParse(
+		`SELECT ?x WHERE { ?x type Musician . ?x livesIn Cedarville . }`))
+	birthQ := sparql.MustBuildQueryGraph(sparql.MustParse(
+		`SELECT ?x WHERE { ?x type Musician . ?x birthPlace Cedarville . }`))
+
+	// Collapsed model: the edge takes the top paraphrase only.
+	uq, err := nlq.Interpret(question, lex)
+	check(err)
+	run("collapsed top-1", []*graph.Graph{livesInQ.Graph, birthQ.Graph}, uq.Graph, 0)
+
+	// Reified model: the relation becomes a fictitious vertex carrying the
+	// full paraphrase distribution; queries are reified the same way.
+	ruq, err := nlq.InterpretReified(question, lex)
+	check(err)
+	run("reified", []*graph.Graph{graph.Reify(livesInQ.Graph), graph.Reify(birthQ.Graph)}, ruq.Graph, 0)
+}
+
+func run(name string, d []*graph.Graph, g *ugraph.Graph, tau int) {
+	opts := core.DefaultOptions()
+	opts.Tau = tau
+	opts.Alpha = 0.05
+	opts.Mode = core.ModeSimJ
+	opts.Workers = 1
+	pairs, _, err := core.Join(d, []*ugraph.Graph{g}, opts)
+	check(err)
+	names := []string{"livesIn query", "birthPlace query"}
+	fmt.Printf("%-16s (tau=%d):", name, tau)
+	if len(pairs) == 0 {
+		fmt.Print("  no matches")
+	}
+	for _, p := range pairs {
+		fmt.Printf("  %s SimP=%.2f", names[p.Q], p.SimP)
+	}
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: the uncertain graph similarity join in ~40 lines.
+//
+// A SPARQL query graph (certain) is joined against a natural-language
+// question graph (uncertain, because "CIT" links to two possible entities)
+// under the paper's predicate SimPτ(q,g) ≥ α.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"simjoin/internal/core"
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+func main() {
+	// Certain side: SELECT ?x WHERE { ?x type Politician . ?x graduatedFrom CIT_University }
+	q := graph.New(3)
+	x := q.AddVertex("?x") // '?' labels are wildcards: they match anything
+	pol := q.AddVertex("Politician")
+	cit := q.AddVertex("CIT_University")
+	q.MustAddEdge(x, pol, "type")
+	q.MustAddEdge(x, cit, "graduatedFrom")
+
+	// Uncertain side: "Which politician graduated from CIT?" — the mention
+	// "CIT" is ambiguous, so the vertex carries two candidate labels.
+	g := ugraph.New(3)
+	gx := g.AddVertex(ugraph.Label{Name: "?x", P: 1})
+	gp := g.AddVertex(ugraph.Label{Name: "Politician", P: 1})
+	gc := g.AddVertex(
+		ugraph.Label{Name: "CIT_University", P: 0.8},
+		ugraph.Label{Name: "CIT_Group", P: 0.2},
+	)
+	g.MustAddEdge(gx, gp, "type")
+	g.MustAddEdge(gx, gc, "graduatedFrom")
+
+	opts := core.DefaultOptions() // tau=1, alpha=0.9, SimJ+opt
+	pairs, stats, err := core.Join([]*graph.Graph{q}, []*ugraph.Graph{g}, opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("matched pairs: %d (candidates after pruning: %d of %d)\n",
+		len(pairs), stats.Candidates, stats.Pairs)
+	for _, p := range pairs {
+		fmt.Printf("  q%d ~ g%d  SimP=%.2f  ged=%d  best world: %v\n",
+			p.Q, p.G, p.SimP, p.Distance, p.World)
+	}
+}

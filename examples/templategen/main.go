@@ -1,0 +1,74 @@
+// Templategen walks the paper's full template-generation pipeline (§2.1) on
+// the running example of Figs. 2–4: interpret a question into an uncertain
+// graph, join it against a SPARQL workload, and build a template from the
+// matched pair's vertex mapping.
+//
+//	go run ./examples/templategen
+package main
+
+import (
+	"fmt"
+
+	"simjoin/internal/core"
+	"simjoin/internal/graph"
+	"simjoin/internal/linker"
+	"simjoin/internal/nlq"
+	"simjoin/internal/sparql"
+	"simjoin/internal/template"
+	"simjoin/internal/ugraph"
+)
+
+func main() {
+	// Step 0: the lexicon stands in for entity linking and relation
+	// paraphrasing services (DESIGN.md, substitution 3).
+	lex := linker.NewLexicon()
+	lex.AddEntity("CIT", "California_Institute_of_Technology", "University", 0.8)
+	lex.AddEntity("CIT", "CIT_Group", "Company", 0.2)
+	lex.AddRelation("graduated from", "graduatedFrom", 1.0)
+	lex.AddClass("politician", "Politician")
+	lex.AddClass("scientist", "Scientist")
+
+	// Step 1: uncertain graph generation from the question.
+	questionText := "Which politician graduated from CIT?"
+	uq, err := nlq.Interpret(questionText, lex)
+	check(err)
+	fmt.Println("question:       ", questionText)
+	fmt.Println("uncertain graph:", uq.Graph)
+
+	// The SPARQL workload (here a single query, Fig. 4c).
+	qg, err := sparql.ParseToGraph(
+		`SELECT ?x WHERE { ?x type Politician . ?x graduatedFrom California_Institute_of_Technology . }`)
+	check(err)
+	fmt.Println("SPARQL query:   ", qg.Query)
+
+	// Step 2: finding similar graph pairs with SimJ.
+	opts := core.DefaultOptions()
+	pairs, _, err := core.Join([]*graph.Graph{qg.Graph}, []*ugraph.Graph{uq.Graph}, opts)
+	check(err)
+	if len(pairs) == 0 {
+		panic("no similar pair found")
+	}
+	p := pairs[0]
+	fmt.Printf("similar pair:    SimP=%.2f ged=%d mapping=%v\n", p.SimP, p.Distance, p.Mapping)
+
+	// Step 3: generating the template from the pair's mapping (Fig. 4d).
+	tpl, err := template.Generate(qg, uq, p.Mapping)
+	check(err)
+	fmt.Println("template:       ", tpl)
+
+	// Q/A with the template (§2.2): a NEW question matches through
+	// dependency-tree alignment and slot filling.
+	lex.AddEntity("Grand Elm University", "Grand_Elm_University", "University", 1.0)
+	newQuestion := "Which scientist graduated from Grand Elm University?"
+	m := tpl.MatchQuestion(newQuestion, lex)
+	fmt.Printf("new question:    %q  (TED=%d, phi=%.2f)\n", newQuestion, m.TED, m.Phi)
+	query, err := m.Instantiate(lex)
+	check(err)
+	fmt.Println("instantiated:   ", query)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module simjoin
+
+go 1.22

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"simjoin/internal/filter"
+	"simjoin/internal/ged"
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// ExpectedDistance computes the expected graph edit distance
+// E[ged(q, pw(g))] over the possible worlds of g — the alternative
+// similarity measure of Kollios et al. [14] discussed in §8.3. Unlike the
+// paper's SimPτ it has no threshold; it is exposed for comparison studies.
+//
+// Distances are computed exactly with a state budget per world; maxWorlds
+// caps the enumeration (0 means the DefaultOptions MaxWorlds). When g's
+// per-vertex distributions do not sum to 1 the expectation is taken over
+// the covered mass and rescaled.
+func ExpectedDistance(q *graph.Graph, g *ugraph.Graph, maxWorlds int64) (float64, error) {
+	if maxWorlds <= 0 {
+		maxWorlds = 1 << 20
+	}
+	if g.WorldCountFloat() > float64(maxWorlds) {
+		return 0, fmt.Errorf("core: %v possible worlds exceed the budget %d", g.WorldCountFloat(), maxWorlds)
+	}
+	sum := 0.0
+	mass := 0.0
+	var firstErr error
+	g.Worlds(func(w *graph.Graph, p float64) bool {
+		res, err := ged.Compute(q, w, ged.Options{Threshold: ged.NoThreshold, MaxStates: 4_000_000})
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		sum += p * float64(res.Distance)
+		mass += p
+		return true
+	})
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	if mass == 0 {
+		return 0, fmt.Errorf("core: uncertain graph has no probability mass")
+	}
+	return sum / mass, nil
+}
+
+// ExpectedPair is one result of JoinExpected.
+type ExpectedPair struct {
+	Q, G     int
+	Expected float64
+}
+
+// JoinExpected returns all pairs whose expected edit distance is at most
+// maxExpected — the expected-distance analogue of Def. 7. The CSS bound
+// still prunes: lb_gedCSS lower-bounds ged against every world, hence also
+// the expectation.
+func JoinExpected(d []*graph.Graph, u []*ugraph.Graph, maxExpected float64, maxWorlds int64) ([]ExpectedPair, error) {
+	var out []ExpectedPair
+	for gi, g := range u {
+		for qi, q := range d {
+			if lb := filter.CSSLowerBoundUncertain(q, g); float64(lb) > maxExpected {
+				continue
+			}
+			e, err := ExpectedDistance(q, g, maxWorlds)
+			if err != nil {
+				return nil, fmt.Errorf("core: pair (%d,%d): %w", qi, gi, err)
+			}
+			if e <= maxExpected {
+				out = append(out, ExpectedPair{Q: qi, G: gi, Expected: e})
+			}
+		}
+	}
+	return out, nil
+}

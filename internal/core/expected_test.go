@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"simjoin/internal/ged"
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+func TestExpectedDistanceExact(t *testing.T) {
+	// q: single vertex A. g: single vertex {A:0.7, B:0.3}.
+	// E[ged] = 0.7*0 + 0.3*1 = 0.3.
+	q := graph.New(1)
+	q.AddVertex("A")
+	g := ugraph.New(1)
+	g.AddVertex(ugraph.Label{Name: "A", P: 0.7}, ugraph.Label{Name: "B", P: 0.3})
+	e, err := ExpectedDistance(q, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-0.3) > 1e-12 {
+		t.Fatalf("E[ged] = %v, want 0.3", e)
+	}
+}
+
+func TestExpectedDistanceIdentity(t *testing.T) {
+	d, u := smallWorkload(5, 1, 1)
+	_ = d
+	c := ugraph.FromCertain(mustWorld(t, u[0]))
+	e, err := ExpectedDistance(mustWorld(t, u[0]), c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Fatalf("E[ged] against own world = %v", e)
+	}
+}
+
+func mustWorld(t *testing.T, g *ugraph.Graph) *graph.Graph {
+	t.Helper()
+	w, _ := g.MostLikelyWorld()
+	return w
+}
+
+func TestExpectedDistanceAgreesWithEnumeration(t *testing.T) {
+	d, u := smallWorkload(17, 4, 4)
+	for _, g := range u {
+		for _, q := range d {
+			want := 0.0
+			mass := 0.0
+			g.Worlds(func(w *graph.Graph, p float64) bool {
+				want += p * float64(ged.Distance(q, w))
+				mass += p
+				return true
+			})
+			want /= mass
+			got, err := ExpectedDistance(q, g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("E[ged] = %v, oracle %v", got, want)
+			}
+		}
+	}
+}
+
+func TestExpectedDistanceBudget(t *testing.T) {
+	g := ugraph.New(12)
+	for i := 0; i < 12; i++ {
+		g.AddVertex(ugraph.Label{Name: "A", P: 0.5}, ugraph.Label{Name: "B", P: 0.5})
+	}
+	q := graph.New(1)
+	q.AddVertex("A")
+	if _, err := ExpectedDistance(q, g, 100); err == nil {
+		t.Error("budget overflow accepted")
+	}
+}
+
+func TestJoinExpected(t *testing.T) {
+	d, u := smallWorkload(21, 6, 5)
+	pairs, err := JoinExpected(d, u, 1.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		e, err := ExpectedDistance(d[p.Q], u[p.G], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e-p.Expected) > 1e-9 || e > 1.5 {
+			t.Fatalf("pair (%d,%d): expected %v (recomputed %v)", p.Q, p.G, p.Expected, e)
+		}
+	}
+	// Oracle: no qualifying pair missed.
+	for gi, g := range u {
+		for qi, q := range d {
+			e, err := ExpectedDistance(q, g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e <= 1.5 {
+				found := false
+				for _, p := range pairs {
+					if p.Q == qi && p.G == gi {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("qualifying pair (%d,%d) E=%v missed", qi, gi, e)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sort"
+
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// Index accelerates SimJ over a fixed certain-graph set D with two cheap,
+// sound prescreens applied before the per-pair CSS bound:
+//
+//  1. Size screen — ged(q,g) ≥ |size(q) − size(g)| where size = |V| + |E|
+//     (every edit changes the size by exactly 1), so only queries in a
+//     ±τ size window around g need scanning. Queries are bucketed by size.
+//  2. Label screen — ged(q,g) ≥ max(|V(q)|,|V(g)|) − λV(q,g) (part of the
+//     LM filter), and λV is upper-bounded by a multiset-overlap count that
+//     costs O(labels) instead of the O(V³) matching.
+//
+// Both screens are implied by bounds the pipeline applies anyway, so
+// JoinIndexed returns exactly the same pairs as Join.
+type Index struct {
+	d       []*graph.Graph
+	bySize  map[int][]int
+	minSize int
+	maxSize int
+	// labels[i] is the concrete vertex label multiset of d[i]; wilds[i] its
+	// wildcard vertex count.
+	labels []map[string]int
+	wilds  []int
+}
+
+// BuildIndex indexes a certain-graph set for repeated joins.
+func BuildIndex(d []*graph.Graph) *Index {
+	idx := &Index{
+		d:      d,
+		bySize: make(map[int][]int),
+		labels: make([]map[string]int, len(d)),
+		wilds:  make([]int, len(d)),
+	}
+	idx.minSize = int(^uint(0) >> 1)
+	for i, q := range d {
+		size := q.Size()
+		idx.bySize[size] = append(idx.bySize[size], i)
+		if size < idx.minSize {
+			idx.minSize = size
+		}
+		if size > idx.maxSize {
+			idx.maxSize = size
+		}
+		idx.labels[i], idx.wilds[i] = q.VertexLabelMultiset()
+	}
+	return idx
+}
+
+// Len returns the number of indexed graphs.
+func (idx *Index) Len() int { return len(idx.d) }
+
+// Candidates streams the indices of queries surviving both prescreens
+// against the uncertain graph g at threshold tau, in ascending order.
+func (idx *Index) Candidates(g *ugraph.Graph, tau int) []int {
+	gSize := g.Size()
+	// Union label multiset of g (any candidate label can realise a match).
+	gLabels := make(map[string]bool)
+	gWilds := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		wild := false
+		for _, l := range g.Labels(v) {
+			if graph.IsWildcard(l.Name) {
+				wild = true
+			} else {
+				gLabels[l.Name] = true
+			}
+		}
+		if wild {
+			gWilds++
+		}
+	}
+
+	var out []int
+	lo, hi := gSize-tau, gSize+tau
+	if lo < idx.minSize {
+		lo = idx.minSize
+	}
+	if hi > idx.maxSize {
+		hi = idx.maxSize
+	}
+	for size := lo; size <= hi; size++ {
+		for _, i := range idx.bySize[size] {
+			if idx.labelScreen(i, g, gLabels, gWilds, tau) {
+				out = append(out, i)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// labelScreen applies the cheap λV overlap bound: if even the most generous
+// overlap estimate leaves more than τ unmatched vertices on the larger side,
+// the LM (and hence CSS) bound would prune the pair anyway.
+func (idx *Index) labelScreen(i int, g *ugraph.Graph, gLabels map[string]bool, gWilds, tau int) bool {
+	q := idx.d[i]
+	overlap := idx.wilds[i] // every wildcard q-vertex can match something
+	for l, c := range idx.labels[i] {
+		if gLabels[l] {
+			overlap += c
+		}
+	}
+	overlap += gWilds // wildcard g-vertices absorb leftover q-vertices
+	maxV := q.NumVertices()
+	if g.NumVertices() > maxV {
+		maxV = g.NumVertices()
+	}
+	if overlap > maxV {
+		overlap = maxV
+	}
+	return maxV-overlap <= tau
+}
+
+// JoinIndexed is Join using a prebuilt index over D. It returns exactly the
+// pairs Join(idx.d, u, opts) returns; Stats.IndexSkipped counts the pairs
+// the prescreens eliminated without touching the bound machinery.
+func JoinIndexed(idx *Index, u []*ugraph.Graph, opts Options) ([]Pair, Stats, error) {
+	if err := opts.normalise(); err != nil {
+		return nil, Stats{}, err
+	}
+	type task struct {
+		gi    int
+		cands []int
+	}
+	tasks := make(chan task, 64)
+	results := make([]Pair, 0)
+	var total Stats
+	done := make(chan struct{})
+
+	go func() {
+		defer close(done)
+		var local Stats
+		for t := range tasks {
+			for _, qi := range t.cands {
+				local.Pairs++
+				p, ok := joinPair(idx.d[qi], u[t.gi], qi, t.gi, &opts, &local)
+				if ok {
+					results = append(results, p)
+					local.Results++
+				}
+			}
+		}
+		total.add(&local)
+	}()
+
+	var skipped int64
+	for gi, g := range u {
+		cands := idx.Candidates(g, opts.Tau)
+		skipped += int64(idx.Len() - len(cands))
+		tasks <- task{gi: gi, cands: cands}
+	}
+	close(tasks)
+	<-done
+
+	total.Pairs += skipped
+	total.CSSPruned += skipped // prescreens are implied by the CSS stage
+	total.IndexSkipped = skipped
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Q != results[j].Q {
+			return results[i].Q < results[j].Q
+		}
+		return results[i].G < results[j].G
+	})
+	return results, total, nil
+}

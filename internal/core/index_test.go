@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+func TestJoinIndexedMatchesJoin(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		d, u := smallWorkload(seed, 12, 10)
+		idx := BuildIndex(d)
+		for _, tau := range []int{0, 1, 2} {
+			opts := Options{Tau: tau, Alpha: 0.5, Mode: ModeSimJ, Workers: 2}
+			want, wantStats, err := Join(d, u, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotStats, err := JoinIndexed(idx, u, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d tau=%d: indexed %d pairs, plain %d", seed, tau, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Q != want[i].Q || got[i].G != want[i].G {
+					t.Fatalf("pair %d differs: (%d,%d) vs (%d,%d)", i, got[i].Q, got[i].G, want[i].Q, want[i].G)
+				}
+			}
+			if gotStats.Pairs != wantStats.Pairs {
+				t.Errorf("accounting: indexed pairs %d != %d", gotStats.Pairs, wantStats.Pairs)
+			}
+			if tau <= 1 && gotStats.IndexSkipped == 0 {
+				t.Errorf("tau=%d: index skipped nothing", tau)
+			}
+		}
+	}
+}
+
+func TestIndexCandidatesSound(t *testing.T) {
+	// Every pair the index skips must be beyond tau for every world.
+	d, u := smallWorkload(7, 10, 8)
+	idx := BuildIndex(d)
+	naive := naiveJoin(d, u, 2, 0.1)
+	for gi, g := range u {
+		cands := map[int]bool{}
+		for _, qi := range idx.Candidates(g, 2) {
+			cands[qi] = true
+		}
+		for key := range naive {
+			if key[1] == gi && !cands[key[0]] {
+				t.Fatalf("index dropped matching pair q=%d g=%d", key[0], key[1])
+			}
+		}
+	}
+}
+
+func TestIndexEmpty(t *testing.T) {
+	idx := BuildIndex(nil)
+	if idx.Len() != 0 {
+		t.Fatal("empty index not empty")
+	}
+	g := ugraph.New(1)
+	g.AddVertex(ugraph.Label{Name: "A", P: 1})
+	if c := idx.Candidates(g, 5); len(c) != 0 {
+		t.Fatalf("candidates from empty index: %v", c)
+	}
+	pairs, st, err := JoinIndexed(idx, []*ugraph.Graph{g}, Options{Tau: 1, Alpha: 0.5})
+	if err != nil || len(pairs) != 0 || st.Pairs != 0 {
+		t.Fatalf("empty indexed join: %v %v %v", pairs, st, err)
+	}
+}
+
+func TestIndexSizeScreen(t *testing.T) {
+	// A 2-vertex query cannot be within tau=1 of an 8-vertex graph.
+	small := graph.New(2)
+	small.AddVertex("A")
+	small.AddVertex("B")
+	small.MustAddEdge(0, 1, "p")
+	idx := BuildIndex([]*graph.Graph{small})
+
+	big := ugraph.New(8)
+	for i := 0; i < 8; i++ {
+		big.AddVertex(ugraph.Label{Name: "A", P: 1})
+	}
+	if c := idx.Candidates(big, 1); len(c) != 0 {
+		t.Fatalf("size screen failed: %v", c)
+	}
+	if c := idx.Candidates(big, 10); len(c) != 1 {
+		t.Fatalf("generous tau should pass: %v", c)
+	}
+}

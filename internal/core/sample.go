@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"simjoin/internal/filter"
+	"simjoin/internal/ged"
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// sampleVerify estimates SimPτ(q, g) by Monte Carlo when exact possible-world
+// enumeration is out of budget: n worlds are drawn i.i.d. from the per-vertex
+// label distributions (normalised, then rescaled by the graph's total mass),
+// each checked with threshold-bounded GED. The pair is accepted when the
+// estimate clears α by the Hoeffding margin ε = sqrt(ln(1/δ) / (2n)) with
+// δ = 0.01, rejected when it falls below α by the same margin, and treated
+// as undecidable (skipped, like the exhausted-budget case) in between.
+//
+// The estimator is deterministic: the RNG is seeded from the pair indices.
+func sampleVerify(q *graph.Graph, g *ugraph.Graph, qi, gi int, opts *Options, st *Stats) (Pair, bool) {
+	n := opts.SampleWorlds
+	mass := g.TotalMass()
+	rng := rand.New(rand.NewSource(int64(qi)*1_000_003 + int64(gi) + 42))
+
+	// Per-vertex cumulative distributions (normalised).
+	type cdf struct {
+		labels []ugraph.Label
+		sum    float64
+	}
+	dists := make([]cdf, g.NumVertices())
+	for v := range dists {
+		ls := g.Labels(v)
+		s := 0.0
+		for _, l := range ls {
+			s += l.P
+		}
+		dists[v] = cdf{labels: ls, sum: s}
+	}
+
+	w := graph.New(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		w.AddVertex(dists[v].labels[0].Name)
+	}
+	for _, e := range g.Edges() {
+		w.MustAddEdge(e.From, e.To, e.Label)
+	}
+
+	hits := 0
+	best := Pair{Q: qi, G: gi, Distance: opts.Tau + 1}
+	for i := 0; i < n; i++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			r := rng.Float64() * dists[v].sum
+			acc := 0.0
+			label := dists[v].labels[len(dists[v].labels)-1].Name
+			for _, l := range dists[v].labels {
+				acc += l.P
+				if r < acc {
+					label = l.Name
+					break
+				}
+			}
+			w.SetVertexLabel(v, label)
+		}
+		st.WorldsChecked++
+		if filter.CSSLowerBound(q, w) > opts.Tau {
+			continue
+		}
+		st.GEDCalls++
+		res, err := ged.Compute(q, w, ged.Options{Threshold: opts.Tau, MaxStates: opts.VerifyMaxStates})
+		if err != nil {
+			st.GEDBudgetHits++
+			continue
+		}
+		if !res.Exceeded {
+			hits++
+			if res.Distance < best.Distance {
+				best.Distance = res.Distance
+				best.World = w.Clone()
+				best.Mapping = res.Mapping
+			}
+		}
+	}
+
+	estimate := float64(hits) / float64(n) * mass
+	eps := hoeffdingMargin(n) * mass
+	st.SampledPairs++
+	switch {
+	case estimate-eps >= opts.Alpha:
+		best.SimP = estimate
+		if !opts.KeepMappings {
+			best.Mapping = nil
+		}
+		return best, true
+	case estimate+eps < opts.Alpha:
+		return Pair{}, false
+	default:
+		st.SkippedPairs++ // undecidable at this sample size
+		return Pair{}, false
+	}
+}
+
+// hoeffdingMargin returns sqrt(ln(1/δ)/(2n)) for δ = 0.01.
+func hoeffdingMargin(n int) float64 {
+	const ln100 = 4.605170185988091
+	return math.Sqrt(ln100 / (2 * float64(n)))
+}

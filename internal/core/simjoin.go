@@ -1,0 +1,417 @@
+// Package core implements the paper's primary contribution: SimJ, the
+// similarity join between a set D of certain graphs (SPARQL queries) and a
+// set U of uncertain graphs (natural language questions), under the
+// similarity-probability predicate SimPτ(q, g) ≥ α of Def. 7.
+//
+// The join follows the filtering-and-refinement framework of §3.3:
+//
+//   - Structural pruning with the CSS-based lower bound (Theorem 3).
+//   - Probabilistic pruning with the similarity-probability upper bound
+//     (Theorem 4), optionally tightened by dividing possible worlds into
+//     cost-model-selected groups (§6.2, Algorithm 2) — "SimJ+opt".
+//   - Exact verification by possible-world enumeration with per-world CSS
+//     pre-checks and early accept/reject on the accumulated probability mass.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"simjoin/internal/filter"
+	"simjoin/internal/ged"
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// Mode selects which pruning stages run before verification.
+type Mode int
+
+const (
+	// ModeCSSOnly applies only the structural CSS-based pruning.
+	ModeCSSOnly Mode = iota
+	// ModeSimJ applies CSS-based and probabilistic pruning (Algorithm 1).
+	ModeSimJ
+	// ModeSimJOpt additionally partitions possible worlds into groups for
+	// tighter probabilistic bounds (Algorithm 2).
+	ModeSimJOpt
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeCSSOnly:
+		return "CSS only"
+	case ModeSimJ:
+		return "SimJ"
+	case ModeSimJOpt:
+		return "SimJ+opt"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures a SimJ run. The zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	// Tau is the graph edit distance threshold τ.
+	Tau int
+	// Alpha is the similarity probability threshold α ∈ (0, 1].
+	Alpha float64
+	// Mode selects the pruning pipeline.
+	Mode Mode
+	// GroupCount is the possible-world group budget GN for ModeSimJOpt.
+	GroupCount int
+	// Workers is the number of parallel join workers; 0 means GOMAXPROCS.
+	Workers int
+	// MaxWorlds caps the possible worlds enumerated per pair during
+	// verification; pairs beyond it are skipped and counted in
+	// Stats.SkippedPairs. 0 means the default of 1<<20.
+	MaxWorlds int64
+	// VerifyMaxStates caps the A* states per GED verification call; worlds
+	// exceeding it count as dissimilar and are tallied in
+	// Stats.GEDBudgetHits. 0 means the default of 4e6.
+	VerifyMaxStates int
+	// DisableEarlyExit turns off the accept/reject short-circuit during
+	// verification (ablation A2).
+	DisableEarlyExit bool
+	// TightProbBound replaces Theorem 4 with its law-of-total-probability
+	// refinement in ModeSimJ (filter.TotalProbabilityUpperBound): tighter
+	// pruning for a little extra filter time (ablation A6).
+	TightProbBound bool
+	// SampleWorlds switches pairs whose possible-world count exceeds
+	// MaxWorlds from being skipped to Monte Carlo verification with this
+	// many sampled worlds. Accept/reject decisions carry a Hoeffding
+	// confidence margin (δ=0.01); pairs inside the margin stay skipped.
+	// 0 disables sampling.
+	SampleWorlds int
+	// KeepMappings records the best-world vertex mapping on every result
+	// pair (needed for template generation; costs one extra exact GED per
+	// result).
+	KeepMappings bool
+}
+
+// DefaultOptions returns the paper's default configuration: τ=1, α=0.9,
+// SimJ+opt with 10 groups.
+func DefaultOptions() Options {
+	return Options{
+		Tau:          1,
+		Alpha:        0.9,
+		Mode:         ModeSimJOpt,
+		GroupCount:   10,
+		KeepMappings: true,
+	}
+}
+
+func (o *Options) normalise() error {
+	if o.Tau < 0 {
+		return fmt.Errorf("core: negative tau %d", o.Tau)
+	}
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		return fmt.Errorf("core: alpha %v outside (0,1]", o.Alpha)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.GroupCount <= 0 {
+		o.GroupCount = 1
+	}
+	if o.MaxWorlds <= 0 {
+		o.MaxWorlds = 1 << 20
+	}
+	if o.VerifyMaxStates <= 0 {
+		o.VerifyMaxStates = 4_000_000
+	}
+	return nil
+}
+
+// Pair is one join result: SPARQL query graph q = D[Q] matched uncertain
+// question graph g = U[G] with SimPτ(q,g) = SimP ≥ α.
+type Pair struct {
+	Q, G     int
+	SimP     float64
+	Distance int          // smallest ged(q, pw) among satisfying worlds
+	World    *graph.Graph // a satisfying world achieving Distance
+	Mapping  ged.Mapping  // q -> World vertex mapping (when KeepMappings)
+}
+
+// Stats aggregates join diagnostics; Fig. 11–14 are printed from it.
+type Stats struct {
+	Pairs         int64 // |D| × |U|
+	CSSPruned     int64 // pairs removed by Theorem 3
+	ProbPruned    int64 // pairs removed by Theorem 4 / grouped bounds
+	Candidates    int64 // pairs entering verification
+	Results       int64 // pairs reported
+	SkippedPairs  int64 // pairs skipped by the MaxWorlds safety cap
+	WorldsChecked int64 // possible worlds examined during verification
+	GEDCalls      int64 // exact GED verifications run
+	GEDBudgetHits int64 // GED calls aborted by VerifyMaxStates
+	PruneTime     time.Duration
+	VerifyTime    time.Duration
+	GroupsBuilt   int64 // possible-world groups constructed (SimJ+opt)
+	GroupsPruned  int64 // groups removed by their CSS bound
+	EarlyAccepts  int64 // verifications stopped early at ≥ α
+	EarlyRejects  int64 // verifications stopped early at < α
+	IndexSkipped  int64 // pairs eliminated by JoinIndexed's prescreens
+	SampledPairs  int64 // pairs decided by Monte Carlo verification
+}
+
+// CandidateRatio returns |candidates| / (|D|·|U|), the y-axis of
+// Figs. 11b–14b.
+func (s *Stats) CandidateRatio() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return float64(s.Candidates) / float64(s.Pairs)
+}
+
+// ResultRatio returns |results| / (|D|·|U|) ("Real" in the figures).
+func (s *Stats) ResultRatio() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return float64(s.Results) / float64(s.Pairs)
+}
+
+func (s *Stats) add(o *Stats) {
+	s.Pairs += o.Pairs
+	s.CSSPruned += o.CSSPruned
+	s.ProbPruned += o.ProbPruned
+	s.Candidates += o.Candidates
+	s.Results += o.Results
+	s.SkippedPairs += o.SkippedPairs
+	s.WorldsChecked += o.WorldsChecked
+	s.GEDCalls += o.GEDCalls
+	s.GEDBudgetHits += o.GEDBudgetHits
+	s.PruneTime += o.PruneTime
+	s.VerifyTime += o.VerifyTime
+	s.GroupsBuilt += o.GroupsBuilt
+	s.GroupsPruned += o.GroupsPruned
+	s.EarlyAccepts += o.EarlyAccepts
+	s.EarlyRejects += o.EarlyRejects
+	s.IndexSkipped += o.IndexSkipped
+	s.SampledPairs += o.SampledPairs
+}
+
+// Join performs the similarity join of Def. 7 between the certain graphs D
+// and the uncertain graphs U, returning all pairs with SimPτ ≥ α sorted by
+// (Q, G).
+func Join(d []*graph.Graph, u []*ugraph.Graph, opts Options) ([]Pair, Stats, error) {
+	if err := opts.normalise(); err != nil {
+		return nil, Stats{}, err
+	}
+
+	type task struct{ qi, gi int }
+	tasks := make(chan task, 256)
+	var (
+		mu      sync.Mutex
+		results []Pair
+		total   Stats
+		wg      sync.WaitGroup
+	)
+
+	worker := func() {
+		defer wg.Done()
+		var local Stats
+		var pairs []Pair
+		for t := range tasks {
+			local.Pairs++
+			p, ok := joinPair(d[t.qi], u[t.gi], t.qi, t.gi, &opts, &local)
+			if ok {
+				pairs = append(pairs, p)
+				local.Results++
+			}
+		}
+		mu.Lock()
+		results = append(results, pairs...)
+		total.add(&local)
+		mu.Unlock()
+	}
+
+	wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go worker()
+	}
+	for qi := range d {
+		for gi := range u {
+			tasks <- task{qi, gi}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Q != results[j].Q {
+			return results[i].Q < results[j].Q
+		}
+		return results[i].G < results[j].G
+	})
+	return results, total, nil
+}
+
+// joinPair runs the filter-and-refine pipeline of Algorithm 1 on one pair.
+func joinPair(q *graph.Graph, g *ugraph.Graph, qi, gi int, opts *Options, st *Stats) (Pair, bool) {
+	pruneStart := time.Now()
+	groups, pruned := prunephase(q, g, opts, st)
+	st.PruneTime += time.Since(pruneStart)
+	if pruned {
+		return Pair{}, false
+	}
+	st.Candidates++
+
+	verifyStart := time.Now()
+	p, ok := verify(q, g, qi, gi, groups, opts, st)
+	st.VerifyTime += time.Since(verifyStart)
+	return p, ok
+}
+
+// prunephase applies the configured filters. It returns the possible-world
+// groups to verify (nil means verify the whole graph as one group) and
+// whether the pair was pruned outright.
+func prunephase(q *graph.Graph, g *ugraph.Graph, opts *Options, st *Stats) ([]ugraph.Group, bool) {
+	if filter.CSSLowerBoundUncertain(q, g) > opts.Tau {
+		st.CSSPruned++
+		return nil, true
+	}
+	switch opts.Mode {
+	case ModeCSSOnly:
+		return nil, false
+	case ModeSimJ:
+		ub := 0.0
+		if opts.TightProbBound {
+			ub = filter.TotalProbabilityUpperBound(q, g, opts.Tau)
+		} else {
+			ub = filter.SimilarityUpperBound(q, g, opts.Tau)
+		}
+		if ub < opts.Alpha {
+			st.ProbPruned++
+			return nil, true
+		}
+		return nil, false
+	case ModeSimJOpt:
+		groups := partitionForQuery(q, g, opts.GroupCount, opts.Tau)
+		st.GroupsBuilt += int64(len(groups))
+		ubSum := 0.0
+		kept := groups[:0]
+		for _, gr := range groups {
+			if filter.CSSLowerBoundUncertain(q, gr.G) > opts.Tau {
+				st.GroupsPruned++
+				continue
+			}
+			ubSum += filter.GroupUpperBound(q, gr, opts.Tau)
+			kept = append(kept, gr)
+		}
+		if ubSum < opts.Alpha {
+			st.ProbPruned++
+			return nil, true
+		}
+		return kept, false
+	default:
+		return nil, false
+	}
+}
+
+// partitionForQuery divides g's possible worlds into at most k groups using
+// the cost model of §6.2: at every round, split the group with the largest
+// probabilistic upper bound (the loosest contributor), i.e. minimise
+// Σ ub_SimP over non-pruned groups.
+func partitionForQuery(q *graph.Graph, g *ugraph.Graph, k, tau int) []ugraph.Group {
+	policy := func(groups []ugraph.Group) int {
+		best, bestUB := -1, -1.0
+		for i, gr := range groups {
+			if gr.G.SplitVertex() < 0 {
+				continue
+			}
+			if ub := filter.GroupUpperBound(q, gr, tau); ub > bestUB {
+				best, bestUB = i, ub
+			}
+		}
+		return best
+	}
+	return g.PartitionWorlds(k, policy)
+}
+
+// verify computes the exact SimPτ(q, g) by enumerating possible worlds
+// (grouped when SimJ+opt kept groups), with a per-world CSS pre-check and —
+// unless disabled — early accept/reject on accumulated mass.
+func verify(q *graph.Graph, g *ugraph.Graph, qi, gi int, groups []ugraph.Group, opts *Options, st *Stats) (Pair, bool) {
+	if opts.SampleWorlds > 0 && g.WorldCountFloat() > float64(opts.MaxWorlds) {
+		return sampleVerify(q, g, qi, gi, opts, st)
+	}
+	if groups == nil {
+		groups = []ugraph.Group{g.AsGroup()}
+	}
+	// High-mass groups first: the early accept/reject thresholds are reached
+	// sooner when probable worlds are enumerated early.
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Mass > groups[j].Mass })
+	totalMass := 0.0
+	for _, gr := range groups {
+		totalMass += gr.Mass
+	}
+	worldBudget := opts.MaxWorlds
+
+	simP := 0.0
+	remaining := totalMass
+	best := Pair{Q: qi, G: gi, Distance: opts.Tau + 1}
+	decided := false
+	accepted := false
+
+	for _, gr := range groups {
+		if decided {
+			break
+		}
+		gr.G.Worlds(func(w *graph.Graph, p float64) bool {
+			st.WorldsChecked++
+			worldBudget--
+			if worldBudget < 0 {
+				st.SkippedPairs++
+				decided = true
+				accepted = false
+				return false
+			}
+			remaining -= p
+			if filter.CSSLowerBound(q, w) <= opts.Tau {
+				st.GEDCalls++
+				res, err := ged.Compute(q, w, ged.Options{Threshold: opts.Tau, MaxStates: opts.VerifyMaxStates})
+				switch {
+				case err != nil:
+					st.GEDBudgetHits++ // treated as dissimilar, recorded
+				case !res.Exceeded:
+					simP += p
+					if res.Distance < best.Distance {
+						best.Distance = res.Distance
+						best.World = w.Clone()
+						best.Mapping = res.Mapping
+					}
+				}
+			}
+			if !opts.DisableEarlyExit {
+				if simP >= opts.Alpha {
+					st.EarlyAccepts++
+					decided, accepted = true, true
+					return false
+				}
+				if simP+remaining < opts.Alpha {
+					st.EarlyRejects++
+					decided, accepted = true, false
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	if !decided {
+		accepted = simP >= opts.Alpha
+	}
+	if !accepted {
+		return Pair{}, false
+	}
+	best.SimP = simP
+	if !opts.KeepMappings {
+		best.Mapping = nil
+	}
+	return best, true
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"simjoin/internal/ged"
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+func randomCertain(rng *rand.Rand, n, e int) *graph.Graph {
+	labels := []string{"A", "B", "C", "D", "?x"}
+	elabels := []string{"p", "q", "type"}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(labels[rng.Intn(len(labels))])
+	}
+	for t := 0; t < e*3 && g.NumEdges() < e; t++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, elabels[rng.Intn(len(elabels))])
+	}
+	return g
+}
+
+func randomUncertain(rng *rand.Rand, n, e, maxLabels int) *ugraph.Graph {
+	names := []string{"A", "B", "C", "D"}
+	g := ugraph.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.3 {
+			g.AddVertex(ugraph.Label{Name: "?x", P: 1})
+			continue
+		}
+		k := 1 + rng.Intn(maxLabels)
+		perm := rng.Perm(len(names))[:k]
+		var ls []ugraph.Label
+		rest := 1.0
+		for j, pi := range perm {
+			p := rest
+			if j < k-1 {
+				p = rest * (0.3 + 0.4*rng.Float64())
+			}
+			ls = append(ls, ugraph.Label{Name: names[pi], P: p})
+			rest -= p
+		}
+		g.AddVertex(ls...)
+	}
+	elabels := []string{"p", "q", "type"}
+	for t := 0; t < e*3 && g.NumEdges() < e; t++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		_ = g.AddEdge(u, v, elabels[rng.Intn(len(elabels))])
+	}
+	return g
+}
+
+// naiveJoin is the brute-force oracle: full possible-world enumeration with
+// exact GED for every pair.
+func naiveJoin(d []*graph.Graph, u []*ugraph.Graph, tau int, alpha float64) map[[2]int]float64 {
+	out := make(map[[2]int]float64)
+	for qi, q := range d {
+		for gi, g := range u {
+			simP := 0.0
+			g.Worlds(func(w *graph.Graph, p float64) bool {
+				if _, ok := ged.WithinThreshold(q, w, tau); ok {
+					simP += p
+				}
+				return true
+			})
+			if simP >= alpha {
+				out[[2]int{qi, gi}] = simP
+			}
+		}
+	}
+	return out
+}
+
+func smallWorkload(seed int64, nd, nu int) ([]*graph.Graph, []*ugraph.Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	d := make([]*graph.Graph, nd)
+	for i := range d {
+		d[i] = randomCertain(rng, 2+rng.Intn(4), rng.Intn(5))
+	}
+	u := make([]*ugraph.Graph, nu)
+	for i := range u {
+		u[i] = randomUncertain(rng, 2+rng.Intn(3), rng.Intn(4), 2)
+	}
+	return d, u
+}
+
+func TestJoinMatchesOracleAllModes(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		d, u := smallWorkload(seed, 6, 6)
+		for _, tau := range []int{0, 1, 2} {
+			for _, alpha := range []float64{0.3, 0.7, 0.95} {
+				want := naiveJoin(d, u, tau, alpha)
+				for _, mode := range []Mode{ModeCSSOnly, ModeSimJ, ModeSimJOpt} {
+					opts := Options{Tau: tau, Alpha: alpha, Mode: mode, GroupCount: 4, Workers: 2}
+					got, _, err := Join(d, u, opts)
+					if err != nil {
+						t.Fatalf("Join(%v): %v", mode, err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("seed=%d tau=%d alpha=%v mode=%v: got %d pairs, want %d",
+							seed, tau, alpha, mode, len(got), len(want))
+					}
+					for _, p := range got {
+						wp, ok := want[[2]int{p.Q, p.G}]
+						if !ok {
+							t.Fatalf("mode %v returned false pair (%d,%d)", mode, p.Q, p.G)
+						}
+						// Early-accepted pairs report a partial (lower-bound)
+						// SimP; it must never exceed the exact value.
+						if p.SimP > wp+1e-9 {
+							t.Fatalf("pair (%d,%d) SimP %v exceeds exact %v", p.Q, p.G, p.SimP, wp)
+						}
+						if p.SimP < alpha-1e-9 {
+							t.Fatalf("pair (%d,%d) reported SimP %v < alpha %v", p.Q, p.G, p.SimP, alpha)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTightProbBoundMatchesOracle(t *testing.T) {
+	d, u := smallWorkload(23, 8, 8)
+	for _, tau := range []int{0, 1, 2} {
+		for _, alpha := range []float64{0.4, 0.8} {
+			want := naiveJoin(d, u, tau, alpha)
+			got, st, err := Join(d, u, Options{Tau: tau, Alpha: alpha, Mode: ModeSimJ, TightProbBound: true, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("tau=%d alpha=%v: %d pairs, want %d", tau, alpha, len(got), len(want))
+			}
+			// The tighter bound can only prune more.
+			loose, st2, err := Join(d, u, Options{Tau: tau, Alpha: alpha, Mode: ModeSimJ, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(loose) != len(want) {
+				t.Fatalf("loose bound changed results")
+			}
+			if st.Candidates > st2.Candidates {
+				t.Errorf("tight bound kept more candidates (%d > %d)", st.Candidates, st2.Candidates)
+			}
+		}
+	}
+}
+
+func TestJoinEarlyExitOffMatchesExact(t *testing.T) {
+	d, u := smallWorkload(7, 5, 5)
+	opts := Options{Tau: 1, Alpha: 0.5, Mode: ModeSimJ, Workers: 1, DisableEarlyExit: true}
+	got, _, err := Join(d, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveJoin(d, u, 1, 0.5)
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for _, p := range got {
+		if math.Abs(p.SimP-want[[2]int{p.Q, p.G}]) > 1e-9 {
+			t.Errorf("pair (%d,%d): SimP %v != exact %v", p.Q, p.G, p.SimP, want[[2]int{p.Q, p.G}])
+		}
+	}
+}
+
+func TestModesPruneProgressively(t *testing.T) {
+	d, u := smallWorkload(13, 10, 10)
+	var prev int64 = 1 << 62
+	for _, mode := range []Mode{ModeCSSOnly, ModeSimJ, ModeSimJOpt} {
+		_, st, err := Join(d, u, Options{Tau: 1, Alpha: 0.9, Mode: mode, GroupCount: 6, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Candidates > prev {
+			t.Errorf("mode %v has %d candidates, more than previous mode's %d", mode, st.Candidates, prev)
+		}
+		if st.Candidates < st.Results {
+			t.Errorf("mode %v: results %d exceed candidates %d", mode, st.Results, st.Candidates)
+		}
+		prev = st.Candidates
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d, u := smallWorkload(19, 8, 7)
+	_, st, err := Join(d, u, Options{Tau: 1, Alpha: 0.9, Mode: ModeSimJ, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pairs != int64(len(d)*len(u)) {
+		t.Errorf("Pairs = %d, want %d", st.Pairs, len(d)*len(u))
+	}
+	if st.CSSPruned+st.ProbPruned+st.Candidates != st.Pairs {
+		t.Errorf("pruned(%d+%d)+candidates(%d) != pairs(%d)",
+			st.CSSPruned, st.ProbPruned, st.Candidates, st.Pairs)
+	}
+	if r := st.CandidateRatio(); r < 0 || r > 1 {
+		t.Errorf("CandidateRatio = %v", r)
+	}
+	if st.ResultRatio() > st.CandidateRatio() {
+		t.Error("ResultRatio exceeds CandidateRatio")
+	}
+}
+
+func TestMappingReturned(t *testing.T) {
+	// Identical graphs must join at tau=0 with a usable mapping.
+	q := graph.New(3)
+	q.AddVertex("?x")
+	q.AddVertex("Artist")
+	q.AddVertex("University")
+	q.MustAddEdge(0, 1, "type")
+	q.MustAddEdge(0, 2, "graduatedFrom")
+	g := ugraph.FromCertain(q)
+	pairs, _, err := Join([]*graph.Graph{q}, []*ugraph.Graph{g},
+		Options{Tau: 0, Alpha: 0.9, Mode: ModeSimJ, KeepMappings: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("got %d pairs, want 1", len(pairs))
+	}
+	p := pairs[0]
+	if p.Distance != 0 || p.World == nil || p.Mapping == nil {
+		t.Fatalf("pair = %+v; want distance 0 with world and mapping", p)
+	}
+	if c, err := ged.MappingCost(q, p.World, p.Mapping); err != nil || c != 0 {
+		t.Fatalf("mapping cost = %d, %v; want 0", c, err)
+	}
+}
+
+func TestPaperRunningExample(t *testing.T) {
+	// q1/g2 of Fig. 3/4: "Which politician graduated from CIT?" should match
+	// the Artist/Harvard SPARQL under a permissive tau, and the politician
+	// question must NOT match the actor question's complex query at tau=1.
+	q1 := graph.New(4)
+	x := q1.AddVertex("?x")
+	ar := q1.AddVertex("Artist")
+	hu := q1.AddVertex("Harvard_University")
+	un := q1.AddVertex("University")
+	q1.MustAddEdge(x, ar, "type")
+	q1.MustAddEdge(x, hu, "graduatedFrom")
+	q1.MustAddEdge(hu, un, "type")
+
+	g2 := ugraph.New(3)
+	gx := g2.AddVertex(ugraph.Label{Name: "?x", P: 1})
+	gp := g2.AddVertex(ugraph.Label{Name: "Politician", P: 1})
+	gc := g2.AddVertex(ugraph.Label{Name: "University", P: 0.8}, ugraph.Label{Name: "Company", P: 0.2})
+	g2.MustAddEdge(gx, gp, "type")
+	g2.MustAddEdge(gx, gc, "graduatedFrom")
+
+	// Distance from q1 to the University world: Politician->Artist sub (1),
+	// University->Harvard_University sub (1), insert University + type edge
+	// (2) = 4 at most; check it joins at tau=4, alpha=0.8.
+	pairs, _, err := Join([]*graph.Graph{q1}, []*ugraph.Graph{g2},
+		Options{Tau: 4, Alpha: 0.8, Mode: ModeSimJOpt, GroupCount: 2, Workers: 1, KeepMappings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("expected the politician/artist pair to join at tau=4, got %d pairs", len(pairs))
+	}
+	if pairs[0].Distance > 4 {
+		t.Errorf("distance = %d, want <= 4", pairs[0].Distance)
+	}
+
+	// At tau=1 the pair must be rejected (too many edits needed).
+	pairs, _, err = Join([]*graph.Graph{q1}, []*ugraph.Graph{g2},
+		Options{Tau: 1, Alpha: 0.5, Mode: ModeSimJ, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 {
+		t.Errorf("pair should not join at tau=1, got %d", len(pairs))
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	d, u := smallWorkload(1, 1, 1)
+	if _, _, err := Join(d, u, Options{Tau: -1, Alpha: 0.5}); err == nil {
+		t.Error("negative tau accepted")
+	}
+	if _, _, err := Join(d, u, Options{Tau: 1, Alpha: 0}); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, _, err := Join(d, u, Options{Tau: 1, Alpha: 1.2}); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+}
+
+func TestMaxWorldsSkips(t *testing.T) {
+	// An uncertain graph with 3^6 worlds and a 1-world budget must be skipped.
+	g := ugraph.New(6)
+	for i := 0; i < 6; i++ {
+		g.AddVertex(
+			ugraph.Label{Name: "A", P: 0.4},
+			ugraph.Label{Name: "B", P: 0.3},
+			ugraph.Label{Name: "C", P: 0.3},
+		)
+	}
+	q := graph.New(1)
+	q.AddVertex("A")
+	_, st, err := Join([]*graph.Graph{q}, []*ugraph.Graph{g},
+		Options{Tau: 10, Alpha: 0.01, Mode: ModeCSSOnly, Workers: 1, MaxWorlds: 1, DisableEarlyExit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SkippedPairs != 1 {
+		t.Errorf("SkippedPairs = %d, want 1", st.SkippedPairs)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	pairs, st, err := Join(nil, nil, Options{Tau: 1, Alpha: 0.5})
+	if err != nil || len(pairs) != 0 || st.Pairs != 0 {
+		t.Fatalf("empty join: pairs=%d stats=%+v err=%v", len(pairs), st, err)
+	}
+}
+
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	d, u := smallWorkload(29, 8, 8)
+	var ref []Pair
+	for _, workers := range []int{1, 2, 8} {
+		got, _, err := Join(d, u, Options{Tau: 1, Alpha: 0.6, Mode: ModeSimJOpt, GroupCount: 4, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i].Q != ref[i].Q || got[i].G != ref[i].G {
+				t.Fatalf("workers=%d: pair order differs at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeCSSOnly.String() != "CSS only" || ModeSimJ.String() != "SimJ" || ModeSimJOpt.String() != "SimJ+opt" {
+		t.Error("Mode.String mismatch")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should still render")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// JoinTopK returns, for every uncertain graph in u, its k best-matching
+// certain graphs — the "SPARQL query q is the best match for question n"
+// reading of the paper's abstract. Candidates must still satisfy
+// SimPτ ≥ α; ranking is by higher SimP, then smaller best-world distance,
+// then query index. Early-accept is disabled internally so the reported
+// SimP values are exact and comparable.
+//
+// The result slice is indexed like u; entries may hold fewer than k pairs
+// (or none) when not enough queries qualify.
+func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pair, Stats, error) {
+	if err := opts.normalise(); err != nil {
+		return nil, Stats{}, err
+	}
+	if k < 1 {
+		k = 1
+	}
+	opts.DisableEarlyExit = true
+
+	perQuestion := make([][]Pair, len(u))
+	var (
+		mu    sync.Mutex
+		total Stats
+		wg    sync.WaitGroup
+	)
+	tasks := make(chan int, 64)
+	worker := func() {
+		defer wg.Done()
+		var local Stats
+		for gi := range tasks {
+			var best []Pair
+			for qi := range d {
+				local.Pairs++
+				p, ok := joinPair(d[qi], u[gi], qi, gi, &opts, &local)
+				if !ok {
+					continue
+				}
+				local.Results++
+				best = insertTopK(best, p, k)
+			}
+			mu.Lock()
+			perQuestion[gi] = best
+			mu.Unlock()
+		}
+		mu.Lock()
+		total.add(&local)
+		mu.Unlock()
+	}
+
+	wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go worker()
+	}
+	for gi := range u {
+		tasks <- gi
+	}
+	close(tasks)
+	wg.Wait()
+	return perQuestion, total, nil
+}
+
+// insertTopK keeps best sorted by rank and capped at k.
+func insertTopK(best []Pair, p Pair, k int) []Pair {
+	best = append(best, p)
+	sort.Slice(best, func(i, j int) bool { return pairBetter(best[i], best[j]) })
+	if len(best) > k {
+		best = best[:k]
+	}
+	return best
+}
+
+// pairBetter ranks pairs: higher SimP, then smaller distance, then lower
+// query index for determinism.
+func pairBetter(a, b Pair) bool {
+	if a.SimP != b.SimP {
+		return a.SimP > b.SimP
+	}
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.Q < b.Q
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"simjoin/internal/ged"
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+func TestJoinTopKRanksExactFirst(t *testing.T) {
+	// Build a question graph and three queries at distances 0, 1, 2.
+	base := graph.New(3)
+	base.AddVertex("?x")
+	base.AddVertex("Politician")
+	base.AddVertex("CIT")
+	base.MustAddEdge(0, 1, "type")
+	base.MustAddEdge(0, 2, "graduatedFrom")
+	g := ugraph.FromCertain(base)
+
+	exact := base.Clone()
+	oneOff := base.Clone()
+	oneOff.SetVertexLabel(2, "Harvard")
+	twoOff := base.Clone()
+	twoOff.SetVertexLabel(1, "Artist")
+	twoOff.SetVertexLabel(2, "Harvard")
+
+	d := []*graph.Graph{twoOff, exact, oneOff}
+	opts := Options{Tau: 2, Alpha: 0.1, Mode: ModeSimJ, Workers: 1, KeepMappings: true}
+	top, st, err := JoinTopK(d, []*ugraph.Graph{g}, opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pairs != 3 {
+		t.Errorf("Pairs = %d", st.Pairs)
+	}
+	best := top[0]
+	if len(best) != 2 {
+		t.Fatalf("top-2 returned %d pairs", len(best))
+	}
+	if best[0].Q != 1 || best[0].Distance != 0 {
+		t.Errorf("rank 1 = q%d (dist %d), want exact query", best[0].Q, best[0].Distance)
+	}
+	if best[1].Q != 2 || best[1].Distance != 1 {
+		t.Errorf("rank 2 = q%d (dist %d), want one-off query", best[1].Q, best[1].Distance)
+	}
+}
+
+func TestJoinTopKRespectsAlphaAndK(t *testing.T) {
+	d, u := smallWorkload(3, 10, 6)
+	top, _, err := JoinTopK(d, u, Options{Tau: 1, Alpha: 0.6, Mode: ModeSimJ, Workers: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := naiveJoin(d, u, 1, 0.6)
+	for gi, pairs := range top {
+		if len(pairs) > 3 {
+			t.Fatalf("g%d has %d pairs", gi, len(pairs))
+		}
+		for i, p := range pairs {
+			if p.G != gi {
+				t.Fatalf("pair G mismatch")
+			}
+			want, ok := oracle[[2]int{p.Q, p.G}]
+			if !ok {
+				t.Fatalf("top-k returned non-qualifying pair (%d,%d)", p.Q, p.G)
+			}
+			if p.SimP < want-1e-9 || p.SimP > want+1e-9 {
+				t.Fatalf("SimP %v != exact %v", p.SimP, want)
+			}
+			if i > 0 && pairBetter(p, pairs[i-1]) {
+				t.Fatalf("g%d not sorted at %d", gi, i)
+			}
+		}
+	}
+}
+
+func TestJoinTopKMappingUsable(t *testing.T) {
+	d, u := smallWorkload(9, 6, 4)
+	top, _, err := JoinTopK(d, u, Options{Tau: 2, Alpha: 0.3, Mode: ModeSimJOpt, GroupCount: 3, Workers: 1, KeepMappings: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pairs := range top {
+		for _, p := range pairs {
+			if p.Mapping == nil || p.World == nil {
+				t.Fatal("missing mapping on top-k pair")
+			}
+			if c, err := ged.MappingCost(d[p.Q], p.World, p.Mapping); err != nil || c != p.Distance {
+				t.Fatalf("mapping cost %d != distance %d (%v)", c, p.Distance, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"simjoin/internal/core"
+	"simjoin/internal/metrics"
+	"simjoin/internal/template"
+	"simjoin/internal/ugraph"
+	"simjoin/internal/workload"
+)
+
+// Scale shrinks or grows workload sizes uniformly; 1.0 is the repository
+// default (laptop-scale; see DESIGN.md for the mapping to the paper's
+// sizes).
+type Scale float64
+
+func (s Scale) apply(n int) int {
+	if s <= 0 {
+		s = 1
+	}
+	v := int(float64(n) * float64(s))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (s Scale) qaldConfig() workload.QAConfig {
+	cfg := workload.QALD3Config()
+	cfg.Questions = s.apply(cfg.Questions)
+	cfg.ExtraQueries = s.apply(cfg.ExtraQueries)
+	return cfg
+}
+
+func (s Scale) webqConfig() workload.QAConfig {
+	cfg := workload.WebQConfig(0.35) // default WebQ already 10x QALD; temper it
+	cfg.Questions = s.apply(cfg.Questions)
+	cfg.ExtraQueries = s.apply(cfg.ExtraQueries)
+	return cfg
+}
+
+func (s Scale) mmConfig() workload.QAConfig {
+	cfg := workload.MMConfig()
+	cfg.Questions = s.apply(cfg.Questions)
+	cfg.ExtraQueries = s.apply(cfg.ExtraQueries)
+	return cfg
+}
+
+// preparedWorkload builds and interprets one named workload.
+func preparedWorkload(cfg workload.QAConfig) (*Pipeline, error) {
+	w, err := workload.GenerateQA(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(w), nil
+}
+
+// Table2Datasets reproduces Table 2: statistics of every dataset.
+func Table2Datasets(scale Scale) (*metrics.Table, error) {
+	t := metrics.NewTable("Dataset", "|U|", "avg.|V|", "avg.|E|", "avg.|LV|", "|D|")
+	type row struct {
+		name string
+		cfg  workload.QAConfig
+	}
+	for _, r := range []row{
+		{"QALD3", scale.qaldConfig()},
+		{"WebQ", scale.webqConfig()},
+		{"MM", scale.mmConfig()},
+	} {
+		p, err := preparedWorkload(r.cfg)
+		if err != nil {
+			return nil, err
+		}
+		av, ae, al := uncertainStats(p.U)
+		t.AddRow(r.name, len(p.U), av, ae, al, len(p.D))
+	}
+	syn := workload.DefaultSyntheticConfig()
+	syn.Count = scale.apply(syn.Count)
+	for _, s := range []struct {
+		name string
+		er   bool
+	}{{"ER", true}, {"SF", false}} {
+		var u []*ugraph.Graph
+		var dlen int
+		if s.er {
+			d, uu := workload.ER(syn)
+			u, dlen = uu, len(d)
+		} else {
+			d, uu := workload.SF(syn)
+			u, dlen = uu, len(d)
+		}
+		av, ae, al := uncertainStats(u)
+		t.AddRow(s.name, len(u), av, ae, al, dlen)
+	}
+	return t, nil
+}
+
+func uncertainStats(u []*ugraph.Graph) (avgV, avgE, avgLV float64) {
+	if len(u) == 0 {
+		return 0, 0, 0
+	}
+	var sv, se, sl int
+	for _, g := range u {
+		sv += g.NumVertices()
+		se += g.NumEdges()
+		for v := 0; v < g.NumVertices(); v++ {
+			sl += len(g.Labels(v))
+		}
+	}
+	n := float64(len(u))
+	return float64(sv) / n, float64(se) / n, float64(sl) / n
+}
+
+// Table3EffectTau reproduces Table 3: |R|, precision and time for τ ∈ {0,1,2}
+// at α = 0.9 over the QALD-3-like and WebQ-like workloads.
+func Table3EffectTau(scale Scale) (*metrics.Table, error) {
+	t := metrics.NewTable("Workload", "tau", "|R|", "precision", "time")
+	for _, wl := range []struct {
+		name string
+		cfg  workload.QAConfig
+	}{
+		{"QALD3", scale.qaldConfig()},
+		{"WebQ", scale.webqConfig()},
+	} {
+		p, err := preparedWorkload(wl.cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, tau := range []int{0, 1, 2} {
+			opts := DefaultJoinOptions()
+			opts.Tau = tau
+			start := time.Now()
+			pairs, _, err := p.Join(opts)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(wl.name, tau, len(pairs), p.Precision(pairs), time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return t, nil
+}
+
+// Fig9EffectAlpha reproduces Fig. 9: precision (a) and correct answers (b)
+// versus the similarity probability threshold α at τ = 1 over QALD3, WebQ
+// and MM.
+func Fig9EffectAlpha(scale Scale) (*metrics.Table, error) {
+	t := metrics.NewTable("Workload", "alpha", "precision", "correct", "|R|")
+	for _, wl := range []struct {
+		name string
+		cfg  workload.QAConfig
+	}{
+		{"QALD3", scale.qaldConfig()},
+		{"WebQ", scale.webqConfig()},
+		{"MM", scale.mmConfig()},
+	} {
+		p, err := preparedWorkload(wl.cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, alpha := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			opts := DefaultJoinOptions()
+			opts.Alpha = alpha
+			pairs, _, err := p.Join(opts)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(wl.name, alpha, p.Precision(pairs), p.CountCorrect(pairs), len(pairs))
+		}
+	}
+	return t, nil
+}
+
+// Fig10CaseStudy reproduces Fig. 10 + Fig. 16: sample similar pairs and the
+// templates built from them.
+func Fig10CaseStudy(scale Scale, max int) ([]string, error) {
+	p, err := preparedWorkload(scale.qaldConfig())
+	if err != nil {
+		return nil, err
+	}
+	pairs, _, err := p.Join(DefaultJoinOptions())
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pr := range pairs {
+		if len(out) >= max {
+			break
+		}
+		if !p.PairCorrect(pr) || pr.Mapping == nil {
+			continue
+		}
+		tpl, err := template.Generate(p.W.Sparql[pr.Q].Graph, p.UQ[pr.G], pr.Mapping)
+		if err != nil {
+			continue
+		}
+		out = append(out, fmt.Sprintf("Q: %s\nSPARQL: %s\nTemplate: %s",
+			p.W.Questions[p.QuestionOf[pr.G]].Text, p.W.Sparql[pr.Q].Query, tpl))
+	}
+	return out, nil
+}
+
+// Fig17RelationCount reproduces Fig. 17: the proportion ρ of correct pairs
+// whose question has k relations, for the QALD3 and WebQ workloads.
+func Fig17RelationCount(scale Scale) (*metrics.Table, error) {
+	t := metrics.NewTable("Workload", "k", "rho")
+	for _, wl := range []struct {
+		name string
+		cfg  workload.QAConfig
+	}{
+		{"QALD3", scale.qaldConfig()},
+		{"WebQ", scale.webqConfig()},
+	} {
+		p, err := preparedWorkload(wl.cfg)
+		if err != nil {
+			return nil, err
+		}
+		pairs, _, err := p.Join(DefaultJoinOptions())
+		if err != nil {
+			return nil, err
+		}
+		counts := map[int]int{}
+		total := 0
+		for _, pr := range pairs {
+			if !p.PairCorrect(pr) {
+				continue
+			}
+			k := p.W.Questions[p.QuestionOf[pr.G]].Relations
+			counts[k]++
+			total++
+		}
+		maxK := wl.cfg.MaxRelations
+		for k := 1; k <= maxK; k++ {
+			t.AddRow(wl.name, k, metrics.Ratio(counts[k], total))
+		}
+	}
+	return t, nil
+}
+
+// Fig18FailureAnalysis reproduces Fig. 18: the causes of incorrect pairs at
+// the default τ=1 (where, as in the paper, misinterpreted semantic query
+// graphs dominate; at larger τ the edit tolerance takes over).
+func Fig18FailureAnalysis(scale Scale) (*metrics.Table, error) {
+	p, err := preparedWorkload(scale.qaldConfig())
+	if err != nil {
+		return nil, err
+	}
+	opts := DefaultJoinOptions()
+	pairs, _, err := p.Join(opts)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[FailureKind]int{}
+	total := 0
+	for _, pr := range pairs {
+		if p.PairCorrect(pr) {
+			continue
+		}
+		counts[p.ClassifyFailure(pr)]++
+		total++
+	}
+	t := metrics.NewTable("Reason", "count", "ratio")
+	t.AddRow("Incorrect semantic query graph", counts[FailSemanticGraph], metrics.Ratio(counts[FailSemanticGraph], total))
+	t.AddRow("Graph edit distance", counts[FailGED], metrics.Ratio(counts[FailGED], total))
+	t.AddRow("Others", counts[FailOther], metrics.Ratio(counts[FailOther], total))
+	return t, nil
+}
+
+// joinWith is a small helper running a join with given mode and thresholds.
+func joinWith(p *Pipeline, mode core.Mode, tau int, alpha float64, gn int) ([]core.Pair, core.Stats, error) {
+	opts := DefaultJoinOptions()
+	opts.Mode = mode
+	opts.Tau = tau
+	opts.Alpha = alpha
+	opts.GroupCount = gn
+	return p.Join(opts)
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"time"
+
+	"simjoin/internal/core"
+	"simjoin/internal/filter"
+	"simjoin/internal/ged"
+	"simjoin/internal/graph"
+	"simjoin/internal/metrics"
+	"simjoin/internal/ugraph"
+	"simjoin/internal/workload"
+)
+
+// modesUnderTest is the fixed comparison set of Figs. 11–14.
+var modesUnderTest = []core.Mode{core.ModeCSSOnly, core.ModeSimJ, core.ModeSimJOpt}
+
+// syntheticJoin wraps a synthetic D/U pair.
+type syntheticJoin struct {
+	d []*graph.Graph
+	u []*ugraph.Graph
+}
+
+func (s syntheticJoin) join(opts core.Options) ([]core.Pair, core.Stats, error) {
+	return core.Join(s.d, s.u, opts)
+}
+
+// realRatio computes the true result ratio (the "Real" line of the candidate
+// ratio figures) from any mode's results.
+func realRatio(st core.Stats) float64 { return st.ResultRatio() }
+
+// Fig11AlphaEfficiency reproduces Fig. 11 over the WebQ-like workload:
+// response time split into pruning/verification and candidate ratios for
+// CSS-only, SimJ and SimJ+opt while α varies (τ = 1).
+func Fig11AlphaEfficiency(scale Scale) (*metrics.Table, error) {
+	p, err := preparedWorkload(scale.webqConfig())
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("alpha", "mode", "pruning", "verification", "overall", "candRatio", "realRatio")
+	for _, alpha := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		for _, mode := range modesUnderTest {
+			opts := DefaultJoinOptions()
+			opts.Alpha = alpha
+			opts.Mode = mode
+			opts.GroupCount = 8
+			opts.Workers = 1 // single worker: additive phase timings
+			_, st, err := p.Join(opts)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(alpha, mode.String(),
+				st.PruneTime.Round(time.Microsecond),
+				st.VerifyTime.Round(time.Microsecond),
+				(st.PruneTime + st.VerifyTime).Round(time.Microsecond),
+				st.CandidateRatio(), realRatio(st))
+		}
+	}
+	return t, nil
+}
+
+// Fig12TauEfficiency reproduces Fig. 12 over the ER workload: response time
+// and candidate ratio while τ varies.
+func Fig12TauEfficiency(scale Scale, maxTau int) (*metrics.Table, error) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = scale.apply(cfg.Count)
+	d, u := workload.ER(cfg)
+	s := syntheticJoin{d, u}
+	t := metrics.NewTable("tau", "mode", "pruning", "verification", "overall", "candRatio", "realRatio")
+	for tau := 0; tau <= maxTau; tau++ {
+		for _, mode := range modesUnderTest {
+			opts := DefaultJoinOptions()
+			opts.Tau = tau
+			opts.Alpha = 0.5
+			opts.Mode = mode
+			opts.GroupCount = 8
+			opts.Workers = 1
+			_, st, err := s.join(opts)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(tau, mode.String(),
+				st.PruneTime.Round(time.Microsecond),
+				st.VerifyTime.Round(time.Microsecond),
+				(st.PruneTime + st.VerifyTime).Round(time.Microsecond),
+				st.CandidateRatio(), realRatio(st))
+		}
+	}
+	return t, nil
+}
+
+// Fig13GroupNumber reproduces Fig. 13 over the SF workload: the effect of
+// the possible-world group count GN on SimJ+opt.
+func Fig13GroupNumber(scale Scale) (*metrics.Table, error) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = scale.apply(cfg.Count)
+	cfg.Seed = 3
+	d, u := workload.SF(cfg)
+	s := syntheticJoin{d, u}
+	t := metrics.NewTable("GN", "pruning", "verification", "overall", "candRatio", "realRatio")
+	for _, gn := range []int{1, 5, 10, 20, 40} {
+		opts := DefaultJoinOptions()
+		opts.Tau = 2
+		opts.Alpha = 0.5
+		opts.Mode = core.ModeSimJOpt
+		opts.GroupCount = gn
+		opts.Workers = 1
+		_, st, err := s.join(opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(gn,
+			st.PruneTime.Round(time.Microsecond),
+			st.VerifyTime.Round(time.Microsecond),
+			(st.PruneTime + st.VerifyTime).Round(time.Microsecond),
+			st.CandidateRatio(), realRatio(st))
+	}
+	return t, nil
+}
+
+// Fig14LabelCount reproduces Fig. 14 over the ER workload: the effect of the
+// per-vertex candidate label count |L(v)|.
+func Fig14LabelCount(scale Scale) (*metrics.Table, error) {
+	t := metrics.NewTable("|L(v)|", "mode", "pruning", "verification", "overall", "candRatio", "realRatio")
+	for _, lv := range []int{2, 3, 4, 5, 6} {
+		cfg := workload.DefaultSyntheticConfig()
+		cfg.Count = scale.apply(cfg.Count)
+		cfg.LabelsPerVertex = lv
+		cfg.Seed = int64(100 + lv)
+		d, u := workload.ER(cfg)
+		s := syntheticJoin{d, u}
+		for _, mode := range modesUnderTest {
+			opts := DefaultJoinOptions()
+			opts.Tau = 2
+			opts.Alpha = 0.5
+			opts.Mode = mode
+			opts.GroupCount = 8
+			opts.Workers = 1
+			_, st, err := s.join(opts)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(lv, mode.String(),
+				st.PruneTime.Round(time.Microsecond),
+				st.VerifyTime.Round(time.Microsecond),
+				(st.PruneTime + st.VerifyTime).Round(time.Microsecond),
+				st.CandidateRatio(), realRatio(st))
+		}
+	}
+	return t, nil
+}
+
+// FilterKind names the filters compared in Fig. 15.
+type FilterKind string
+
+// The compared filters.
+const (
+	FilterPath  FilterKind = "Path"
+	FilterSegos FilterKind = "SEGOS"
+	FilterPars  FilterKind = "Pars"
+	FilterCSS   FilterKind = "CSS"
+	FilterLM    FilterKind = "LM"
+	FilterCount FilterKind = "Count"
+)
+
+func evalFilter(kind FilterKind, q, g *graph.Graph, tau int) int {
+	switch kind {
+	case FilterPath:
+		return filter.PathGramLowerBound(q, g)
+	case FilterSegos:
+		return filter.SegosLowerBound(q, g, tau)
+	case FilterPars:
+		return filter.ParsLowerBound(q, g)
+	case FilterCSS:
+		return filter.CSSLowerBound(q, g)
+	case FilterLM:
+		return filter.LMLowerBound(q, g)
+	default:
+		return filter.CountLowerBound(q, g)
+	}
+}
+
+// Fig15FilterComparison reproduces Fig. 15 over the AIDS-like graph set:
+// filtering time and candidate ratio of the Path, SEGOS, Pars and CSS
+// filters (plus LM and Count for the Theorem 2 context) for τ ∈ 0..maxTau.
+// The "Real" line is computed with threshold-bounded exact GED.
+func Fig15FilterComparison(scale Scale, maxTau int) (*metrics.Table, error) {
+	cfg := workload.DefaultAIDSConfig()
+	cfg.Count = scale.apply(cfg.Count)
+	gs := workload.AIDS(cfg)
+	half := len(gs) / 2
+	qs, ds := gs[:half], gs[half:]
+
+	kinds := []FilterKind{FilterPath, FilterSegos, FilterPars, FilterCSS, FilterLM, FilterCount}
+	t := metrics.NewTable("tau", "filter", "filterTime", "candRatio", "realRatio")
+	for tau := 0; tau <= maxTau; tau++ {
+		real := 0
+		for _, q := range qs {
+			for _, g := range ds {
+				if filter.CSSLowerBound(q, g) > tau {
+					continue // CSS is proven sound; skip hopeless pairs
+				}
+				res, err := ged.Compute(q, g, ged.Options{Threshold: tau, MaxStates: 2_000_000})
+				if err == nil && !res.Exceeded {
+					real++
+				}
+			}
+		}
+		total := len(qs) * len(ds)
+		for _, kind := range kinds {
+			start := time.Now()
+			candidates := 0
+			for _, q := range qs {
+				for _, g := range ds {
+					if evalFilter(kind, q, g, tau) <= tau {
+						candidates++
+					}
+				}
+			}
+			t.AddRow(tau, string(kind), time.Since(start).Round(time.Microsecond),
+				metrics.Ratio(candidates, total), metrics.Ratio(real, total))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,231 @@
+// Package experiments assembles the full pipeline (workload → uncertain
+// graphs → SimJ → templates → Q/A) and regenerates every table and figure of
+// the paper's evaluation (§7, Appendix F). Each experiment has a function
+// returning printable rows; cmd/experiments and bench_test.go drive them.
+package experiments
+
+import (
+	"fmt"
+
+	"simjoin/internal/core"
+	"simjoin/internal/graph"
+	"simjoin/internal/nlq"
+	"simjoin/internal/sparql"
+	"simjoin/internal/template"
+	"simjoin/internal/ugraph"
+	"simjoin/internal/workload"
+)
+
+// Pipeline holds one prepared workload: the SPARQL graphs D, the interpreted
+// uncertain question graphs U, and the provenance linking them back to the
+// generated questions.
+type Pipeline struct {
+	W *workload.QAWorkload
+	// D is the certain graph set (one per SPARQL workload entry).
+	D []*graph.Graph
+	// U is the uncertain graph set (one per interpretable question).
+	U []*ugraph.Graph
+	// UQ keeps the full interpretation of each U entry.
+	UQ []*nlq.UncertainQuestion
+	// QuestionOf maps U index → question index in W.Questions.
+	QuestionOf []int
+	// InterpretErrors counts questions the NLQ pipeline rejected.
+	InterpretErrors int
+}
+
+// Prepare interprets every question of the workload into an uncertain graph.
+func Prepare(w *workload.QAWorkload) *Pipeline {
+	p := &Pipeline{W: w}
+	for _, e := range w.Sparql {
+		p.D = append(p.D, e.Graph.Graph)
+	}
+	for qi, q := range w.Questions {
+		uq, err := nlq.Interpret(q.Text, w.KB.Lexicon)
+		if err != nil {
+			p.InterpretErrors++
+			continue
+		}
+		p.U = append(p.U, uq.Graph)
+		p.UQ = append(p.UQ, uq)
+		p.QuestionOf = append(p.QuestionOf, qi)
+	}
+	return p
+}
+
+// Join runs SimJ between D and U.
+func (p *Pipeline) Join(opts core.Options) ([]core.Pair, core.Stats, error) {
+	return core.Join(p.D, p.U, opts)
+}
+
+// PairCorrect implements the correctness criterion of §7.1.2: the returned
+// SPARQL query must match the question's gold query except for entity
+// phrases — equal entity-blind signatures.
+func (p *Pipeline) PairCorrect(pair core.Pair) bool {
+	q := p.W.Sparql[pair.Q]
+	question := p.W.Questions[p.QuestionOf[pair.G]]
+	return q.Sig == question.GoldSig
+}
+
+// CountCorrect tallies correct pairs (the |C| metric).
+func (p *Pipeline) CountCorrect(pairs []core.Pair) int {
+	n := 0
+	for _, pr := range pairs {
+		if p.PairCorrect(pr) {
+			n++
+		}
+	}
+	return n
+}
+
+// Precision returns |C| / |R| for a result set.
+func (p *Pipeline) Precision(pairs []core.Pair) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	return float64(p.CountCorrect(pairs)) / float64(len(pairs))
+}
+
+// BuildTemplates turns join pairs into a deduplicated template store
+// (§2.1 Step 3). For every question, grounded pairs (slot correspondences
+// backed by the entity-linking candidates) are preferred over ungrounded
+// ones when any exist. Pairs whose mapping yields no usable alignment are
+// skipped and counted.
+func (p *Pipeline) BuildTemplates(pairs []core.Pair) (*template.Store, int) {
+	store := template.NewStore()
+	skipped := 0
+
+	grounded := make(map[int]bool) // question-side index -> has grounded pair
+	for _, pr := range pairs {
+		if pr.Mapping != nil && template.Grounded(p.W.Sparql[pr.Q].Graph, p.UQ[pr.G], pr.Mapping) {
+			grounded[pr.G] = true
+		}
+	}
+	for _, pr := range pairs {
+		if pr.Mapping == nil {
+			skipped++
+			continue
+		}
+		if grounded[pr.G] && !template.Grounded(p.W.Sparql[pr.Q].Graph, p.UQ[pr.G], pr.Mapping) {
+			skipped++
+			continue
+		}
+		tpl, err := template.Generate(p.W.Sparql[pr.Q].Graph, p.UQ[pr.G], pr.Mapping)
+		if err != nil {
+			skipped++
+			continue
+		}
+		store.Add(tpl)
+	}
+	return store, skipped
+}
+
+// FailureKind classifies an incorrect pair (Fig. 18).
+type FailureKind int
+
+const (
+	// FailSemanticGraph means the question's semantic query graph itself
+	// misrepresents the gold intent (wrong predicate, missing vertex, …).
+	FailSemanticGraph FailureKind = iota
+	// FailGED means the semantic graph was faithful but the edit-distance
+	// tolerance matched a query with a different intent.
+	FailGED
+	// FailOther covers the remainder.
+	FailOther
+)
+
+// ClassifyFailure attributes an incorrect pair to a failure cause by
+// comparing the question's uncertain graph against its gold query graph.
+func (p *Pipeline) ClassifyFailure(pair core.Pair) FailureKind {
+	question := p.W.Questions[p.QuestionOf[pair.G]]
+	goldQG, err := sparql.BuildQueryGraph(question.Gold)
+	if err != nil {
+		return FailOther
+	}
+	u := p.U[pair.G]
+	// Faithful interpretation: same vertex/edge counts and every uncertain
+	// edge label appears among the gold predicates.
+	goldPreds := map[string]bool{}
+	for _, e := range goldQG.Graph.Edges() {
+		goldPreds[e.Label] = true
+	}
+	if u.NumVertices() != goldQG.Graph.NumVertices() || u.NumEdges() != goldQG.Graph.NumEdges() {
+		return FailSemanticGraph
+	}
+	for _, e := range u.Edges() {
+		if !goldPreds[e.Label] {
+			return FailSemanticGraph
+		}
+	}
+	if pair.Distance > 0 {
+		return FailGED
+	}
+	return FailOther
+}
+
+// GoldAnswers executes a question's gold query over the KB and returns the
+// projected answer set.
+func (p *Pipeline) GoldAnswers(q *workload.Question) (map[string]bool, error) {
+	res, err := sparql.Execute(p.W.KB.Store, q.Gold, 0)
+	if err != nil {
+		return nil, err
+	}
+	return bindingSet(res, q.Gold), nil
+}
+
+// bindingSet flattens bindings to a comparable answer set (the first
+// projected variable's values, the QALD convention for single-answer-slot
+// questions).
+func bindingSet(res []sparql.Binding, q *sparql.Query) map[string]bool {
+	out := make(map[string]bool, len(res))
+	v := firstVar(q)
+	for _, b := range res {
+		if val, ok := b[v]; ok {
+			out[val] = true
+		}
+	}
+	return out
+}
+
+func firstVar(q *sparql.Query) string {
+	if len(q.Vars) > 0 && q.Vars[0] != "*" {
+		return q.Vars[0]
+	}
+	vars := q.Variables()
+	if len(vars) > 0 {
+		return vars[0]
+	}
+	return ""
+}
+
+// AnswerSet runs a Q/A system and flattens its bindings; the error is
+// propagated so callers can count abstentions.
+func AnswerSet(sys interface {
+	Answer(string) ([]sparql.Binding, error)
+}, question string, gold *sparql.Query) (map[string]bool, error) {
+	res, err := sys.Answer(question)
+	if err != nil {
+		return nil, err
+	}
+	// Project on the system's own first variable: systems may name
+	// variables differently, so take all bound values of the first variable
+	// of each binding deterministically — here we flatten every value.
+	out := make(map[string]bool)
+	for _, b := range res {
+		for _, v := range b {
+			out[v] = true
+		}
+	}
+	_ = gold
+	return out, nil
+}
+
+// DefaultJoinOptions returns the paper's τ=1, α=0.9 configuration with
+// mappings kept for template generation.
+func DefaultJoinOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Mode = core.ModeSimJ
+	return o
+}
+
+// fmtDuration is a helper for printing stats uniformly.
+func fmtDuration(sec float64) string { return fmt.Sprintf("%.3fs", sec) }

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"testing"
+
+	"simjoin/internal/metrics"
+	"simjoin/internal/qa"
+	"simjoin/internal/workload"
+)
+
+// smallWorkload builds a compact but fully featured QALD-style workload.
+func smallWorkload(t *testing.T) *workload.QAWorkload {
+	t.Helper()
+	cfg := workload.QALD3Config()
+	cfg.Questions = 60
+	cfg.ExtraQueries = 40
+	cfg.KB.EntitiesPerClass = 20
+	w, err := workload.GenerateQA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	w := smallWorkload(t)
+	p := Prepare(w)
+	if len(p.U) == 0 {
+		t.Fatal("no questions interpreted")
+	}
+	if rate := float64(len(p.U)) / float64(len(w.Questions)); rate < 0.85 {
+		t.Fatalf("interpretation rate %v too low", rate)
+	}
+
+	opts := DefaultJoinOptions()
+	pairs, stats, err := p.Join(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("join returned no pairs at tau=1")
+	}
+	if stats.Candidates >= stats.Pairs {
+		t.Errorf("no pruning at all: %d candidates of %d pairs", stats.Candidates, stats.Pairs)
+	}
+
+	// Precision at tau=1, alpha=0.9 should be high (paper: 97.67% QALD-3).
+	prec := p.Precision(pairs)
+	if prec < 0.7 {
+		t.Errorf("join precision %v too low (correct %d of %d)", prec, p.CountCorrect(pairs), len(pairs))
+	}
+
+	store, skipped := p.BuildTemplates(pairs)
+	if store.Len() == 0 {
+		t.Fatalf("no templates generated (%d skipped)", skipped)
+	}
+	t.Logf("pairs=%d precision=%.3f templates=%d skipped=%d", len(pairs), prec, store.Len(), skipped)
+}
+
+func TestTauZeroIsPerfectPrecision(t *testing.T) {
+	w := smallWorkload(t)
+	p := Prepare(w)
+	opts := DefaultJoinOptions()
+	opts.Tau = 0
+	pairs, _, err := p.Join(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Skip("no exact-twin pairs in this configuration")
+	}
+	// At tau=0 the only possible wrong pairs come from misinterpreted
+	// questions (noisy relation phrases), never from the edit tolerance.
+	for _, pr := range pairs {
+		if p.PairCorrect(pr) {
+			continue
+		}
+		if kind := p.ClassifyFailure(pr); kind != FailSemanticGraph {
+			t.Errorf("tau=0 failure classified %v, want FailSemanticGraph: q=%s question=%q",
+				kind, p.W.Sparql[pr.Q].Query, p.W.Questions[p.QuestionOf[pr.G]].Text)
+		}
+	}
+	if prec := p.Precision(pairs); prec < 0.9 {
+		t.Errorf("tau=0 precision = %v, want >= 0.9", prec)
+	}
+}
+
+func TestTauMonotonicity(t *testing.T) {
+	w := smallWorkload(t)
+	p := Prepare(w)
+	prevResults := -1
+	prevPrecision := 2.0
+	for _, tau := range []int{0, 1, 2} {
+		opts := DefaultJoinOptions()
+		opts.Tau = tau
+		pairs, _, err := p.Join(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) < prevResults {
+			t.Errorf("results shrank when tau grew: %d -> %d", prevResults, len(pairs))
+		}
+		prec := p.Precision(pairs)
+		t.Logf("tau=%d |R|=%d precision=%.3f", tau, len(pairs), prec)
+		if tau > 0 && len(pairs) > 20 && prec > prevPrecision+0.05 {
+			t.Errorf("precision rose sharply with tau: %v -> %v", prevPrecision, prec)
+		}
+		prevResults = len(pairs)
+		if len(pairs) > 0 {
+			prevPrecision = prec
+		}
+	}
+}
+
+func TestQASystemsOrdering(t *testing.T) {
+	// Template coverage needs the full training workload (the Table 4
+	// harness trains on 2x the QALD question count).
+	cfg := workload.QALD3Config()
+	cfg.Questions *= 2
+	w, err := workload.GenerateQA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Prepare(w)
+	pairs, _, err := p.Join(DefaultJoinOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, _ := p.BuildTemplates(pairs)
+	if store.Len() == 0 {
+		t.Fatal("no templates")
+	}
+
+	systems := []qa.System{
+		&qa.TemplateSystem{Store: store, Lex: w.KB.Lexicon, KB: w.KB.Store, MinPhi: 0.5},
+		&qa.GAnswerSystem{Lex: w.KB.Lexicon, KB: w.KB.Store},
+		&qa.DeannaSystem{Lex: w.KB.Lexicon, KB: w.KB.Store},
+	}
+	holdout := w.HoldoutQuestions(999, 60, 0.2)
+	f1s := make(map[string]float64)
+	for _, sys := range systems {
+		var q metrics.QALD
+		for i := range holdout {
+			hq := &holdout[i]
+			gold, err := p.GoldAnswers(hq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ans, err := AnswerSet(sys, hq.Text, hq.Gold)
+			if err != nil {
+				q.AddUnanswered()
+				continue
+			}
+			pp, rr, ff := metrics.SetPRF(ans, gold)
+			q.AddAnswered(pp, rr, ff)
+		}
+		_, _, f1 := q.Macro()
+		answered, total := q.Answered()
+		t.Logf("%s: F1=%.3f answered %d/%d", sys.Name(), f1, answered, total)
+		f1s[sys.Name()] = f1
+	}
+	if f1s["template"] <= f1s["gAnswer"] {
+		t.Errorf("template F1 %.3f should beat gAnswer %.3f", f1s["template"], f1s["gAnswer"])
+	}
+	if f1s["gAnswer"] <= f1s["DEANNA"] {
+		t.Errorf("gAnswer F1 %.3f should beat DEANNA %.3f", f1s["gAnswer"], f1s["DEANNA"])
+	}
+	if f1s["template"] < 0.4 {
+		t.Errorf("template F1 %.3f too low to be useful", f1s["template"])
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"simjoin/internal/metrics"
+	"simjoin/internal/qa"
+	"simjoin/internal/template"
+	"simjoin/internal/workload"
+)
+
+// qaSetup builds the trained template store and the holdout question set
+// shared by Tables 4 and 5.
+type qaSetup struct {
+	p       *Pipeline
+	store   *template.Store
+	holdout []workload.Question
+}
+
+func prepareQASetup(scale Scale) (*qaSetup, error) {
+	cfg := scale.qaldConfig()
+	// Template coverage benefits from a denser training workload; Table 4
+	// in the paper trains on the full joined workloads.
+	cfg.Questions *= 2
+	p, err := preparedWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pairs, _, err := p.Join(DefaultJoinOptions())
+	if err != nil {
+		return nil, err
+	}
+	store, _ := p.BuildTemplates(pairs)
+	return &qaSetup{
+		p:       p,
+		store:   store,
+		holdout: p.W.HoldoutQuestions(999, scale.apply(100), 0.2),
+	}, nil
+}
+
+// evalSystem scores one system over the holdout with QALD macro-averaging.
+func (s *qaSetup) evalSystem(sys qa.System) (p, r, f float64, answered, total int) {
+	var q metrics.QALD
+	for i := range s.holdout {
+		hq := &s.holdout[i]
+		gold, err := s.p.GoldAnswers(hq)
+		if err != nil {
+			q.AddUnanswered()
+			continue
+		}
+		ans, err := AnswerSet(sys, hq.Text, hq.Gold)
+		if err != nil {
+			q.AddUnanswered()
+			continue
+		}
+		pp, rr, ff := metrics.SetPRF(ans, gold)
+		q.AddAnswered(pp, rr, ff)
+	}
+	p, r, f = q.Macro()
+	answered, total = q.Answered()
+	return p, r, f, answered, total
+}
+
+// Table4QASystems reproduces Table 4: QALD-style precision/recall/F1 of the
+// template system against the gAnswer- and DEANNA-style baselines.
+func Table4QASystems(scale Scale) (*metrics.Table, error) {
+	s, err := prepareQASetup(scale)
+	if err != nil {
+		return nil, err
+	}
+	kb := s.p.W.KB
+	systems := []qa.System{
+		&qa.TemplateSystem{Store: s.store, Lex: kb.Lexicon, KB: kb.Store, MinPhi: 0.5},
+		&qa.GAnswerSystem{Lex: kb.Lexicon, KB: kb.Store},
+		&qa.DeannaSystem{Lex: kb.Lexicon, KB: kb.Store},
+	}
+	t := metrics.NewTable("Method", "Precision", "Recall", "F-1", "answered")
+	for _, sys := range systems {
+		p, r, f, answered, total := s.evalSystem(sys)
+		t.AddRow(sys.Name(), p, r, f, answered*100/max1(total))
+	}
+	return t, nil
+}
+
+// Table5MatchProportion reproduces Table 5: the template system's precision,
+// recall and F1 as the minimum matching proportion φ varies from 0.5 to 1.0.
+func Table5MatchProportion(scale Scale) (*metrics.Table, error) {
+	s, err := prepareQASetup(scale)
+	if err != nil {
+		return nil, err
+	}
+	kb := s.p.W.KB
+	t := metrics.NewTable("phi", "Precision", "Recall", "F-1", "answered")
+	for _, phi := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		sys := &qa.TemplateSystem{Store: s.store, Lex: kb.Lexicon, KB: kb.Store, MinPhi: phi}
+		p, r, f, answered, total := s.evalSystem(sys)
+		t.AddRow(phi, p, r, f, answered*100/max1(total))
+	}
+	return t, nil
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,284 @@
+package filter
+
+import (
+	"sort"
+
+	"simjoin/internal/graph"
+	"simjoin/internal/matching"
+)
+
+// LMLowerBound is the label-multiset global filter of Zhao et al. [31]:
+//
+//	lb = max(|V(q)|,|V(g)|) − λV + max(|E(q)|,|E(g)|) − λE
+//
+// Theorem 2 proves the CSS bound dominates it; both are exposed so the
+// dominance can be measured (Fig. 15, ablation A1).
+func LMLowerBound(q, g *graph.Graph) int {
+	lb := max(q.NumVertices(), g.NumVertices()) - LambdaV(q, g) +
+		max(q.NumEdges(), g.NumEdges()) - LambdaE(q, g)
+	if lb < 0 {
+		lb = 0
+	}
+	return lb
+}
+
+// CountLowerBound is the size-difference global filter of Zeng et al. [29]:
+//
+//	lb = ||V(q)|−|V(g)|| + ||E(q)|−|E(g)||
+func CountLowerBound(q, g *graph.Graph) int {
+	dv := q.NumVertices() - g.NumVertices()
+	if dv < 0 {
+		dv = -dv
+	}
+	de := q.NumEdges() - g.NumEdges()
+	if de < 0 {
+		de = -de
+	}
+	return dv + de
+}
+
+// star is the c-star decomposition unit: a root label plus the sorted labels
+// of its neighbour vertices (direction and edge labels ignored, as in [29]).
+type star struct {
+	root   string
+	leaves []string // neighbour vertex labels, sorted
+}
+
+func stars(g *graph.Graph) []star {
+	out := make([]star, g.NumVertices())
+	for v := range out {
+		out[v].root = g.VertexLabel(v)
+	}
+	for _, e := range g.Edges() {
+		out[e.From].leaves = append(out[e.From].leaves, g.VertexLabel(e.To))
+		out[e.To].leaves = append(out[e.To].leaves, g.VertexLabel(e.From))
+	}
+	for v := range out {
+		sort.Strings(out[v].leaves)
+	}
+	return out
+}
+
+// starDistance is the star edit distance λ(s1,s2) of [29]: root mismatch plus
+// leaf-count and leaf-label differences.
+func starDistance(a, b star) int {
+	d := 0
+	if !graph.LabelsMatch(a.root, b.root) {
+		d++
+	}
+	d += abs(len(a.leaves) - len(b.leaves))
+	d += max(len(a.leaves), len(b.leaves)) - sortedCommon(a.leaves, b.leaves)
+	return d
+}
+
+// sortedCommon counts the maximum number of matchable label pairs between
+// two sorted label slices with wildcard labels matching anything — an exact
+// (and therefore symmetric) bipartite matching on the tiny leaf lists.
+func sortedCommon(a, b []string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	bp := matching.NewBipartite(len(a), len(b))
+	for i, la := range a {
+		for j, lb := range b {
+			if graph.LabelsMatch(la, lb) {
+				bp.AddEdge(i, j)
+			}
+		}
+	}
+	return bp.MaxMatchingSize()
+}
+
+// CStarLowerBound is the c-star filter of Zeng et al. [29]: the minimum-cost
+// assignment between the two graphs' star multisets (padded with empty
+// stars), divided by the largest number of stars one edit operation can
+// affect, max{4, maxDegree+1}.
+func CStarLowerBound(q, g *graph.Graph) int {
+	sq, sg := stars(q), stars(g)
+	n := max(len(sq), len(sg))
+	if n == 0 {
+		return 0
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			var a, b star
+			if i < len(sq) {
+				a = sq[i]
+			}
+			if j < len(sg) {
+				b = sg[j]
+			}
+			cost[i][j] = float64(starDistanceOrEmpty(a, b, i < len(sq), j < len(sg)))
+		}
+	}
+	total := matching.AssignmentLowerBound(cost)
+	maxDeg := 1
+	for _, d := range append(q.Degrees(), g.Degrees()...) {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	div := max(4, maxDeg+1)
+	return int(total) / div
+}
+
+func starDistanceOrEmpty(a, b star, aReal, bReal bool) int {
+	switch {
+	case aReal && bReal:
+		return starDistance(a, b)
+	case aReal:
+		return 1 + 2*len(a.leaves) // delete root + its leaves' edge slots
+	case bReal:
+		return 1 + 2*len(b.leaves)
+	default:
+		return 0
+	}
+}
+
+// PathGramLowerBound is a path-gram filter in the spirit of Zhao et al. [31]:
+// graphs are decomposed into length-1 label paths (from-label, edge-label,
+// to-label); the multiset difference of grams, divided by the maximum number
+// of grams one edit operation can touch (the maximum degree), lower-bounds
+// the distance.
+func PathGramLowerBound(q, g *graph.Graph) int {
+	// Maximum matching between the two gram multisets under wildcard-aware
+	// componentwise compatibility.
+	bp := matching.NewBipartite(q.NumEdges(), g.NumEdges())
+	for i, qe := range q.Edges() {
+		for j, ge := range g.Edges() {
+			if graph.LabelsMatch(qe.Label, ge.Label) &&
+				graph.LabelsMatch(q.VertexLabel(qe.From), g.VertexLabel(ge.From)) &&
+				graph.LabelsMatch(q.VertexLabel(qe.To), g.VertexLabel(ge.To)) {
+				bp.AddEdge(i, j)
+			}
+		}
+	}
+	common := bp.MaxMatchingSize()
+	diff := max(q.NumEdges(), g.NumEdges()) - common
+	if diff <= 0 {
+		return 0
+	}
+	maxDeg := 1
+	for _, d := range append(q.Degrees(), g.Degrees()...) {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return (diff + maxDeg - 1) / maxDeg
+}
+
+// ParsLowerBound is a partition-based filter in the spirit of Pars [30]: the
+// query graph is decomposed into disjoint connected fragments; every fragment
+// with no structure- and label-compatible embedding in g requires at least
+// one edit, and fragments are disjoint, so the number of unmatched fragments
+// lower-bounds the distance.
+func ParsLowerBound(q, g *graph.Graph) int {
+	fragments := partitionEdges(q)
+	missing := 0
+	for _, f := range fragments {
+		if !fragmentEmbeds(q, f, g) {
+			missing++
+		}
+	}
+	return missing
+}
+
+// partitionEdges splits the edge set of q into disjoint fragments of at most
+// two edges sharing a vertex (paths/cherries), greedily.
+func partitionEdges(q *graph.Graph) [][]graph.Edge {
+	used := make([]bool, q.NumEdges())
+	var frags [][]graph.Edge
+	edges := q.Edges()
+	for i, e := range edges {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		frag := []graph.Edge{e}
+		for j := i + 1; j < len(edges); j++ {
+			if used[j] {
+				continue
+			}
+			f := edges[j]
+			if f.From == e.From || f.From == e.To || f.To == e.From || f.To == e.To {
+				used[j] = true
+				frag = append(frag, f)
+				break
+			}
+		}
+		frags = append(frags, frag)
+	}
+	return frags
+}
+
+// fragmentEmbeds tests whether the (1- or 2-edge) fragment of q embeds in g
+// with compatible vertex and edge labels. The vertex identification pattern
+// of the fragment must be preserved exactly: equal fragment vertices map to
+// equal g vertices and distinct ones to distinct g vertices.
+func fragmentEmbeds(q *graph.Graph, frag []graph.Edge, g *graph.Graph) bool {
+	e := frag[0]
+	for _, ge := range g.Edges() {
+		if !edgeCompatible(q, e, g, ge) {
+			continue
+		}
+		if len(frag) == 1 {
+			return true
+		}
+		f := frag[1]
+		for _, gf := range g.Edges() {
+			if !edgeCompatible(q, f, g, gf) {
+				continue
+			}
+			if identificationPreserved(
+				[4]int{e.From, e.To, f.From, f.To},
+				[4]int{ge.From, ge.To, gf.From, gf.To}) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func edgeCompatible(q *graph.Graph, qe graph.Edge, g *graph.Graph, ge graph.Edge) bool {
+	return graph.LabelsMatch(qe.Label, ge.Label) &&
+		graph.LabelsMatch(q.VertexLabel(qe.From), g.VertexLabel(ge.From)) &&
+		graph.LabelsMatch(q.VertexLabel(qe.To), g.VertexLabel(ge.To))
+}
+
+// identificationPreserved reports whether qv[i] == qv[j] ⟺ gv[i] == gv[j]
+// for all index pairs, i.e. the implied vertex mapping is well defined and
+// injective on the fragment.
+func identificationPreserved(qv, gv [4]int) bool {
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if (qv[i] == qv[j]) != (gv[i] == gv[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SegosLowerBound is a two-level cascade in the spirit of SEGOS [22]: a cheap
+// first-level label-count screen, escalating to the star-based bound only
+// when the screen is inconclusive. It returns a valid lower bound — the
+// maximum of the two levels actually evaluated.
+func SegosLowerBound(q, g *graph.Graph, tau int) int {
+	lb := CountLowerBound(q, g)
+	if lb > tau {
+		return lb
+	}
+	if s := CStarLowerBound(q, g); s > lb {
+		lb = s
+	}
+	return lb
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

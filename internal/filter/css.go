@@ -1,0 +1,81 @@
+package filter
+
+import (
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// cssOriented evaluates Theorem 1's bound for a fixed orientation where
+// "small" plays the role of q (|V(small)| ≤ |V(big)| required by Lemma 2):
+//
+//	lb = |V(big)| + |E(big)| − λE + ⌈dif(small,big)/2⌉ − λV
+//
+// λV and λE are orientation-independent and passed in by the caller.
+func cssOriented(small, big *graph.Graph, lamV, lamE int) int {
+	dif := degreeDistanceSeq(small.DegreeSequence(), big.DegreeSequence())
+	lb := big.NumVertices() + big.NumEdges() - lamE + (dif+1)/2 - lamV
+	if lb < 0 {
+		lb = 0
+	}
+	return lb
+}
+
+// CSSLowerBound computes the CSS-based lower bound of Theorem 1 on the graph
+// edit distance between two certain graphs. The graph with fewer vertices
+// plays the role of q in the theorem; when the vertex counts tie, both
+// orientations are valid lower bounds and the tighter one is returned.
+func CSSLowerBound(q, g *graph.Graph) int {
+	lamV := LambdaV(q, g)
+	lamE := LambdaE(q, g)
+	switch {
+	case q.NumVertices() < g.NumVertices():
+		return cssOriented(q, g, lamV, lamE)
+	case q.NumVertices() > g.NumVertices():
+		return cssOriented(g, q, lamV, lamE)
+	default:
+		a := cssOriented(q, g, lamV, lamE)
+		if b := cssOriented(g, q, lamV, lamE); b > a {
+			return b
+		}
+		return a
+	}
+}
+
+// CSSLowerBoundUncertain computes the uniform CSS-based lower bound of
+// Theorem 3 that holds simultaneously for every possible world of the
+// uncertain graph g: Theorem 1's formula with λV replaced by the maximum
+// matching of the vertex label bipartite graph of Def. 10 (an upper bound on
+// λV against any possible world).
+func CSSLowerBoundUncertain(q *graph.Graph, g *ugraph.Graph) int {
+	lb := CSSConstant(q, g) - LambdaVUncertain(q, g)
+	if lb < 0 {
+		lb = 0
+	}
+	return lb
+}
+
+// CSSConstant returns C(q, g) = |V(big)| + |E(big)| − λE + ⌈dif/2⌉, the
+// label-matching-independent part of Theorem 3's bound, so that
+// lb = C − λV. It is reused by the probabilistic pruning of §5 (ged ≤ τ
+// forces λV ≥ C − τ). On vertex-count ties the tighter orientation is used,
+// mirroring CSSLowerBoundUncertain.
+func CSSConstant(q *graph.Graph, g *ugraph.Graph) int {
+	lamE := LambdaEUncertain(q, g)
+	qd := q.DegreeSequence()
+	gd := g.DegreeSequence()
+	oriented := func(small, big []int, bigV, bigE int) int {
+		return bigV + bigE - lamE + (degreeDistanceSeq(small, big)+1)/2
+	}
+	switch {
+	case q.NumVertices() < g.NumVertices():
+		return oriented(qd, gd, g.NumVertices(), g.NumEdges())
+	case q.NumVertices() > g.NumVertices():
+		return oriented(gd, qd, q.NumVertices(), q.NumEdges())
+	default:
+		a := oriented(qd, gd, g.NumVertices(), g.NumEdges())
+		if b := oriented(gd, qd, q.NumVertices(), q.NumEdges()); b > a {
+			return b
+		}
+		return a
+	}
+}

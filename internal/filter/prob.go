@@ -1,0 +1,120 @@
+package filter
+
+import (
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// SimilarityUpperBound computes the probabilistic upper bound of Theorem 4 on
+// the similarity probability SimPτ(q, g).
+//
+// The paper derives SimPτ(q,g) ≤ Pr{λV(q, pw(g)) ≥ C(q,g) − τ} and relaxes
+// λV to a sum of independent indicators Y = Σ yi, giving E(Y)/(C−τ) by
+// Markov's inequality. Because our edit model lets wildcard ('?') labels
+// match anything (§2.1), a direct translation of yi would saturate as soon
+// as q contains a single variable. We therefore use the sound refinement
+//
+//	λV(q, pw) ≤ Wq + Z,   Z = Σ_i zi,
+//
+// where Wq is the number of wildcard vertices of q (each wildcard q-vertex
+// absorbs at most one matched pair) and zi indicates that vertex i of g
+// carries a label that is itself a wildcard or occurs among q's concrete
+// labels. Markov then yields
+//
+//	SimPτ(q, g) ≤ E(Z) / (C(q,g) − τ − Wq).
+//
+// The bound is capped at the total probability mass of g (≤ 1); when the
+// denominator is non-positive the inequality is vacuous and the cap is
+// returned.
+func SimilarityUpperBound(q *graph.Graph, g *ugraph.Graph, tau int) float64 {
+	mass := g.TotalMass()
+	c := CSSConstant(q, g)
+	wq := 0
+	for v := 0; v < q.NumVertices(); v++ {
+		if graph.IsWildcard(q.VertexLabel(v)) {
+			wq++
+		}
+	}
+	denom := float64(c - tau - wq)
+	if denom <= 0 {
+		return mass
+	}
+	ub := ExpectedCommonLabels(q, g) / denom
+	if ub > mass {
+		return mass
+	}
+	if ub < 0 {
+		return 0
+	}
+	return ub
+}
+
+// ExpectedCommonLabels returns E(Z) = Σ_i E(zi): for every vertex of g, the
+// total probability of its candidate labels that are wildcards or occur
+// among q's concrete vertex labels. Probabilities are used unnormalised, so
+// the value is correct for conditioned possible-world groups too.
+func ExpectedCommonLabels(q *graph.Graph, g *ugraph.Graph) float64 {
+	qLabels := make(map[string]bool, q.NumVertices())
+	for v := 0; v < q.NumVertices(); v++ {
+		if l := q.VertexLabel(v); !graph.IsWildcard(l) {
+			qLabels[l] = true
+		}
+	}
+	ez := 0.0
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, l := range g.Labels(v) {
+			if graph.IsWildcard(l.Name) || qLabels[l.Name] {
+				ez += l.P
+			}
+		}
+	}
+	return ez
+}
+
+// TotalProbabilityUpperBound tightens Theorem 4 with the law of total
+// probability (flagged as future work in §5): it conditions on each
+// candidate label of the most uncertain vertex and sums the per-condition
+// bounds, pruning conditions whose CSS bound already exceeds τ. The result
+// is always a valid upper bound on SimPτ(q, g) and never looser than
+// evaluating each branch's cap.
+func TotalProbabilityUpperBound(q *graph.Graph, g *ugraph.Graph, tau int) float64 {
+	if CSSLowerBoundUncertain(q, g) > tau {
+		return 0
+	}
+	v := g.SplitVertex()
+	if v < 0 {
+		return SimilarityUpperBound(q, g, tau)
+	}
+	ub := 0.0
+	for i := range g.Labels(v) {
+		cond, mass := g.Condition(v, []int{i})
+		if CSSLowerBoundUncertain(q, cond) > tau {
+			continue
+		}
+		b := SimilarityUpperBound(q, cond, tau)
+		if b > mass {
+			b = mass
+		}
+		ub += b
+	}
+	if plain := SimilarityUpperBound(q, g, tau); plain < ub {
+		return plain
+	}
+	return ub
+}
+
+// GroupUpperBound computes the probabilistic upper bound restricted to one
+// possible-world group: Theorem 4 evaluated on the conditioned graph, whose
+// unnormalised probabilities make the result an upper bound on the group's
+// contribution to SimPτ(q, g). Groups whose CSS bound already exceeds τ
+// contribute 0 (Algorithm 2, line 5).
+func GroupUpperBound(q *graph.Graph, gr ugraph.Group, tau int) float64 {
+	if CSSLowerBoundUncertain(q, gr.G) > tau {
+		return 0
+	}
+	ub := SimilarityUpperBound(q, gr.G, tau)
+	if ub > gr.Mass {
+		return gr.Mass
+	}
+	return ub
+}

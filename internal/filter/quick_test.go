@@ -1,0 +1,86 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"simjoin/internal/ged"
+	"simjoin/internal/graph"
+)
+
+// Property: the CSS bound is admissible on arbitrary seeded graph pairs.
+func TestQuickCSSAdmissible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomCertain(rng, 1+rng.Intn(5), rng.Intn(6))
+		g := randomCertain(rng, 1+rng.Intn(5), rng.Intn(6))
+		return CSSLowerBound(q, g) <= ged.Distance(q, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Theorem 2 (CSS >= LM) on arbitrary seeded pairs.
+func TestQuickTheorem2(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomCertain(rng, 1+rng.Intn(6), rng.Intn(8))
+		g := randomCertain(rng, 1+rng.Intn(6), rng.Intn(8))
+		return CSSLowerBound(q, g) >= LMLowerBound(q, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every bound is zero on identical graphs and symmetric in its
+// arguments (the measures are symmetric even if the formulas pick sides).
+func TestQuickBoundSymmetryAndIdentity(t *testing.T) {
+	bounds := map[string]func(a, b *graph.Graph) int{
+		"CSS":   CSSLowerBound,
+		"LM":    LMLowerBound,
+		"Count": CountLowerBound,
+		"CStar": CStarLowerBound,
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomCertain(rng, 1+rng.Intn(5), rng.Intn(6))
+		b := randomCertain(rng, 1+rng.Intn(5), rng.Intn(6))
+		for _, fn := range bounds {
+			if fn(a, a.Clone()) != 0 {
+				return false
+			}
+			if fn(a, b) != fn(b, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the similarity upper bound is monotone in τ (a larger threshold
+// can only admit more worlds).
+func TestQuickUpperBoundMonotoneInTau(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomCertain(rng, 1+rng.Intn(5), rng.Intn(5))
+		g := randomUncertain(rng, 1+rng.Intn(4), rng.Intn(4), 3)
+		prev := -1.0
+		for tau := 0; tau <= 4; tau++ {
+			ub := SimilarityUpperBound(q, g, tau)
+			if ub < prev-1e-12 {
+				return false
+			}
+			prev = ub
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

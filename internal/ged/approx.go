@@ -1,0 +1,273 @@
+package ged
+
+import (
+	"fmt"
+	"sort"
+
+	"simjoin/internal/graph"
+	"simjoin/internal/matching"
+)
+
+// Approximate computes an upper bound on the graph edit distance with a
+// beam search over vertex mappings (beam-stack variant of the A* search,
+// cf. Riesen & Bunke's beam heuristic). Unlike Compute it has no 64-vertex
+// limit and runs in O(beam · |V|² ·|V|) time, at the price of exactness:
+// the returned value is the cost of a real edit path, hence
+//
+//	Distance(g1,g2) ≤ Approximate(g1,g2,w) for every beam width w,
+//
+// with equality when the beam retains an optimal prefix throughout. The
+// returned mapping realises the reported cost (MappingCost agrees).
+func Approximate(g1, g2 *graph.Graph, beamWidth int) (int, Mapping) {
+	bd, bm := bipartiteUpper(g1, g2)
+	sd, sm := beamSearch(g1, g2, beamWidth)
+	if bd < sd {
+		return bd, bm
+	}
+	return sd, sm
+}
+
+// beamSearch is the beam-limited variant of the A* mapping search.
+func beamSearch(g1, g2 *graph.Graph, beamWidth int) (int, Mapping) {
+	if beamWidth < 1 {
+		beamWidth = 1
+	}
+	a, b := g1, g2
+	swapped := false
+	if a.NumVertices() > b.NumVertices() {
+		a, b = b, a
+		swapped = true
+	}
+
+	order := degreeOrder(a)
+	type bstate struct {
+		mapping []int
+		used    []bool
+		g       int
+	}
+	start := bstate{mapping: make([]int, a.NumVertices()), used: make([]bool, b.NumVertices())}
+	for i := range start.mapping {
+		start.mapping[i] = Deleted
+	}
+	beam := []bstate{start}
+
+	for k := 0; k < len(order); k++ {
+		u := order[k]
+		var next []bstate
+		for _, st := range beam {
+			// Extend with every unused target plus deletion.
+			for v := -1; v < b.NumVertices(); v++ {
+				if v >= 0 && st.used[v] {
+					continue
+				}
+				cost := st.g + extendCost(a, b, order[:k], st.mapping, u, v)
+				nm := append([]int(nil), st.mapping...)
+				nu := append([]bool(nil), st.used...)
+				nm[u] = v
+				if v >= 0 {
+					nu[v] = true
+				} else {
+					nm[u] = Deleted
+				}
+				next = append(next, bstate{mapping: nm, used: nu, g: cost})
+			}
+		}
+		sort.SliceStable(next, func(i, j int) bool { return next[i].g < next[j].g })
+		if len(next) > beamWidth {
+			next = next[:beamWidth]
+		}
+		beam = next
+	}
+
+	best := -1
+	var bestMapping []int
+	for _, st := range beam {
+		total := st.g + completion(b, st.used)
+		if best < 0 || total < best {
+			best = total
+			bestMapping = st.mapping
+		}
+	}
+	if best < 0 { // a is empty: insert everything in b
+		best = completion(b, make([]bool, b.NumVertices()))
+		bestMapping = nil
+	}
+
+	m := make(Mapping, g1.NumVertices())
+	for i := range m {
+		m[i] = Deleted
+	}
+	if swapped {
+		for u, v := range bestMapping {
+			if v != Deleted {
+				m[v] = u
+			}
+		}
+	} else {
+		copy(m, bestMapping)
+	}
+	// Sanity: the mapping must realise the reported cost.
+	if c, err := MappingCost(g1, g2, m); err != nil || c != best {
+		panic(fmt.Sprintf("ged: beam accounting error: cost %d, mapping %d (%v)", best, c, err))
+	}
+	return best, m
+}
+
+// bipartiteUpper is the assignment-based approximation of Riesen & Bunke:
+// vertices of both graphs are compared through their local star structures
+// (own label, degree, neighbour label multiset), a minimum-cost assignment
+// on the padded cost matrix proposes a full vertex mapping, and the
+// mapping's true edit cost is the upper bound.
+func bipartiteUpper(g1, g2 *graph.Graph) (int, Mapping) {
+	n, m := g1.NumVertices(), g2.NumVertices()
+	size := n + m
+	if size == 0 {
+		return 0, Mapping{}
+	}
+	s1, s2 := localStars(g1), localStars(g2)
+	const big = 1 << 20
+	cost := make([][]float64, size)
+	for i := range cost {
+		cost[i] = make([]float64, size)
+		for j := range cost[i] {
+			switch {
+			case i < n && j < m:
+				cost[i][j] = float64(starCost(s1[i], s2[j]))
+			case i < n && j == m+i:
+				cost[i][j] = float64(1 + 2*len(s1[i].neigh)) // delete i
+			case i < n:
+				cost[i][j] = big
+			case j < m && i == n+j:
+				cost[i][j] = float64(1 + 2*len(s2[j].neigh)) // insert j
+			case j < m:
+				cost[i][j] = big
+			default:
+				cost[i][j] = 0
+			}
+		}
+	}
+	rowTo, _ := matching.Hungarian(cost)
+	mapping := make(Mapping, n)
+	for i := 0; i < n; i++ {
+		if rowTo[i] < m {
+			mapping[i] = rowTo[i]
+		} else {
+			mapping[i] = Deleted
+		}
+	}
+	c, err := MappingCost(g1, g2, mapping)
+	if err != nil {
+		panic(err) // assignment is injective by construction
+	}
+	return c, mapping
+}
+
+type localStar struct {
+	label string
+	neigh []string // sorted incident (direction-tagged) neighbour labels
+}
+
+func localStars(g *graph.Graph) []localStar {
+	out := make([]localStar, g.NumVertices())
+	for v := range out {
+		out[v].label = g.VertexLabel(v)
+	}
+	for _, e := range g.Edges() {
+		out[e.From].neigh = append(out[e.From].neigh, ">"+e.Label+"/"+g.VertexLabel(e.To))
+		out[e.To].neigh = append(out[e.To].neigh, "<"+e.Label+"/"+g.VertexLabel(e.From))
+	}
+	for v := range out {
+		sort.Strings(out[v].neigh)
+	}
+	return out
+}
+
+func starCost(a, b localStar) int {
+	c := 0
+	if !graph.LabelsMatch(a.label, b.label) {
+		c++
+	}
+	// Multiset difference of neighbourhood descriptors.
+	i, j, common := 0, 0, 0
+	for i < len(a.neigh) && j < len(b.neigh) {
+		switch {
+		case a.neigh[i] == b.neigh[j]:
+			common++
+			i++
+			j++
+		case a.neigh[i] < b.neigh[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	maxN := len(a.neigh)
+	if len(b.neigh) > maxN {
+		maxN = len(b.neigh)
+	}
+	return c + maxN - common
+}
+
+func degreeOrder(g *graph.Graph) []int {
+	deg := g.Degrees()
+	order := make([]int, g.NumVertices())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return deg[order[i]] > deg[order[j]] })
+	return order
+}
+
+// extendCost mirrors searcher.extensionCost for the beam representation:
+// vertex op plus edge ops against the already-processed prefix.
+func extendCost(a, b *graph.Graph, processed []int, mapping []int, u, v int) int {
+	cost := 0
+	if v == Deleted {
+		cost++
+	} else if !graph.LabelsMatch(a.VertexLabel(u), b.VertexLabel(v)) {
+		cost++
+	}
+	for _, p := range processed {
+		w := mapping[p]
+		cost += dirEdgeCost(a, b, u, p, v, w)
+		cost += dirEdgeCost(a, b, p, u, w, v)
+	}
+	return cost
+}
+
+func dirEdgeCost(a, b *graph.Graph, x, y, ix, iy int) int {
+	al, aOK := a.EdgeLabel(x, y)
+	if ix == Deleted || iy == Deleted {
+		if aOK {
+			return 1
+		}
+		return 0
+	}
+	bl, bOK := b.EdgeLabel(ix, iy)
+	switch {
+	case aOK && bOK:
+		if graph.LabelsMatch(al, bl) {
+			return 0
+		}
+		return 1
+	case aOK != bOK:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func completion(b *graph.Graph, used []bool) int {
+	cost := 0
+	for _, u := range used {
+		if !u {
+			cost++
+		}
+	}
+	for _, e := range b.Edges() {
+		if !used[e.From] || !used[e.To] {
+			cost++
+		}
+	}
+	return cost
+}

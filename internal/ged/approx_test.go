@@ -1,0 +1,96 @@
+package ged
+
+import (
+	"math/rand"
+	"testing"
+
+	"simjoin/internal/graph"
+)
+
+func TestApproximateUpperBoundsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 120; i++ {
+		a := randomGraph(rng, 1+rng.Intn(5), rng.Intn(6))
+		b := randomGraph(rng, 1+rng.Intn(5), rng.Intn(6))
+		exact := Distance(a, b)
+		for _, w := range []int{1, 4, 16} {
+			approx, m := Approximate(a, b, w)
+			if approx < exact {
+				t.Fatalf("beam(%d) %d below exact %d\na=%v\nb=%v", w, approx, exact, a, b)
+			}
+			if c, err := MappingCost(a, b, m); err != nil || c != approx {
+				t.Fatalf("mapping does not realise reported cost: %d vs %d (%v)", c, approx, err)
+			}
+		}
+		// A wide beam on tiny graphs is exact.
+		if approx, _ := Approximate(a, b, 64); approx != exact {
+			t.Fatalf("beam(64) = %d, exact = %d on tiny graphs\na=%v\nb=%v", approx, exact, a, b)
+		}
+	}
+}
+
+func TestApproximateIdentity(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(5)), 8, 12)
+	if d, _ := Approximate(g, g.Clone(), 4); d != 0 {
+		t.Fatalf("approx(g,g) = %d", d)
+	}
+}
+
+func TestApproximateEmpty(t *testing.T) {
+	e := graph.New(0)
+	g := chain("A", "B", "C")
+	if d, _ := Approximate(e, g, 2); d != 5 { // 3 vertices + 2 edges
+		t.Fatalf("approx(empty, chain3) = %d, want 5", d)
+	}
+	if d, _ := Approximate(g, e, 2); d != 5 {
+		t.Fatalf("approx(chain3, empty) = %d, want 5", d)
+	}
+	if d, _ := Approximate(e, e, 2); d != 0 {
+		t.Fatalf("approx(empty, empty) = %d", d)
+	}
+}
+
+func TestApproximateLargeGraphs(t *testing.T) {
+	// Beyond the exact search's 64-vertex limit.
+	mk := func(seed int64) *graph.Graph {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(80)
+		for i := 0; i < 80; i++ {
+			g.AddVertex([]string{"A", "B", "C"}[rng.Intn(3)])
+		}
+		for e := 0; e < 150; e++ {
+			u, v := rng.Intn(80), rng.Intn(80)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, "p")
+			}
+		}
+		return g
+	}
+	a, b := mk(1), mk(2)
+	d, m := Approximate(a, b, 4)
+	if d <= 0 {
+		t.Fatalf("distinct large graphs at distance %d", d)
+	}
+	if c, err := MappingCost(a, b, m); err != nil || c != d {
+		t.Fatalf("large-graph mapping mismatch: %d vs %d (%v)", c, d, err)
+	}
+	if d2, _ := Approximate(a, a.Clone(), 4); d2 != 0 {
+		t.Fatalf("large identity = %d", d2)
+	}
+}
+
+func TestApproximateWiderBeamNoWorseOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sum1, sum8 := 0, 0
+	for i := 0; i < 40; i++ {
+		a := randomGraph(rng, 6, 8)
+		b := randomGraph(rng, 6, 8)
+		d1, _ := Approximate(a, b, 1)
+		d8, _ := Approximate(a, b, 8)
+		sum1 += d1
+		sum8 += d8
+	}
+	if sum8 > sum1 {
+		t.Errorf("beam 8 worse than beam 1 in aggregate: %d vs %d", sum8, sum1)
+	}
+}

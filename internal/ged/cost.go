@@ -1,0 +1,81 @@
+package ged
+
+import (
+	"fmt"
+
+	"simjoin/internal/graph"
+)
+
+// MappingCost evaluates the total edit cost implied by a complete vertex
+// mapping m from g1 to g2 (every g1 vertex mapped to a distinct g2 vertex or
+// Deleted). It is the cost of the edit sequence that realises m: vertex
+// deletions/substitutions, insertions of uncovered g2 vertices, and all edge
+// operations. Distance(g1,g2) is the minimum of MappingCost over all mappings.
+//
+// MappingCost returns an error if m has the wrong length, an out-of-range
+// image, or maps two vertices to the same image.
+func MappingCost(g1, g2 *graph.Graph, m Mapping) (int, error) {
+	if len(m) != g1.NumVertices() {
+		return 0, fmt.Errorf("ged: mapping length %d != |V(g1)| %d", len(m), g1.NumVertices())
+	}
+	usedB := make([]bool, g2.NumVertices())
+	cost := 0
+	for u, v := range m {
+		if v == Deleted {
+			cost++
+			continue
+		}
+		if v < 0 || v >= g2.NumVertices() {
+			return 0, fmt.Errorf("ged: mapping image %d out of range", v)
+		}
+		if usedB[v] {
+			return 0, fmt.Errorf("ged: mapping not injective at image %d", v)
+		}
+		usedB[v] = true
+		if !graph.LabelsMatch(g1.VertexLabel(u), g2.VertexLabel(v)) {
+			cost++
+		}
+	}
+	for v, used := range usedB {
+		_ = v
+		if !used {
+			cost++ // insert uncovered g2 vertex
+		}
+	}
+	// Edge costs from g1's perspective.
+	for _, e := range g1.Edges() {
+		fu, tv := m[e.From], m[e.To]
+		if fu == Deleted || tv == Deleted {
+			cost++ // edge deleted along with an endpoint
+			continue
+		}
+		bl, ok := g2.EdgeLabel(fu, tv)
+		if !ok {
+			cost++ // delete edge absent in g2
+		} else if !graph.LabelsMatch(e.Label, bl) {
+			cost++ // substitute edge label
+		}
+	}
+	// g2 edges with both endpoints covered but no g1 counterpart are inserts;
+	// g2 edges with an uncovered endpoint are inserts too.
+	inv := make([]int, g2.NumVertices())
+	for i := range inv {
+		inv[i] = Deleted
+	}
+	for u, v := range m {
+		if v != Deleted {
+			inv[v] = u
+		}
+	}
+	for _, e := range g2.Edges() {
+		fu, tv := inv[e.From], inv[e.To]
+		if fu == Deleted || tv == Deleted {
+			cost++
+			continue
+		}
+		if _, ok := g1.EdgeLabel(fu, tv); !ok {
+			cost++
+		}
+	}
+	return cost, nil
+}

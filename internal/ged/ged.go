@@ -1,0 +1,456 @@
+// Package ged computes the minimum graph edit distance (GED) between certain
+// labeled graphs, the similarity measure at the heart of the paper (§3.1.2).
+//
+// The edit model follows the paper exactly: six primitive operations, each of
+// cost 1 — insert/delete an isolated labeled vertex, insert/delete an edge,
+// and substitute a vertex or edge label. Wildcard labels ('?'-prefixed) match
+// any label at zero substitution cost.
+//
+// Computing GED is NP-hard; the implementation is the standard A* search over
+// partial vertex mappings with an admissible label-multiset heuristic
+// (cf. Riesen et al. [17] and Zhao et al. [31]). A threshold-bounded variant
+// prunes every state whose optimistic cost exceeds τ, which is what the SimJ
+// verification phase uses.
+package ged
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"simjoin/internal/graph"
+)
+
+// ErrBudget is returned when the search exceeds the configured state budget.
+var ErrBudget = errors.New("ged: state budget exhausted")
+
+// NoThreshold disables threshold pruning when passed as τ.
+const NoThreshold = int(^uint(0) >> 1)
+
+// Mapping records a vertex correspondence from the first argument graph to
+// the second: Mapping[u] is the image of u, or Deleted if u was deleted.
+type Mapping []int
+
+// Deleted marks a vertex with no image under a Mapping.
+const Deleted = -1
+
+// Options tunes the search.
+type Options struct {
+	// Threshold prunes all search states whose lower-bounded total cost
+	// exceeds it. Use NoThreshold (the zero Options value is NOT usable;
+	// call Distance/WithinThreshold helpers instead) for exact search.
+	Threshold int
+	// MaxStates caps the number of expanded states; 0 means unlimited.
+	// When exceeded, Compute returns ErrBudget.
+	MaxStates int
+}
+
+// Result is the outcome of a GED computation.
+type Result struct {
+	// Distance is the minimum edit distance, valid when Exceeded is false.
+	Distance int
+	// Exceeded is true when the distance is known to be > Options.Threshold;
+	// Distance then holds the threshold-exceeding lower bound reached.
+	Exceeded bool
+	// Mapping maps vertices of the first argument to the second.
+	Mapping Mapping
+	// States is the number of A* states expanded (diagnostics).
+	States int
+}
+
+// Distance returns the exact graph edit distance between g1 and g2.
+func Distance(g1, g2 *graph.Graph) int {
+	r, err := Compute(g1, g2, Options{Threshold: NoThreshold})
+	if err != nil {
+		panic(err) // unreachable: no budget configured
+	}
+	return r.Distance
+}
+
+// DistanceMapping returns the exact distance together with an optimal vertex
+// mapping from g1 to g2.
+func DistanceMapping(g1, g2 *graph.Graph) (int, Mapping) {
+	r, err := Compute(g1, g2, Options{Threshold: NoThreshold})
+	if err != nil {
+		panic(err)
+	}
+	return r.Distance, r.Mapping
+}
+
+// WithinThreshold reports whether ged(g1,g2) ≤ tau, returning the exact
+// distance when it is.
+func WithinThreshold(g1, g2 *graph.Graph, tau int) (int, bool) {
+	if tau < 0 {
+		return 0, false
+	}
+	r, err := Compute(g1, g2, Options{Threshold: tau})
+	if err != nil {
+		panic(err)
+	}
+	return r.Distance, !r.Exceeded
+}
+
+// searcher holds the immutable inputs of one A* run. The smaller graph (by
+// vertex count) is always mapped onto the larger one; swapped indicates the
+// caller's arguments were reversed.
+type searcher struct {
+	a, b    *graph.Graph // |V(a)| <= |V(b)|
+	order   []int        // processing order of a's vertices (degree-descending)
+	swapped bool
+	opts    Options
+
+	// Interned labels: id 0 is reserved for wildcards.
+	vLabelA, vLabelB []int
+	nVLabels         int
+	eLabelIDs        map[string]int
+}
+
+type state struct {
+	k       int    // number of a-vertices processed (in order)
+	used    uint64 // bitmask of b-vertices consumed
+	g       int    // accumulated cost
+	f       int    // g + heuristic
+	mapping []int  // a-vertex -> b-vertex or Deleted, indexed by a vertex id
+}
+
+type stateHeap []*state
+
+func (h stateHeap) Len() int { return len(h) }
+func (h stateHeap) Less(i, j int) bool {
+	if h[i].f != h[j].f {
+		return h[i].f < h[j].f
+	}
+	return h[i].k > h[j].k // prefer deeper states to reach goals sooner
+}
+func (h stateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *stateHeap) Push(x interface{}) { *h = append(*h, x.(*state)) }
+func (h *stateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// Compute runs the A* search with the given options.
+func Compute(g1, g2 *graph.Graph, opts Options) (Result, error) {
+	if g2.NumVertices() > 64 || g1.NumVertices() > 64 {
+		return Result{}, fmt.Errorf("ged: graphs larger than 64 vertices unsupported (got %d, %d)",
+			g1.NumVertices(), g2.NumVertices())
+	}
+	s := &searcher{a: g1, b: g2, opts: opts}
+	if g1.NumVertices() > g2.NumVertices() {
+		s.a, s.b = g2, g1
+		s.swapped = true
+	}
+	s.intern()
+	s.computeOrder()
+
+	res, err := s.run()
+	if err != nil {
+		return res, err
+	}
+	if res.Exceeded {
+		res.Mapping = nil
+		return res, nil
+	}
+	// Translate the internal mapping (a->b) to the caller's direction
+	// (g1 -> g2).
+	m := make(Mapping, g1.NumVertices())
+	for i := range m {
+		m[i] = Deleted
+	}
+	if s.swapped {
+		// internal a == g2; invert.
+		for u, v := range res.Mapping {
+			if v != Deleted {
+				m[v] = u
+			}
+		}
+	} else {
+		copy(m, res.Mapping)
+	}
+	res.Mapping = m
+	return res, nil
+}
+
+func (s *searcher) intern() {
+	ids := map[string]int{}
+	get := func(l string) int {
+		if graph.IsWildcard(l) {
+			return 0
+		}
+		id, ok := ids[l]
+		if !ok {
+			id = len(ids) + 1
+			ids[l] = id
+		}
+		return id
+	}
+	s.vLabelA = make([]int, s.a.NumVertices())
+	for v := range s.vLabelA {
+		s.vLabelA[v] = get(s.a.VertexLabel(v))
+	}
+	s.vLabelB = make([]int, s.b.NumVertices())
+	for v := range s.vLabelB {
+		s.vLabelB[v] = get(s.b.VertexLabel(v))
+	}
+	s.nVLabels = len(ids) + 1
+	s.eLabelIDs = ids // edge labels share the intern table via labelID below
+}
+
+func (s *searcher) labelID(l string) int {
+	if graph.IsWildcard(l) {
+		return 0
+	}
+	id, ok := s.eLabelIDs[l]
+	if !ok {
+		id = len(s.eLabelIDs) + 1
+		s.eLabelIDs[l] = id
+	}
+	return id
+}
+
+// computeOrder processes high-degree vertices first: they constrain the most
+// edges and tighten costs early.
+func (s *searcher) computeOrder() {
+	deg := s.a.Degrees()
+	n := s.a.NumVertices()
+	s.order = make([]int, n)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && deg[s.order[j]] > deg[s.order[j-1]]; j-- {
+			s.order[j], s.order[j-1] = s.order[j-1], s.order[j]
+		}
+	}
+}
+
+func (s *searcher) run() (Result, error) {
+	m, n := s.a.NumVertices(), s.b.NumVertices()
+	start := &state{mapping: make([]int, m)}
+	for i := range start.mapping {
+		start.mapping[i] = Deleted
+	}
+	start.f = s.heuristic(start)
+
+	pq := &stateHeap{start}
+	heap.Init(pq)
+	expanded := 0
+	best := Result{Distance: s.opts.Threshold + 1, Exceeded: true}
+
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(*state)
+		if s.opts.Threshold != NoThreshold && cur.f > s.opts.Threshold {
+			return best, nil // all remaining states exceed τ as well
+		}
+		if cur.k == m {
+			total := cur.g + s.completionCost(cur)
+			if s.opts.Threshold != NoThreshold && total > s.opts.Threshold {
+				continue
+			}
+			return Result{Distance: total, Mapping: cur.mapping, States: expanded}, nil
+		}
+		expanded++
+		if s.opts.MaxStates > 0 && expanded > s.opts.MaxStates {
+			return Result{States: expanded}, ErrBudget
+		}
+		u := s.order[cur.k]
+		// Branch: map u to each unused b-vertex, or delete u.
+		for v := 0; v < n; v++ {
+			if cur.used&(1<<uint(v)) != 0 {
+				continue
+			}
+			s.push(pq, cur, u, v)
+		}
+		s.push(pq, cur, u, Deleted)
+	}
+	if s.opts.Threshold != NoThreshold {
+		return best, nil
+	}
+	return Result{}, errors.New("ged: search space exhausted without a goal (internal error)")
+}
+
+// push extends cur by assigning a-vertex u to b-vertex v (or Deleted) and
+// enqueues the successor unless it is already over threshold.
+func (s *searcher) push(pq *stateHeap, cur *state, u, v int) {
+	cost := cur.g + s.extensionCost(cur, u, v)
+	nm := make([]int, len(cur.mapping))
+	copy(nm, cur.mapping)
+	nm[u] = v
+	next := &state{k: cur.k + 1, used: cur.used, g: cost, mapping: nm}
+	if v != Deleted {
+		next.used |= 1 << uint(v)
+	}
+	next.f = cost + s.heuristic(next)
+	if s.opts.Threshold != NoThreshold && next.f > s.opts.Threshold {
+		return
+	}
+	heap.Push(pq, next)
+}
+
+// extensionCost is the exact cost added by assigning u -> v given the already
+// mapped prefix: the vertex operation plus all edge operations between u and
+// previously processed vertices.
+func (s *searcher) extensionCost(cur *state, u, v int) int {
+	cost := 0
+	if v == Deleted {
+		cost++ // delete u
+	} else if !graph.LabelsMatch(s.a.VertexLabel(u), s.b.VertexLabel(v)) {
+		cost++ // substitute label
+	}
+	for k := 0; k < cur.k; k++ {
+		p := s.order[k]
+		w := cur.mapping[p]
+		cost += s.edgePairCost(u, p, v, w)
+		cost += s.edgePairCost(p, u, w, v)
+	}
+	return cost
+}
+
+// edgePairCost compares the directed a-edge (x->y) with the directed b-edge
+// (ix->iy), where ix/iy may be Deleted.
+func (s *searcher) edgePairCost(x, y, ix, iy int) int {
+	al, aOK := s.a.EdgeLabel(x, y)
+	if ix == Deleted || iy == Deleted {
+		if aOK {
+			return 1 // the a-edge must be deleted
+		}
+		return 0
+	}
+	bl, bOK := s.b.EdgeLabel(ix, iy)
+	switch {
+	case aOK && bOK:
+		if graph.LabelsMatch(al, bl) {
+			return 0
+		}
+		return 1 // substitute edge label
+	case aOK != bOK:
+		return 1 // insert or delete one edge
+	default:
+		return 0
+	}
+}
+
+// completionCost inserts every unused b-vertex and every b-edge not fully
+// inside the image of the mapping.
+func (s *searcher) completionCost(cur *state) int {
+	cost := 0
+	for v := 0; v < s.b.NumVertices(); v++ {
+		if cur.used&(1<<uint(v)) == 0 {
+			cost++
+		}
+	}
+	for _, e := range s.b.Edges() {
+		if cur.used&(1<<uint(e.From)) == 0 || cur.used&(1<<uint(e.To)) == 0 {
+			cost++
+		}
+	}
+	return cost
+}
+
+// heuristic is an admissible lower bound on the remaining cost: a vertex term
+// and an edge term, each of the form max(r1, r2) − (upper bound on matchable
+// pairs). Overestimating the matchable pairs keeps the bound admissible.
+func (s *searcher) heuristic(st *state) int {
+	// Remaining a-vertices and their label counts.
+	remA := s.a.NumVertices() - st.k
+	countA := make(map[int]int)
+	wildA := 0
+	for k := st.k; k < s.a.NumVertices(); k++ {
+		id := s.vLabelA[s.order[k]]
+		if id == 0 {
+			wildA++
+		} else {
+			countA[id]++
+		}
+	}
+	// Unused b-vertices and their label counts.
+	remB := 0
+	countB := make(map[int]int)
+	wildB := 0
+	for v := 0; v < s.b.NumVertices(); v++ {
+		if st.used&(1<<uint(v)) != 0 {
+			continue
+		}
+		remB++
+		id := s.vLabelB[v]
+		if id == 0 {
+			wildB++
+		} else {
+			countB[id]++
+		}
+	}
+	common := wildA + wildB
+	for id, c := range countA {
+		if cb := countB[id]; cb < c {
+			common += cb
+		} else {
+			common += c
+		}
+	}
+	if common > remA {
+		common = remA
+	}
+	if common > remB {
+		common = remB
+	}
+	hv := remA
+	if remB > hv {
+		hv = remB
+	}
+	hv -= common
+
+	// Edge term: edges with at least one unprocessed/unused endpoint.
+	processedA := make(map[int]bool, st.k)
+	for k := 0; k < st.k; k++ {
+		processedA[s.order[k]] = true
+	}
+	eA, eALabels, eAWild := 0, make(map[int]int), 0
+	for _, e := range s.a.Edges() {
+		if processedA[e.From] && processedA[e.To] {
+			continue
+		}
+		eA++
+		if id := s.labelID(e.Label); id == 0 {
+			eAWild++
+		} else {
+			eALabels[id]++
+		}
+	}
+	eB, eBLabels, eBWild := 0, make(map[int]int), 0
+	for _, e := range s.b.Edges() {
+		if st.used&(1<<uint(e.From)) != 0 && st.used&(1<<uint(e.To)) != 0 {
+			continue
+		}
+		eB++
+		if id := s.labelID(e.Label); id == 0 {
+			eBWild++
+		} else {
+			eBLabels[id]++
+		}
+	}
+	ecommon := eAWild + eBWild
+	for id, c := range eALabels {
+		if cb := eBLabels[id]; cb < c {
+			ecommon += cb
+		} else {
+			ecommon += c
+		}
+	}
+	if ecommon > eA {
+		ecommon = eA
+	}
+	if ecommon > eB {
+		ecommon = eB
+	}
+	he := eA
+	if eB > he {
+		he = eB
+	}
+	he -= ecommon
+
+	return hv + he
+}

@@ -1,0 +1,284 @@
+// Package graph provides the certain (deterministic) labeled graph model used
+// throughout simjoin.
+//
+// A Graph is a directed graph whose vertices and edges carry string labels.
+// SPARQL basic graph patterns and the possible worlds of uncertain question
+// graphs are both represented as Graphs. Vertex labels beginning with '?' are
+// wildcards: they stand for SPARQL variables and match any other label at zero
+// substitution cost (paper §2.1, "all the labels starting with ? can match any
+// vertex label").
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a directed labeled edge between two vertices identified by index.
+type Edge struct {
+	From  int
+	To    int
+	Label string
+}
+
+// Graph is a directed labeled multigraph-free graph: at most one edge exists
+// per ordered vertex pair. The zero value is an empty graph ready to use.
+type Graph struct {
+	labels []string
+	edges  []Edge
+	// out[u][v] is the index into edges of the edge u->v, if present.
+	out []map[int]int
+}
+
+// New returns an empty graph with capacity hints for n vertices.
+func New(n int) *Graph {
+	return &Graph{
+		labels: make([]string, 0, n),
+		out:    make([]map[int]int, 0, n),
+	}
+}
+
+// IsWildcard reports whether a label is a wildcard (variable) label. Wildcard
+// labels begin with '?' and match any label.
+func IsWildcard(label string) bool {
+	return strings.HasPrefix(label, "?")
+}
+
+// LabelsMatch reports whether two vertex or edge labels are compatible: equal,
+// or at least one of them is a wildcard.
+func LabelsMatch(a, b string) bool {
+	return a == b || IsWildcard(a) || IsWildcard(b)
+}
+
+// AddVertex appends a vertex with the given label and returns its index.
+func (g *Graph) AddVertex(label string) int {
+	g.labels = append(g.labels, label)
+	g.out = append(g.out, nil)
+	return len(g.labels) - 1
+}
+
+// AddEdge inserts a directed edge from u to v with the given label. It returns
+// an error if either endpoint is out of range, if u == v, or if the edge
+// already exists.
+func (g *Graph) AddEdge(u, v int, label string) error {
+	if u < 0 || u >= len(g.labels) || v < 0 || v >= len(g.labels) {
+		return fmt.Errorf("graph: edge (%d,%d) endpoint out of range [0,%d)", u, v, len(g.labels))
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on vertex %d not supported", u)
+	}
+	if _, dup := g.out[u][v]; dup {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	if g.out[u] == nil {
+		g.out[u] = make(map[int]int)
+	}
+	g.out[u][v] = len(g.edges)
+	g.edges = append(g.edges, Edge{From: u, To: v, Label: label})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error. It is convenient for
+// constructing fixed graphs in generators and tests.
+func (g *Graph) MustAddEdge(u, v int, label string) {
+	if err := g.AddEdge(u, v, label); err != nil {
+		panic(err)
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.labels) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Size returns |V| + |E|, the graph size used by the paper's bounds.
+func (g *Graph) Size() int { return len(g.labels) + len(g.edges) }
+
+// VertexLabel returns the label of vertex v.
+func (g *Graph) VertexLabel(v int) string { return g.labels[v] }
+
+// SetVertexLabel replaces the label of vertex v.
+func (g *Graph) SetVertexLabel(v int, label string) { g.labels[v] = label }
+
+// Edges returns the edge list. The returned slice must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the edge with index i.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// HasEdge reports whether the directed edge u->v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.out[u][v]
+	return ok
+}
+
+// EdgeLabel returns the label of the directed edge u->v and whether it exists.
+func (g *Graph) EdgeLabel(u, v int) (string, bool) {
+	i, ok := g.out[u][v]
+	if !ok {
+		return "", false
+	}
+	return g.edges[i].Label, true
+}
+
+// OutNeighbors calls fn for every edge leaving u.
+func (g *Graph) OutNeighbors(u int, fn func(v int, label string)) {
+	for v, i := range g.out[u] {
+		fn(v, g.edges[i].Label)
+	}
+}
+
+// Degree returns the total degree (in + out) of vertex v.
+func (g *Graph) Degree(v int) int {
+	d := len(g.out[v])
+	for u := range g.out {
+		if u == v {
+			continue
+		}
+		if _, ok := g.out[u][v]; ok {
+			d++
+		}
+	}
+	return d
+}
+
+// Degrees returns the total degree of every vertex in one pass.
+func (g *Graph) Degrees() []int {
+	d := make([]int, len(g.labels))
+	for _, e := range g.edges {
+		d[e.From]++
+		d[e.To]++
+	}
+	return d
+}
+
+// DegreeSequence returns total degrees sorted in non-increasing order, as used
+// by the degree distance of Def. 9.
+func (g *Graph) DegreeSequence() []int {
+	d := g.Degrees()
+	sort.Sort(sort.Reverse(sort.IntSlice(d)))
+	return d
+}
+
+// VertexLabels returns a copy of all vertex labels.
+func (g *Graph) VertexLabels() []string {
+	out := make([]string, len(g.labels))
+	copy(out, g.labels)
+	return out
+}
+
+// VertexLabelMultiset returns the multiset of non-wildcard vertex labels with
+// their multiplicities, plus the count of wildcard vertices.
+func (g *Graph) VertexLabelMultiset() (labels map[string]int, wildcards int) {
+	labels = make(map[string]int, len(g.labels))
+	for _, l := range g.labels {
+		if IsWildcard(l) {
+			wildcards++
+		} else {
+			labels[l]++
+		}
+	}
+	return labels, wildcards
+}
+
+// EdgeLabelMultiset returns the multiset of non-wildcard edge labels with
+// their multiplicities, plus the count of wildcard-labeled edges.
+func (g *Graph) EdgeLabelMultiset() (labels map[string]int, wildcards int) {
+	labels = make(map[string]int, len(g.edges))
+	for _, e := range g.edges {
+		if IsWildcard(e.Label) {
+			wildcards++
+		} else {
+			labels[e.Label]++
+		}
+	}
+	return labels, wildcards
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(len(g.labels))
+	c.labels = append(c.labels, g.labels...)
+	c.edges = append(c.edges[:0], g.edges...)
+	c.out = make([]map[int]int, len(g.out))
+	for u, m := range g.out {
+		if m == nil {
+			continue
+		}
+		c.out[u] = make(map[int]int, len(m))
+		for v, i := range m {
+			c.out[u][v] = i
+		}
+	}
+	return c
+}
+
+// Equal reports whether two graphs are identical under vertex identity (same
+// labels at the same indices and the same labeled edges). It does not test
+// isomorphism.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.NumVertices() != h.NumVertices() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	for i, l := range g.labels {
+		if h.labels[i] != l {
+			return false
+		}
+	}
+	for _, e := range g.edges {
+		l, ok := h.EdgeLabel(e.From, e.To)
+		if !ok || l != e.Label {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks internal consistency and returns the first problem found.
+func (g *Graph) Validate() error {
+	if len(g.out) != len(g.labels) {
+		return fmt.Errorf("graph: adjacency length %d != vertex count %d", len(g.out), len(g.labels))
+	}
+	seen := make(map[[2]int]bool, len(g.edges))
+	for i, e := range g.edges {
+		if e.From < 0 || e.From >= len(g.labels) || e.To < 0 || e.To >= len(g.labels) {
+			return fmt.Errorf("graph: edge %d endpoints (%d,%d) out of range", i, e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("graph: edge %d is a self-loop on %d", i, e.From)
+		}
+		k := [2]int{e.From, e.To}
+		if seen[k] {
+			return fmt.Errorf("graph: duplicate edge (%d,%d)", e.From, e.To)
+		}
+		seen[k] = true
+		if j, ok := g.out[e.From][e.To]; !ok || j != i {
+			return fmt.Errorf("graph: adjacency index missing or stale for edge %d", i)
+		}
+	}
+	return nil
+}
+
+// String renders the graph in a compact human-readable form, with vertices and
+// edges in deterministic order.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph{|V|=%d |E|=%d", g.NumVertices(), g.NumEdges())
+	for i, l := range g.labels {
+		fmt.Fprintf(&b, " v%d:%s", i, l)
+	}
+	es := append([]Edge(nil), g.edges...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	for _, e := range es {
+		fmt.Fprintf(&b, " %d-%s->%d", e.From, e.Label, e.To)
+	}
+	b.WriteString("}")
+	return b.String()
+}

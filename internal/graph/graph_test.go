@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	g := New(3)
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	c := g.AddVertex("?x")
+	g.MustAddEdge(a, b, "knows")
+	g.MustAddEdge(b, c, "type")
+	g.MustAddEdge(c, a, "likes")
+	return g
+}
+
+func TestAddVertexAndEdge(t *testing.T) {
+	g := buildTriangle(t)
+	if got := g.NumVertices(); got != 3 {
+		t.Fatalf("NumVertices = %d, want 3", got)
+	}
+	if got := g.NumEdges(); got != 3 {
+		t.Fatalf("NumEdges = %d, want 3", got)
+	}
+	if got := g.Size(); got != 6 {
+		t.Fatalf("Size = %d, want 6", got)
+	}
+	if l := g.VertexLabel(0); l != "A" {
+		t.Errorf("VertexLabel(0) = %q, want A", l)
+	}
+	if l, ok := g.EdgeLabel(0, 1); !ok || l != "knows" {
+		t.Errorf("EdgeLabel(0,1) = %q,%v, want knows,true", l, ok)
+	}
+	if _, ok := g.EdgeLabel(1, 0); ok {
+		t.Error("EdgeLabel(1,0) should not exist (directed)")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(2)
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	if err := g.AddEdge(a, a, "x"); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := g.AddEdge(a, 5, "x"); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := g.AddEdge(-1, b, "x"); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if err := g.AddEdge(a, b, "x"); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(a, b, "y"); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestWildcards(t *testing.T) {
+	if !IsWildcard("?x") || IsWildcard("x?") || IsWildcard("Actor") {
+		t.Error("IsWildcard misclassifies")
+	}
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"A", "A", true},
+		{"A", "B", false},
+		{"?x", "B", true},
+		{"A", "?y", true},
+		{"?x", "?y", true},
+		{"", "", true},
+	}
+	for _, c := range cases {
+		if got := LabelsMatch(c.a, c.b); got != c.want {
+			t.Errorf("LabelsMatch(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := buildTriangle(t)
+	for v := 0; v < 3; v++ {
+		if d := g.Degree(v); d != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", v, d)
+		}
+	}
+	ds := g.Degrees()
+	for v, d := range ds {
+		if d != 2 {
+			t.Errorf("Degrees()[%d] = %d, want 2", v, d)
+		}
+	}
+	// Star: center degree 3, leaves 1.
+	s := New(4)
+	c := s.AddVertex("C")
+	for i := 0; i < 3; i++ {
+		l := s.AddVertex("L")
+		s.MustAddEdge(c, l, "e")
+	}
+	seq := s.DegreeSequence()
+	want := []int{3, 1, 1, 1}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("DegreeSequence = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestLabelMultisets(t *testing.T) {
+	g := New(4)
+	g.AddVertex("A")
+	g.AddVertex("A")
+	g.AddVertex("?x")
+	g.AddVertex("B")
+	g.MustAddEdge(0, 1, "p")
+	g.MustAddEdge(1, 2, "p")
+	g.MustAddEdge(2, 3, "?e")
+	vl, vw := g.VertexLabelMultiset()
+	if vl["A"] != 2 || vl["B"] != 1 || vw != 1 {
+		t.Errorf("VertexLabelMultiset = %v wildcards=%d", vl, vw)
+	}
+	el, ew := g.EdgeLabelMultiset()
+	if el["p"] != 2 || ew != 1 {
+		t.Errorf("EdgeLabelMultiset = %v wildcards=%d", el, ew)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := buildTriangle(t)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.SetVertexLabel(0, "Z")
+	if g.Equal(c) {
+		t.Fatal("label change not detected by Equal")
+	}
+	if g.VertexLabel(0) != "A" {
+		t.Fatal("clone shares label storage with original")
+	}
+	c2 := g.Clone()
+	c2.MustAddEdge(1, 0, "back")
+	if g.Equal(c2) {
+		t.Fatal("edge addition not detected by Equal")
+	}
+	if g.NumEdges() != 3 {
+		t.Fatal("clone shares edge storage with original")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := buildTriangle(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	// Corrupt the edge list directly.
+	bad := g.Clone()
+	bad.edges[0].To = 99
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range edge endpoint not caught")
+	}
+	bad2 := g.Clone()
+	bad2.edges = append(bad2.edges, Edge{From: 0, To: 1, Label: "dup"})
+	if err := bad2.Validate(); err == nil {
+		t.Error("duplicate edge not caught")
+	}
+}
+
+func TestOutNeighbors(t *testing.T) {
+	g := buildTriangle(t)
+	seen := map[int]string{}
+	g.OutNeighbors(0, func(v int, label string) { seen[v] = label })
+	if len(seen) != 1 || seen[1] != "knows" {
+		t.Errorf("OutNeighbors(0) = %v", seen)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := buildTriangle(t)
+	s := g.String()
+	for _, sub := range []string{"|V|=3", "|E|=3", "v0:A", "0-knows->1"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("String() = %q missing %q", s, sub)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	var g Graph
+	if g.NumVertices() != 0 || g.NumEdges() != 0 || g.Size() != 0 {
+		t.Error("zero-value graph not empty")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("zero-value graph invalid: %v", err)
+	}
+	if seq := g.DegreeSequence(); len(seq) != 0 {
+		t.Errorf("DegreeSequence of empty graph = %v", seq)
+	}
+}

@@ -1,0 +1,25 @@
+package graph
+
+// ReifiedEdgeLabel is the fixed label of the two half-edges produced by
+// Reify. It is deliberately not a wildcard: half-edges only match half-edges.
+const ReifiedEdgeLabel = "\x01rel"
+
+// Reify implements the paper's reduction for uncertain edge labels
+// (§3.1.1): every labeled edge u -l-> v is replaced by a fictitious vertex m
+// carrying the label l, connected as u -> m -> v with fixed-label half-edges.
+// Applying Reify to both sides of a join lets vertex-label uncertainty
+// machinery express edge-label uncertainty. Note the edit-cost scale
+// changes: substituting a predicate still costs 1 (a vertex relabel), but
+// inserting/deleting a relation costs 3 (one vertex, two half-edges).
+func Reify(g *Graph) *Graph {
+	r := New(g.NumVertices() + g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		r.AddVertex(g.VertexLabel(v))
+	}
+	for _, e := range g.Edges() {
+		m := r.AddVertex(e.Label)
+		r.MustAddEdge(e.From, m, ReifiedEdgeLabel)
+		r.MustAddEdge(m, e.To, ReifiedEdgeLabel)
+	}
+	return r
+}

@@ -1,0 +1,51 @@
+package graph
+
+import "testing"
+
+func TestReify(t *testing.T) {
+	g := New(3)
+	g.AddVertex("A")
+	g.AddVertex("B")
+	g.AddVertex("?x")
+	g.MustAddEdge(0, 1, "knows")
+	g.MustAddEdge(1, 2, "type")
+
+	r := Reify(g)
+	if r.NumVertices() != 5 || r.NumEdges() != 4 {
+		t.Fatalf("|V|=%d |E|=%d, want 5/4", r.NumVertices(), r.NumEdges())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Original vertices keep indices and labels.
+	for v := 0; v < 3; v++ {
+		if r.VertexLabel(v) != g.VertexLabel(v) {
+			t.Errorf("vertex %d label changed", v)
+		}
+	}
+	// Fictitious vertices carry edge labels; half-edges carry the marker.
+	if r.VertexLabel(3) != "knows" || r.VertexLabel(4) != "type" {
+		t.Errorf("fictitious labels = %q, %q", r.VertexLabel(3), r.VertexLabel(4))
+	}
+	for _, e := range r.Edges() {
+		if e.Label != ReifiedEdgeLabel {
+			t.Errorf("half-edge label = %q", e.Label)
+		}
+	}
+	if !r.HasEdge(0, 3) || !r.HasEdge(3, 1) {
+		t.Error("first edge not routed through its fictitious vertex")
+	}
+}
+
+func TestReifyEmpty(t *testing.T) {
+	r := Reify(New(0))
+	if r.NumVertices() != 0 || r.NumEdges() != 0 {
+		t.Error("empty reification not empty")
+	}
+}
+
+func TestReifiedEdgeLabelNotWildcard(t *testing.T) {
+	if IsWildcard(ReifiedEdgeLabel) {
+		t.Error("half-edge marker must not be a wildcard")
+	}
+}

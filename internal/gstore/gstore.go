@@ -1,0 +1,250 @@
+// Package gstore implements a signature-based SPARQL execution engine in
+// the spirit of gStore [34], one of the engines the paper's Q/A framework
+// plugs into (§1). Every subject in the knowledge graph gets a fixed-width
+// bit signature summarising its outgoing (predicate, object) structure; a
+// basic graph pattern compiles to per-variable query signatures, and a
+// candidate subject must cover the query signature bitwise before the
+// engine spends any time joining — the adjacency-driven analogue of
+// gStore's VS-tree filtering.
+//
+// The engine returns exactly the solutions of the reference executor
+// (sparql.Execute); it differs only in how candidates are found.
+package gstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"simjoin/internal/rdf"
+	"simjoin/internal/sparql"
+)
+
+// SignatureBits is the signature width.
+const SignatureBits = 128
+
+// Signature is a fixed-width bitset.
+type Signature [SignatureBits / 64]uint64
+
+func (s *Signature) set(bit uint32) { s[bit/64%2] |= 1 << (bit % 64) }
+func (s *Signature) or(o Signature) { s[0] |= o[0]; s[1] |= o[1] }
+func (s Signature) covers(q Signature) bool {
+	return s[0]&q[0] == q[0] && s[1]&q[1] == q[1]
+}
+
+// PopCount returns the number of set bits (diagnostics).
+func (s Signature) PopCount() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func hashBit(parts ...string) uint32 {
+	h := fnv.New32a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum32() % SignatureBits
+}
+
+// edgeSignature summarises one outgoing edge: one bit for the predicate
+// alone and one for the (predicate, object) pair.
+func edgeSignature(pred, obj string) Signature {
+	var s Signature
+	s.set(hashBit("p", pred))
+	s.set(hashBit("po", pred, obj))
+	return s
+}
+
+// Index is the signature index over a store's subjects.
+type Index struct {
+	store      *rdf.Store
+	subjects   []string
+	signatures []Signature
+}
+
+// Build scans the store and computes every subject's signature.
+func Build(st *rdf.Store) *Index {
+	idx := &Index{store: st}
+	st.Subjects(func(s string) bool {
+		idx.subjects = append(idx.subjects, s)
+		return true
+	})
+	sort.Strings(idx.subjects)
+	idx.signatures = make([]Signature, len(idx.subjects))
+	for i, s := range idx.subjects {
+		var sig Signature
+		st.Match(s, "", "", func(t rdf.Triple) bool {
+			sig.or(edgeSignature(t.P, t.O))
+			return true
+		})
+		idx.signatures[i] = sig
+	}
+	return idx
+}
+
+// Len returns the number of indexed subjects.
+func (idx *Index) Len() int { return len(idx.subjects) }
+
+// candidates streams subjects whose signature covers q.
+func (idx *Index) candidates(q Signature, fn func(s string) bool) {
+	for i, sig := range idx.signatures {
+		if sig.covers(q) {
+			if !fn(idx.subjects[i]) {
+				return
+			}
+		}
+	}
+}
+
+// querySignatures compiles a BGP into one signature per variable appearing
+// in subject position: bits for every constant-predicate edge leaving it
+// (plus the pair bit when the object is constant too). Variables never in
+// subject position get the empty signature (no filtering possible).
+func querySignatures(q *sparql.Query) map[string]Signature {
+	sigs := make(map[string]Signature)
+	for _, tp := range q.Patterns {
+		if !tp.S.IsVar() || tp.P.IsVar() {
+			continue
+		}
+		sig := sigs[tp.S.Value]
+		if tp.O.IsVar() {
+			sig.set(hashBit("p", tp.P.Value))
+		} else {
+			sig.or(edgeSignature(tp.P.Value, tp.O.Value))
+		}
+		sigs[tp.S.Value] = sig
+	}
+	return sigs
+}
+
+// Execute evaluates the query with signature-filtered candidates and
+// returns the same solutions as sparql.Execute (deterministic order).
+// maxSolutions caps the result size; 0 means unlimited.
+func (idx *Index) Execute(q *sparql.Query, maxSolutions int) ([]sparql.Binding, error) {
+	if len(q.Patterns) == 0 {
+		return nil, fmt.Errorf("gstore: query has no patterns")
+	}
+	sigs := querySignatures(q)
+
+	// Pick the most selective subject variable (largest signature) and
+	// resolve its candidates through the index; then delegate each
+	// candidate binding to the reference executor on a rewritten query.
+	bestVar := ""
+	bestBits := -1
+	for v, sig := range sigs {
+		if b := sig.PopCount(); b > bestBits {
+			bestVar, bestBits = v, b
+		}
+	}
+	if bestVar == "" || bestBits <= 0 {
+		// Nothing to filter on; fall back entirely.
+		return sparql.Execute(idx.store, q, maxSolutions)
+	}
+
+	var out []sparql.Binding
+	var execErr error
+	var seen map[string]bool
+	if q.Distinct {
+		seen = make(map[string]bool)
+	}
+	limit := q.Limit
+	if maxSolutions > 0 && (limit == 0 || maxSolutions < limit) {
+		limit = maxSolutions
+	}
+	projVars := q.Vars
+	if len(projVars) == 1 && projVars[0] == "*" {
+		projVars = q.Variables()
+	}
+	idx.candidates(sigs[bestVar], func(s string) bool {
+		bound := bindVariable(q, bestVar, s)
+		res, err := sparql.Execute(idx.store, bound, 0)
+		if err != nil {
+			execErr = err
+			return false
+		}
+		for _, b := range res {
+			// Re-project onto the original SELECT list.
+			nb := make(sparql.Binding, len(projVars))
+			for _, v := range projVars {
+				if v == bestVar {
+					nb[v] = s
+				} else if val, ok := b[v]; ok {
+					nb[v] = val
+				}
+			}
+			if seen != nil {
+				key := bindingKey(nb, q)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+			}
+			out = append(out, nb)
+			if limit > 0 && len(out) >= limit {
+				return false
+			}
+		}
+		return true
+	})
+	if execErr != nil {
+		return nil, execErr
+	}
+	sortBindings(out, q)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// bindVariable substitutes a constant for a variable throughout the query.
+// The sub-query projects everything; the caller re-projects onto the
+// original SELECT list. DISTINCT and LIMIT are stripped — the caller
+// applies them globally.
+func bindVariable(q *sparql.Query, v, value string) *sparql.Query {
+	nq := &sparql.Query{Vars: []string{"*"}}
+	sub := func(t sparql.Term) sparql.Term {
+		if t.IsVar() && t.Value == v {
+			return sparql.Term{Kind: sparql.IRI, Value: value}
+		}
+		return t
+	}
+	for _, tp := range q.Patterns {
+		nq.Patterns = append(nq.Patterns, sparql.TriplePattern{S: sub(tp.S), P: sub(tp.P), O: sub(tp.O)})
+	}
+	return nq
+}
+
+// bindingKey canonicalises a binding over the projection for DISTINCT.
+func bindingKey(b sparql.Binding, q *sparql.Query) string {
+	vars := q.Vars
+	if len(vars) == 1 && vars[0] == "*" {
+		vars = q.Variables()
+	}
+	var sb []byte
+	for _, v := range vars {
+		sb = append(sb, b[v]...)
+		sb = append(sb, 0)
+	}
+	return string(sb)
+}
+
+func sortBindings(bs []sparql.Binding, q *sparql.Query) {
+	vars := q.Vars
+	if len(vars) == 1 && vars[0] == "*" {
+		vars = q.Variables()
+	}
+	sort.Slice(bs, func(i, j int) bool {
+		for _, v := range vars {
+			if bs[i][v] != bs[j][v] {
+				return bs[i][v] < bs[j][v]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,164 @@
+package gstore
+
+import (
+	"fmt"
+	"testing"
+
+	"simjoin/internal/rdf"
+	"simjoin/internal/sparql"
+	"simjoin/internal/workload"
+)
+
+func demoStore() *rdf.Store {
+	st := rdf.NewStore()
+	st.MustAdd("Alice", "type", "Artist")
+	st.MustAdd("Alice", "graduatedFrom", "Harvard")
+	st.MustAdd("Carol", "type", "Artist")
+	st.MustAdd("Carol", "graduatedFrom", "MIT")
+	st.MustAdd("Bob", "type", "Politician")
+	st.MustAdd("Bob", "graduatedFrom", "Harvard")
+	st.MustAdd("Harvard", "type", "University")
+	st.MustAdd("MIT", "type", "University")
+	return st
+}
+
+func bindingsEqual(a, b []sparql.Binding) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for k, v := range a[i] {
+			if b[i][k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestExecuteMatchesReference(t *testing.T) {
+	st := demoStore()
+	idx := Build(st)
+	queries := []string{
+		`SELECT ?x WHERE { ?x type Artist . ?x graduatedFrom Harvard . }`,
+		`SELECT ?x ?u WHERE { ?x graduatedFrom ?u . ?u type University . }`,
+		`SELECT * WHERE { ?x type Artist . ?x graduatedFrom ?u . }`,
+		`SELECT ?x WHERE { ?x type Spaceship . }`,
+		`SELECT DISTINCT ?u WHERE { ?p graduatedFrom ?u . ?u type University . }`,
+		`SELECT ?p WHERE { Alice ?p Harvard . }`,
+		`SELECT ?x WHERE { ?x ?p ?o . }`,
+	}
+	for _, qs := range queries {
+		q := sparql.MustParse(qs)
+		want, err := sparql.Execute(st, q, 0)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", qs, err)
+		}
+		got, err := idx.Execute(q, 0)
+		if err != nil {
+			t.Fatalf("%s: gstore: %v", qs, err)
+		}
+		if !bindingsEqual(got, want) {
+			t.Errorf("%s:\n gstore   = %v\n reference = %v", qs, got, want)
+		}
+	}
+}
+
+func TestExecuteAgainstReferenceOnWorkloadKB(t *testing.T) {
+	kb := workload.GenerateKB(workload.DefaultKBConfig())
+	idx := Build(kb.Store)
+	w, err := workload.GenerateQA(workload.QALD3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx2 := Build(w.KB.Store)
+	checked := 0
+	for i, e := range w.Sparql {
+		if i >= 80 {
+			break
+		}
+		want, err := sparql.Execute(w.KB.Store, e.Query, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := idx2.Execute(e.Query, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bindingsEqual(got, want) {
+			t.Fatalf("query %d (%s):\n gstore = %v\n ref    = %v", i, e.Query, got, want)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d queries checked", checked)
+	}
+	_ = idx
+	_ = kb
+}
+
+func TestSignatureFilterActuallyFilters(t *testing.T) {
+	st := rdf.NewStore()
+	for i := 0; i < 200; i++ {
+		st.MustAdd(fmt.Sprintf("p%d", i), "type", "Person")
+		if i%20 == 0 {
+			st.MustAdd(fmt.Sprintf("p%d", i), "worksFor", "Acme")
+		}
+	}
+	idx := Build(st)
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x type Person . ?x worksFor Acme . }`)
+	sigs := querySignatures(q)
+	n := 0
+	idx.candidates(sigs["?x"], func(string) bool { n++; return true })
+	if n >= 200 {
+		t.Fatalf("signature filter passed everything (%d)", n)
+	}
+	if n < 10 {
+		t.Fatalf("signature filter too aggressive: %d of 10 expected candidates", n)
+	}
+	res, err := idx.Execute(q, 0)
+	if err != nil || len(res) != 10 {
+		t.Fatalf("res = %d, err %v", len(res), err)
+	}
+}
+
+func TestExecuteLimit(t *testing.T) {
+	st := demoStore()
+	idx := Build(st)
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x graduatedFrom ?u . }`)
+	res, err := idx.Execute(q, 2)
+	if err != nil || len(res) != 2 {
+		t.Fatalf("cap ignored: %d, %v", len(res), err)
+	}
+	ql := sparql.MustParse(`SELECT ?x WHERE { ?x graduatedFrom ?u . } LIMIT 1`)
+	res, err = idx.Execute(ql, 0)
+	if err != nil || len(res) != 1 {
+		t.Fatalf("LIMIT ignored: %d, %v", len(res), err)
+	}
+}
+
+func TestSignatureCovers(t *testing.T) {
+	var a, b Signature
+	a.set(3)
+	a.set(77)
+	b.set(3)
+	if !a.covers(b) {
+		t.Error("superset does not cover subset")
+	}
+	if b.covers(a) {
+		t.Error("subset covers superset")
+	}
+	if a.PopCount() != 2 || b.PopCount() != 1 {
+		t.Errorf("PopCount = %d/%d", a.PopCount(), b.PopCount())
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	idx := Build(demoStore())
+	if _, err := idx.Execute(&sparql.Query{Vars: []string{"?x"}}, 0); err == nil {
+		t.Error("empty pattern accepted")
+	}
+}

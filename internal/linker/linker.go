@@ -1,0 +1,185 @@
+// Package linker simulates the entity-linking and relation-paraphrasing
+// services the paper consumes as black boxes (§2.1: entity linking with
+// existence confidences [4], graph-mining-based relation paraphrasing [33]).
+//
+// Go has no production entity-linking stack, so the substitution (documented
+// in DESIGN.md) is a deterministic lexicon: surface forms map to candidate
+// entities with confidence scores, relation phrases map to candidate
+// predicates, and class nouns map to ontology classes. Workload generators
+// control the ambiguity rates, which is what the join's pruning behaviour
+// depends on.
+package linker
+
+import (
+	"sort"
+	"strings"
+)
+
+// EntityCandidate is one possible resolution of a surface form.
+type EntityCandidate struct {
+	// Entity is the canonical entity name in the knowledge graph.
+	Entity string
+	// Class is the entity's ontology class (its rdf:type).
+	Class string
+	// P is the linking confidence in (0, 1].
+	P float64
+}
+
+// PredicateCandidate is one possible predicate for a relation phrase.
+type PredicateCandidate struct {
+	Predicate string
+	P         float64
+	// Inverse marks phrases whose arguments are reversed with respect to
+	// the predicate's subject/object order: "What is the ruling party in
+	// Lisbon?" expresses leaderParty(Lisbon, ?x) although the variable
+	// comes first in the sentence.
+	Inverse bool
+	// Range is the class of the predicate's object, known for inverse
+	// phrases ("the director of" yields an Actor); it types the answer
+	// variable so inverse question graphs stay distinguishable from
+	// forward ones.
+	Range string
+}
+
+// Lexicon is the combined entity/relation/class dictionary. The zero value
+// is unusable; construct with NewLexicon.
+type Lexicon struct {
+	entities  map[string][]EntityCandidate
+	relations map[string][]PredicateCandidate
+	classes   map[string]string
+	maxWords  int // longest registered multi-word surface form
+}
+
+// NewLexicon returns an empty lexicon.
+func NewLexicon() *Lexicon {
+	return &Lexicon{
+		entities:  make(map[string][]EntityCandidate),
+		relations: make(map[string][]PredicateCandidate),
+		classes:   make(map[string]string),
+		maxWords:  1,
+	}
+}
+
+func norm(s string) string {
+	return strings.ToLower(strings.TrimSpace(s))
+}
+
+func (l *Lexicon) noteWords(surface string) {
+	if n := len(strings.Fields(surface)); n > l.maxWords {
+		l.maxWords = n
+	}
+}
+
+// AddEntity registers an entity candidate for a surface form. Candidates for
+// one surface form are kept sorted by descending confidence.
+func (l *Lexicon) AddEntity(surface, entity, class string, p float64) {
+	key := norm(surface)
+	l.noteWords(key)
+	cands := append(l.entities[key], EntityCandidate{Entity: entity, Class: class, P: p})
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].P > cands[j].P })
+	l.entities[key] = cands
+}
+
+// AddRelation registers a predicate candidate for a relation phrase.
+func (l *Lexicon) AddRelation(phrase, predicate string, p float64) {
+	l.addRelation(phrase, predicate, p, false, "")
+}
+
+// AddInverseRelation registers a phrase whose natural-language argument
+// order is the reverse of the predicate's subject/object order ("the
+// director of <film>"). rangeClass is the class of the answer (the
+// predicate's object); it may be empty when unknown.
+func (l *Lexicon) AddInverseRelation(phrase, predicate string, p float64, rangeClass string) {
+	l.addRelation(phrase, predicate, p, true, rangeClass)
+}
+
+func (l *Lexicon) addRelation(phrase, predicate string, p float64, inverse bool, rangeClass string) {
+	key := norm(phrase)
+	l.noteWords(key)
+	cands := append(l.relations[key], PredicateCandidate{Predicate: predicate, P: p, Inverse: inverse, Range: rangeClass})
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].P > cands[j].P })
+	l.relations[key] = cands
+}
+
+// AddClass registers a class noun ("actor" → "Actor"). Singular and naive
+// plural forms are both matched.
+func (l *Lexicon) AddClass(noun, class string) {
+	l.classes[norm(noun)] = class
+}
+
+// LinkEntity returns the candidates for a surface form (best first), or nil.
+func (l *Lexicon) LinkEntity(surface string) []EntityCandidate {
+	return l.entities[norm(surface)]
+}
+
+// Paraphrase returns the predicate candidates for a relation phrase (best
+// first), or nil.
+func (l *Lexicon) Paraphrase(phrase string) []PredicateCandidate {
+	return l.relations[norm(phrase)]
+}
+
+// LookupClass resolves a class noun, tolerating a trailing plural 's'.
+func (l *Lexicon) LookupClass(noun string) (string, bool) {
+	key := norm(noun)
+	if c, ok := l.classes[key]; ok {
+		return c, true
+	}
+	if strings.HasSuffix(key, "s") {
+		if c, ok := l.classes[strings.TrimSuffix(key, "s")]; ok {
+			return c, true
+		}
+	}
+	return "", false
+}
+
+// IsEntityStart reports whether any registered entity surface form begins at
+// the given word (used by the greedy longest-match scanner).
+func (l *Lexicon) IsEntityStart(word string) bool {
+	key := norm(word)
+	if _, ok := l.entities[key]; ok {
+		return true
+	}
+	prefix := key + " "
+	for surface := range l.entities {
+		if strings.HasPrefix(surface, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxSurfaceWords returns the longest registered surface form's word count.
+func (l *Lexicon) MaxSurfaceWords() int { return l.maxWords }
+
+// MatchEntity finds the longest entity surface form starting at words[i],
+// returning the candidates and the number of words consumed (0 when none).
+func (l *Lexicon) MatchEntity(words []string, i int) ([]EntityCandidate, int) {
+	maxLen := l.maxWords
+	if rem := len(words) - i; rem < maxLen {
+		maxLen = rem
+	}
+	for n := maxLen; n >= 1; n-- {
+		key := norm(strings.Join(words[i:i+n], " "))
+		if cands, ok := l.entities[key]; ok {
+			return cands, n
+		}
+	}
+	return nil, 0
+}
+
+// MatchRelation finds the longest relation phrase starting at words[i],
+// returning the predicate candidates, the phrase text, and the number of
+// words consumed (0 when none).
+func (l *Lexicon) MatchRelation(words []string, i int) ([]PredicateCandidate, string, int) {
+	maxLen := l.maxWords
+	if rem := len(words) - i; rem < maxLen {
+		maxLen = rem
+	}
+	for n := maxLen; n >= 1; n-- {
+		key := norm(strings.Join(words[i:i+n], " "))
+		if cands, ok := l.relations[key]; ok {
+			return cands, key, n
+		}
+	}
+	return nil, "", 0
+}

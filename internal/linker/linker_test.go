@@ -1,0 +1,93 @@
+package linker
+
+import "testing"
+
+func demo() *Lexicon {
+	l := NewLexicon()
+	l.AddEntity("Michael Jordan", "MJ_NBA", "NBA_Player", 0.6)
+	l.AddEntity("michael jordan", "MJ_Prof", "Professor", 0.3)
+	l.AddEntity("NY", "New_York", "State", 0.7)
+	l.AddRelation("is married to", "spouse", 0.9)
+	l.AddRelation("married to", "spouse", 0.8)
+	l.AddClass("actor", "Actor")
+	return l
+}
+
+func TestLinkEntityCaseInsensitiveAndSorted(t *testing.T) {
+	l := demo()
+	cands := l.LinkEntity("MICHAEL JORDAN")
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	if cands[0].Entity != "MJ_NBA" || cands[1].Entity != "MJ_Prof" {
+		t.Errorf("not sorted by confidence: %v", cands)
+	}
+	if l.LinkEntity("nobody") != nil {
+		t.Error("unknown surface linked")
+	}
+}
+
+func TestParaphrase(t *testing.T) {
+	l := demo()
+	if p := l.Paraphrase("Married To"); len(p) != 1 || p[0].Predicate != "spouse" {
+		t.Errorf("Paraphrase = %v", p)
+	}
+}
+
+func TestLookupClassPlural(t *testing.T) {
+	l := demo()
+	if c, ok := l.LookupClass("Actors"); !ok || c != "Actor" {
+		t.Errorf("plural lookup = %q,%v", c, ok)
+	}
+	if _, ok := l.LookupClass("robots"); ok {
+		t.Error("unknown class resolved")
+	}
+}
+
+func TestMatchEntityLongest(t *testing.T) {
+	l := demo()
+	words := []string{"is", "Michael", "Jordan", "here"}
+	cands, n := l.MatchEntity(words, 1)
+	if n != 2 || len(cands) != 2 {
+		t.Fatalf("MatchEntity = %v, consumed %d", cands, n)
+	}
+	if _, n := l.MatchEntity(words, 0); n != 0 {
+		t.Error("matched at wrong offset")
+	}
+	// Out-of-range start near the end.
+	if _, n := l.MatchEntity(words, 3); n != 0 {
+		t.Error("matched past end")
+	}
+}
+
+func TestMatchRelationLongest(t *testing.T) {
+	l := demo()
+	words := []string{"who", "is", "married", "to", "X"}
+	_, phrase, n := l.MatchRelation(words, 1)
+	if n != 3 || phrase != "is married to" {
+		t.Fatalf("MatchRelation = %q consumed %d, want 'is married to'/3", phrase, n)
+	}
+	_, phrase, n = l.MatchRelation(words, 2)
+	if n != 2 || phrase != "married to" {
+		t.Fatalf("shorter fallback = %q/%d", phrase, n)
+	}
+}
+
+func TestIsEntityStart(t *testing.T) {
+	l := demo()
+	if !l.IsEntityStart("Michael") {
+		t.Error("multi-word prefix not detected")
+	}
+	if !l.IsEntityStart("ny") {
+		t.Error("single word not detected")
+	}
+	if l.IsEntityStart("Jordan") {
+		t.Error("mid-phrase word detected as start")
+	}
+}
+
+func TestMaxSurfaceWords(t *testing.T) {
+	if demo().MaxSurfaceWords() != 3 {
+		t.Errorf("MaxSurfaceWords = %d, want 3", demo().MaxSurfaceWords())
+	}
+}

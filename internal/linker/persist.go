@@ -1,0 +1,83 @@
+package linker
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// lexiconJSON is the serialised form of a Lexicon.
+type lexiconJSON struct {
+	Entities  map[string][]EntityCandidate    `json:"entities"`
+	Relations map[string][]PredicateCandidate `json:"relations"`
+	Classes   map[string]string               `json:"classes"`
+}
+
+// MarshalJSON serialises the lexicon with deterministic candidate order.
+func (l *Lexicon) MarshalJSON() ([]byte, error) {
+	out := lexiconJSON{
+		Entities:  make(map[string][]EntityCandidate, len(l.entities)),
+		Relations: make(map[string][]PredicateCandidate, len(l.relations)),
+		Classes:   l.classes,
+	}
+	for k, v := range l.entities {
+		out.Entities[k] = v
+	}
+	for k, v := range l.relations {
+		out.Relations[k] = v
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a lexicon serialised by MarshalJSON.
+func (l *Lexicon) UnmarshalJSON(data []byte) error {
+	var in lexiconJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("linker: %w", err)
+	}
+	*l = *NewLexicon()
+	for surface, cands := range in.Entities {
+		for _, c := range cands {
+			if c.P <= 0 || c.P > 1 {
+				return fmt.Errorf("linker: entity %q candidate %q has confidence %v", surface, c.Entity, c.P)
+			}
+			l.AddEntity(surface, c.Entity, c.Class, c.P)
+		}
+	}
+	for phrase, cands := range in.Relations {
+		for _, c := range cands {
+			if c.P <= 0 || c.P > 1 {
+				return fmt.Errorf("linker: relation %q candidate %q has confidence %v", phrase, c.Predicate, c.P)
+			}
+			l.addRelation(phrase, c.Predicate, c.P, c.Inverse, c.Range)
+		}
+	}
+	for noun, class := range in.Classes {
+		l.AddClass(noun, class)
+	}
+	return nil
+}
+
+// Stats summarises the lexicon for diagnostics: distinct surfaces, relation
+// phrases, classes, and the count of ambiguous surfaces.
+func (l *Lexicon) Stats() (surfaces, relations, classes, ambiguous int) {
+	surfaces = len(l.entities)
+	relations = len(l.relations)
+	classes = len(l.classes)
+	for _, cands := range l.entities {
+		if len(cands) > 1 {
+			ambiguous++
+		}
+	}
+	return
+}
+
+// Surfaces returns every registered entity surface form, sorted.
+func (l *Lexicon) Surfaces() []string {
+	out := make([]string, 0, len(l.entities))
+	for s := range l.entities {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

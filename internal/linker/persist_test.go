@@ -1,0 +1,80 @@
+package linker
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestLexiconJSONRoundTrip(t *testing.T) {
+	l := demo()
+	l.AddInverseRelation("the team of", "playsFor", 1.0, "Team")
+
+	data, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewLexicon()
+	if err := json.Unmarshal(data, got); err != nil {
+		t.Fatal(err)
+	}
+
+	// Entities round trip with order and confidences.
+	cands := got.LinkEntity("Michael Jordan")
+	if len(cands) != 2 || cands[0].Entity != "MJ_NBA" || cands[0].P != 0.6 {
+		t.Fatalf("entities lost: %v", cands)
+	}
+	// Relations including the inverse flag and range.
+	rel := got.Paraphrase("the team of")
+	if len(rel) != 1 || !rel[0].Inverse || rel[0].Range != "Team" {
+		t.Fatalf("inverse relation lost: %+v", rel)
+	}
+	// Classes.
+	if c, ok := got.LookupClass("actors"); !ok || c != "Actor" {
+		t.Fatalf("classes lost: %q %v", c, ok)
+	}
+	// Multi-word matching still works (maxWords recomputed on load).
+	if _, phrase, n := got.MatchRelation([]string{"who", "is", "married", "to", "X"}, 1); n != 3 || phrase != "is married to" {
+		t.Fatalf("multi-word relation lost: %q/%d", phrase, n)
+	}
+	s1, r1, c1, a1 := l.Stats()
+	s2, r2, c2, a2 := got.Stats()
+	if s1 != s2 || r1 != r2 || c1 != c2 || a1 != a2 {
+		t.Fatalf("stats differ: %d/%d/%d/%d vs %d/%d/%d/%d", s1, r1, c1, a1, s2, r2, c2, a2)
+	}
+}
+
+func TestLexiconUnmarshalRejectsBadConfidence(t *testing.T) {
+	cases := []string{
+		`{"entities":{"x":[{"Entity":"E","Class":"C","P":1.5}]},"relations":{},"classes":{}}`,
+		`{"entities":{"x":[{"Entity":"E","Class":"C","P":0}]},"relations":{},"classes":{}}`,
+		`{"entities":{},"relations":{"r":[{"Predicate":"p","P":-1}]},"classes":{}}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		l := NewLexicon()
+		if err := json.Unmarshal([]byte(c), l); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSurfaces(t *testing.T) {
+	l := demo()
+	ss := l.Surfaces()
+	if len(ss) != 2 { // "michael jordan", "ny"
+		t.Fatalf("Surfaces = %v", ss)
+	}
+	for i := 1; i < len(ss); i++ {
+		if ss[i] < ss[i-1] {
+			t.Fatal("surfaces unsorted")
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := demo()
+	surfaces, relations, classes, ambiguous := l.Stats()
+	if surfaces != 2 || relations != 2 || classes != 1 || ambiguous != 1 {
+		t.Fatalf("Stats = %d/%d/%d/%d", surfaces, relations, classes, ambiguous)
+	}
+}

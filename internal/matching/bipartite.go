@@ -1,0 +1,103 @@
+// Package matching implements the combinatorial matching algorithms the
+// paper's bounds rely on: maximum-cardinality bipartite matching
+// (Hopcroft–Karp), used to evaluate the vertex-label bipartite graph of
+// Def. 10, and the Hungarian algorithm for minimum-cost assignment, used by
+// the bipartite heuristic that guides exact GED search (§8.2, [17]).
+package matching
+
+// inf is larger than any possible BFS layer index.
+const inf = int(^uint(0) >> 1)
+
+// Bipartite is a bipartite graph on nLeft + nRight vertices with adjacency
+// from left vertices to right vertices.
+type Bipartite struct {
+	nLeft, nRight int
+	adj           [][]int
+}
+
+// NewBipartite returns an empty bipartite graph with the given part sizes.
+func NewBipartite(nLeft, nRight int) *Bipartite {
+	return &Bipartite{nLeft: nLeft, nRight: nRight, adj: make([][]int, nLeft)}
+}
+
+// AddEdge connects left vertex l to right vertex r. Out-of-range indices
+// panic, since callers construct edges from validated graph data.
+func (b *Bipartite) AddEdge(l, r int) {
+	if l < 0 || l >= b.nLeft || r < 0 || r >= b.nRight {
+		panic("matching: bipartite edge out of range")
+	}
+	b.adj[l] = append(b.adj[l], r)
+}
+
+// MaxMatching computes a maximum-cardinality matching with the Hopcroft–Karp
+// algorithm in O(E·sqrt(V)). It returns the matching size and the pairing
+// arrays: matchL[l] is the right vertex matched to l (or -1), and matchR[r]
+// is the left vertex matched to r (or -1).
+func (b *Bipartite) MaxMatching() (size int, matchL, matchR []int) {
+	matchL = make([]int, b.nLeft)
+	matchR = make([]int, b.nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, b.nLeft)
+	queue := make([]int, 0, b.nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < b.nLeft; l++ {
+			if matchL[l] == -1 {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for len(queue) > 0 {
+			l := queue[0]
+			queue = queue[1:]
+			for _, r := range b.adj[l] {
+				l2 := matchR[r]
+				if l2 == -1 {
+					found = true
+				} else if dist[l2] == inf {
+					dist[l2] = dist[l] + 1
+					queue = append(queue, l2)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range b.adj[l] {
+			l2 := matchR[r]
+			if l2 == -1 || (dist[l2] == dist[l]+1 && dfs(l2)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	for bfs() {
+		for l := 0; l < b.nLeft; l++ {
+			if matchL[l] == -1 && dfs(l) {
+				size++
+			}
+		}
+	}
+	return size, matchL, matchR
+}
+
+// MaxMatchingSize is MaxMatching when only the cardinality is needed.
+func (b *Bipartite) MaxMatchingSize() int {
+	size, _, _ := b.MaxMatching()
+	return size
+}

@@ -1,0 +1,99 @@
+package matching
+
+import "math"
+
+// Hungarian solves the minimum-cost assignment problem on an n×m cost matrix
+// with n ≤ m: each row is assigned to exactly one column, no column is used
+// twice, and the total cost is minimised. It returns the assignment (rowTo[i]
+// is the column assigned to row i) and the optimal total cost.
+//
+// The implementation is the O(n²·m) Jonker-style shortest augmenting path
+// variant with potentials. Costs must be finite; math.Inf(1) entries are
+// allowed to forbid an assignment as long as a finite perfect assignment
+// exists.
+//
+// Hungarian panics if n > m; pad the matrix with zero-cost dummy columns or
+// transpose it at the call site.
+func Hungarian(cost [][]float64) (rowTo []int, total float64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(cost[0])
+	if n > m {
+		panic("matching: Hungarian requires rows <= cols")
+	}
+
+	// Potentials u (rows, 1-based) and v (columns, 1-based); way[j] is the
+	// previous column on the shortest augmenting path; p[j] is the row
+	// assigned to column j (0 means unassigned).
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowTo = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			rowTo[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i][rowTo[i]]
+	}
+	return rowTo, total
+}
+
+// AssignmentLowerBound returns only the optimal total cost of the assignment,
+// a convenience for heuristics that do not need the pairing itself.
+func AssignmentLowerBound(cost [][]float64) float64 {
+	_, total := Hungarian(cost)
+	return total
+}

@@ -1,0 +1,231 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxMatchingPerfect(t *testing.T) {
+	b := NewBipartite(3, 3)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 1)
+	b.AddEdge(2, 2)
+	size, matchL, matchR := b.MaxMatching()
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+	for l, r := range matchL {
+		if r == -1 || matchR[r] != l {
+			t.Fatalf("inconsistent matching: matchL=%v matchR=%v", matchL, matchR)
+		}
+	}
+}
+
+func TestMaxMatchingPartial(t *testing.T) {
+	// Two left vertices compete for one right vertex.
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 0)
+	if size := b.MaxMatchingSize(); size != 1 {
+		t.Fatalf("size = %d, want 1", size)
+	}
+}
+
+func TestMaxMatchingEmpty(t *testing.T) {
+	b := NewBipartite(0, 5)
+	if size := b.MaxMatchingSize(); size != 0 {
+		t.Fatalf("size = %d, want 0", size)
+	}
+	b2 := NewBipartite(4, 4)
+	if size := b2.MaxMatchingSize(); size != 0 {
+		t.Fatalf("no-edge size = %d, want 0", size)
+	}
+}
+
+func TestMaxMatchingAugmenting(t *testing.T) {
+	// Requires an augmenting path: greedy 0->0 blocks 1 unless 0 re-routes to 1.
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	if size := b.MaxMatchingSize(); size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range AddEdge did not panic")
+		}
+	}()
+	NewBipartite(1, 1).AddEdge(0, 2)
+}
+
+// bruteMaxMatching computes maximum matching by exhaustive search for small
+// instances, used as an oracle.
+func bruteMaxMatching(nLeft, nRight int, adj [][]bool) int {
+	usedR := make([]bool, nRight)
+	var rec func(l int) int
+	rec = func(l int) int {
+		if l == nLeft {
+			return 0
+		}
+		best := rec(l + 1) // skip l
+		for r := 0; r < nRight; r++ {
+			if adj[l][r] && !usedR[r] {
+				usedR[r] = true
+				if v := 1 + rec(l+1); v > best {
+					best = v
+				}
+				usedR[r] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestMaxMatchingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		nL := 1 + rng.Intn(6)
+		nR := 1 + rng.Intn(6)
+		adj := make([][]bool, nL)
+		b := NewBipartite(nL, nR)
+		for l := 0; l < nL; l++ {
+			adj[l] = make([]bool, nR)
+			for r := 0; r < nR; r++ {
+				if rng.Float64() < 0.4 {
+					adj[l][r] = true
+					b.AddEdge(l, r)
+				}
+			}
+		}
+		want := bruteMaxMatching(nL, nR, adj)
+		if got := b.MaxMatchingSize(); got != want {
+			t.Fatalf("iter %d: MaxMatching = %d, brute force = %d", iter, got, want)
+		}
+	}
+}
+
+func TestHungarianSimple(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	rowTo, total := Hungarian(cost)
+	if total != 5 { // 1 + 2 + 2
+		t.Fatalf("total = %v, want 5 (assignment %v)", total, rowTo)
+	}
+	seen := map[int]bool{}
+	for _, c := range rowTo {
+		if seen[c] {
+			t.Fatalf("column %d assigned twice: %v", c, rowTo)
+		}
+		seen[c] = true
+	}
+}
+
+func TestHungarianRectangular(t *testing.T) {
+	cost := [][]float64{
+		{10, 2, 8},
+		{7, 3, 4},
+	}
+	_, total := Hungarian(cost)
+	if total != 6 { // 2 + 4
+		t.Fatalf("total = %v, want 6", total)
+	}
+}
+
+func TestHungarianEmptyAndPanic(t *testing.T) {
+	if rowTo, total := Hungarian(nil); rowTo != nil || total != 0 {
+		t.Error("empty matrix should yield empty assignment")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n > m did not panic")
+		}
+	}()
+	Hungarian([][]float64{{1}, {2}})
+}
+
+// bruteAssignment finds the min-cost assignment exhaustively.
+func bruteAssignment(cost [][]float64) float64 {
+	n, m := len(cost), len(cost[0])
+	used := make([]bool, m)
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		if i == n {
+			return 0
+		}
+		best := 1e18
+		for j := 0; j < m; j++ {
+			if !used[j] {
+				used[j] = true
+				if v := cost[i][j] + rec(i+1); v < best {
+					best = v
+				}
+				used[j] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestHungarianAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(5)
+		m := n + rng.Intn(3)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(20))
+			}
+		}
+		want := bruteAssignment(cost)
+		if _, got := Hungarian(cost); got != want {
+			t.Fatalf("iter %d: Hungarian = %v, brute = %v, cost=%v", iter, got, want, cost)
+		}
+	}
+}
+
+// Property: matching size never exceeds min(nLeft, nRight) and is monotone
+// under adding edges.
+func TestMaxMatchingProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nL := 1 + rng.Intn(8)
+		nR := 1 + rng.Intn(8)
+		b := NewBipartite(nL, nR)
+		var pairs [][2]int
+		for l := 0; l < nL; l++ {
+			for r := 0; r < nR; r++ {
+				if rng.Float64() < 0.3 {
+					b.AddEdge(l, r)
+					pairs = append(pairs, [2]int{l, r})
+				}
+			}
+		}
+		size := b.MaxMatchingSize()
+		if size > nL || size > nR {
+			return false
+		}
+		// Adding one more edge cannot decrease the matching.
+		b2 := NewBipartite(nL, nR)
+		for _, p := range pairs {
+			b2.AddEdge(p[0], p[1])
+		}
+		b2.AddEdge(rng.Intn(nL), rng.Intn(nR))
+		return b2.MaxMatchingSize() >= size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

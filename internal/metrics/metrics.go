@@ -1,0 +1,115 @@
+// Package metrics implements the evaluation measures of §7.1.2 and the QALD
+// macro-averaged precision/recall/F-measure of Appendix F.2.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// SetPRF computes precision, recall and F1 between an answer set and a gold
+// set (both as string sets). By QALD convention an empty answer set against
+// an empty gold set scores 1/1/1; an empty answer set against a non-empty
+// gold set scores 0.
+func SetPRF(answers, gold map[string]bool) (p, r, f float64) {
+	if len(answers) == 0 && len(gold) == 0 {
+		return 1, 1, 1
+	}
+	if len(answers) == 0 || len(gold) == 0 {
+		return 0, 0, 0
+	}
+	correct := 0
+	for a := range answers {
+		if gold[a] {
+			correct++
+		}
+	}
+	p = float64(correct) / float64(len(answers))
+	r = float64(correct) / float64(len(gold))
+	if p+r > 0 {
+		f = 2 * p * r / (p + r)
+	}
+	return p, r, f
+}
+
+// QALD accumulates per-question precision/recall/F1 and reports the
+// macro-average over all questions, counting unanswered questions as zeros
+// (the global QALD measure).
+type QALD struct {
+	n          int
+	sumP, sumR float64
+	sumF       float64
+	answered   int
+}
+
+// AddAnswered records one answered question's scores.
+func (q *QALD) AddAnswered(p, r, f float64) {
+	q.n++
+	q.answered++
+	q.sumP += p
+	q.sumR += r
+	q.sumF += f
+}
+
+// AddUnanswered records a question the system abstained on.
+func (q *QALD) AddUnanswered() { q.n++ }
+
+// Macro returns the macro-averaged precision, recall and F1.
+func (q *QALD) Macro() (p, r, f float64) {
+	if q.n == 0 {
+		return 0, 0, 0
+	}
+	return q.sumP / float64(q.n), q.sumR / float64(q.n), q.sumF / float64(q.n)
+}
+
+// Answered returns how many of the n questions were answered.
+func (q *QALD) Answered() (answered, total int) { return q.answered, q.n }
+
+// Ratio is a guarded division returning 0 for a zero denominator.
+func Ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Table renders rows with aligned columns for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(t.header, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

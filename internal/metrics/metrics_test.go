@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func set(items ...string) map[string]bool {
+	m := make(map[string]bool, len(items))
+	for _, i := range items {
+		m[i] = true
+	}
+	return m
+}
+
+func TestSetPRF(t *testing.T) {
+	cases := []struct {
+		name       string
+		ans, gold  map[string]bool
+		wp, wr, wf float64
+	}{
+		{"perfect", set("a", "b"), set("a", "b"), 1, 1, 1},
+		{"half precision", set("a", "x"), set("a", "b"), 0.5, 0.5, 0.5},
+		{"subset", set("a"), set("a", "b"), 1, 0.5, 2.0 / 3.0},
+		{"disjoint", set("x"), set("a"), 0, 0, 0},
+		{"both empty", set(), set(), 1, 1, 1},
+		{"empty answers", set(), set("a"), 0, 0, 0},
+		{"empty gold", set("a"), set(), 0, 0, 0},
+	}
+	for _, c := range cases {
+		p, r, f := SetPRF(c.ans, c.gold)
+		if math.Abs(p-c.wp) > 1e-12 || math.Abs(r-c.wr) > 1e-12 || math.Abs(f-c.wf) > 1e-12 {
+			t.Errorf("%s: got %v/%v/%v want %v/%v/%v", c.name, p, r, f, c.wp, c.wr, c.wf)
+		}
+	}
+}
+
+func TestQALDMacro(t *testing.T) {
+	var q QALD
+	q.AddAnswered(1, 1, 1)
+	q.AddAnswered(0.5, 0.5, 0.5)
+	q.AddUnanswered()
+	p, r, f := q.Macro()
+	if math.Abs(p-0.5) > 1e-12 || math.Abs(r-0.5) > 1e-12 || math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("Macro = %v/%v/%v, want 0.5 each", p, r, f)
+	}
+	answered, total := q.Answered()
+	if answered != 2 || total != 3 {
+		t.Errorf("Answered = %d/%d", answered, total)
+	}
+	var empty QALD
+	if p, _, _ := empty.Macro(); p != 0 {
+		t.Error("empty QALD should macro to zero")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("division by zero not guarded")
+	}
+	if Ratio(1, 4) != 0.25 {
+		t.Error("Ratio(1,4) != 0.25")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", 0.333333333)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "a") || !strings.Contains(lines[2], "0.3333") {
+		t.Errorf("unexpected render:\n%s", out)
+	}
+}

@@ -1,0 +1,189 @@
+package nlq
+
+import (
+	"strings"
+
+	"simjoin/internal/linker"
+)
+
+// Slot is the token representing a template slot in natural-language
+// template text ("Which <___> graduated from <___>?").
+const Slot = "<___>"
+
+// DepNode is one node of a syntactic dependency tree. Children are ordered
+// by their position in the sentence.
+type DepNode struct {
+	Label    string
+	Children []*DepNode
+}
+
+// Size returns the number of nodes in the subtree.
+func (n *DepNode) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// String renders the tree in a compact bracket form.
+func (n *DepNode) String() string {
+	if n == nil {
+		return "()"
+	}
+	if len(n.Children) == 0 {
+		return n.Label
+	}
+	var b strings.Builder
+	b.WriteString(n.Label)
+	b.WriteString("(")
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// BuildDepTree parses a question (or the natural-language part of a
+// template) into a dependency tree with the deterministic heuristic grammar
+// used throughout the pipeline, producing trees of the Fig. 5 shape:
+//
+//   - the head word of the first relation phrase is the root;
+//   - the preceding argument (entity/class noun/slot) is an nsubj-style
+//     child, carrying its wh-determiner as a child;
+//   - prepositions and subsequent arguments hang off the root in order;
+//   - further relation phrases become children of the root with their
+//     following arguments below them.
+//
+// Multi-word entity mentions are collapsed into a single node when a lexicon
+// is supplied. Because questions and templates run through the same
+// function, tree edit distance between their trees measures their true
+// syntactic divergence.
+func BuildDepTree(text string, lex *linker.Lexicon) *DepNode {
+	toks := Tokenize(text)
+	type unit struct {
+		label string
+		kind  int // 0 plain, 1 argument, 2 relation head, 3 wh
+	}
+	var units []unit
+	i := 0
+	for i < len(toks) {
+		tok := toks[i]
+		low := strings.ToLower(tok)
+		switch {
+		case tok == Slot || tok == "<_>" || tok == "<__>":
+			units = append(units, unit{Slot, 1})
+			i++
+		case IsWhWord(low):
+			units = append(units, unit{low, 3})
+			i++
+		case lex != nil:
+			if _, n := lex.MatchEntity(toks, i); n > 0 {
+				units = append(units, unit{strings.Join(toks[i:i+n], " "), 1})
+				i += n
+				continue
+			}
+			if _, phrase, n := lex.MatchRelation(toks, i); n > 0 {
+				// Classify each word of the phrase exactly like the
+				// lexicon-free path does, so that questions and template
+				// texts produce structurally identical trees.
+				for _, w := range strings.Fields(phrase) {
+					switch {
+					case IsStopword(w):
+					case verbLike(w):
+						units = append(units, unit{w, 2})
+					default:
+						units = append(units, unit{w, 0})
+					}
+				}
+				i += n
+				continue
+			}
+			if _, ok := lex.LookupClass(low); ok {
+				units = append(units, unit{low, 1})
+				i++
+				continue
+			}
+			if !IsStopword(low) {
+				units = append(units, unit{low, 0})
+			}
+			i++
+		default:
+			switch {
+			case IsStopword(low):
+			case verbLike(low):
+				units = append(units, unit{low, 2})
+			default:
+				units = append(units, unit{low, 0})
+			}
+			i++
+		}
+	}
+
+	// Assemble the tree.
+	var root *DepNode
+	var pendingWh *DepNode
+	var preArgs []*DepNode
+	attach := root
+	for _, u := range units {
+		switch u.kind {
+		case 3:
+			pendingWh = &DepNode{Label: u.label}
+		case 1, 0:
+			n := &DepNode{Label: u.label}
+			if pendingWh != nil {
+				n.Children = append(n.Children, pendingWh)
+				pendingWh = nil
+			}
+			if root == nil {
+				preArgs = append(preArgs, n)
+			} else if attach != nil {
+				attach.Children = append(attach.Children, n)
+				attach = root
+			}
+		case 2:
+			n := &DepNode{Label: u.label}
+			if root == nil {
+				root = n
+				root.Children = append(preArgs, root.Children...)
+				preArgs = nil
+				if pendingWh != nil {
+					root.Children = append(root.Children, pendingWh)
+					pendingWh = nil
+				}
+				attach = root
+			} else {
+				root.Children = append(root.Children, n)
+				attach = n
+			}
+		}
+	}
+	if root == nil {
+		// No relation head found: chain the arguments under a neutral root.
+		root = &DepNode{Label: "q"}
+		root.Children = preArgs
+		if pendingWh != nil {
+			root.Children = append(root.Children, pendingWh)
+		}
+	}
+	return root
+}
+
+// verbLike is a fallback classifier for relation heads when no lexicon is
+// available (template texts store their own relation words).
+func verbLike(w string) bool {
+	if strings.HasSuffix(w, "ed") || strings.HasSuffix(w, "es") {
+		return true
+	}
+	switch w {
+	case "born", "from", "wrote", "won", "stars", "directed", "married":
+		return true
+	}
+	return false
+}

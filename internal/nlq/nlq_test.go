@@ -1,0 +1,296 @@
+package nlq
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"simjoin/internal/linker"
+)
+
+// testLexicon mirrors the paper's running examples.
+func testLexicon() *linker.Lexicon {
+	lex := linker.NewLexicon()
+	lex.AddEntity("Michael Jordan", "Michael_Jordan_NBA", "NBA_Player", 0.6)
+	lex.AddEntity("Michael Jordan", "Michael_Jordan_Prof", "Professor", 0.3)
+	lex.AddEntity("Michael Jordan", "Michael_Jordan_Actor", "Actor", 0.1)
+	lex.AddEntity("CIT", "California_Institute_of_Technology", "University", 0.8)
+	lex.AddEntity("CIT", "CIT_Group", "Company", 0.2)
+	lex.AddEntity("USA", "United_States", "Country", 1.0)
+	lex.AddEntity("NY", "New_York", "State", 0.7)
+	lex.AddEntity("NY", "New_York_City", "City", 0.3)
+	lex.AddEntity("Harvard University", "Harvard_University", "University", 1.0)
+	lex.AddRelation("graduated from", "graduatedFrom", 1.0)
+	lex.AddRelation("married to", "spouse", 0.9)
+	lex.AddRelation("born in", "birthPlace", 1.0)
+	lex.AddRelation("from", "birthPlace", 0.7)
+	lex.AddRelation("directed by", "director", 1.0)
+	lex.AddClass("politician", "Politician")
+	lex.AddClass("actor", "Actor")
+	lex.AddClass("city", "City")
+	lex.AddClass("movie", "Film")
+	return lex
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("Which politician graduated from CIT?")
+	want := []string{"Which", "politician", "graduated", "from", "CIT"}
+	if len(toks) != len(want) {
+		t.Fatalf("Tokenize = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("Tokenize = %v, want %v", toks, want)
+		}
+	}
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("empty input tokenized to %v", got)
+	}
+	if got := Tokenize("a,b.c"); len(got) != 3 {
+		t.Errorf("punctuation splitting failed: %v", got)
+	}
+}
+
+func TestExtractPaperQuestion(t *testing.T) {
+	sg, err := Extract("Which politician graduated from CIT?", testLexicon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sg.Args) != 2 {
+		t.Fatalf("Args = %+v, want 2", sg.Args)
+	}
+	if sg.Args[0].Kind != ArgVariable || sg.Args[0].Class != "Politician" {
+		t.Errorf("arg0 = %+v", sg.Args[0])
+	}
+	if sg.Args[1].Kind != ArgEntity || len(sg.Args[1].Candidates) != 2 {
+		t.Errorf("arg1 = %+v", sg.Args[1])
+	}
+	if len(sg.Rels) != 1 || sg.Rels[0].Candidates[0].Predicate != "graduatedFrom" {
+		t.Fatalf("Rels = %+v", sg.Rels)
+	}
+	if sg.Rels[0].Arg1 != 0 || sg.Rels[0].Arg2 != 1 {
+		t.Errorf("relation endpoints = %d,%d", sg.Rels[0].Arg1, sg.Rels[0].Arg2)
+	}
+}
+
+func TestExtractComplexChain(t *testing.T) {
+	// The paper's flagship example: chained and coordinated relations.
+	sg, err := Extract("Which actor from USA is married to Michael Jordan born in a city of NY?", testLexicon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Args: which-actor var, USA, Michael Jordan, city (class), NY.
+	if len(sg.Args) != 5 {
+		t.Fatalf("Args = %d: %+v", len(sg.Args), sg.Args)
+	}
+	if len(sg.Rels) < 3 {
+		t.Fatalf("Rels = %+v, want >= 3 (from, married to, born in)", sg.Rels)
+	}
+	// born in must chain off Michael Jordan, not the root variable.
+	for _, r := range sg.Rels {
+		if r.Phrase == "born in" && sg.Args[r.Arg1].Surface != "Michael Jordan" {
+			t.Errorf("born in attaches to %q, want Michael Jordan", sg.Args[r.Arg1].Surface)
+		}
+	}
+}
+
+func TestExtractTrailingRelation(t *testing.T) {
+	lex := testLexicon()
+	lex.AddRelation("born", "birthPlace", 1.0)
+	sg, err := Extract("Where was Michael Jordan born?", lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sg.Rels) != 1 {
+		t.Fatalf("Rels = %+v", sg.Rels)
+	}
+	r := sg.Rels[0]
+	if sg.Args[r.Arg1].Surface != "Michael Jordan" || sg.Args[r.Arg2].Kind != ArgVariable {
+		t.Errorf("trailing relation endpoints wrong: %+v / %+v", sg.Args[r.Arg1], sg.Args[r.Arg2])
+	}
+}
+
+func TestExtractInverseRelation(t *testing.T) {
+	lex := testLexicon()
+	lex.AddEntity("Lisbon", "Lisbon", "City", 1.0)
+	lex.AddInverseRelation("the ruling party in", "leaderParty", 1.0, "Party")
+	sg, err := Extract("What is the ruling party in Lisbon?", lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sg.Rels) != 1 {
+		t.Fatalf("Rels = %+v", sg.Rels)
+	}
+	r := sg.Rels[0]
+	// Inverse: the entity is the SUBJECT, the variable the OBJECT.
+	if sg.Args[r.Arg1].Surface != "Lisbon" {
+		t.Errorf("arg1 = %+v, want Lisbon", sg.Args[r.Arg1])
+	}
+	if sg.Args[r.Arg2].Kind != ArgVariable {
+		t.Errorf("arg2 = %+v, want variable", sg.Args[r.Arg2])
+	}
+	if sg.Args[r.Arg2].Class != "Party" {
+		t.Errorf("answer variable not typed with the range: %+v", sg.Args[r.Arg2])
+	}
+	if r.Candidates[0].Predicate != "leaderParty" {
+		t.Errorf("predicate = %v", r.Candidates[0])
+	}
+	// The uncertain graph's edge must run entity -> variable.
+	uq, err := sg.ToUncertain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok bool
+	for _, e := range uq.Graph.Edges() {
+		if e.Label == "leaderParty" {
+			from := uq.Graph.Labels(e.From)[0].Name
+			to := uq.Graph.Labels(e.To)[0].Name
+			ok = from == "Lisbon" && graphIsVar(to)
+		}
+	}
+	if !ok {
+		t.Errorf("edge direction wrong: %v", uq.Graph)
+	}
+}
+
+func graphIsVar(label string) bool { return len(label) > 0 && label[0] == '?' }
+
+func TestExtractErrors(t *testing.T) {
+	lex := testLexicon()
+	if _, err := Extract("CIT graduated from", lex); err == nil {
+		t.Error("relation without right argument and without variable accepted")
+	}
+	if _, err := Extract("Hello world", lex); err == nil {
+		t.Error("question without relations accepted")
+	}
+	if _, err := Extract("graduated from CIT", lex); err == nil {
+		t.Error("relation without left argument accepted")
+	}
+}
+
+func TestToUncertain(t *testing.T) {
+	uq, err := Interpret("Which politician graduated from CIT?", testLexicon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := uq.Graph
+	// ?x1, Politician class vertex, CIT uncertain vertex.
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("|V|=%d |E|=%d, want 3/2: %v", g.NumVertices(), g.NumEdges(), g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The CIT vertex carries two entity candidates.
+	var citLabels int
+	for v := 0; v < g.NumVertices(); v++ {
+		if len(g.Labels(v)) == 2 {
+			citLabels++
+			if g.Labels(v)[0].Name != "California_Institute_of_Technology" ||
+				math.Abs(g.Labels(v)[0].P-0.8) > 1e-9 {
+				t.Errorf("CIT labels = %v", g.Labels(v))
+			}
+		}
+	}
+	if citLabels != 1 {
+		t.Fatalf("expected exactly one ambiguous vertex, got %d", citLabels)
+	}
+	if n, _ := g.WorldCount(); n != 2 {
+		t.Errorf("WorldCount = %d, want 2", n)
+	}
+	// Provenance: every vertex maps to an argument or -1.
+	if len(uq.VertexArg) != g.NumVertices() {
+		t.Fatalf("VertexArg length %d != |V| %d", len(uq.VertexArg), g.NumVertices())
+	}
+}
+
+func TestToUncertainComplexWorldCount(t *testing.T) {
+	uq, err := Interpret("Which actor from USA is married to Michael Jordan born in a city of NY?", testLexicon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Michael Jordan has 3 candidates, NY has 2 -> 6 worlds.
+	if n, _ := uq.Graph.WorldCount(); n != 6 {
+		t.Fatalf("WorldCount = %d, want 6: %v", n, uq.Graph)
+	}
+}
+
+func TestBuildDepTreePaperExample(t *testing.T) {
+	lex := testLexicon()
+	lex.AddEntity("CMU", "Carnegie_Mellon_University", "University", 1.0)
+	lex.AddClass("physicist", "Physicist")
+	q := BuildDepTree("Which physicist graduated from CMU?", lex)
+	tmpl := BuildDepTree("Which <___> graduated from <___>?", nil)
+	if q == nil || tmpl == nil {
+		t.Fatal("nil trees")
+	}
+	// The trees align perfectly through slots: distance 0.
+	if d := TreeEditDistance(q, tmpl); d != 0 {
+		t.Fatalf("TED = %d, want 0\nq=%s\ntmpl=%s", d, q, tmpl)
+	}
+}
+
+func TestTreeEditDistanceBasics(t *testing.T) {
+	leaf := func(l string) *DepNode { return &DepNode{Label: l} }
+	node := func(l string, cs ...*DepNode) *DepNode { return &DepNode{Label: l, Children: cs} }
+
+	a := node("root", leaf("x"), leaf("y"))
+	if d := TreeEditDistance(a, a); d != 0 {
+		t.Errorf("TED(a,a) = %d", d)
+	}
+	b := node("root", leaf("x"), leaf("z"))
+	if d := TreeEditDistance(a, b); d != 1 {
+		t.Errorf("rename TED = %d, want 1", d)
+	}
+	c := node("root", leaf("x"))
+	if d := TreeEditDistance(a, c); d != 1 {
+		t.Errorf("delete TED = %d, want 1", d)
+	}
+	if d := TreeEditDistance(a, nil); d != 3 {
+		t.Errorf("TED(a,nil) = %d, want 3", d)
+	}
+	if d := TreeEditDistance(nil, nil); d != 0 {
+		t.Errorf("TED(nil,nil) = %d, want 0", d)
+	}
+	slotted := node("root", leaf(Slot), leaf(Slot))
+	if d := TreeEditDistance(a, slotted); d != 0 {
+		t.Errorf("slot TED = %d, want 0", d)
+	}
+	// Deeper structural change.
+	deep := node("root", node("x", leaf("y")))
+	if d := TreeEditDistance(a, deep); d == 0 {
+		t.Error("structural difference not detected")
+	}
+}
+
+func TestTreeEditDistanceSymmetry(t *testing.T) {
+	lex := testLexicon()
+	t1 := BuildDepTree("Which politician graduated from CIT?", lex)
+	t2 := BuildDepTree("Which actor is married to Michael Jordan?", lex)
+	if d1, d2 := TreeEditDistance(t1, t2), TreeEditDistance(t2, t1); d1 != d2 {
+		t.Errorf("asymmetric TED: %d vs %d", d1, d2)
+	}
+}
+
+func TestDepTreeDeterministic(t *testing.T) {
+	lex := testLexicon()
+	a := BuildDepTree("Which politician graduated from CIT?", lex)
+	b := BuildDepTree("Which politician graduated from CIT?", lex)
+	if a.String() != b.String() {
+		t.Errorf("non-deterministic trees: %s vs %s", a, b)
+	}
+	if !strings.Contains(a.String(), "politician") {
+		t.Errorf("tree misses argument: %s", a)
+	}
+}
+
+func TestDifferentStructuresScoreWorse(t *testing.T) {
+	lex := testLexicon()
+	q := BuildDepTree("Which politician graduated from CIT?", lex)
+	good := BuildDepTree("Which <___> graduated from <___>?", nil)
+	bad := BuildDepTree("Give me all <___> directed by <___>.", nil)
+	if TreeEditDistance(q, good) >= TreeEditDistance(q, bad) {
+		t.Errorf("matching template does not score better: good=%d bad=%d (q=%s good=%s bad=%s)",
+			TreeEditDistance(q, good), TreeEditDistance(q, bad), q, good, bad)
+	}
+}

@@ -1,0 +1,97 @@
+package nlq
+
+import (
+	"math"
+	"testing"
+
+	"simjoin/internal/ged"
+	"simjoin/internal/graph"
+	"simjoin/internal/sparql"
+)
+
+func TestInterpretReified(t *testing.T) {
+	lex := testLexicon()
+	lex.AddRelation("from", "livesIn", 0.3) // make "from" ambiguous
+	uq, err := InterpretReified("Which actor from USA?", lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := uq.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Vertices: ?x, Actor, USA, fict(type), fict(from-preds) = 5.
+	if g.NumVertices() != 5 {
+		t.Fatalf("|V| = %d, want 5: %v", g.NumVertices(), g)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("|E| = %d, want 4 (two reified relations)", g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if e.Label != graph.ReifiedEdgeLabel {
+			t.Errorf("edge label %q, want reified marker", e.Label)
+		}
+	}
+	// The relation vertex for "from" keeps the full paraphrase distribution.
+	foundAmbiguousRel := false
+	for v := 0; v < g.NumVertices(); v++ {
+		ls := g.Labels(v)
+		if len(ls) > 1 && ls[0].Name == "birthPlace" {
+			foundAmbiguousRel = true
+			sum := 0.0
+			for _, l := range ls {
+				sum += l.P
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("relation distribution sums to %v", sum)
+			}
+		}
+	}
+	if !foundAmbiguousRel {
+		t.Errorf("ambiguous relation phrase lost its paraphrase distribution: %v", g)
+	}
+	// Fictitious vertices are never slottable.
+	for v := 0; v < g.NumVertices(); v++ {
+		if uq.VertexArg[v] < 0 {
+			if _, ok := uq.SlotSurface(v); ok {
+				t.Errorf("fictitious vertex %d slottable", v)
+			}
+		}
+	}
+}
+
+func TestReifiedJoinRecoversSecondParaphrase(t *testing.T) {
+	lex := testLexicon()
+	lex.AddRelation("from", "livesIn", 0.3)
+	// In the collapsed model the "from" edge is birthPlace (top-1) and a
+	// livesIn query mismatches; in the reified model the livesIn world
+	// exists with probability 0.3.
+	uq, err := InterpretReified("Which actor from USA?", lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SPARQL side: ?x type Actor . ?x livesIn United_States, reified.
+	lexAdd := func() {}
+	_ = lexAdd
+	qg, err := sparql.ParseToGraph(`SELECT ?x WHERE { ?x type Actor . ?x livesIn United_States . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := graph.Reify(qg.Graph)
+
+	// There must exist a possible world of the reified question at GED 0
+	// from the reified livesIn query.
+	found := 0.0
+	uq.Graph.Worlds(func(w *graph.Graph, p float64) bool {
+		if d := ged.Distance(q, w); d == 0 {
+			found += p
+		}
+		return true
+	})
+	if found <= 0 {
+		t.Fatal("no zero-distance world for the second paraphrase")
+	}
+	if math.Abs(found-0.3) > 1e-9 {
+		t.Errorf("livesIn world mass = %v, want 0.3", found)
+	}
+}

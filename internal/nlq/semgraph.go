@@ -1,0 +1,226 @@
+package nlq
+
+import (
+	"fmt"
+	"strings"
+
+	"simjoin/internal/linker"
+)
+
+// ArgKind classifies semantic-graph arguments.
+type ArgKind int
+
+const (
+	// ArgVariable is a wh-phrase ("which actor", "who").
+	ArgVariable ArgKind = iota
+	// ArgEntity is an entity mention with linking candidates.
+	ArgEntity
+	// ArgClass is a bare class noun ("a city"), treated as an anonymous
+	// variable constrained to the class.
+	ArgClass
+)
+
+// Argument is one vertex of the semantic query graph.
+type Argument struct {
+	Kind ArgKind
+	// Surface is the original question text of the argument.
+	Surface string
+	// Class is the ontology class for variables introduced by
+	// "which <class>" and for bare class nouns.
+	Class string
+	// Candidates holds the entity-linking candidates for ArgEntity.
+	Candidates []linker.EntityCandidate
+	// Var is the assigned variable name ("?x1", ...).
+	Var string
+}
+
+// Relation is one edge of the semantic query graph: a relation phrase with
+// its two argument indices and predicate candidates.
+type Relation struct {
+	Phrase     string
+	Arg1, Arg2 int
+	Candidates []linker.PredicateCandidate
+}
+
+// SemanticGraph is the semantic query graph QS of Def. 1.
+type SemanticGraph struct {
+	Question string
+	Args     []Argument
+	Rels     []Relation
+}
+
+// Extract builds the semantic query graph of a question with the
+// lexicon-driven scanner:
+//
+//   - wh-word (+ optional class noun) → variable argument,
+//   - longest-match entity surface forms → entity arguments,
+//   - article + class noun → anonymous class argument,
+//   - longest-match relation phrases → relations whose arg1 is the nearest
+//     preceding argument (the root variable after a coordinating "and") and
+//     whose arg2 is the next argument.
+//
+// It returns an error when no variable is found, when a relation lacks an
+// argument on either side, or when no relation is recognised.
+func Extract(question string, lex *linker.Lexicon) (*SemanticGraph, error) {
+	toks := Tokenize(question)
+	sg := &SemanticGraph{Question: question}
+
+	type pendingRel struct {
+		phrase string
+		cands  []linker.PredicateCandidate
+		arg1   int
+	}
+	var pending []pendingRel // relations still missing arg2
+	lastArg := -1
+	afterAnd := false
+	rootVar := -1
+
+	addArg := func(a Argument) int {
+		// Merge with an identical earlier argument (same surface), so that
+		// repeated mentions share a vertex.
+		for i := range sg.Args {
+			if sg.Args[i].Kind == a.Kind && strings.EqualFold(sg.Args[i].Surface, a.Surface) && a.Kind == ArgEntity {
+				return i
+			}
+		}
+		if a.Kind == ArgVariable || a.Kind == ArgClass {
+			a.Var = fmt.Sprintf("?x%d", 1+countVars(sg.Args))
+		}
+		sg.Args = append(sg.Args, a)
+		return len(sg.Args) - 1
+	}
+
+	addRel := func(phrase string, cands []linker.PredicateCandidate, arg1, arg2 int) {
+		// Inverse phrases ("the capital of X") reverse the natural-language
+		// argument order relative to the predicate's subject/object order,
+		// and type the answer variable with the predicate's range when the
+		// lexicon knows it.
+		if len(cands) > 0 && cands[0].Inverse {
+			arg1, arg2 = arg2, arg1
+			if r := cands[0].Range; r != "" {
+				if a := &sg.Args[arg2]; (a.Kind == ArgVariable || a.Kind == ArgClass) && a.Class == "" {
+					a.Class = r
+				}
+			}
+		}
+		sg.Rels = append(sg.Rels, Relation{Phrase: phrase, Arg1: arg1, Arg2: arg2, Candidates: cands})
+	}
+
+	resolveArg2 := func(idx int) {
+		for _, p := range pending {
+			addRel(p.phrase, p.cands, p.arg1, idx)
+		}
+		pending = pending[:0]
+	}
+
+	i := 0
+	for i < len(toks) {
+		tok := toks[i]
+		low := strings.ToLower(tok)
+
+		if low == "and" {
+			afterAnd = true
+			i++
+			continue
+		}
+
+		// Wh-phrase, optionally followed by a class noun.
+		if IsWhWord(low) {
+			a := Argument{Kind: ArgVariable, Surface: tok}
+			if i+1 < len(toks) {
+				if class, ok := lex.LookupClass(toks[i+1]); ok {
+					a.Class = class
+					a.Surface = tok + " " + toks[i+1]
+					i++
+				}
+			}
+			idx := addArg(a)
+			if rootVar < 0 {
+				rootVar = idx
+			}
+			resolveArg2(idx)
+			lastArg = idx
+			i++
+			continue
+		}
+
+		// Entity mention (longest match).
+		if cands, n := lex.MatchEntity(toks, i); n > 0 {
+			idx := addArg(Argument{
+				Kind:       ArgEntity,
+				Surface:    strings.Join(toks[i:i+n], " "),
+				Candidates: cands,
+			})
+			resolveArg2(idx)
+			lastArg = idx
+			i += n
+			continue
+		}
+
+		// Relation phrase (longest match). Checked after entities so that
+		// surfaces shared between the two lexicons resolve as entities.
+		if cands, phrase, n := lex.MatchRelation(toks, i); n > 0 {
+			arg1 := lastArg
+			if afterAnd && rootVar >= 0 {
+				arg1 = rootVar
+			}
+			afterAnd = false
+			if arg1 < 0 {
+				return nil, fmt.Errorf("nlq: relation %q has no left argument in %q", phrase, question)
+			}
+			pending = append(pending, pendingRel{phrase: phrase, cands: cands, arg1: arg1})
+			i += n
+			continue
+		}
+
+		// Bare class noun ("movies", "a city").
+		if class, ok := lex.LookupClass(low); ok && !IsStopword(low) {
+			idx := addArg(Argument{Kind: ArgClass, Surface: tok, Class: class})
+			if rootVar < 0 {
+				rootVar = idx
+			}
+			resolveArg2(idx)
+			lastArg = idx
+			i++
+			continue
+		}
+
+		i++ // stopword or unknown token
+	}
+
+	if len(pending) > 0 {
+		// A trailing relation with no right argument attaches to the root
+		// variable if that is not already its left argument ("Where was X
+		// born?" → born(X, ?where)).
+		for _, p := range pending {
+			if rootVar >= 0 && rootVar != p.arg1 {
+				addRel(p.phrase, p.cands, p.arg1, rootVar)
+			} else {
+				return nil, fmt.Errorf("nlq: relation %q has no right argument in %q", p.phrase, question)
+			}
+		}
+	}
+	if len(sg.Rels) == 0 {
+		return nil, fmt.Errorf("nlq: no relation recognised in %q", question)
+	}
+	hasVar := false
+	for _, a := range sg.Args {
+		if a.Kind == ArgVariable || a.Kind == ArgClass {
+			hasVar = true
+		}
+	}
+	if !hasVar {
+		return nil, fmt.Errorf("nlq: no variable found in %q", question)
+	}
+	return sg, nil
+}
+
+func countVars(args []Argument) int {
+	n := 0
+	for _, a := range args {
+		if a.Kind == ArgVariable || a.Kind == ArgClass {
+			n++
+		}
+	}
+	return n
+}

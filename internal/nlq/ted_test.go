@@ -1,0 +1,96 @@
+package nlq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomTree builds a random ordered labeled tree with n nodes.
+func randomTree(rng *rand.Rand, n int, labels []string) *DepNode {
+	if n <= 0 {
+		return nil
+	}
+	nodes := make([]*DepNode, n)
+	for i := range nodes {
+		nodes[i] = &DepNode{Label: labels[rng.Intn(len(labels))]}
+	}
+	// Attach each node (except the root) to a random earlier node, which
+	// keeps children ordered by creation.
+	for i := 1; i < n; i++ {
+		p := nodes[rng.Intn(i)]
+		p.Children = append(p.Children, nodes[i])
+	}
+	return nodes[0]
+}
+
+// bruteTED computes tree edit distance by exhaustive recursion on forests —
+// exponential, usable only as a tiny-input oracle.
+func bruteTED(f1, f2 []*DepNode) int {
+	if len(f1) == 0 && len(f2) == 0 {
+		return 0
+	}
+	if len(f1) == 0 {
+		return forestSize(f2)
+	}
+	if len(f2) == 0 {
+		return forestSize(f1)
+	}
+	a, b := f1[len(f1)-1], f2[len(f2)-1]
+	restA := append(append([]*DepNode{}, f1[:len(f1)-1]...), a.Children...)
+	restB := append(append([]*DepNode{}, f2[:len(f2)-1]...), b.Children...)
+
+	del := bruteTED(restA, f2) + 1
+	ins := bruteTED(f1, restB) + 1
+	match := bruteTED(f1[:len(f1)-1], f2[:len(f2)-1]) +
+		bruteTED(a.Children, b.Children) + renameCost(a.Label, b.Label)
+
+	best := del
+	if ins < best {
+		best = ins
+	}
+	if match < best {
+		best = match
+	}
+	return best
+}
+
+func forestSize(f []*DepNode) int {
+	s := 0
+	for _, n := range f {
+		s += n.Size()
+	}
+	return s
+}
+
+func TestTEDAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	labels := []string{"a", "b", "c", Slot}
+	for i := 0; i < 150; i++ {
+		t1 := randomTree(rng, 1+rng.Intn(5), labels)
+		t2 := randomTree(rng, 1+rng.Intn(5), labels)
+		want := bruteTED([]*DepNode{t1}, []*DepNode{t2})
+		if got := TreeEditDistance(t1, t2); got != want {
+			t.Fatalf("iter %d: ZS=%d brute=%d\nt1=%s\nt2=%s", i, got, want, t1, t2)
+		}
+	}
+}
+
+func TestTEDMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	labels := []string{"x", "y", "z"}
+	for i := 0; i < 60; i++ {
+		a := randomTree(rng, 1+rng.Intn(6), labels)
+		b := randomTree(rng, 1+rng.Intn(6), labels)
+		c := randomTree(rng, 1+rng.Intn(6), labels)
+		dab, dba := TreeEditDistance(a, b), TreeEditDistance(b, a)
+		if dab != dba {
+			t.Fatalf("asymmetric: %d vs %d", dab, dba)
+		}
+		if TreeEditDistance(a, a) != 0 {
+			t.Fatal("d(a,a) != 0")
+		}
+		if dac, dbc := TreeEditDistance(a, c), TreeEditDistance(b, c); dac > dab+dbc {
+			t.Fatalf("triangle violated: %d > %d + %d", dac, dab, dbc)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Package nlq implements the natural-language side of the pipeline: the
+// tokenizer, the lexicon-driven semantic-relation extractor that builds
+// semantic query graphs (Def. 1, via the approach of gAnswer [33]), the
+// translation into uncertain graphs (§2.1 Step 1), and the syntactic
+// dependency trees plus tree edit distance used to match templates to new
+// questions (§2.2, Fig. 5).
+//
+// Go has no production NLP stack; per DESIGN.md the parser and linker are
+// simulated by deterministic lexicon-driven components that emit the same
+// artifacts the paper consumes (semantic query graphs with per-label
+// confidences).
+package nlq
+
+import "strings"
+
+// Tokenize splits a question into word tokens, stripping punctuation but
+// preserving case (entity detection is case-insensitive but surfaces keep
+// their original text).
+func Tokenize(s string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			flush()
+		case r == '?' || r == '.' || r == ',' || r == '!' || r == ';' || r == ':' || r == '"' || r == '(' || r == ')':
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}
+
+// stopwords are skipped during argument/relation scanning.
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "of": true, "is": true, "are": true,
+	"was": true, "were": true, "been": true, "be": true, "has": true,
+	"have": true, "do": true, "does": true, "did": true, "to": true,
+	"in": true, "by": true, "me": true, "all": true, "give": true,
+	"list": true, "show": true, "and": true, "that": true, "it": true,
+	"there": true, "their": true, "his": true, "her": true,
+}
+
+// whWords introduce variables.
+var whWords = map[string]bool{
+	"which": true, "what": true, "who": true, "whom": true, "where": true,
+}
+
+// IsStopword reports whether a token is skipped during extraction.
+func IsStopword(tok string) bool { return stopwords[strings.ToLower(tok)] }
+
+// IsWhWord reports whether a token introduces a variable.
+func IsWhWord(tok string) bool { return whWords[strings.ToLower(tok)] }

@@ -1,0 +1,213 @@
+package nlq
+
+import (
+	"fmt"
+	"strings"
+
+	"simjoin/internal/graph"
+	"simjoin/internal/linker"
+	"simjoin/internal/ugraph"
+)
+
+// VertexOrigin classifies the provenance of an uncertain-graph vertex.
+type VertexOrigin int
+
+const (
+	// OriginVariable marks a vertex standing for a wh-phrase variable.
+	OriginVariable VertexOrigin = iota
+	// OriginEntity marks a vertex carrying entity-linking candidates.
+	OriginEntity
+	// OriginClass marks a class vertex synthesised for a "which <class>"
+	// phrase or a bare class noun.
+	OriginClass
+)
+
+// UncertainQuestion bundles the uncertain graph derived from a question with
+// the provenance needed later for template generation: which graph vertex
+// came from which semantic argument.
+type UncertainQuestion struct {
+	// Graph is the uncertain graph g joined against SPARQL query graphs.
+	Graph *ugraph.Graph
+	// Sem is the source semantic query graph.
+	Sem *SemanticGraph
+	// VertexArg maps graph vertex index to the index of the originating
+	// argument in Sem.Args (class vertices point at the argument whose
+	// class noun produced them).
+	VertexArg []int
+	// VertexOrigin classifies each graph vertex.
+	VertexOrigin []VertexOrigin
+}
+
+// SlotSurface returns the question phrase a slotted vertex stands for: the
+// full mention for entity vertices and the class noun for class vertices
+// ("which politician" → "politician"). The boolean is false for variable
+// vertices, which are never slotted.
+func (uq *UncertainQuestion) SlotSurface(vertex int) (string, bool) {
+	if uq.VertexArg[vertex] < 0 {
+		return "", false // synthesised (fictitious) vertex
+	}
+	arg := uq.Sem.Args[uq.VertexArg[vertex]]
+	switch uq.VertexOrigin[vertex] {
+	case OriginEntity:
+		return arg.Surface, true
+	case OriginClass:
+		fields := strings.Fields(arg.Surface)
+		return fields[len(fields)-1], true
+	default:
+		return "", false
+	}
+}
+
+// ToUncertain converts a semantic query graph into the paper's uncertain
+// graph model (§2.1 Step 1, Figs. 2–4):
+//
+//   - variable and class arguments become wildcard vertices with a certain
+//     "type" edge to a class vertex when a class is known;
+//   - entity arguments become a single vertex whose candidate labels are the
+//     linked entity names with their confidences;
+//   - relations become edges labeled with the top-confidence predicate
+//     (edge-label uncertainty is not modelled in SimJ, per §3.1.1).
+func (sg *SemanticGraph) ToUncertain() (*UncertainQuestion, error) {
+	uq := &UncertainQuestion{Graph: ugraph.New(len(sg.Args) * 2), Sem: sg}
+	argVertex := make([]int, len(sg.Args))
+
+	for i, a := range sg.Args {
+		switch a.Kind {
+		case ArgVariable, ArgClass:
+			v := uq.Graph.AddVertex(ugraph.Label{Name: a.Var, P: 1})
+			uq.VertexArg = append(uq.VertexArg, i)
+			uq.VertexOrigin = append(uq.VertexOrigin, OriginVariable)
+			argVertex[i] = v
+			if a.Class != "" {
+				cv := uq.Graph.AddVertex(ugraph.Label{Name: a.Class, P: 1})
+				uq.VertexArg = append(uq.VertexArg, i)
+				uq.VertexOrigin = append(uq.VertexOrigin, OriginClass)
+				uq.Graph.MustAddEdge(v, cv, "type")
+			}
+		case ArgEntity:
+			if len(a.Candidates) == 0 {
+				return nil, fmt.Errorf("nlq: entity %q has no linking candidates", a.Surface)
+			}
+			labels := make([]ugraph.Label, 0, len(a.Candidates))
+			seen := make(map[string]bool, len(a.Candidates))
+			total := 0.0
+			for _, c := range a.Candidates {
+				if seen[c.Entity] {
+					continue
+				}
+				seen[c.Entity] = true
+				labels = append(labels, ugraph.Label{Name: c.Entity, P: c.P})
+				total += c.P
+			}
+			if total > 1+ugraph.ProbEpsilon {
+				// Normalise defensive lexicons whose confidences overshoot.
+				for j := range labels {
+					labels[j].P /= total
+				}
+			}
+			v := uq.Graph.AddVertex(labels...)
+			uq.VertexArg = append(uq.VertexArg, i)
+			uq.VertexOrigin = append(uq.VertexOrigin, OriginEntity)
+			argVertex[i] = v
+		default:
+			return nil, fmt.Errorf("nlq: unknown argument kind %d", a.Kind)
+		}
+	}
+
+	for _, r := range sg.Rels {
+		if len(r.Candidates) == 0 {
+			return nil, fmt.Errorf("nlq: relation %q has no predicate candidates", r.Phrase)
+		}
+		pred := r.Candidates[0].Predicate
+		if err := uq.Graph.AddEdge(argVertex[r.Arg1], argVertex[r.Arg2], pred); err != nil {
+			return nil, fmt.Errorf("nlq: %w", err)
+		}
+	}
+	if err := uq.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	return uq, nil
+}
+
+// Interpret is the full question → uncertain graph pipeline.
+func Interpret(question string, lex *linker.Lexicon) (*UncertainQuestion, error) {
+	sg, err := Extract(question, lex)
+	if err != nil {
+		return nil, err
+	}
+	return sg.ToUncertain()
+}
+
+// ToUncertainReified converts the semantic query graph into the reified
+// uncertain model of §3.1.1's general case: every relation becomes a
+// fictitious vertex whose candidate labels are the relation phrase's
+// predicate paraphrases with their confidences (capped at maxPreds, then
+// renormalised), connected by fixed-label half-edges. Join it against
+// graph.Reify of the SPARQL query graphs. Unlike ToUncertain, ambiguous
+// relation phrases stay ambiguous instead of collapsing to their top
+// paraphrase.
+func (sg *SemanticGraph) ToUncertainReified(maxPreds int) (*UncertainQuestion, error) {
+	if maxPreds <= 0 {
+		maxPreds = 3
+	}
+	base, err := sg.ToUncertain()
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild with fictitious relation vertices. Argument vertices keep
+	// their positions; relation vertices are appended.
+	uq := &UncertainQuestion{Graph: ugraph.New(base.Graph.NumVertices() + len(sg.Rels)), Sem: sg}
+	for v := 0; v < base.Graph.NumVertices(); v++ {
+		uq.Graph.AddVertex(base.Graph.Labels(v)...)
+	}
+	uq.VertexArg = append(uq.VertexArg, base.VertexArg...)
+	uq.VertexOrigin = append(uq.VertexOrigin, base.VertexOrigin...)
+
+	for _, e := range base.Graph.Edges() {
+		cands := relationCandidates(sg, e.Label)
+		var labels []ugraph.Label
+		if len(cands) == 0 {
+			labels = []ugraph.Label{{Name: e.Label, P: 1}}
+		} else {
+			if len(cands) > maxPreds {
+				cands = cands[:maxPreds]
+			}
+			total := 0.0
+			for _, c := range cands {
+				total += c.P
+			}
+			for _, c := range cands {
+				labels = append(labels, ugraph.Label{Name: c.Predicate, P: c.P / total})
+			}
+		}
+		m := uq.Graph.AddVertex(labels...)
+		uq.VertexArg = append(uq.VertexArg, -1)
+		uq.VertexOrigin = append(uq.VertexOrigin, OriginClass) // fictitious; never slotted (VertexArg -1)
+		uq.Graph.MustAddEdge(e.From, m, graph.ReifiedEdgeLabel)
+		uq.Graph.MustAddEdge(m, e.To, graph.ReifiedEdgeLabel)
+	}
+	if err := uq.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	return uq, nil
+}
+
+// relationCandidates finds the paraphrase candidates whose top predicate was
+// used for the given edge label.
+func relationCandidates(sg *SemanticGraph, top string) []linker.PredicateCandidate {
+	for _, r := range sg.Rels {
+		if len(r.Candidates) > 0 && r.Candidates[0].Predicate == top {
+			return r.Candidates
+		}
+	}
+	return nil
+}
+
+// InterpretReified is Interpret with edge-label uncertainty enabled.
+func InterpretReified(question string, lex *linker.Lexicon) (*UncertainQuestion, error) {
+	sg, err := Extract(question, lex)
+	if err != nil {
+		return nil, err
+	}
+	return sg.ToUncertainReified(3)
+}

@@ -1,0 +1,51 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadNTriples checks the reader never panics and that accepted input
+// round-trips through WriteNTriples.
+func FuzzReadNTriples(f *testing.F) {
+	seeds := []string{
+		"",
+		"<a> <b> <c> .",
+		"<a> <b> \"lit with space\" .",
+		"# comment\n\n<a> <b> <c> .",
+		"<a> <b>",
+		"<a <b> <c> .",
+		"<a> <b> \"unterminated .",
+		"<a> <b> <c> <d> .",
+		"<?v> <b> <c> .",
+		"<> <b> <c> .",
+		strings.Repeat("<a> <b> <c> .\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st := NewStore()
+		n, err := st.ReadNTriples(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if n != st.Len() {
+			// Duplicates legitimately make n >= Len.
+			if n < st.Len() {
+				t.Fatalf("read %d but stored %d", n, st.Len())
+			}
+		}
+		var sb strings.Builder
+		if err := st.WriteNTriples(&sb); err != nil {
+			t.Fatal(err)
+		}
+		st2 := NewStore()
+		if _, err := st2.ReadNTriples(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, sb.String())
+		}
+		if st2.Len() != st.Len() {
+			t.Fatalf("round trip changed store size: %d -> %d", st.Len(), st2.Len())
+		}
+	})
+}

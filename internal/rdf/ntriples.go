@@ -1,0 +1,98 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReadNTriples loads triples from a simplified N-Triples stream into the
+// store: one `<s> <p> <o> .` or `<s> <p> "literal" .` statement per line,
+// with `#` comments and blank lines ignored. IRIs are stored as their local
+// names (the text inside the angle brackets); literals keep their unquoted
+// form. It returns the number of triples added.
+func (st *Store) ReadNTriples(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	n := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		t, err := parseNTripleLine(text)
+		if err != nil {
+			return n, fmt.Errorf("rdf: line %d: %w", line, err)
+		}
+		if err := st.Add(t.S, t.P, t.O); err != nil {
+			return n, fmt.Errorf("rdf: line %d: %w", line, err)
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+func parseNTripleLine(text string) (Triple, error) {
+	text = strings.TrimSuffix(strings.TrimSpace(text), ".")
+	text = strings.TrimSpace(text)
+	var terms []string
+	for len(text) > 0 {
+		text = strings.TrimSpace(text)
+		switch {
+		case strings.HasPrefix(text, "<"):
+			end := strings.IndexByte(text, '>')
+			if end < 0 {
+				return Triple{}, fmt.Errorf("unterminated IRI in %q", text)
+			}
+			terms = append(terms, text[1:end])
+			text = text[end+1:]
+		case strings.HasPrefix(text, `"`):
+			end := strings.IndexByte(text[1:], '"')
+			if end < 0 {
+				return Triple{}, fmt.Errorf("unterminated literal in %q", text)
+			}
+			terms = append(terms, text[1:1+end])
+			text = text[end+2:]
+		default:
+			return Triple{}, fmt.Errorf("unexpected token at %q", text)
+		}
+	}
+	if len(terms) != 3 {
+		return Triple{}, fmt.Errorf("expected 3 terms, found %d", len(terms))
+	}
+	return Triple{terms[0], terms[1], terms[2]}, nil
+}
+
+// WriteNTriples serialises the store in deterministic order using the same
+// simplified syntax ReadNTriples accepts. Terms containing spaces are written
+// as literals, everything else as IRIs.
+func (st *Store) WriteNTriples(w io.Writer) error {
+	ts := st.Triples()
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].S != ts[j].S {
+			return ts[i].S < ts[j].S
+		}
+		if ts[i].P != ts[j].P {
+			return ts[i].P < ts[j].P
+		}
+		return ts[i].O < ts[j].O
+	})
+	bw := bufio.NewWriter(w)
+	for _, t := range ts {
+		if _, err := fmt.Fprintf(bw, "<%s> <%s> %s .\n", t.S, t.P, formatObject(t.O)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func formatObject(o string) string {
+	if strings.ContainsAny(o, " \t") {
+		return `"` + o + `"`
+	}
+	return "<" + o + ">"
+}

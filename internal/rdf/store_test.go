@@ -1,0 +1,228 @@
+package rdf
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func demoStore(t *testing.T) *Store {
+	t.Helper()
+	st := NewStore()
+	st.MustAdd("Alice", "type", "Artist")
+	st.MustAdd("Alice", "graduatedFrom", "Harvard_University")
+	st.MustAdd("Bob", "type", "Politician")
+	st.MustAdd("Bob", "graduatedFrom", "Harvard_University")
+	st.MustAdd("Harvard_University", "type", "University")
+	return st
+}
+
+func TestAddAndContains(t *testing.T) {
+	st := demoStore(t)
+	if st.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", st.Len())
+	}
+	if !st.Contains("Alice", "type", "Artist") {
+		t.Error("missing stored triple")
+	}
+	if st.Contains("Alice", "type", "Politician") {
+		t.Error("phantom triple")
+	}
+	// Duplicate insert is a no-op.
+	st.MustAdd("Alice", "type", "Artist")
+	if st.Len() != 5 {
+		t.Errorf("duplicate changed Len to %d", st.Len())
+	}
+}
+
+func TestAddRejects(t *testing.T) {
+	st := NewStore()
+	if err := st.Add("", "p", "o"); err == nil {
+		t.Error("empty subject accepted")
+	}
+	if err := st.Add("s", "p", "?v"); err == nil {
+		t.Error("variable object accepted")
+	}
+}
+
+func TestMatchAllPatternShapes(t *testing.T) {
+	st := demoStore(t)
+	cases := []struct {
+		s, p, o string
+		want    int
+	}{
+		{"Alice", "type", "Artist", 1},
+		{"Alice", "type", "?o", 1},
+		{"?s", "type", "Artist", 1},
+		{"Alice", "?p", "Harvard_University", 1},
+		{"Alice", "?p", "?o", 2},
+		{"?s", "graduatedFrom", "?o", 2},
+		{"?s", "?p", "Harvard_University", 2},
+		{"?s", "?p", "?o", 5},
+		{"Nobody", "type", "?o", 0},
+		{"?s", "worksAt", "?o", 0},
+	}
+	for _, c := range cases {
+		if got := st.MatchCount(c.s, c.p, c.o); got != c.want {
+			t.Errorf("MatchCount(%q,%q,%q) = %d, want %d", c.s, c.p, c.o, got, c.want)
+		}
+	}
+}
+
+func TestMatchEarlyStop(t *testing.T) {
+	st := demoStore(t)
+	n := 0
+	st.Match("?s", "?p", "?o", func(Triple) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d, want 1", n)
+	}
+	n = 0
+	st.Match("?s", "graduatedFrom", "?o", func(Triple) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("indexed early stop visited %d, want 1", n)
+	}
+}
+
+func TestMatchEmptyStringIsWildcard(t *testing.T) {
+	st := demoStore(t)
+	if got := st.MatchCount("", "type", ""); got != 3 {
+		t.Errorf("MatchCount with empty wildcards = %d, want 3", got)
+	}
+}
+
+func TestSubjects(t *testing.T) {
+	st := demoStore(t)
+	var subs []string
+	st.Subjects(func(s string) bool { subs = append(subs, s); return true })
+	sort.Strings(subs)
+	want := []string{"Alice", "Bob", "Harvard_University"}
+	if len(subs) != len(want) {
+		t.Fatalf("Subjects = %v, want %v", subs, want)
+	}
+	for i := range want {
+		if subs[i] != want[i] {
+			t.Fatalf("Subjects = %v, want %v", subs, want)
+		}
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	st := demoStore(t)
+	st.MustAdd("Alice", "name", "Alice B Smith") // literal with spaces
+	var buf bytes.Buffer
+	if err := st.WriteNTriples(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := NewStore()
+	n, err := st2.ReadNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != st.Len() || st2.Len() != st.Len() {
+		t.Fatalf("round trip: read %d, Len %d, want %d", n, st2.Len(), st.Len())
+	}
+	if !st2.Contains("Alice", "name", "Alice B Smith") {
+		t.Error("literal lost in round trip")
+	}
+}
+
+func TestReadNTriplesSyntax(t *testing.T) {
+	st := NewStore()
+	input := `# comment line
+
+<a> <p> <b> .
+<a> <q> "hello world" .
+`
+	n, err := st.ReadNTriples(strings.NewReader(input))
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	for _, bad := range []string{"<a> <p>", "<a <p> <b> .", `<a> <p> "unterminated .`} {
+		st := NewStore()
+		if _, err := st.ReadNTriples(strings.NewReader(bad)); err == nil {
+			t.Errorf("bad input %q accepted", bad)
+		}
+	}
+}
+
+func TestStoreScales(t *testing.T) {
+	st := NewStore()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		s := "s" + itoa(rng.Intn(2000))
+		p := "p" + itoa(rng.Intn(20))
+		o := "o" + itoa(rng.Intn(2000))
+		st.MustAdd(s, p, o)
+	}
+	total := 0
+	for i := 0; i < 20; i++ {
+		total += st.MatchCount("?s", "p"+itoa(i), "?o")
+	}
+	if total != st.Len() {
+		t.Fatalf("per-predicate counts sum to %d, want %d", total, st.Len())
+	}
+}
+
+// TestMatchAgainstNaiveScan cross-checks every pattern shape against a full
+// scan oracle on random stores.
+func TestMatchAgainstNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 25; iter++ {
+		st := NewStore()
+		var all []Triple
+		seen := map[Triple]bool{}
+		for i := 0; i < 60; i++ {
+			tr := Triple{
+				S: "s" + itoa(rng.Intn(8)),
+				P: "p" + itoa(rng.Intn(4)),
+				O: "o" + itoa(rng.Intn(8)),
+			}
+			st.MustAdd(tr.S, tr.P, tr.O)
+			if !seen[tr] {
+				seen[tr] = true
+				all = append(all, tr)
+			}
+		}
+		pick := func(get func(Triple) string) string {
+			switch rng.Intn(3) {
+			case 0:
+				return "?v"
+			case 1:
+				return get(all[rng.Intn(len(all))])
+			default:
+				return "absent" + itoa(rng.Intn(3))
+			}
+		}
+		for q := 0; q < 40; q++ {
+			s := pick(func(t Triple) string { return t.S })
+			p := pick(func(t Triple) string { return t.P })
+			o := pick(func(t Triple) string { return t.O })
+			want := 0
+			wild := func(x string) bool { return x == "" || x[0] == '?' }
+			for _, tr := range all {
+				if (wild(s) || tr.S == s) && (wild(p) || tr.P == p) && (wild(o) || tr.O == o) {
+					want++
+				}
+			}
+			if got := st.MatchCount(s, p, o); got != want {
+				t.Fatalf("MatchCount(%q,%q,%q) = %d, oracle %d", s, p, o, got, want)
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,208 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+
+	"simjoin/internal/rdf"
+)
+
+// Binding maps variable names (with '?') to the terms they are bound to.
+type Binding map[string]string
+
+// clone copies a binding.
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Execute evaluates the query's basic graph pattern against the store and
+// returns one binding per solution, projected to the SELECT variables
+// (all variables for SELECT *). Solutions are returned in deterministic
+// order. MaxSolutions caps the result size; 0 means unlimited.
+func Execute(st *rdf.Store, q *Query, maxSolutions int) ([]Binding, error) {
+	if len(q.Patterns) == 0 {
+		return nil, fmt.Errorf("sparql: query has no patterns")
+	}
+	// Join ordering: repeatedly pick the pattern with the fewest matches
+	// given the variables bound so far (greedy selectivity ordering).
+	ordered := orderPatterns(st, q.Patterns)
+
+	// Fold the query's own LIMIT into the caller's cap.
+	if q.Limit > 0 && (maxSolutions == 0 || q.Limit < maxSolutions) {
+		maxSolutions = q.Limit
+	}
+	var seen map[string]bool
+	if q.Distinct {
+		seen = make(map[string]bool)
+	}
+
+	var out []Binding
+	var rec func(i int, b Binding) bool
+	rec = func(i int, b Binding) bool {
+		if i == len(ordered) {
+			proj := project(b, q)
+			if q.Distinct {
+				key := bindingKey(proj, q)
+				if seen[key] {
+					return true
+				}
+				seen[key] = true
+			}
+			out = append(out, proj)
+			return maxSolutions == 0 || len(out) < maxSolutions
+		}
+		tp := ordered[i]
+		s, p, o := resolveTerm(tp.S, b), resolveTerm(tp.P, b), resolveTerm(tp.O, b)
+		cont := true
+		st.Match(s, p, o, func(t rdf.Triple) bool {
+			nb := b
+			changed := false
+			bind := func(term Term, val string) bool {
+				if !term.IsVar() {
+					return true
+				}
+				if cur, ok := nb[term.Value]; ok {
+					return cur == val
+				}
+				if !changed {
+					nb = nb.clone()
+					changed = true
+				}
+				nb[term.Value] = val
+				return true
+			}
+			if bind(tp.S, t.S) && bind(tp.P, t.P) && bind(tp.O, t.O) {
+				if !rec(i+1, nb) {
+					cont = false
+					return false
+				}
+			}
+			return true
+		})
+		return cont
+	}
+	rec(0, Binding{})
+	sortBindings(out, q)
+	return out, nil
+}
+
+// resolveTerm substitutes a bound variable, otherwise returns the pattern
+// text ('?'-prefixed variables remain wildcards for the store).
+func resolveTerm(t Term, b Binding) string {
+	if t.IsVar() {
+		if v, ok := b[t.Value]; ok {
+			return v
+		}
+		return t.Value
+	}
+	return t.Value
+}
+
+// orderPatterns sorts patterns by static selectivity (fewest store matches
+// first); patterns sharing variables with already-placed ones are preferred
+// to keep intermediate results small.
+func orderPatterns(st *rdf.Store, pats []TriplePattern) []TriplePattern {
+	type scored struct {
+		tp    TriplePattern
+		count int
+	}
+	rest := make([]scored, len(pats))
+	for i, tp := range pats {
+		rest[i] = scored{tp, st.MatchCount(termWild(tp.S), termWild(tp.P), termWild(tp.O))}
+	}
+	var ordered []TriplePattern
+	bound := map[string]bool{}
+	for len(rest) > 0 {
+		best := -1
+		for i, s := range rest {
+			if best < 0 {
+				best = i
+				continue
+			}
+			si, sb := rest[i].count, rest[best].count
+			ci, cb := connected(s.tp, bound), connected(rest[best].tp, bound)
+			if len(ordered) > 0 && ci != cb {
+				if ci {
+					best = i
+				}
+				continue
+			}
+			if si < sb {
+				best = i
+			}
+		}
+		tp := rest[best].tp
+		ordered = append(ordered, tp)
+		for _, t := range []Term{tp.S, tp.P, tp.O} {
+			if t.IsVar() {
+				bound[t.Value] = true
+			}
+		}
+		rest = append(rest[:best], rest[best+1:]...)
+	}
+	return ordered
+}
+
+func connected(tp TriplePattern, bound map[string]bool) bool {
+	for _, t := range []Term{tp.S, tp.P, tp.O} {
+		if t.IsVar() && bound[t.Value] {
+			return true
+		}
+	}
+	return false
+}
+
+func termWild(t Term) string {
+	if t.IsVar() {
+		return t.Value
+	}
+	return t.Value
+}
+
+// project restricts a full binding to the query's SELECT list.
+func project(b Binding, q *Query) Binding {
+	vars := q.Vars
+	if len(vars) == 1 && vars[0] == "*" {
+		vars = q.Variables()
+	}
+	out := make(Binding, len(vars))
+	for _, v := range vars {
+		if val, ok := b[v]; ok {
+			out[v] = val
+		}
+	}
+	return out
+}
+
+// bindingKey canonicalises a projected binding for DISTINCT comparison.
+func bindingKey(b Binding, q *Query) string {
+	vars := q.Vars
+	if len(vars) == 1 && vars[0] == "*" {
+		vars = q.Variables()
+	}
+	var sb []byte
+	for _, v := range vars {
+		sb = append(sb, b[v]...)
+		sb = append(sb, 0)
+	}
+	return string(sb)
+}
+
+func sortBindings(bs []Binding, q *Query) {
+	vars := q.Vars
+	if len(vars) == 1 && vars[0] == "*" {
+		vars = q.Variables()
+	}
+	sort.Slice(bs, func(i, j int) bool {
+		for _, v := range vars {
+			if bs[i][v] != bs[j][v] {
+				return bs[i][v] < bs[j][v]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,44 @@
+package sparql
+
+import "testing"
+
+// FuzzParse exercises the parser with hostile inputs; without -fuzz the seed
+// corpus runs as regular tests. Invariants: no panic, and anything that
+// parses must re-parse from its own String() to an equivalent query.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT",
+		"SELECT ?x WHERE { ?x type Artist . }",
+		"SELECT DISTINCT ?x ?y WHERE { ?x p ?y } LIMIT 10",
+		"select * where { <a> <b> \"lit with space\" }",
+		"SELECT ?x WHERE { ?x type Artist",
+		"SELECT ?x WHERE { } trailing",
+		"SELECT ?x WHERE { ?x <unterminated",
+		"SELECT ?x WHERE { ?x \"pred\" o }",
+		"SELECT ?x WHERE { ?x p o } LIMIT -3",
+		"SELECT ?x WHERE { ?x p o . . . }",
+		"SELECT ?x { a b c . d e f . g h i }",
+		"{}{}{}... SELECT",
+		"SELECT \x00 WHERE { a b c }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", q.String(), input, err)
+		}
+		if q2.String() != q.String() {
+			t.Fatalf("unstable round trip: %q -> %q", q.String(), q2.String())
+		}
+		if len(q.Patterns) == 0 {
+			t.Fatalf("parsed query with no patterns from %q", input)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package sparql
+
+import (
+	"fmt"
+
+	"simjoin/internal/graph"
+)
+
+// VertexRole classifies query-graph vertices for template generation: the
+// slots of a template are exactly the Entity and Class vertices (§2.1
+// Step 3), while variables stay variables.
+type VertexRole int
+
+const (
+	// RoleVariable marks a SPARQL variable vertex (wildcard label).
+	RoleVariable VertexRole = iota
+	// RoleClass marks a vertex used as the object of a type edge.
+	RoleClass
+	// RoleEntity marks any other IRI or literal vertex.
+	RoleEntity
+)
+
+// TypePredicate is the predicate treated as rdf:type when classifying
+// vertices.
+const TypePredicate = "type"
+
+// QueryGraph is the certain labeled graph built from a SPARQL basic graph
+// pattern: one vertex per distinct subject/object term (variables keep their
+// wildcard '?' labels) and one directed labeled edge per triple pattern.
+type QueryGraph struct {
+	// Graph is the joinable certain graph.
+	Graph *graph.Graph
+	// Terms maps vertex index to the originating term.
+	Terms []Term
+	// Roles classifies each vertex.
+	Roles []VertexRole
+	// Query is the source query.
+	Query *Query
+}
+
+// BuildQueryGraph translates a parsed query into its graph form. Variable
+// predicates become wildcard edge labels. An error is returned if a subject
+// or object term repeats with conflicting kinds.
+func BuildQueryGraph(q *Query) (*QueryGraph, error) {
+	qg := &QueryGraph{Graph: graph.New(len(q.Patterns) + 1), Query: q}
+	index := make(map[string]int)
+
+	vertex := func(t Term) (int, error) {
+		key := t.String()
+		if v, ok := index[key]; ok {
+			if qg.Terms[v].Kind != t.Kind {
+				return 0, fmt.Errorf("sparql: term %q used with conflicting kinds", key)
+			}
+			return v, nil
+		}
+		label := t.Value
+		v := qg.Graph.AddVertex(label)
+		index[key] = v
+		qg.Terms = append(qg.Terms, t)
+		role := RoleEntity
+		if t.IsVar() {
+			role = RoleVariable
+		}
+		qg.Roles = append(qg.Roles, role)
+		return v, nil
+	}
+
+	for _, tp := range q.Patterns {
+		s, err := vertex(tp.S)
+		if err != nil {
+			return nil, err
+		}
+		o, err := vertex(tp.O)
+		if err != nil {
+			return nil, err
+		}
+		if s == o {
+			return nil, fmt.Errorf("sparql: self-referential pattern %q unsupported", tp.String())
+		}
+		label := tp.P.Value
+		if err := qg.Graph.AddEdge(s, o, label); err != nil {
+			return nil, fmt.Errorf("sparql: %w (duplicate pattern %q?)", err, tp.String())
+		}
+		if tp.P.Kind == IRI && tp.P.Value == TypePredicate && !tp.O.IsVar() {
+			qg.Roles[o] = RoleClass
+		}
+	}
+	return qg, nil
+}
+
+// MustBuildQueryGraph is BuildQueryGraph that panics on error.
+func MustBuildQueryGraph(q *Query) *QueryGraph {
+	qg, err := BuildQueryGraph(q)
+	if err != nil {
+		panic(err)
+	}
+	return qg
+}
+
+// ParseToGraph parses a query string and builds its query graph in one step.
+func ParseToGraph(input string) (*QueryGraph, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return BuildQueryGraph(q)
+}
+
+// RelationCount returns the number of triple patterns excluding type
+// constraints — the paper's "number of relations k" of Fig. 17.
+func (qg *QueryGraph) RelationCount() int {
+	k := 0
+	for _, tp := range qg.Query.Patterns {
+		if tp.P.Kind == IRI && tp.P.Value == TypePredicate {
+			continue
+		}
+		k++
+	}
+	return k
+}

@@ -1,0 +1,303 @@
+// Package sparql implements the SPARQL subset the paper works with: SELECT
+// queries over OPT-free basic graph patterns (footnote 3). It provides a
+// parser, an execution engine over the rdf.Store substrate, and the
+// translation of a query into the certain labeled graph joined by SimJ
+// (§2.1 Step 2, Fig. 3).
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind distinguishes the three term categories of a pattern.
+type TermKind int
+
+const (
+	// Var is a SPARQL variable (?name).
+	Var TermKind = iota
+	// IRI is a resource identifier, stored by its local name.
+	IRI
+	// Literal is a quoted literal value.
+	Literal
+)
+
+// Term is one position of a triple pattern.
+type Term struct {
+	Kind  TermKind
+	Value string // without '?' sigil stripped: variables keep it ("?x")
+}
+
+// String renders the term in query syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case Var:
+		return t.Value
+	case Literal:
+		return `"` + t.Value + `"`
+	default:
+		return t.Value
+	}
+}
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Kind == Var }
+
+// TriplePattern is one basic graph pattern statement.
+type TriplePattern struct {
+	S, P, O Term
+}
+
+// String renders the pattern in query syntax.
+func (tp TriplePattern) String() string {
+	return tp.S.String() + " " + tp.P.String() + " " + tp.O.String() + " ."
+}
+
+// Query is a parsed SELECT query over a basic graph pattern.
+type Query struct {
+	// Vars lists the projected variables in declaration order; a single "*"
+	// entry means all variables.
+	Vars []string
+	// Patterns is the WHERE clause's basic graph pattern.
+	Patterns []TriplePattern
+	// Distinct deduplicates solutions (SELECT DISTINCT).
+	Distinct bool
+	// Limit caps the number of solutions; 0 means unlimited.
+	Limit int
+}
+
+// String re-serialises the query.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	b.WriteString(strings.Join(q.Vars, " "))
+	b.WriteString(" WHERE { ")
+	for _, p := range q.Patterns {
+		b.WriteString(p.String())
+		b.WriteString(" ")
+	}
+	b.WriteString("}")
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}
+
+// Variables returns the distinct variables mentioned anywhere in the
+// patterns, in first-appearance order.
+func (q *Query) Variables() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range q.Patterns {
+		for _, t := range []Term{p.S, p.P, p.O} {
+			if t.IsVar() && !seen[t.Value] {
+				seen[t.Value] = true
+				out = append(out, t.Value)
+			}
+		}
+	}
+	return out
+}
+
+// Parse parses the supported SPARQL subset:
+//
+//	SELECT ?x ?y WHERE { ?x type Artist . ?x graduatedFrom <Harvard_University> . }
+//
+// Terms may be bare local names, <bracketed> IRIs, "quoted" literals, or
+// ?variables. Statements are separated by '.'; the final '.' is optional.
+// Keywords are case-insensitive.
+func Parse(input string) (*Query, error) {
+	toks, err := tokenize(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseQuery()
+}
+
+// MustParse is Parse that panics on error, for fixed queries in tests and
+// generators.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type token struct {
+	text    string
+	literal bool // was a "quoted" literal
+}
+
+func tokenize(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '{' || c == '}' || c == '.':
+			toks = append(toks, token{text: string(c)})
+			i++
+		case c == '<':
+			end := strings.IndexByte(input[i:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("sparql: unterminated IRI at offset %d", i)
+			}
+			toks = append(toks, token{text: input[i+1 : i+end]})
+			i += end + 1
+		case c == '"':
+			end := strings.IndexByte(input[i+1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("sparql: unterminated literal at offset %d", i)
+			}
+			toks = append(toks, token{text: input[i+1 : i+1+end], literal: true})
+			i += end + 2
+		default:
+			j := i
+			for j < len(input) && !strings.ContainsRune(" \t\n\r{}.", rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{text: input[i:j]})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t, ok := p.next()
+	if !ok || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("sparql: expected %q, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if t, ok := p.peek(); ok && strings.EqualFold(t.text, "DISTINCT") {
+		q.Distinct = true
+		p.pos++
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("sparql: unexpected end of query after SELECT")
+		}
+		if strings.EqualFold(t.text, "WHERE") {
+			p.pos++
+			break
+		}
+		if t.text == "{" {
+			break // WHERE keyword omitted
+		}
+		if t.text != "*" && !strings.HasPrefix(t.text, "?") {
+			return nil, fmt.Errorf("sparql: bad projection %q", t.text)
+		}
+		q.Vars = append(q.Vars, t.text)
+		p.pos++
+	}
+	if len(q.Vars) == 0 {
+		return nil, fmt.Errorf("sparql: no projected variables")
+	}
+	if t, ok := p.next(); !ok || t.text != "{" {
+		return nil, fmt.Errorf("sparql: expected '{', got %q", t.text)
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("sparql: unterminated WHERE clause")
+		}
+		if t.text == "}" {
+			p.pos++
+			break
+		}
+		tp, err := p.parseTriple()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, tp)
+		if t, ok := p.peek(); ok && t.text == "." {
+			p.pos++
+		}
+	}
+	if len(q.Patterns) == 0 {
+		return nil, fmt.Errorf("sparql: empty basic graph pattern")
+	}
+	if t, ok := p.peek(); ok && strings.EqualFold(t.text, "LIMIT") {
+		p.pos++
+		lt, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("sparql: LIMIT without a count")
+		}
+		n := 0
+		for _, r := range lt.text {
+			if r < '0' || r > '9' {
+				return nil, fmt.Errorf("sparql: bad LIMIT %q", lt.text)
+			}
+			n = n*10 + int(r-'0')
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("sparql: LIMIT must be positive")
+		}
+		q.Limit = n
+	}
+	if t, ok := p.next(); ok {
+		return nil, fmt.Errorf("sparql: trailing token %q", t.text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseTriple() (TriplePattern, error) {
+	var terms [3]Term
+	for i := 0; i < 3; i++ {
+		t, ok := p.next()
+		if !ok || t.text == "}" || t.text == "." {
+			return TriplePattern{}, fmt.Errorf("sparql: incomplete triple pattern")
+		}
+		terms[i] = makeTerm(t)
+	}
+	if terms[1].Kind == Literal {
+		return TriplePattern{}, fmt.Errorf("sparql: literal predicate %q", terms[1].Value)
+	}
+	return TriplePattern{S: terms[0], P: terms[1], O: terms[2]}, nil
+}
+
+func makeTerm(t token) Term {
+	switch {
+	case t.literal:
+		return Term{Kind: Literal, Value: t.text}
+	case strings.HasPrefix(t.text, "?"):
+		return Term{Kind: Var, Value: t.text}
+	default:
+		return Term{Kind: IRI, Value: t.text}
+	}
+}

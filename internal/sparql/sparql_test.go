@@ -1,0 +1,287 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"simjoin/internal/rdf"
+)
+
+const paperQuery = `SELECT ?person WHERE {
+	?person type Artist .
+	?person graduatedFrom Harvard_University .
+}`
+
+func TestParsePaperQuery(t *testing.T) {
+	q, err := Parse(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Vars) != 1 || q.Vars[0] != "?person" {
+		t.Errorf("Vars = %v", q.Vars)
+	}
+	if len(q.Patterns) != 2 {
+		t.Fatalf("Patterns = %d, want 2", len(q.Patterns))
+	}
+	p0 := q.Patterns[0]
+	if !p0.S.IsVar() || p0.P.Value != "type" || p0.O.Value != "Artist" {
+		t.Errorf("pattern 0 = %v", p0)
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	good := []string{
+		`SELECT * WHERE { ?x type Artist }`,                      // no trailing dot, star
+		`select ?x where { ?x <type> <Artist> . }`,               // lowercase keywords, IRIs
+		`SELECT ?x ?y WHERE { ?x knows ?y . ?y name "Bob Q" . }`, // literal with space
+		`SELECT ?x { ?x type Artist }`,                           // WHERE omitted
+	}
+	for _, s := range good {
+		if _, err := Parse(s); err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+		}
+	}
+	bad := []string{
+		``,
+		`WHERE { ?x type Artist }`,
+		`SELECT WHERE { ?x type Artist }`,
+		`SELECT x WHERE { ?x type Artist }`,
+		`SELECT ?x WHERE { }`,
+		`SELECT ?x WHERE { ?x type }`,
+		`SELECT ?x WHERE { ?x type Artist`,
+		`SELECT ?x WHERE { ?x "lit" Artist }`,
+		`SELECT ?x WHERE { ?x type Artist } trailing`,
+		`SELECT ?x WHERE { ?x <type Artist }`,
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	q := MustParse(paperQuery)
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse: %v (%q)", err, q.String())
+	}
+	if q2.String() != q.String() {
+		t.Errorf("round trip mismatch:\n%s\n%s", q.String(), q2.String())
+	}
+}
+
+func demoStore() *rdf.Store {
+	st := rdf.NewStore()
+	st.MustAdd("Alice", "type", "Artist")
+	st.MustAdd("Alice", "graduatedFrom", "Harvard_University")
+	st.MustAdd("Carol", "type", "Artist")
+	st.MustAdd("Carol", "graduatedFrom", "MIT")
+	st.MustAdd("Bob", "type", "Politician")
+	st.MustAdd("Bob", "graduatedFrom", "Harvard_University")
+	st.MustAdd("Harvard_University", "type", "University")
+	st.MustAdd("MIT", "type", "University")
+	return st
+}
+
+func TestExecuteSimple(t *testing.T) {
+	st := demoStore()
+	q := MustParse(paperQuery)
+	res, err := Execute(st, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0]["?person"] != "Alice" {
+		t.Fatalf("res = %v, want [map[?person:Alice]]", res)
+	}
+}
+
+func TestExecuteJoinAcrossPatterns(t *testing.T) {
+	st := demoStore()
+	q := MustParse(`SELECT ?p ?u WHERE { ?p graduatedFrom ?u . ?u type University . }`)
+	res, err := Execute(st, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d solutions, want 3: %v", len(res), res)
+	}
+	// Deterministic order: sorted by ?p then ?u.
+	if res[0]["?p"] != "Alice" || res[1]["?p"] != "Bob" || res[2]["?p"] != "Carol" {
+		t.Errorf("order wrong: %v", res)
+	}
+}
+
+func TestExecuteStarProjection(t *testing.T) {
+	st := demoStore()
+	q := MustParse(`SELECT * WHERE { ?p type Artist . ?p graduatedFrom ?u . }`)
+	res, err := Execute(st, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d, want 2", len(res))
+	}
+	for _, b := range res {
+		if b["?p"] == "" || b["?u"] == "" {
+			t.Errorf("star projection missing vars: %v", b)
+		}
+	}
+}
+
+func TestExecuteMaxSolutions(t *testing.T) {
+	st := demoStore()
+	q := MustParse(`SELECT ?s WHERE { ?s ?p ?o }`)
+	res, err := Execute(st, q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("cap ignored: %d", len(res))
+	}
+}
+
+func TestExecuteNoSolutions(t *testing.T) {
+	st := demoStore()
+	q := MustParse(`SELECT ?x WHERE { ?x type Spaceship }`)
+	res, err := Execute(st, q, 0)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestExecuteVariablePredicate(t *testing.T) {
+	st := demoStore()
+	q := MustParse(`SELECT ?pred WHERE { Alice ?pred Harvard_University }`)
+	res, err := Execute(st, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0]["?pred"] != "graduatedFrom" {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestDistinctAndLimit(t *testing.T) {
+	st := demoStore()
+	// ?p graduatedFrom ?u . ?u type University: 3 solutions; projecting only
+	// ?u gives duplicates without DISTINCT.
+	q := MustParse(`SELECT ?u WHERE { ?p graduatedFrom ?u . ?u type University . }`)
+	res, err := Execute(st, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("plain projection = %d rows, want 3", len(res))
+	}
+	qd := MustParse(`SELECT DISTINCT ?u WHERE { ?p graduatedFrom ?u . ?u type University . }`)
+	if !qd.Distinct {
+		t.Fatal("DISTINCT not parsed")
+	}
+	res, err = Execute(st, qd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("DISTINCT projection = %d rows, want 2", len(res))
+	}
+
+	ql := MustParse(`SELECT ?s WHERE { ?s ?p ?o } LIMIT 3`)
+	if ql.Limit != 3 {
+		t.Fatalf("Limit = %d", ql.Limit)
+	}
+	res, err = Execute(st, ql, 0)
+	if err != nil || len(res) != 3 {
+		t.Fatalf("LIMIT ignored: %d rows, err %v", len(res), err)
+	}
+	// String round trip preserves both.
+	q2 := MustParse(MustParse(`SELECT DISTINCT ?s WHERE { ?s ?p ?o } LIMIT 7`).String())
+	if !q2.Distinct || q2.Limit != 7 {
+		t.Errorf("round trip lost modifiers: %+v", q2)
+	}
+	// Bad limits rejected.
+	for _, bad := range []string{
+		`SELECT ?s WHERE { ?s p o } LIMIT`,
+		`SELECT ?s WHERE { ?s p o } LIMIT abc`,
+		`SELECT ?s WHERE { ?s p o } LIMIT 0`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestBuildQueryGraph(t *testing.T) {
+	qg, err := ParseToGraph(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := qg.Graph
+	// Vertices: ?person, Artist, Harvard_University.
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("|V|=%d |E|=%d, want 3/2", g.NumVertices(), g.NumEdges())
+	}
+	if g.VertexLabel(0) != "?person" {
+		t.Errorf("vertex 0 label = %q", g.VertexLabel(0))
+	}
+	if qg.Roles[0] != RoleVariable {
+		t.Errorf("role 0 = %v, want variable", qg.Roles[0])
+	}
+	if qg.Roles[1] != RoleClass { // Artist is object of type
+		t.Errorf("role of Artist = %v, want class", qg.Roles[1])
+	}
+	if qg.Roles[2] != RoleEntity {
+		t.Errorf("role of Harvard_University = %v, want entity", qg.Roles[2])
+	}
+	if l, ok := g.EdgeLabel(0, 1); !ok || l != "type" {
+		t.Errorf("edge (0,1) = %q,%v", l, ok)
+	}
+}
+
+func TestBuildQueryGraphSharedVertices(t *testing.T) {
+	qg, err := ParseToGraph(`SELECT ?f WHERE { ?f type Film . ?f director Coppola . Coppola type Director . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ?f, Film, Coppola, Director = 4 vertices, 3 edges; Coppola shared.
+	if qg.Graph.NumVertices() != 4 || qg.Graph.NumEdges() != 3 {
+		t.Fatalf("|V|=%d |E|=%d", qg.Graph.NumVertices(), qg.Graph.NumEdges())
+	}
+	if qg.RelationCount() != 1 {
+		t.Errorf("RelationCount = %d, want 1 (director only)", qg.RelationCount())
+	}
+}
+
+func TestBuildQueryGraphErrors(t *testing.T) {
+	if _, err := ParseToGraph(`SELECT ?x WHERE { ?x p ?x }`); err == nil {
+		t.Error("self-loop pattern accepted")
+	}
+	if _, err := ParseToGraph(`SELECT ?x WHERE { ?x p A . ?x p A . }`); err == nil {
+		t.Error("duplicate pattern accepted")
+	}
+}
+
+func TestQueryGraphWildcardPredicate(t *testing.T) {
+	qg, err := ParseToGraph(`SELECT ?x WHERE { ?x ?rel Paris }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := qg.Graph.EdgeLabel(0, 1)
+	if !ok || !strings.HasPrefix(l, "?") {
+		t.Errorf("variable predicate edge label = %q", l)
+	}
+}
+
+func TestVariables(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?a p ?b . ?b q ?a . ?c r X . }`)
+	vars := q.Variables()
+	want := []string{"?a", "?b", "?c"}
+	if len(vars) != 3 {
+		t.Fatalf("Variables = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Variables = %v, want %v", vars, want)
+		}
+	}
+}

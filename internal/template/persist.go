@@ -1,0 +1,90 @@
+package template
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"simjoin/internal/sparql"
+)
+
+// persisted mirrors Template for JSON serialisation; the SPARQL query is
+// stored in its textual form and re-parsed on load (slot placeholders are
+// plain IRIs, so the round trip is lossless).
+type persisted struct {
+	NL      string   `json:"nl"`
+	Tokens  []string `json:"tokens"`
+	Query   string   `json:"query"`
+	Slots   []Slot   `json:"slots"`
+	Support int      `json:"support"`
+}
+
+// Save serialises the store as a JSON array, ordered by descending support.
+func (s *Store) Save(w io.Writer) error {
+	var out []persisted
+	for _, t := range s.Templates() {
+		out = append(out, persisted{
+			NL:      t.NL,
+			Tokens:  t.Tokens,
+			Query:   t.Query.String(),
+			Slots:   t.Slots,
+			Support: t.Support,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadStore reads a store previously written by Save.
+func LoadStore(r io.Reader) (*Store, error) {
+	var in []persisted
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("template: load: %w", err)
+	}
+	s := NewStore()
+	for i, p := range in {
+		q, err := sparql.Parse(p.Query)
+		if err != nil {
+			return nil, fmt.Errorf("template: load entry %d: %w", i, err)
+		}
+		t := &Template{
+			NL:      p.NL,
+			Tokens:  p.Tokens,
+			Query:   q,
+			Slots:   p.Slots,
+			Support: p.Support,
+		}
+		if err := t.validate(); err != nil {
+			return nil, fmt.Errorf("template: load entry %d: %w", i, err)
+		}
+		if cur, ok := s.byKey[t.Key()]; ok {
+			cur.Support += t.Support
+			continue
+		}
+		s.byKey[t.Key()] = t
+		s.all = append(s.all, t)
+	}
+	return s, nil
+}
+
+// validate checks internal consistency of a deserialised template.
+func (t *Template) validate() error {
+	if len(t.Tokens) == 0 || t.Query == nil || len(t.Query.Patterns) == 0 {
+		return fmt.Errorf("empty template")
+	}
+	for si, s := range t.Slots {
+		if s.NLIndex < 0 || s.NLIndex >= len(t.Tokens) {
+			return fmt.Errorf("slot %d NL index %d out of range", si, s.NLIndex)
+		}
+		if len(s.Positions) == 0 {
+			return fmt.Errorf("slot %d binds no query position", si)
+		}
+		for _, pos := range s.Positions {
+			if pos.Pattern < 0 || pos.Pattern >= len(t.Query.Patterns) {
+				return fmt.Errorf("slot %d pattern index %d out of range", si, pos.Pattern)
+			}
+		}
+	}
+	return nil
+}

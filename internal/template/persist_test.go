@@ -1,0 +1,84 @@
+package template
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	qg, uq, mapping := buildPair(t)
+	tpl, err := Generate(qg, uq, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore()
+	st.Add(tpl)
+	st.Add(tpl) // support 2
+
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != st.Len() {
+		t.Fatalf("loaded %d templates, want %d", loaded.Len(), st.Len())
+	}
+	lt := loaded.Templates()[0]
+	ot := st.Templates()[0]
+	if lt.NL != ot.NL || lt.Query.String() != ot.Query.String() || lt.Support != ot.Support {
+		t.Fatalf("round trip mismatch:\n%s (sup %d)\n%s (sup %d)", lt, lt.Support, ot, ot.Support)
+	}
+	// The loaded store must be functional end to end.
+	lex := testLexicon()
+	q, _, err := loaded.Translate("Which scientist graduated from Grand Elm University?", lex, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.String(), "Grand_Elm_University") {
+		t.Errorf("loaded store translation: %s", q)
+	}
+}
+
+func TestLoadStoreRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`[{"nl":"x","tokens":[],"query":"SELECT ?x WHERE { ?x p O }","slots":[],"support":1}]`,                                                      // empty tokens
+		`[{"nl":"x","tokens":["a"],"query":"garbage","slots":[],"support":1}]`,                                                                      // bad query
+		`[{"nl":"x","tokens":["a"],"query":"SELECT ?x WHERE { ?x p O }","slots":[{"Role":0,"NLIndex":9,"Positions":[{"Pattern":0}]}],"support":1}]`, // slot index out of range
+		`[{"nl":"x","tokens":["a"],"query":"SELECT ?x WHERE { ?x p O }","slots":[{"Role":0,"NLIndex":0,"Positions":[]}],"support":1}]`,              // no positions
+	}
+	for i, c := range cases {
+		if _, err := LoadStore(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLoadStoreMergesDuplicates(t *testing.T) {
+	qg, uq, mapping := buildPair(t)
+	tpl, _ := Generate(qg, uq, mapping)
+	st := NewStore()
+	st.Add(tpl)
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the single entry manually.
+	doubled := strings.Replace(buf.String(), "[", "[", 1)
+	doubled = "[" + strings.TrimSuffix(strings.TrimPrefix(strings.TrimSpace(doubled), "["), "]") + "," +
+		strings.TrimSuffix(strings.TrimPrefix(strings.TrimSpace(buf.String()), "["), "]") + "]"
+	loaded, err := LoadStore(strings.NewReader(doubled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatalf("duplicates not merged: %d", loaded.Len())
+	}
+	if loaded.Templates()[0].Support != 2 {
+		t.Fatalf("support = %d, want 2", loaded.Templates()[0].Support)
+	}
+}

@@ -1,0 +1,280 @@
+package template
+
+import (
+	"strings"
+	"testing"
+
+	"simjoin/internal/ged"
+	"simjoin/internal/linker"
+	"simjoin/internal/nlq"
+	"simjoin/internal/rdf"
+	"simjoin/internal/sparql"
+)
+
+func testLexicon() *linker.Lexicon {
+	lex := linker.NewLexicon()
+	lex.AddEntity("CIT", "CIT_University", "University", 0.8)
+	lex.AddEntity("CIT", "CIT_Group", "Company", 0.2)
+	lex.AddEntity("Grand Elm University", "Grand_Elm_University", "University", 1.0)
+	lex.AddEntity("Harvard University", "Harvard_University", "University", 1.0)
+	lex.AddEntity("Coppola", "Francis_Ford_Coppola", "Actor", 1.0)
+	lex.AddRelation("graduated from", "graduatedFrom", 1.0)
+	lex.AddRelation("directed by", "director", 1.0)
+	lex.AddClass("politician", "Politician")
+	lex.AddClass("scientist", "Scientist")
+	lex.AddClass("movie", "Film")
+	lex.AddClass("film", "Film")
+	return lex
+}
+
+// buildPair constructs the paper's running pair: the politician question and
+// the CIT SPARQL query (an exact twin so the mapping is clean).
+func buildPair(t *testing.T) (*sparql.QueryGraph, *nlq.UncertainQuestion, ged.Mapping) {
+	t.Helper()
+	qg, err := sparql.ParseToGraph(`SELECT ?x WHERE { ?x type Politician . ?x graduatedFrom CIT_University . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uq, err := nlq.Interpret("Which politician graduated from CIT?", testLexicon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, _ := uq.Graph.MostLikelyWorld() // CIT resolves to CIT_University
+	d, mapping := ged.DistanceMapping(qg.Graph, world)
+	if d != 0 {
+		t.Fatalf("expected exact twin, ged = %d\nq=%v\nw=%v", d, qg.Graph, world)
+	}
+	return qg, uq, mapping
+}
+
+func TestGenerateTemplate(t *testing.T) {
+	qg, uq, mapping := buildPair(t)
+	tpl, err := Generate(qg, uq, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tpl.Slots) != 2 {
+		t.Fatalf("slots = %d, want 2 (class + entity): %s", len(tpl.Slots), tpl)
+	}
+	if !strings.Contains(tpl.NL, nlq.Slot) {
+		t.Errorf("NL lacks slots: %q", tpl.NL)
+	}
+	// The SPARQL side must have both the class and the entity slotted.
+	qs := tpl.Query.String()
+	if strings.Contains(qs, "Politician") || strings.Contains(qs, "CIT_University") {
+		t.Errorf("query not fully slotted: %s", qs)
+	}
+	if !strings.Contains(qs, "__SLOT0__") || !strings.Contains(qs, "__SLOT1__") {
+		t.Errorf("placeholders missing: %s", qs)
+	}
+	// Roles: one class slot, one entity slot.
+	roles := map[SlotRole]int{}
+	for _, s := range tpl.Slots {
+		roles[s.Role]++
+	}
+	if roles[SlotClass] != 1 || roles[SlotEntity] != 1 {
+		t.Errorf("slot roles = %v", roles)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	qg, uq, mapping := buildPair(t)
+	if _, err := Generate(qg, uq, mapping[:1]); err == nil {
+		t.Error("short mapping accepted")
+	}
+	// A mapping that deletes every entity/class vertex yields no slots.
+	all := make(ged.Mapping, qg.Graph.NumVertices())
+	for i := range all {
+		all[i] = ged.Deleted
+	}
+	if _, err := Generate(qg, uq, all); err == nil {
+		t.Error("slotless template accepted")
+	}
+}
+
+func TestTemplateMatchAndInstantiate(t *testing.T) {
+	qg, uq, mapping := buildPair(t)
+	tpl, err := Generate(qg, uq, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lex := testLexicon()
+	m := tpl.MatchQuestion("Which scientist graduated from Grand Elm University?", lex)
+	if m.TED != 0 {
+		t.Errorf("TED = %d, want 0 for same-shape question", m.TED)
+	}
+	if m.Phi < 0.99 {
+		t.Errorf("phi = %v, want ~1", m.Phi)
+	}
+	q, err := m.Instantiate(lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := q.String()
+	if !strings.Contains(qs, "Scientist") || !strings.Contains(qs, "Grand_Elm_University") {
+		t.Errorf("instantiated query wrong: %s", qs)
+	}
+	if strings.Contains(qs, "__SLOT") {
+		t.Errorf("placeholders left: %s", qs)
+	}
+}
+
+func TestInstantiateFailsOnUnknownPhrase(t *testing.T) {
+	qg, uq, mapping := buildPair(t)
+	tpl, _ := Generate(qg, uq, mapping)
+	lex := testLexicon()
+	m := tpl.MatchQuestion("Which wizard graduated from Hogwarts?", lex)
+	if _, err := m.Instantiate(lex); err == nil {
+		t.Error("unknown class/entity instantiated")
+	}
+}
+
+func TestStoreDedupAndBestMatch(t *testing.T) {
+	qg, uq, mapping := buildPair(t)
+	tpl1, _ := Generate(qg, uq, mapping)
+	tpl2, _ := Generate(qg, uq, mapping)
+	st := NewStore()
+	st.Add(tpl1)
+	canonical := st.Add(tpl2)
+	if st.Len() != 1 {
+		t.Fatalf("dedup failed: %d templates", st.Len())
+	}
+	if canonical.Support != 2 {
+		t.Errorf("support = %d, want 2", canonical.Support)
+	}
+
+	// Add a structurally different template and check BestMatch picks right.
+	qg2, err := sparql.ParseToGraph(`SELECT ?x WHERE { ?x type Film . ?x director Francis_Ford_Coppola . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uq2, err := nlq.Interpret("Which movie directed by Coppola?", testLexicon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	world2, _ := uq2.Graph.MostLikelyWorld()
+	_, mapping2 := ged.DistanceMapping(qg2.Graph, world2)
+	tplFilm, err := Generate(qg2, uq2, mapping2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Add(tplFilm)
+
+	lex := testLexicon()
+	m, err := st.BestMatch("Which politician graduated from Harvard University?", lex, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Template.Query.String(), "graduatedFrom") {
+		t.Errorf("BestMatch chose wrong template: %s", m.Template)
+	}
+
+	q, _, err := st.Translate("Which scientist graduated from CIT?", lex, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.String(), "CIT_University") {
+		t.Errorf("translation picked wrong entity: %s", q)
+	}
+}
+
+func TestBestMatchPhiThreshold(t *testing.T) {
+	qg, uq, mapping := buildPair(t)
+	tpl, _ := Generate(qg, uq, mapping)
+	st := NewStore()
+	st.Add(tpl)
+	lex := testLexicon()
+	// A question with lots of extra words lowers phi.
+	long := "Tell me please right now which famous politician graduated from CIT in the past?"
+	if _, err := st.BestMatch(long, lex, 1.0); err == nil {
+		t.Error("full-match phi accepted a partial match")
+	}
+	if _, err := st.BestMatch(long, lex, 0.3); err != nil {
+		t.Errorf("partial match rejected at phi=0.3: %v", err)
+	}
+}
+
+func TestBestMatchEmptyStore(t *testing.T) {
+	if _, err := NewStore().BestMatch("anything", testLexicon(), 0); err == nil {
+		t.Error("empty store matched")
+	}
+}
+
+func TestInstantiateVerified(t *testing.T) {
+	qg, uq, mapping := buildPair(t)
+	tpl, err := Generate(qg, uq, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lex := testLexicon()
+
+	// KB in which the top CIT candidate (CIT_University) has no graduates
+	// but the runner-up (CIT_Group)... is a company; instead: make only the
+	// second candidate's instantiation yield answers by having a scientist
+	// graduate from CIT_Group.
+	kb := rdfFixture()
+	kb.MustAdd("Rex_Hale", "type", "Scientist")
+	kb.MustAdd("Rex_Hale", "graduatedFrom", "CIT_Group")
+	lex.AddClass("company", "Company") // not needed for slots; lexicon sanity
+
+	m := tpl.MatchQuestion("Which scientist graduated from CIT?", lex)
+	q, res, err := m.InstantiateVerified(lex, kb, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0]["?x"] != "Rex_Hale" {
+		t.Fatalf("verified instantiation res = %v (query %s)", res, q)
+	}
+	if !strings.Contains(q.String(), "CIT_Group") {
+		t.Fatalf("verification did not fall through to the second candidate: %s", q)
+	}
+
+	// When no combination yields answers, the top-confidence query returns
+	// with empty results rather than an error.
+	empty := rdfFixture()
+	q2, res2, err := m.InstantiateVerified(lex, empty, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2) != 0 || !strings.Contains(q2.String(), "CIT_University") {
+		t.Fatalf("empty-KB fallback wrong: %v / %s", res2, q2)
+	}
+
+	// Unfilled slots fail.
+	bad := tpl.MatchQuestion("Which wizard graduated from Hogwarts?", lex)
+	if _, _, err := bad.InstantiateVerified(lex, kb, 8); err == nil {
+		t.Error("unresolvable slots instantiated")
+	}
+}
+
+func rdfFixture() *rdf.Store {
+	return rdf.NewStore()
+}
+
+func TestAlignTokens(t *testing.T) {
+	tmpl := []string{"Which", nlq.Slot, "graduated", "from", nlq.Slot}
+	units := []string{"Which", "scientist", "graduated", "from", "Grand Elm University"}
+	caps, covered, cost := AlignTokens(tmpl, units, nil)
+	if cost != 0 {
+		t.Errorf("cost = %d, want 0", cost)
+	}
+	if covered != 5 {
+		t.Errorf("covered = %d, want 5", covered)
+	}
+	if caps[1] != "scientist" || caps[4] != "Grand Elm University" {
+		t.Errorf("captures = %v", caps)
+	}
+	// Insertion in the question.
+	units2 := []string{"Which", "scientist", "really", "graduated", "from", "CIT"}
+	_, covered2, cost2 := AlignTokens(tmpl, units2, nil)
+	if cost2 != 1 || covered2 != 5 {
+		t.Errorf("cost2=%d covered2=%d", cost2, covered2)
+	}
+	// Empty cases.
+	if _, _, c := AlignTokens(nil, nil, nil); c != 0 {
+		t.Errorf("empty alignment cost %d", c)
+	}
+	if _, _, c := AlignTokens(tmpl, nil, nil); c != len(tmpl) {
+		t.Errorf("nil units cost %d", c)
+	}
+}

@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"simjoin/internal/linker"
+	"simjoin/internal/rdf"
+)
+
+// KBConfig sizes the synthetic knowledge base.
+type KBConfig struct {
+	Seed int64
+	// EntitiesPerClass is the number of instances generated per class.
+	EntitiesPerClass int
+	// AmbiguousShare is the fraction of entities whose surface form is
+	// shared with other entities (driving entity-linking ambiguity).
+	AmbiguousShare float64
+	// CandidatesPerAmbiguousSurface is how many entities share one
+	// ambiguous surface form (≥ 2).
+	CandidatesPerAmbiguousSurface int
+	// Domains restricts the generated classes (nil = all); the MM workload
+	// uses a music/movie domain.
+	Domains []string
+}
+
+// DefaultKBConfig returns a laptop-scale configuration.
+func DefaultKBConfig() KBConfig {
+	return KBConfig{
+		Seed:                          1,
+		EntitiesPerClass:              40,
+		AmbiguousShare:                0.3,
+		CandidatesPerAmbiguousSurface: 3,
+	}
+}
+
+// Entity is one generated instance.
+type Entity struct {
+	Name    string // canonical KB name, e.g. "Marlon_Vega"
+	Class   string
+	Surface string // natural-language mention, e.g. "Marlon Vega"
+}
+
+// KB bundles the generated knowledge graph with its lexicon and entity
+// registry.
+type KB struct {
+	Store    *rdf.Store
+	Lexicon  *linker.Lexicon
+	Entities map[string][]Entity // class -> instances
+	// Mentions maps each entity name to the surface form questions use for
+	// it (a shared, ambiguous surface for a configurable share of entities).
+	Mentions map[string]string
+	Config   KBConfig
+}
+
+var (
+	firstNames = []string{"Marlon", "Ada", "Ivy", "Hugo", "Nina", "Omar", "Lena", "Felix",
+		"June", "Rex", "Vera", "Otto", "Mira", "Dean", "Zara", "Cole", "Ruth", "Axel", "Iris", "Finn"}
+	lastNames = []string{"Vega", "Stone", "Hale", "Frost", "Lane", "Reyes", "Bloom", "Cross",
+		"Wolfe", "Hart", "Pike", "Marsh", "Quinn", "Voss", "Tate", "Nash", "Rhodes", "Sharp", "Dune", "Kerr"}
+	placeRoots = []string{"Alder", "Birch", "Cedar", "Dover", "Elm", "Fern", "Grove", "Haven",
+		"Indigo", "Juniper", "Keystone", "Laurel", "Maple", "Norwood", "Oakum", "Pine", "Quarry", "Ridge"}
+	orgAdjectives = []string{"Northern", "Grand", "Royal", "Silver", "Central", "Western",
+		"Pacific", "Atlantic", "Summit", "Harbor", "Golden", "Crystal"}
+	workAdjectives = []string{"Silent", "Crimson", "Hidden", "Endless", "Broken", "Golden",
+		"Midnight", "Distant", "Burning", "Frozen", "Hollow", "Shining"}
+	workNouns = []string{"River", "Mirror", "Garden", "Empire", "Voyage", "Harvest",
+		"Lantern", "Horizon", "Echo", "Crown", "Compass", "Orchard"}
+)
+
+// domainClasses returns the classes a config generates.
+func (c KBConfig) domainClasses() []string {
+	if len(c.Domains) > 0 {
+		return c.Domains
+	}
+	return []string{
+		ClassActor, ClassPolitician, ClassScientist, ClassWriter, ClassMusician, ClassAthlete,
+		ClassUniversity, ClassCompany, ClassCity, ClassState,
+		ClassFilm, ClassBook, ClassSong, ClassSoftware, ClassParty, ClassTeam,
+	}
+}
+
+// MusicMovieDomains is the closed domain of the MM workload.
+var MusicMovieDomains = []string{
+	ClassActor, ClassMusician, ClassFilm, ClassSong, ClassCity, ClassState,
+}
+
+// GenerateKB builds the knowledge base, its facts, and the lexicon.
+func GenerateKB(cfg KBConfig) *KB {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	kb := &KB{
+		Store:    rdf.NewStore(),
+		Lexicon:  linker.NewLexicon(),
+		Entities: make(map[string][]Entity),
+		Mentions: make(map[string]string),
+		Config:   cfg,
+	}
+	classes := cfg.domainClasses()
+	classSet := make(map[string]bool, len(classes))
+	for _, c := range classes {
+		classSet[c] = true
+	}
+
+	// 1. Entities with unique names.
+	used := map[string]bool{}
+	for _, class := range classes {
+		for i := 0; i < cfg.EntitiesPerClass; i++ {
+			surface := newSurface(rng, class, used)
+			name := strings.ReplaceAll(surface, " ", "_")
+			e := Entity{Name: name, Class: class, Surface: surface}
+			kb.Entities[class] = append(kb.Entities[class], e)
+			kb.Store.MustAdd(name, "type", class)
+		}
+	}
+
+	// 2. Lexicon: class nouns restricted to the domain.
+	for noun, class := range ClassNouns {
+		if classSet[class] {
+			kb.Lexicon.AddClass(noun, class)
+		}
+	}
+
+	// 3. Lexicon: entity surfaces. A share of entities is grouped under a
+	// shared ambiguous surface with Zipf-ish confidences; everything else
+	// links unambiguously. Mentions records the surface questions use for
+	// each entity.
+	// Shuffle deterministically so ambiguous surface groups span different
+	// classes (the paper's "Michael Jordan": NBA player vs professor vs
+	// actor) — cross-class ambiguity is what query context can resolve.
+	all := kb.allEntities()
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	nAmb := int(float64(len(all)) * cfg.AmbiguousShare)
+	k := cfg.CandidatesPerAmbiguousSurface
+	if k < 2 {
+		k = 2
+	}
+	confs := zipfConfidences(k)
+	grouped := make(map[string]bool)
+	for i := 0; i+k <= nAmb; i += k {
+		group := all[i : i+k]
+		shared := group[0].Surface
+		for j, e := range group {
+			kb.Lexicon.AddEntity(shared, e.Name, e.Class, confs[j])
+			kb.Mentions[e.Name] = shared
+			grouped[e.Name] = true
+			if j > 0 {
+				// Non-owners keep their unique surface too (used when the
+				// SPARQL side needs an unambiguous mention).
+				kb.Lexicon.AddEntity(e.Surface, e.Name, e.Class, 1.0)
+			}
+		}
+	}
+	for _, e := range all {
+		if grouped[e.Name] {
+			continue
+		}
+		kb.Lexicon.AddEntity(e.Surface, e.Name, e.Class, 1.0)
+		kb.Mentions[e.Name] = e.Surface
+	}
+
+	// 4. Lexicon: relation phrases (canonical ones resolve to the gold
+	// predicate with confidence 1; noisy ones put a wrong predicate first).
+	for _, p := range Schema {
+		if !kb.predicateInDomain(&p, classSet) {
+			continue
+		}
+		for _, phrase := range p.Phrases {
+			kb.Lexicon.AddRelation(phrase, p.Name, 1.0)
+		}
+		for _, phrase := range p.InversePhrases {
+			kb.Lexicon.AddInverseRelation(phrase, p.Name, 1.0, p.Object)
+		}
+	}
+	for _, np := range NoisyPhrases {
+		correct := predicateByName(np.Correct)
+		wrong := predicateByName(np.Wrong)
+		if correct == nil || wrong == nil ||
+			!kb.predicateInDomain(correct, classSet) || !kb.predicateInDomain(wrong, classSet) {
+			continue
+		}
+		kb.Lexicon.AddRelation(np.Phrase, np.Wrong, np.PWrong)
+		kb.Lexicon.AddRelation(np.Phrase, np.Correct, 1-np.PWrong)
+	}
+
+	// 5. Facts: every applicable predicate links a random subset of
+	// subjects to in-domain objects.
+	for _, p := range Schema {
+		if !kb.predicateInDomain(&p, classSet) {
+			continue
+		}
+		for _, subjClass := range p.Subjects {
+			if !classSet[subjClass] && subjClass != "Person" {
+				continue
+			}
+			for _, subj := range kb.instancesOf(subjClass, classSet) {
+				// Each subject gets 1-2 facts for this predicate with
+				// probability 0.8.
+				if rng.Float64() > 0.8 {
+					continue
+				}
+				nFacts := 1 + rng.Intn(2)
+				for f := 0; f < nFacts; f++ {
+					obj := kb.randomObject(rng, p.Object, classSet)
+					if obj == "" || obj == subj.Name {
+						continue
+					}
+					kb.Store.MustAdd(subj.Name, p.Name, obj)
+				}
+			}
+		}
+	}
+	return kb
+}
+
+func (kb *KB) predicateInDomain(p *Predicate, classSet map[string]bool) bool {
+	if p.Object != "Person" && !classSet[p.Object] {
+		return false
+	}
+	for _, s := range p.Subjects {
+		if classSet[s] || (s == "Person" && kb.anyPersonClass(classSet)) {
+			return true
+		}
+	}
+	return false
+}
+
+func (kb *KB) anyPersonClass(classSet map[string]bool) bool {
+	for _, c := range PersonClasses {
+		if classSet[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// instancesOf resolves a class (or the "Person" umbrella) to entities.
+func (kb *KB) instancesOf(class string, classSet map[string]bool) []Entity {
+	if class != "Person" {
+		return kb.Entities[class]
+	}
+	var out []Entity
+	for _, c := range PersonClasses {
+		if classSet[c] {
+			out = append(out, kb.Entities[c]...)
+		}
+	}
+	return out
+}
+
+func (kb *KB) randomObject(rng *rand.Rand, class string, classSet map[string]bool) string {
+	insts := kb.instancesOf(class, classSet)
+	if len(insts) == 0 {
+		return ""
+	}
+	return insts[rng.Intn(len(insts))].Name
+}
+
+func (kb *KB) allEntities() []Entity {
+	var out []Entity
+	for _, class := range kb.Config.domainClasses() {
+		out = append(out, kb.Entities[class]...)
+	}
+	return out
+}
+
+// RandomEntity returns a random instance of the class (or umbrella class)
+// using the supplied RNG.
+func (kb *KB) RandomEntity(rng *rand.Rand, class string) (Entity, bool) {
+	classSet := map[string]bool{}
+	for _, c := range kb.Config.domainClasses() {
+		classSet[c] = true
+	}
+	insts := kb.instancesOf(class, classSet)
+	if len(insts) == 0 {
+		return Entity{}, false
+	}
+	return insts[rng.Intn(len(insts))], true
+}
+
+func newSurface(rng *rand.Rand, class string, used map[string]bool) string {
+	for tries := 0; ; tries++ {
+		var s string
+		switch class {
+		case ClassCity:
+			s = placeRoots[rng.Intn(len(placeRoots))] + "ville"
+		case ClassState:
+			s = placeRoots[rng.Intn(len(placeRoots))] + " State"
+		case ClassUniversity:
+			s = orgAdjectives[rng.Intn(len(orgAdjectives))] + " " + placeRoots[rng.Intn(len(placeRoots))] + " University"
+		case ClassCompany:
+			s = orgAdjectives[rng.Intn(len(orgAdjectives))] + " " + workNouns[rng.Intn(len(workNouns))] + " Corp"
+		case ClassParty:
+			s = orgAdjectives[rng.Intn(len(orgAdjectives))] + " Party"
+		case ClassTeam:
+			s = placeRoots[rng.Intn(len(placeRoots))] + " " + workNouns[rng.Intn(len(workNouns))] + "s"
+		case ClassFilm, ClassBook, ClassSong, ClassSoftware:
+			s = "The " + workAdjectives[rng.Intn(len(workAdjectives))] + " " + workNouns[rng.Intn(len(workNouns))]
+		default: // people
+			s = firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+		}
+		if tries > 50 {
+			s = fmt.Sprintf("%s %d", s, rng.Intn(10000))
+		}
+		if !used[s] {
+			used[s] = true
+			return s
+		}
+	}
+}
+
+// zipfConfidences returns k confidences proportional to 1/rank, normalised.
+func zipfConfidences(k int) []float64 {
+	out := make([]float64, k)
+	sum := 0.0
+	for i := range out {
+		out[i] = 1 / float64(i+1)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"simjoin/internal/linker"
+	"simjoin/internal/rdf"
+	"simjoin/internal/sparql"
+)
+
+// Dataset file names inside a saved workload directory.
+const (
+	fileKB        = "kb.nt"
+	fileLexicon   = "lexicon.json"
+	fileQuestions = "questions.json"
+	fileSparql    = "sparql.txt"
+	fileMeta      = "meta.json"
+)
+
+// questionJSON is the serialised form of a Question (the gold query is
+// stored textually).
+type questionJSON struct {
+	Text      string `json:"text"`
+	Gold      string `json:"gold"`
+	Relations int    `json:"relations"`
+	Noisy     bool   `json:"noisy,omitempty"`
+}
+
+// metaJSON records the generator configuration and entity registry needed to
+// reload a workload completely.
+type metaJSON struct {
+	Config   QAConfig            `json:"config"`
+	Entities map[string][]Entity `json:"entities"`
+	Mentions map[string]string   `json:"mentions"`
+}
+
+// Save writes the workload as a directory of plain files: the knowledge
+// graph as N-Triples, the lexicon and questions as JSON, and the SPARQL
+// workload as one query per line — inspectable and diffable.
+func (w *QAWorkload) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// kb.nt
+	f, err := os.Create(filepath.Join(dir, fileKB))
+	if err != nil {
+		return err
+	}
+	if err := w.KB.Store.WriteNTriples(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// lexicon.json
+	if err := writeJSON(filepath.Join(dir, fileLexicon), w.KB.Lexicon); err != nil {
+		return err
+	}
+	// questions.json
+	qs := make([]questionJSON, 0, len(w.Questions))
+	for _, q := range w.Questions {
+		qs = append(qs, questionJSON{Text: q.Text, Gold: q.Gold.String(), Relations: q.Relations, Noisy: q.Noisy})
+	}
+	if err := writeJSON(filepath.Join(dir, fileQuestions), qs); err != nil {
+		return err
+	}
+	// sparql.txt
+	sf, err := os.Create(filepath.Join(dir, fileSparql))
+	if err != nil {
+		return err
+	}
+	for _, e := range w.Sparql {
+		if _, err := fmt.Fprintln(sf, e.Query.String()); err != nil {
+			sf.Close()
+			return err
+		}
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	// meta.json
+	return writeJSON(filepath.Join(dir, fileMeta), metaJSON{
+		Config:   w.Config,
+		Entities: w.KB.Entities,
+		Mentions: w.KB.Mentions,
+	})
+}
+
+// Load reads a workload saved by Save. Gold signatures and query graphs are
+// rebuilt from the textual queries.
+func Load(dir string) (*QAWorkload, error) {
+	var meta metaJSON
+	if err := readJSON(filepath.Join(dir, fileMeta), &meta); err != nil {
+		return nil, err
+	}
+	lex := linker.NewLexicon()
+	if err := readJSON(filepath.Join(dir, fileLexicon), lex); err != nil {
+		return nil, err
+	}
+	store := rdf.NewStore()
+	f, err := os.Open(filepath.Join(dir, fileKB))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := store.ReadNTriples(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+
+	w := &QAWorkload{
+		KB: &KB{
+			Store:    store,
+			Lexicon:  lex,
+			Entities: meta.Entities,
+			Mentions: meta.Mentions,
+			Config:   meta.Config.KB,
+		},
+		Config: meta.Config,
+	}
+
+	var qs []questionJSON
+	if err := readJSON(filepath.Join(dir, fileQuestions), &qs); err != nil {
+		return nil, err
+	}
+	for i, qj := range qs {
+		gold, err := sparql.Parse(qj.Gold)
+		if err != nil {
+			return nil, fmt.Errorf("workload: question %d gold: %w", i, err)
+		}
+		qg, err := sparql.BuildQueryGraph(gold)
+		if err != nil {
+			return nil, fmt.Errorf("workload: question %d gold graph: %w", i, err)
+		}
+		w.Questions = append(w.Questions, Question{
+			Text:      qj.Text,
+			Gold:      gold,
+			GoldSig:   Signature(qg),
+			Relations: qj.Relations,
+			Noisy:     qj.Noisy,
+		})
+	}
+
+	sb, err := os.ReadFile(filepath.Join(dir, fileSparql))
+	if err != nil {
+		return nil, err
+	}
+	for ln, line := range splitLines(string(sb)) {
+		q, err := sparql.Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("workload: sparql line %d: %w", ln+1, err)
+		}
+		qg, err := sparql.BuildQueryGraph(q)
+		if err != nil {
+			return nil, fmt.Errorf("workload: sparql line %d graph: %w", ln+1, err)
+		}
+		w.Sparql = append(w.Sparql, SparqlEntry{Query: q, Graph: qg, Sig: Signature(qg)})
+	}
+	return w, nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func writeJSON(path string, v interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readJSON(path string, v interface{}) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewDecoder(f).Decode(v)
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestWorkloadSaveLoadRoundTrip(t *testing.T) {
+	cfg := smallQAConfig()
+	w, err := GenerateQA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "wl")
+	if err := w.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.KB.Store.Len() != w.KB.Store.Len() {
+		t.Errorf("KB triples %d != %d", got.KB.Store.Len(), w.KB.Store.Len())
+	}
+	if len(got.Questions) != len(w.Questions) {
+		t.Fatalf("questions %d != %d", len(got.Questions), len(w.Questions))
+	}
+	for i := range got.Questions {
+		if got.Questions[i].Text != w.Questions[i].Text {
+			t.Fatalf("question %d text differs", i)
+		}
+		if got.Questions[i].GoldSig != w.Questions[i].GoldSig {
+			t.Fatalf("question %d signature differs:\n%s\n%s", i,
+				got.Questions[i].GoldSig, w.Questions[i].GoldSig)
+		}
+	}
+	if len(got.Sparql) != len(w.Sparql) {
+		t.Fatalf("sparql %d != %d", len(got.Sparql), len(w.Sparql))
+	}
+	for i := range got.Sparql {
+		if got.Sparql[i].Sig != w.Sparql[i].Sig {
+			t.Fatalf("sparql %d signature differs", i)
+		}
+	}
+	// The reloaded lexicon must behave identically.
+	s1, r1, c1, a1 := w.KB.Lexicon.Stats()
+	s2, r2, c2, a2 := got.KB.Lexicon.Stats()
+	if s1 != s2 || r1 != r2 || c1 != c2 || a1 != a2 {
+		t.Errorf("lexicon stats differ: %d/%d/%d/%d vs %d/%d/%d/%d", s1, r1, c1, a1, s2, r2, c2, a2)
+	}
+	// A holdout can be generated from the reloaded workload.
+	hq := got.HoldoutQuestions(5, 5, 0)
+	if len(hq) != 5 {
+		t.Fatalf("holdout from reloaded workload: %d", len(hq))
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("missing directory loaded")
+	}
+}

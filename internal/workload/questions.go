@@ -1,0 +1,545 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"simjoin/internal/rdf"
+	"simjoin/internal/sparql"
+)
+
+// QAConfig controls the paired question/SPARQL workload generation.
+type QAConfig struct {
+	KB   KBConfig
+	Seed int64
+	// Questions is the number of natural-language questions.
+	Questions int
+	// MaxRelations bounds the relation count k per question (Fig. 17 uses
+	// 1..5); k is drawn geometrically so simple questions dominate.
+	MaxRelations int
+	// NoisyPhraseRate is the fraction of eligible relations rendered with a
+	// misleading phrase (top-1 paraphrase wrong).
+	NoisyPhraseRate float64
+	// WhoRate is the fraction of questions using "Who ..." (no class).
+	WhoRate float64
+	// ChainRate is the probability a multi-relation question chains instead
+	// of fanning out from the answer variable.
+	ChainRate float64
+	// ExactTwinRate is the fraction of questions whose gold SPARQL is
+	// inserted verbatim into the SPARQL workload (τ=0 matches).
+	ExactTwinRate float64
+	// VariantTwinRate is the fraction receiving a same-shape twin with a
+	// different entity (τ=1 matches).
+	VariantTwinRate float64
+	// ExtraQueries adds unrelated queries to the SPARQL workload.
+	ExtraQueries int
+	// InverseRate is the fraction of single-relation questions rendered in
+	// the inverse "What is the <phrase> <entity>?" form when the predicate
+	// has an inverse phrase.
+	InverseRate float64
+}
+
+// QALD3Config mirrors the QALD-3 benchmark scale: 200 questions with a
+// same-sized query workload.
+func QALD3Config() QAConfig {
+	kb := DefaultKBConfig()
+	kb.AmbiguousShare = 0.45
+	return QAConfig{
+		KB:              kb,
+		Seed:            3,
+		Questions:       200,
+		MaxRelations:    3,
+		NoisyPhraseRate: 0.25,
+		WhoRate:         0.2,
+		ChainRate:       0.4,
+		ExactTwinRate:   0.35,
+		VariantTwinRate: 0.45,
+		ExtraQueries:    120,
+		InverseRate:     0.15,
+	}
+}
+
+// WebQConfig mirrors the WebQuestions + DBpedia-log pairing, scaled by the
+// given factor (1.0 ≈ 580 questions / 7300 queries; the paper's full scale
+// is factor 10).
+func WebQConfig(scale float64) QAConfig {
+	if scale <= 0 {
+		scale = 1
+	}
+	kb := DefaultKBConfig()
+	kb.Seed = 7
+	kb.EntitiesPerClass = 60
+	kb.AmbiguousShare = 0.6
+	return QAConfig{
+		KB:              kb,
+		Seed:            7,
+		Questions:       int(580 * scale),
+		MaxRelations:    4,
+		NoisyPhraseRate: 0.3,
+		WhoRate:         0.3,
+		ChainRate:       0.35,
+		ExactTwinRate:   0.25,
+		VariantTwinRate: 0.4,
+		ExtraQueries:    int(6700 * scale),
+		InverseRate:     0.15,
+	}
+}
+
+// MMConfig mirrors the closed-domain music/movie workload: same scale as
+// QALD-3 but restricted domains and low ambiguity (the paper observes higher
+// precision on MM for this reason).
+func MMConfig() QAConfig {
+	kb := DefaultKBConfig()
+	kb.Seed = 11
+	kb.Domains = MusicMovieDomains
+	kb.AmbiguousShare = 0.1
+	return QAConfig{
+		KB:              kb,
+		Seed:            11,
+		Questions:       230,
+		MaxRelations:    2,
+		NoisyPhraseRate: 0.1,
+		WhoRate:         0.2,
+		ChainRate:       0.3,
+		ExactTwinRate:   0.5,
+		VariantTwinRate: 0.35,
+		ExtraQueries:    25,
+	}
+}
+
+// Question is one generated natural-language question with its gold query.
+type Question struct {
+	Text string
+	// Gold is the gold-standard SPARQL query (non-empty answers in the KB).
+	Gold *sparql.Query
+	// GoldSig is the entity-blind signature used to judge pair correctness.
+	GoldSig string
+	// Relations is the relation count k (Fig. 17).
+	Relations int
+	// Noisy reports whether a misleading phrase was used.
+	Noisy bool
+}
+
+// SparqlEntry is one workload query with its joinable graph.
+type SparqlEntry struct {
+	Query *sparql.Query
+	Graph *sparql.QueryGraph
+	Sig   string
+}
+
+// QAWorkload is a paired workload: N questions and D SPARQL queries over one
+// knowledge base.
+type QAWorkload struct {
+	KB        *KB
+	Questions []Question
+	Sparql    []SparqlEntry
+	Config    QAConfig
+}
+
+// GenerateQA builds the full paired workload.
+func GenerateQA(cfg QAConfig) (*QAWorkload, error) {
+	if cfg.Questions <= 0 {
+		return nil, fmt.Errorf("workload: non-positive question count")
+	}
+	if cfg.MaxRelations <= 0 {
+		cfg.MaxRelations = 1
+	}
+	kb := GenerateKB(cfg.KB)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &QAWorkload{KB: kb, Config: cfg}
+
+	seenSparql := map[string]bool{}
+	addQuery := func(q *sparql.Query) {
+		key := q.String()
+		if seenSparql[key] {
+			return
+		}
+		qg, err := sparql.BuildQueryGraph(q)
+		if err != nil {
+			return
+		}
+		seenSparql[key] = true
+		w.Sparql = append(w.Sparql, SparqlEntry{Query: q, Graph: qg, Sig: Signature(qg)})
+	}
+
+	for len(w.Questions) < cfg.Questions {
+		in, ok := kb.randomIntent(rng, cfg)
+		if !ok {
+			continue
+		}
+		text := in.render(kb)
+		gold := in.sparql()
+		qg, err := sparql.BuildQueryGraph(gold)
+		if err != nil {
+			continue
+		}
+		w.Questions = append(w.Questions, Question{
+			Text:      text,
+			Gold:      gold,
+			GoldSig:   Signature(qg),
+			Relations: in.relationCount(),
+			Noisy:     in.noisy,
+		})
+		r := rng.Float64()
+		switch {
+		case r < cfg.ExactTwinRate:
+			addQuery(gold)
+		case r < cfg.ExactTwinRate+cfg.VariantTwinRate:
+			if v, ok := in.variant(kb, rng); ok {
+				addQuery(v.sparql())
+			}
+		}
+	}
+	for i := 0; i < cfg.ExtraQueries; i++ {
+		if in, ok := kb.randomIntent(rng, cfg); ok {
+			addQuery(in.sparql())
+		}
+	}
+	return w, nil
+}
+
+// HoldoutQuestions draws n fresh questions over the same knowledge base with
+// an independent seed — the evaluation set for the Q/A experiments (Tables 4
+// and 5). decorationRate prefixes a fraction of questions with filler words,
+// lowering their matching proportion φ below 1.
+func (w *QAWorkload) HoldoutQuestions(seed int64, n int, decorationRate float64) []Question {
+	rng := rand.New(rand.NewSource(seed))
+	decorations := []string{"By the way", "Tell me", "I wonder", "Please tell me"}
+	var out []Question
+	for len(out) < n {
+		in, ok := w.KB.randomIntent(rng, w.Config)
+		if !ok {
+			continue
+		}
+		text := in.render(w.KB)
+		if rng.Float64() < decorationRate {
+			text = decorations[rng.Intn(len(decorations))] + " " + strings.ToLower(text[:1]) + text[1:]
+		}
+		gold := in.sparql()
+		qg, err := sparql.BuildQueryGraph(gold)
+		if err != nil {
+			continue
+		}
+		out = append(out, Question{
+			Text:      text,
+			Gold:      gold,
+			GoldSig:   Signature(qg),
+			Relations: in.relationCount(),
+			Noisy:     in.noisy,
+		})
+	}
+	return out
+}
+
+// intent is a question plan: an answer variable with a fan-out or chain of
+// relation steps grounded in actual KB facts.
+type intent struct {
+	class string // answer class; "" for who-questions
+	chain bool
+	steps []intentStep
+	noisy bool
+	// inverse marks "What is the <phrase> <entity>?" intents: the answer is
+	// the OBJECT of a single fact whose subject is a concrete entity.
+	inverse        bool
+	inversePhrase  string
+	inverseSubject Entity
+	inversePred    *Predicate
+}
+
+type intentStep struct {
+	pred   *Predicate
+	phrase string
+	// objClass is the class of the intermediate variable (chain steps
+	// before the last); objEntity terminates star steps and the chain end.
+	objClass  string
+	objEntity Entity
+	terminal  bool
+}
+
+// randomIntent draws an intent grounded in the KB so the gold query has at
+// least one answer.
+func (kb *KB) randomIntent(rng *rand.Rand, cfg QAConfig) (*intent, bool) {
+	// Geometric k within [1, MaxRelations].
+	k := 1
+	for k < cfg.MaxRelations && rng.Float64() < 0.45 {
+		k++
+	}
+	in := &intent{chain: k > 1 && rng.Float64() < cfg.ChainRate}
+
+	// Pick a seed subject with enough facts.
+	classes := kb.Config.domainClasses()
+	var subj Entity
+	found := false
+	for tries := 0; tries < 30 && !found; tries++ {
+		class := classes[rng.Intn(len(classes))]
+		insts := kb.Entities[class]
+		if len(insts) == 0 {
+			continue
+		}
+		subj = insts[rng.Intn(len(insts))]
+		if len(kb.factsOf(subj.Name)) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		return nil, false
+	}
+
+	// Inverse form: "What is the <phrase> <subject>?" asking for a fact's
+	// object.
+	if k == 1 && rng.Float64() < cfg.InverseRate {
+		facts := kb.factsOf(subj.Name)
+		perm := rng.Perm(len(facts))
+		for _, fi := range perm {
+			pred := predicateByName(facts[fi].pred)
+			if pred == nil || len(pred.InversePhrases) == 0 {
+				continue
+			}
+			in.inverse = true
+			in.inversePhrase = pred.InversePhrases[rng.Intn(len(pred.InversePhrases))]
+			in.inverseSubject = subj
+			in.inversePred = pred
+			return in, true
+		}
+	}
+	if rng.Float64() >= cfg.WhoRate || !isPersonClass(subj.Class) {
+		in.class = subj.Class
+	}
+
+	cur := subj
+	for s := 0; s < k; s++ {
+		facts := kb.factsOf(cur.Name)
+		if len(facts) == 0 {
+			break
+		}
+		f := facts[rng.Intn(len(facts))]
+		pred := predicateByName(f.pred)
+		if pred == nil {
+			continue
+		}
+		step := intentStep{pred: pred, phrase: kb.pickPhrase(rng, pred, cfg, in)}
+		last := s == k-1
+		objEnt, ok := kb.entityByName(f.obj)
+		if !ok {
+			break
+		}
+		if in.chain && !last {
+			step.objClass = objEnt.Class
+			cur = objEnt
+		} else {
+			step.objEntity = objEnt
+			step.terminal = true
+		}
+		in.steps = append(in.steps, step)
+		if !in.chain {
+			cur = subj
+		}
+	}
+	if len(in.steps) == 0 {
+		return nil, false
+	}
+	// A chain whose last step was forced non-terminal is invalid.
+	lastStep := in.steps[len(in.steps)-1]
+	if !lastStep.terminal {
+		return nil, false
+	}
+	return in, true
+}
+
+// pickPhrase chooses the NL phrase for a predicate, possibly a noisy one.
+func (kb *KB) pickPhrase(rng *rand.Rand, pred *Predicate, cfg QAConfig, in *intent) string {
+	if rng.Float64() < cfg.NoisyPhraseRate {
+		for _, np := range NoisyPhrases {
+			if np.Correct == pred.Name && len(kb.Lexicon.Paraphrase(np.Phrase)) > 0 {
+				in.noisy = true
+				return np.Phrase
+			}
+		}
+	}
+	return pred.Phrases[rng.Intn(len(pred.Phrases))]
+}
+
+type fact struct{ pred, obj string }
+
+func (kb *KB) factsOf(subject string) []fact {
+	var out []fact
+	kb.Store.Match(subject, "", "", func(t rdf.Triple) bool {
+		if t.P != "type" {
+			out = append(out, fact{t.P, t.O})
+		}
+		return true
+	})
+	// Deterministic order: Match streams from map-backed indexes.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pred != out[j].pred {
+			return out[i].pred < out[j].pred
+		}
+		return out[i].obj < out[j].obj
+	})
+	return out
+}
+
+func (kb *KB) entityByName(name string) (Entity, bool) {
+	for _, class := range kb.Config.domainClasses() {
+		for _, e := range kb.Entities[class] {
+			if e.Name == name {
+				return e, true
+			}
+		}
+	}
+	return Entity{}, false
+}
+
+func isPersonClass(c string) bool {
+	for _, p := range PersonClasses {
+		if p == c {
+			return true
+		}
+	}
+	return false
+}
+
+// render produces the English question text.
+func (in *intent) render(kb *KB) string {
+	if in.inverse {
+		return "What is " + in.inversePhrase + " " + kb.Mentions[in.inverseSubject.Name] + "?"
+	}
+	var b strings.Builder
+	if in.class != "" {
+		b.WriteString("Which ")
+		b.WriteString(nounOf(in.class))
+	} else {
+		b.WriteString("Who")
+	}
+	for i, s := range in.steps {
+		if i > 0 && !in.chain {
+			b.WriteString(" and")
+		}
+		b.WriteString(" ")
+		b.WriteString(s.phrase)
+		b.WriteString(" ")
+		if s.terminal {
+			b.WriteString(kb.Mentions[s.objEntity.Name])
+		} else {
+			b.WriteString("a ")
+			b.WriteString(nounOf(s.objClass))
+		}
+	}
+	b.WriteString("?")
+	return b.String()
+}
+
+// sparql renders the gold query of the intent.
+func (in *intent) sparql() *sparql.Query {
+	q := &sparql.Query{Vars: []string{"?x"}}
+	if in.inverse {
+		q.Patterns = append(q.Patterns, sparql.TriplePattern{
+			S: sparql.Term{Kind: sparql.IRI, Value: in.inverseSubject.Name},
+			P: sparql.Term{Kind: sparql.IRI, Value: in.inversePred.Name},
+			O: sparql.Term{Kind: sparql.Var, Value: "?x"},
+		})
+		// Type the answer with the predicate's range, mirroring the typed
+		// variable the inverse phrase produces on the question side.
+		q.Patterns = append(q.Patterns, sparql.TriplePattern{
+			S: sparql.Term{Kind: sparql.Var, Value: "?x"},
+			P: sparql.Term{Kind: sparql.IRI, Value: "type"},
+			O: sparql.Term{Kind: sparql.IRI, Value: in.inversePred.Object},
+		})
+		return q
+	}
+	mkVar := func(i int) sparql.Term {
+		if i == 0 {
+			return sparql.Term{Kind: sparql.Var, Value: "?x"}
+		}
+		return sparql.Term{Kind: sparql.Var, Value: fmt.Sprintf("?y%d", i)}
+	}
+	iri := func(v string) sparql.Term { return sparql.Term{Kind: sparql.IRI, Value: v} }
+
+	if in.class != "" {
+		q.Patterns = append(q.Patterns, sparql.TriplePattern{S: mkVar(0), P: iri("type"), O: iri(in.class)})
+	}
+	subj := mkVar(0)
+	for i, s := range in.steps {
+		var obj sparql.Term
+		if s.terminal {
+			obj = iri(s.objEntity.Name)
+		} else {
+			obj = mkVar(i + 1)
+		}
+		q.Patterns = append(q.Patterns, sparql.TriplePattern{S: subj, P: iri(s.pred.Name), O: obj})
+		if !s.terminal {
+			q.Patterns = append(q.Patterns, sparql.TriplePattern{S: obj, P: iri("type"), O: iri(s.objClass)})
+		}
+		if in.chain {
+			subj = obj
+		}
+	}
+	return q
+}
+
+// relationCount is the k of Fig. 17 (inverse intents have one relation).
+func (in *intent) relationCount() int {
+	if in.inverse {
+		return 1
+	}
+	return len(in.steps)
+}
+
+// variant returns a copy of the intent with the terminal entity swapped for
+// another instance of the same class, producing a τ=1 twin query.
+func (in *intent) variant(kb *KB, rng *rand.Rand) (*intent, bool) {
+	if in.inverse {
+		alt, ok := kb.RandomEntity(rng, in.inverseSubject.Class)
+		if !ok || alt.Name == in.inverseSubject.Name {
+			return nil, false
+		}
+		v := *in
+		v.inverseSubject = alt
+		return &v, true
+	}
+	last := in.steps[len(in.steps)-1]
+	alt, ok := kb.RandomEntity(rng, last.objEntity.Class)
+	if !ok || alt.Name == last.objEntity.Name {
+		return nil, false
+	}
+	v := *in
+	v.steps = append([]intentStep(nil), in.steps...)
+	v.steps[len(v.steps)-1].objEntity = alt
+	return &v, true
+}
+
+// Signature computes the entity-blind canonical form of a query graph: the
+// sorted pattern list with entity vertices replaced by a placeholder. Two
+// queries "match except for entity phrases" (§7.1.2) iff their signatures
+// are equal.
+func Signature(qg *sparql.QueryGraph) string {
+	entity := make(map[string]bool)
+	for v := 0; v < qg.Graph.NumVertices(); v++ {
+		if qg.Roles[v] == sparql.RoleEntity {
+			entity[qg.Terms[v].Value] = true
+		}
+	}
+	varName := make(map[string]string)
+	blind := func(t sparql.Term) string {
+		if t.IsVar() {
+			if n, ok := varName[t.Value]; ok {
+				return n
+			}
+			n := fmt.Sprintf("?v%d", len(varName)+1)
+			varName[t.Value] = n
+			return n
+		}
+		if entity[t.Value] {
+			return "_"
+		}
+		return t.Value
+	}
+	lines := make([]string, 0, len(qg.Query.Patterns))
+	for _, p := range qg.Query.Patterns {
+		lines = append(lines, blind(p.S)+" "+blind(p.P)+" "+blind(p.O))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

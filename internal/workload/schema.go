@@ -1,0 +1,148 @@
+// Package workload generates every dataset of §7.1.1 from scratch — the
+// substitution, documented in DESIGN.md, for DBpedia, the DBpedia SPARQL
+// log, QALD-3, WebQuestions, the MM search-engine workload, and the AIDS
+// graph set, none of which ship with the repository.
+//
+// A schema-driven synthetic knowledge base stands in for DBpedia; question
+// and SPARQL workloads are drawn from shared "intents" over that KB so gold
+// pairs and gold answers are known exactly; ER, SF (power-law) and AIDS-like
+// generators provide the purely synthetic graph sets used by the efficiency
+// experiments.
+package workload
+
+// Class names of the synthetic ontology.
+const (
+	ClassActor      = "Actor"
+	ClassPolitician = "Politician"
+	ClassScientist  = "Scientist"
+	ClassWriter     = "Writer"
+	ClassMusician   = "Musician"
+	ClassAthlete    = "Athlete"
+	ClassUniversity = "University"
+	ClassCompany    = "Company"
+	ClassCity       = "City"
+	ClassState      = "State"
+	ClassFilm       = "Film"
+	ClassBook       = "Book"
+	ClassSong       = "Song"
+	ClassSoftware   = "Software"
+	ClassParty      = "Party"
+	ClassTeam       = "Team"
+)
+
+// PersonClasses lists the classes whose instances are people.
+var PersonClasses = []string{
+	ClassActor, ClassPolitician, ClassScientist, ClassWriter, ClassMusician, ClassAthlete,
+}
+
+// Predicate describes one relation of the schema: its gold predicate name,
+// the subject classes it applies to, the object class, and the natural
+// language phrases that express it. The first phrase of each entry is the
+// canonical one; entries in NoisyPhrases are phrases whose top paraphrase
+// candidate is a *different* predicate (the ambiguity that separates the
+// template system from the direct-translation baselines).
+type Predicate struct {
+	Name     string
+	Subjects []string
+	Object   string
+	Phrases  []string
+	// InversePhrases express the relation with reversed argument order
+	// ("the director of <film>"); they render the paper's "What is the X
+	// of Y?" question shape (Fig. 10's ruling-party case).
+	InversePhrases []string
+}
+
+// NoisyPhrase is a relation phrase whose paraphrase distribution puts a
+// wrong predicate first.
+type NoisyPhrase struct {
+	Phrase  string
+	Wrong   string  // top candidate (incorrect for the gold predicate)
+	Correct string  // the gold predicate, ranked second
+	PWrong  float64 // confidence of the wrong candidate
+}
+
+// Schema is the fixed ontology of the synthetic knowledge base.
+var Schema = []Predicate{
+	{Name: "birthPlace", Subjects: PersonClasses, Object: ClassCity,
+		Phrases:        []string{"born in", "was born in"},
+		InversePhrases: []string{"the birthplace of"}},
+	{Name: "livesIn", Subjects: PersonClasses, Object: ClassCity,
+		Phrases: []string{"lives in"}},
+	{Name: "spouse", Subjects: PersonClasses, Object: "Person",
+		Phrases: []string{"married to", "is married to"}},
+	{Name: "graduatedFrom", Subjects: PersonClasses, Object: ClassUniversity,
+		Phrases:        []string{"graduated from"},
+		InversePhrases: []string{"the alma mater of"}},
+	{Name: "employedBy", Subjects: PersonClasses, Object: ClassCompany,
+		Phrases: []string{"works for", "employed by"}},
+	{Name: "memberOf", Subjects: []string{ClassPolitician}, Object: ClassParty,
+		Phrases:        []string{"member of", "belongs to"},
+		InversePhrases: []string{"the party of", "the ruling party of"}},
+	{Name: "playsFor", Subjects: []string{ClassAthlete}, Object: ClassTeam,
+		Phrases:        []string{"plays for"},
+		InversePhrases: []string{"the team of"}},
+	{Name: "director", Subjects: []string{ClassFilm}, Object: ClassActor,
+		Phrases:        []string{"directed by", "was directed by"},
+		InversePhrases: []string{"the director of"}},
+	{Name: "starring", Subjects: []string{ClassFilm}, Object: ClassActor,
+		Phrases: []string{"starring"}},
+	{Name: "author", Subjects: []string{ClassBook}, Object: ClassWriter,
+		Phrases: []string{"written by"}},
+	{Name: "composer", Subjects: []string{ClassSong}, Object: ClassMusician,
+		Phrases: []string{"composed by"}},
+	{Name: "developer", Subjects: []string{ClassSoftware}, Object: ClassCompany,
+		Phrases: []string{"developed by"}},
+	{Name: "foundationPlace", Subjects: []string{ClassCompany, ClassUniversity}, Object: ClassCity,
+		Phrases: []string{"founded in"}},
+	{Name: "locatedIn", Subjects: []string{ClassCity}, Object: ClassState,
+		Phrases: []string{"located in"}},
+}
+
+// NoisyPhrases lists the misleading relation phrases. A question rendered
+// with one of these phrases misleads top-1 paraphrase disambiguation, while
+// the SimJ-learned templates recover the gold predicate from the SPARQL side
+// of the matched pair.
+var NoisyPhrases = []NoisyPhrase{
+	{Phrase: "studied at", Wrong: "employedBy", Correct: "graduatedFrom", PWrong: 0.55},
+	{Phrase: "from", Wrong: "livesIn", Correct: "birthPlace", PWrong: 0.6},
+	{Phrase: "partner of", Wrong: "employedBy", Correct: "spouse", PWrong: 0.55},
+	{Phrase: "features", Wrong: "director", Correct: "starring", PWrong: 0.5},
+	{Phrase: "made by", Wrong: "developer", Correct: "director", PWrong: 0.55},
+	{Phrase: "created by", Wrong: "author", Correct: "composer", PWrong: 0.55},
+	{Phrase: "wrote", Wrong: "composer", Correct: "author", PWrong: 0.5},
+	{Phrase: "based in", Wrong: "foundationPlace", Correct: "locatedIn", PWrong: 0.55},
+	{Phrase: "staying in", Wrong: "birthPlace", Correct: "livesIn", PWrong: 0.55},
+	{Phrase: "plays in", Wrong: "starring", Correct: "playsFor", PWrong: 0.5},
+}
+
+// ClassNouns maps natural-language class nouns to ontology classes.
+var ClassNouns = map[string]string{
+	"actor": ClassActor, "politician": ClassPolitician,
+	"scientist": ClassScientist, "writer": ClassWriter,
+	"musician": ClassMusician, "athlete": ClassAthlete,
+	"university": ClassUniversity, "company": ClassCompany,
+	"city": ClassCity, "state": ClassState,
+	"film": ClassFilm, "movie": ClassFilm,
+	"book": ClassBook, "song": ClassSong,
+	"software": ClassSoftware, "party": ClassParty, "team": ClassTeam,
+}
+
+// nounOf returns a canonical class noun for rendering questions.
+func nounOf(class string) string {
+	for noun, c := range ClassNouns {
+		if c == class && noun != "movie" { // prefer "film"
+			return noun
+		}
+	}
+	return "thing"
+}
+
+// predicateByName returns the schema entry for a predicate name.
+func predicateByName(name string) *Predicate {
+	for i := range Schema {
+		if Schema[i].Name == name {
+			return &Schema[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// SyntheticConfig sizes the ER/SF graph workloads of §7.1.1. The paper uses
+// 100k graphs of ~64 vertices; exact GED at that size is intractable on any
+// hardware, so the defaults are scaled down (DESIGN.md) — every knob is a
+// parameter so larger runs are a flag away.
+type SyntheticConfig struct {
+	Seed int64
+	// Count is the number of graphs generated per side (D and U).
+	Count int
+	// Vertices and Edges set the average graph size.
+	Vertices, Edges int
+	// LabelAlphabet is the number of distinct vertex labels.
+	LabelAlphabet int
+	// UncertainVertices is how many vertices per uncertain graph carry
+	// multiple labels.
+	UncertainVertices int
+	// LabelsPerVertex is |L(v)| for uncertain vertices (Fig. 14 sweeps it).
+	LabelsPerVertex int
+	// PerturbEdits is how many random edits separate an uncertain graph
+	// from its certain seed (keeps the join non-degenerate).
+	PerturbEdits int
+}
+
+// DefaultSyntheticConfig returns a configuration small enough for exact
+// verification in tests and benches.
+func DefaultSyntheticConfig() SyntheticConfig {
+	return SyntheticConfig{
+		Seed:              1,
+		Count:             40,
+		Vertices:          12,
+		Edges:             20,
+		LabelAlphabet:     10,
+		UncertainVertices: 4,
+		LabelsPerVertex:   3,
+		PerturbEdits:      2,
+	}
+}
+
+func synthLabel(i int) string { return fmt.Sprintf("L%d", i) }
+
+// ER generates an Erdős–Rényi-style workload: Count certain graphs with
+// uniformly random edges, and Count uncertain graphs derived from perturbed
+// copies with label uncertainty injected.
+func ER(cfg SyntheticConfig) ([]*graph.Graph, []*ugraph.Graph) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := make([]*graph.Graph, cfg.Count)
+	for i := range d {
+		d[i] = erGraph(rng, cfg)
+	}
+	u := deriveUncertain(rng, d, cfg)
+	return d, u
+}
+
+func erGraph(rng *rand.Rand, cfg SyntheticConfig) *graph.Graph {
+	n := jitter(rng, cfg.Vertices)
+	m := jitter(rng, cfg.Edges)
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(synthLabel(rng.Intn(cfg.LabelAlphabet)))
+	}
+	for tries := 0; tries < m*4 && g.NumEdges() < m; tries++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b || g.HasEdge(a, b) {
+			continue
+		}
+		g.MustAddEdge(a, b, "e")
+	}
+	return g
+}
+
+// SF generates a scale-free workload: vertex degrees follow a power law via
+// preferential attachment (the gengraph_win substitute).
+func SF(cfg SyntheticConfig) ([]*graph.Graph, []*ugraph.Graph) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := make([]*graph.Graph, cfg.Count)
+	for i := range d {
+		d[i] = sfGraph(rng, cfg)
+	}
+	u := deriveUncertain(rng, d, cfg)
+	return d, u
+}
+
+func sfGraph(rng *rand.Rand, cfg SyntheticConfig) *graph.Graph {
+	n := jitter(rng, cfg.Vertices)
+	if n < 3 {
+		n = 3
+	}
+	perVertex := cfg.Edges / cfg.Vertices
+	if perVertex < 1 {
+		perVertex = 1
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(synthLabel(rng.Intn(cfg.LabelAlphabet)))
+	}
+	deg := make([]int, n)
+	total := 0
+	// Seed triangle.
+	g.MustAddEdge(0, 1, "e")
+	g.MustAddEdge(1, 2, "e")
+	deg[0], deg[1], deg[2] = 1, 2, 1
+	total = 4
+	for v := 3; v < n; v++ {
+		attached := 0
+		for tries := 0; tries < perVertex*6 && attached < perVertex; tries++ {
+			// Preferential attachment: pick target ∝ degree (+1 smoothing).
+			r := rng.Intn(total + v)
+			target := 0
+			acc := 0
+			for t := 0; t < v; t++ {
+				acc += deg[t] + 1
+				if r < acc {
+					target = t
+					break
+				}
+			}
+			if target == v || g.HasEdge(v, target) || g.HasEdge(target, v) {
+				continue
+			}
+			g.MustAddEdge(v, target, "e")
+			deg[v]++
+			deg[target]++
+			total += 2
+			attached++
+		}
+	}
+	return g
+}
+
+// deriveUncertain builds the uncertain side: each graph is a perturbed copy
+// of a random certain graph with label distributions injected at a subset of
+// vertices (the true label keeps the highest confidence).
+func deriveUncertain(rng *rand.Rand, d []*graph.Graph, cfg SyntheticConfig) []*ugraph.Graph {
+	u := make([]*ugraph.Graph, cfg.Count)
+	for i := range u {
+		base := d[rng.Intn(len(d))].Clone()
+		perturb(rng, base, cfg)
+		u[i] = injectUncertainty(rng, base, cfg)
+	}
+	return u
+}
+
+func perturb(rng *rand.Rand, g *graph.Graph, cfg SyntheticConfig) {
+	for e := 0; e < cfg.PerturbEdits; e++ {
+		if g.NumVertices() == 0 {
+			return
+		}
+		v := rng.Intn(g.NumVertices())
+		switch rng.Intn(2) {
+		case 0: // relabel a vertex
+			g.SetVertexLabel(v, synthLabel(rng.Intn(cfg.LabelAlphabet)))
+		case 1: // add an edge
+			w := rng.Intn(g.NumVertices())
+			if v != w && !g.HasEdge(v, w) {
+				g.MustAddEdge(v, w, "e")
+			}
+		}
+	}
+}
+
+func injectUncertainty(rng *rand.Rand, base *graph.Graph, cfg SyntheticConfig) *ugraph.Graph {
+	u := ugraph.New(base.NumVertices())
+	uncertain := map[int]bool{}
+	for len(uncertain) < cfg.UncertainVertices && len(uncertain) < base.NumVertices() {
+		uncertain[rng.Intn(base.NumVertices())] = true
+	}
+	for v := 0; v < base.NumVertices(); v++ {
+		trueLabel := base.VertexLabel(v)
+		if !uncertain[v] || cfg.LabelsPerVertex < 2 {
+			u.AddVertex(ugraph.Label{Name: trueLabel, P: 1})
+			continue
+		}
+		k := cfg.LabelsPerVertex
+		confs := zipfConfidences(k)
+		labels := []ugraph.Label{{Name: trueLabel, P: confs[0]}}
+		seen := map[string]bool{trueLabel: true}
+		for len(labels) < k {
+			l := synthLabel(rng.Intn(cfg.LabelAlphabet))
+			if seen[l] {
+				// Tight alphabets may not have k distinct labels; widen.
+				l = fmt.Sprintf("L%d", cfg.LabelAlphabet+rng.Intn(k*2))
+				if seen[l] {
+					continue
+				}
+			}
+			seen[l] = true
+			labels = append(labels, ugraph.Label{Name: l, P: confs[len(labels)]})
+		}
+		u.AddVertex(labels...)
+	}
+	for _, e := range base.Edges() {
+		u.MustAddEdge(e.From, e.To, e.Label)
+	}
+	return u
+}
+
+// AIDSConfig sizes the AIDS-like molecule graph set of Fig. 15.
+type AIDSConfig struct {
+	Seed  int64
+	Count int
+	// MinVertices/MaxVertices bound molecule sizes.
+	MinVertices, MaxVertices int
+}
+
+// DefaultAIDSConfig returns the scaled-down default.
+func DefaultAIDSConfig() AIDSConfig {
+	return AIDSConfig{Seed: 5, Count: 100, MinVertices: 8, MaxVertices: 18}
+}
+
+// atoms is a skewed label distribution mimicking molecule data.
+var atoms = []struct {
+	label string
+	p     float64
+}{
+	{"C", 0.65}, {"N", 0.10}, {"O", 0.10}, {"S", 0.05},
+	{"P", 0.03}, {"Cl", 0.03}, {"F", 0.02}, {"Br", 0.01}, {"I", 0.005}, {"Si", 0.005},
+}
+
+// AIDS generates molecule-like certain graphs: a random spanning tree plus a
+// few ring-closing edges, degree ≤ 4, atom-skewed labels.
+func AIDS(cfg AIDSConfig) []*graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]*graph.Graph, cfg.Count)
+	for i := range out {
+		n := cfg.MinVertices + rng.Intn(cfg.MaxVertices-cfg.MinVertices+1)
+		g := graph.New(n)
+		deg := make([]int, n)
+		for v := 0; v < n; v++ {
+			g.AddVertex(randomAtom(rng))
+		}
+		// Spanning tree.
+		for v := 1; v < n; v++ {
+			for {
+				t := rng.Intn(v)
+				if deg[t] < 4 {
+					g.MustAddEdge(t, v, "bond")
+					deg[t]++
+					deg[v]++
+					break
+				}
+			}
+		}
+		// Ring closures.
+		rings := rng.Intn(n / 4)
+		for r := 0; r < rings; r++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b && deg[a] < 4 && deg[b] < 4 && !g.HasEdge(a, b) && !g.HasEdge(b, a) {
+				g.MustAddEdge(a, b, "bond")
+				deg[a]++
+				deg[b]++
+			}
+		}
+		out[i] = g
+	}
+	return out
+}
+
+func randomAtom(rng *rand.Rand) string {
+	r := rng.Float64()
+	acc := 0.0
+	for _, a := range atoms {
+		acc += a.p
+		if r < acc {
+			return a.label
+		}
+	}
+	return "C"
+}
+
+func jitter(rng *rand.Rand, mean int) int {
+	if mean <= 2 {
+		return mean
+	}
+	v := mean + rng.Intn(mean/2+1) - mean/4
+	if v < 2 {
+		v = 2
+	}
+	return v
+}

@@ -1,0 +1,318 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"simjoin/internal/nlq"
+	"simjoin/internal/sparql"
+)
+
+func smallQAConfig() QAConfig {
+	cfg := QALD3Config()
+	cfg.Questions = 40
+	cfg.ExtraQueries = 20
+	cfg.KB.EntitiesPerClass = 15
+	return cfg
+}
+
+func TestGenerateKBInvariants(t *testing.T) {
+	kb := GenerateKB(DefaultKBConfig())
+	if kb.Store.Len() == 0 {
+		t.Fatal("empty KB")
+	}
+	// Every entity has a type triple and a mention resolving back to it.
+	for class, ents := range kb.Entities {
+		if len(ents) != kb.Config.EntitiesPerClass {
+			t.Errorf("class %s has %d entities, want %d", class, len(ents), kb.Config.EntitiesPerClass)
+		}
+		for _, e := range ents {
+			if !kb.Store.Contains(e.Name, "type", class) {
+				t.Errorf("missing type triple for %s", e.Name)
+			}
+			mention := kb.Mentions[e.Name]
+			if mention == "" {
+				t.Errorf("no mention for %s", e.Name)
+				continue
+			}
+			cands := kb.Lexicon.LinkEntity(mention)
+			found := false
+			sum := 0.0
+			for _, c := range cands {
+				sum += c.P
+				if c.Entity == e.Name {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("mention %q does not link to %s (candidates %v)", mention, e.Name, cands)
+			}
+			if sum > 1+1e-9 {
+				t.Errorf("mention %q confidences sum to %v", mention, sum)
+			}
+		}
+	}
+}
+
+func TestGenerateKBAmbiguityRate(t *testing.T) {
+	kb := GenerateKB(DefaultKBConfig())
+	amb := 0
+	total := 0
+	for _, ents := range kb.Entities {
+		for _, e := range ents {
+			total++
+			if len(kb.Lexicon.LinkEntity(kb.Mentions[e.Name])) > 1 {
+				amb++
+			}
+		}
+	}
+	rate := float64(amb) / float64(total)
+	if rate < 0.15 || rate > 0.45 {
+		t.Errorf("ambiguous mention rate = %v, config asked ~0.3", rate)
+	}
+}
+
+func TestGenerateKBDeterministic(t *testing.T) {
+	a := GenerateKB(DefaultKBConfig())
+	b := GenerateKB(DefaultKBConfig())
+	if a.Store.Len() != b.Store.Len() {
+		t.Errorf("non-deterministic KB: %d vs %d triples", a.Store.Len(), b.Store.Len())
+	}
+}
+
+func TestGenerateQAWorkload(t *testing.T) {
+	w, err := GenerateQA(smallQAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Questions) != 40 {
+		t.Fatalf("questions = %d", len(w.Questions))
+	}
+	if len(w.Sparql) == 0 {
+		t.Fatal("no SPARQL workload")
+	}
+	for i, q := range w.Questions {
+		if q.Text == "" || q.Gold == nil || q.GoldSig == "" {
+			t.Fatalf("question %d incomplete: %+v", i, q)
+		}
+		// Gold queries must have answers in the KB (grounded intents).
+		res, err := sparql.Execute(w.KB.Store, q.Gold, 0)
+		if err != nil {
+			t.Fatalf("gold query %d: %v", i, err)
+		}
+		if len(res) == 0 {
+			t.Errorf("gold query %d has no answers: %s", i, q.Gold)
+		}
+		if q.Relations < 1 || q.Relations > 3 {
+			t.Errorf("question %d relations = %d", i, q.Relations)
+		}
+	}
+	for i, e := range w.Sparql {
+		if e.Graph == nil || e.Sig == "" {
+			t.Fatalf("sparql entry %d incomplete", i)
+		}
+	}
+}
+
+func TestQuestionsInterpretable(t *testing.T) {
+	w, err := GenerateQA(smallQAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for _, q := range w.Questions {
+		uq, err := nlq.Interpret(q.Text, w.KB.Lexicon)
+		if err != nil {
+			t.Logf("interpret %q: %v", q.Text, err)
+			continue
+		}
+		if uq.Graph.NumVertices() == 0 {
+			t.Errorf("empty graph for %q", q.Text)
+		}
+		ok++
+	}
+	if rate := float64(ok) / float64(len(w.Questions)); rate < 0.9 {
+		t.Errorf("only %v of questions interpretable", rate)
+	}
+}
+
+func TestInverseQuestionsGenerated(t *testing.T) {
+	cfg := QALD3Config()
+	cfg.Questions = 120
+	cfg.InverseRate = 0.5
+	w, err := GenerateQA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inverse := 0
+	for _, q := range w.Questions {
+		if !strings.HasPrefix(q.Text, "What is ") {
+			continue
+		}
+		inverse++
+		// Gold query: concrete subject, variable object, plus the range
+		// type constraint on the answer.
+		if len(q.Gold.Patterns) != 2 {
+			t.Fatalf("inverse gold has %d patterns: %s", len(q.Gold.Patterns), q.Gold)
+		}
+		p := q.Gold.Patterns[0]
+		if p.S.IsVar() || !p.O.IsVar() {
+			t.Fatalf("inverse gold direction wrong: %s", q.Gold)
+		}
+		if tp := q.Gold.Patterns[1]; tp.P.Value != "type" || !tp.S.IsVar() {
+			t.Fatalf("inverse gold missing range type pattern: %s", q.Gold)
+		}
+		if q.Relations != 1 {
+			t.Errorf("inverse relation count = %d", q.Relations)
+		}
+		// The question must interpret and answer over the KB.
+		res, err := sparql.Execute(w.KB.Store, q.Gold, 0)
+		if err != nil || len(res) == 0 {
+			t.Errorf("inverse gold unanswerable: %s (%v)", q.Gold, err)
+		}
+		if _, err := nlq.Interpret(q.Text, w.KB.Lexicon); err != nil {
+			t.Errorf("inverse question uninterpretable: %q (%v)", q.Text, err)
+		}
+	}
+	if inverse < 10 {
+		t.Errorf("only %d inverse questions generated", inverse)
+	}
+}
+
+func TestSignatureEntityBlind(t *testing.T) {
+	q1 := sparql.MustBuildQueryGraph(sparql.MustParse(
+		`SELECT ?x WHERE { ?x type Actor . ?x birthPlace Alderville . }`))
+	q2 := sparql.MustBuildQueryGraph(sparql.MustParse(
+		`SELECT ?x WHERE { ?x type Actor . ?x birthPlace Cedarville . }`))
+	q3 := sparql.MustBuildQueryGraph(sparql.MustParse(
+		`SELECT ?x WHERE { ?x type Politician . ?x birthPlace Alderville . }`))
+	if Signature(q1) != Signature(q2) {
+		t.Error("entity change altered signature")
+	}
+	if Signature(q1) == Signature(q3) {
+		t.Error("class change did not alter signature")
+	}
+}
+
+func TestSignatureStructureSensitive(t *testing.T) {
+	chain := sparql.MustBuildQueryGraph(sparql.MustParse(
+		`SELECT ?x WHERE { ?x spouse ?y . ?y memberOf Party1 . }`))
+	star := sparql.MustBuildQueryGraph(sparql.MustParse(
+		`SELECT ?x WHERE { ?x spouse ?y . ?x memberOf Party1 . }`))
+	if Signature(chain) == Signature(star) {
+		t.Error("chain and star share a signature")
+	}
+}
+
+func TestERGenerator(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	d, u := ER(cfg)
+	if len(d) != cfg.Count || len(u) != cfg.Count {
+		t.Fatalf("counts: %d/%d", len(d), len(u))
+	}
+	for i, g := range d {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("d[%d]: %v", i, err)
+		}
+		if g.NumVertices() < 2 {
+			t.Errorf("d[%d] too small", i)
+		}
+	}
+	totalLabels := 0
+	for i, g := range u {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("u[%d]: %v", i, err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			totalLabels += len(g.Labels(v))
+		}
+		if len(g.UncertainVertices()) == 0 {
+			t.Errorf("u[%d] has no uncertainty", i)
+		}
+	}
+	if totalLabels == 0 {
+		t.Fatal("no labels at all")
+	}
+}
+
+func TestSFPowerLaw(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.Vertices = 60
+	cfg.Edges = 120
+	cfg.Count = 10
+	d, _ := SF(cfg)
+	// A scale-free graph should have a hub: max degree well above average.
+	hubby := 0
+	for _, g := range d {
+		degs := g.Degrees()
+		maxD, sum := 0, 0
+		for _, dd := range degs {
+			sum += dd
+			if dd > maxD {
+				maxD = dd
+			}
+		}
+		avg := float64(sum) / float64(len(degs))
+		if float64(maxD) > 2.5*avg {
+			hubby++
+		}
+	}
+	if hubby < len(d)/2 {
+		t.Errorf("only %d/%d SF graphs have hubs", hubby, len(d))
+	}
+}
+
+func TestAIDSGenerator(t *testing.T) {
+	gs := AIDS(DefaultAIDSConfig())
+	if len(gs) != 100 {
+		t.Fatalf("count = %d", len(gs))
+	}
+	carbon := 0
+	total := 0
+	for i, g := range gs {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("aids[%d]: %v", i, err)
+		}
+		for _, d := range g.Degrees() {
+			if d > 4 {
+				t.Errorf("aids[%d] degree %d > 4", i, d)
+			}
+		}
+		// Connectivity: spanning tree guarantees |E| >= |V|-1.
+		if g.NumEdges() < g.NumVertices()-1 {
+			t.Errorf("aids[%d] disconnected-ish: %d edges, %d vertices", i, g.NumEdges(), g.NumVertices())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			total++
+			if g.VertexLabel(v) == "C" {
+				carbon++
+			}
+		}
+	}
+	if r := float64(carbon) / float64(total); math.Abs(r-0.65) > 0.1 {
+		t.Errorf("carbon rate = %v, want ~0.65", r)
+	}
+}
+
+func TestMMDomainRestricted(t *testing.T) {
+	cfg := MMConfig()
+	cfg.Questions = 20
+	cfg.KB.EntitiesPerClass = 10
+	cfg.ExtraQueries = 5
+	w, err := GenerateQA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[string]bool{}
+	for _, c := range MusicMovieDomains {
+		allowed[c] = true
+	}
+	for _, e := range w.Sparql {
+		for _, p := range e.Query.Patterns {
+			if p.P.Value == "type" && !allowed[p.O.Value] {
+				t.Errorf("out-of-domain class %q in MM workload", p.O.Value)
+			}
+		}
+	}
+}
