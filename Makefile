@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt ci bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrency-heavy packages: the join worker pool and the
+# observability instruments it writes through.
+race:
+	$(GO) test -race ./internal/core ./internal/obs
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci:
+	./scripts/ci.sh
+
+bench:
+	$(GO) test -bench . -benchtime 2x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -19,15 +19,29 @@ import (
 
 	"simjoin/internal/experiments"
 	"simjoin/internal/metrics"
+	"simjoin/internal/obs"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) != 1 {
 		usage()
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		reg := obs.New()
+		tr := obs.NewTracer(obs.DefaultTraceCapacity)
+		experiments.Observe(reg, tr)
+		srv, err := obs.Serve(*debugAddr, reg, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/\n", srv.Addr)
 	}
 	s := experiments.Scale(*scale)
 	if err := run(args[0], s); err != nil {

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"simjoin/internal/experiments"
+	"simjoin/internal/obs"
 	"simjoin/internal/qa"
 	"simjoin/internal/template"
 	"simjoin/internal/workload"
@@ -32,6 +33,7 @@ func main() {
 		saveTmpls = flag.String("save", "", "write learned templates to this JSON file")
 		loadTmpls = flag.String("load", "", "load templates from this JSON file instead of training")
 		samples   = flag.Int("samples", 0, "print n sample questions answerable over the generated KB and exit")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address")
 	)
 	flag.Parse()
 
@@ -48,19 +50,39 @@ func main() {
 		return
 	}
 
-	if err := run(*system, *question, *minPhi, experiments.Scale(*scale), *verbose, *saveTmpls, *loadTmpls); err != nil {
+	var (
+		reg *obs.Registry
+		tr  *obs.Tracer
+	)
+	if *debugAddr != "" {
+		reg = obs.New()
+		tr = obs.NewTracer(obs.DefaultTraceCapacity)
+		experiments.Observe(reg, tr)
+		srv, err := obs.Serve(*debugAddr, reg, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdfqa:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/\n", srv.Addr)
+	}
+
+	if err := run(*system, *question, *minPhi, experiments.Scale(*scale), *verbose, *saveTmpls, *loadTmpls, reg, tr); err != nil {
 		fmt.Fprintln(os.Stderr, "rdfqa:", err)
 		os.Exit(1)
 	}
 }
 
-func run(system, question string, minPhi float64, scale experiments.Scale, verbose bool, saveTmpls, loadTmpls string) error {
+func run(system, question string, minPhi float64, scale experiments.Scale, verbose bool, saveTmpls, loadTmpls string, reg *obs.Registry, tr *obs.Tracer) error {
 	fmt.Fprintln(os.Stderr, "generating knowledge base and workloads...")
 	cfg := workload.QALD3Config()
 	cfg.Questions = int(float64(cfg.Questions) * 2 * float64(scale))
 	w, err := workload.GenerateQA(cfg)
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		w.KB.Store.SetObs(reg)
 	}
 
 	var sys qa.System
@@ -119,6 +141,7 @@ func run(system, question string, minPhi float64, scale experiments.Scale, verbo
 	default:
 		return fmt.Errorf("unknown system %q", system)
 	}
+	sys = qa.Instrument(sys, reg, tr)
 
 	answer := func(q string) {
 		res, err := sys.Answer(q)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,20 +17,25 @@ import (
 	"simjoin/internal/core"
 	"simjoin/internal/experiments"
 	"simjoin/internal/graph"
+	"simjoin/internal/obs"
 	"simjoin/internal/ugraph"
 	"simjoin/internal/workload"
 )
 
 func main() {
 	var (
-		wl    = flag.String("workload", "qald", "workload: qald|webq|mm|er|sf")
-		tau   = flag.Int("tau", 1, "GED threshold")
-		alpha = flag.Float64("alpha", 0.9, "similarity probability threshold")
-		mode  = flag.String("mode", "opt", "pruning mode: css|simj|opt")
-		gn    = flag.Int("gn", 10, "possible-world group count (opt mode)")
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
-		show  = flag.Int("show", 5, "matched pairs to print")
-		dump  = flag.String("dump", "", "save the generated QA workload to this directory and exit")
+		wl        = flag.String("workload", "qald", "workload: qald|webq|mm|er|sf")
+		tau       = flag.Int("tau", 1, "GED threshold")
+		alpha     = flag.Float64("alpha", 0.9, "similarity probability threshold")
+		mode      = flag.String("mode", "opt", "pruning mode: css|simj|opt")
+		gn        = flag.Int("gn", 10, "possible-world group count (opt mode)")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		show      = flag.Int("show", 5, "matched pairs to print")
+		dump      = flag.String("dump", "", "save the generated QA workload to this directory and exit")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run")
+		statsJSON = flag.String("stats-json", "", "write the final Stats and metrics snapshot as JSON to this file")
+		traceOut  = flag.String("trace-out", "", "write recorded spans as Chrome trace_event JSON to this file")
+		progress  = flag.Duration("progress", 0, "log join progress at this interval (e.g. 2s; 0 disables)")
 	)
 	flag.Parse()
 
@@ -61,17 +67,56 @@ func main() {
 		return
 	}
 
-	if err := run(*wl, *tau, *alpha, *mode, *gn, experiments.Scale(*scale), *show); err != nil {
+	obsCfg := obsConfig{
+		debugAddr: *debugAddr,
+		statsJSON: *statsJSON,
+		traceOut:  *traceOut,
+		progress:  *progress,
+	}
+	if err := run(*wl, *tau, *alpha, *mode, *gn, experiments.Scale(*scale), *show, obsCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "simjoin:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl string, tau int, alpha float64, modeName string, gn int, scale experiments.Scale, show int) error {
+// obsConfig bundles the observability flags.
+type obsConfig struct {
+	debugAddr string
+	statsJSON string
+	traceOut  string
+	progress  time.Duration
+}
+
+func run(wl string, tau int, alpha float64, modeName string, gn int, scale experiments.Scale, show int, oc obsConfig) error {
 	opts := core.DefaultOptions()
 	opts.Tau = tau
 	opts.Alpha = alpha
 	opts.GroupCount = gn
+
+	var (
+		reg *obs.Registry
+		tr  *obs.Tracer
+	)
+	if oc.debugAddr != "" || oc.statsJSON != "" {
+		reg = obs.New()
+		opts.Obs = reg
+	}
+	if oc.debugAddr != "" || oc.traceOut != "" {
+		tr = obs.NewTracer(obs.DefaultTraceCapacity)
+		opts.Tracer = tr
+	}
+	if oc.progress > 0 {
+		opts.Logger = obs.StderrLogger()
+		opts.ProgressEvery = oc.progress
+	}
+	if oc.debugAddr != "" {
+		srv, err := obs.Serve(oc.debugAddr, reg, tr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/\n", srv.Addr)
+	}
 	switch modeName {
 	case "css":
 		opts.Mode = core.ModeCSSOnly
@@ -136,6 +181,18 @@ func run(wl string, tau int, alpha float64, modeName string, gn int, scale exper
 	fmt.Printf("pairs: %d in %v\n", len(pairs), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("stats: css-pruned=%d prob-pruned=%d candidates=%d (ratio %.4f) worlds=%d ged-calls=%d\n",
 		st.CSSPruned, st.ProbPruned, st.Candidates, st.CandidateRatio(), st.WorldsChecked, st.GEDCalls)
+	if oc.statsJSON != "" {
+		if err := writeStatsJSON(oc.statsJSON, &st, reg); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote stats snapshot to %s\n", oc.statsJSON)
+	}
+	if oc.traceOut != "" {
+		if err := writeTrace(oc.traceOut, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s\n", oc.traceOut)
+	}
 	for i, pr := range pairs {
 		if i >= show {
 			fmt.Printf("... and %d more\n", len(pairs)-show)
@@ -144,4 +201,38 @@ func run(wl string, tau int, alpha float64, modeName string, gn int, scale exper
 		fmt.Printf("[%d] SimP=%.3f ged=%d  %s\n", i+1, pr.SimP, pr.Distance, describe(pr))
 	}
 	return nil
+}
+
+// writeStatsJSON saves the paper-facing Stats next to the full metrics
+// snapshot (per-stage histograms, per-filter prune counters, GED metrics).
+func writeStatsJSON(path string, st *core.Stats, reg *obs.Registry) error {
+	doc := struct {
+		Stats   *core.Stats  `json:"stats"`
+		Metrics obs.Snapshot `json:"metrics"`
+	}{Stats: st, Metrics: reg.Snapshot()}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace saves the recorded spans as Chrome trace_event JSON
+// (loadable in chrome://tracing or Perfetto).
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"simjoin/internal/graph"
@@ -122,9 +123,20 @@ func (idx *Index) labelScreen(i int, g *ugraph.Graph, gLabels map[string]bool, g
 // pairs Join(idx.d, u, opts) returns; Stats.IndexSkipped counts the pairs
 // the prescreens eliminated without touching the bound machinery.
 func JoinIndexed(idx *Index, u []*ugraph.Graph, opts Options) ([]Pair, Stats, error) {
+	return JoinIndexedContext(context.Background(), idx, u, opts)
+}
+
+// JoinIndexedContext is JoinIndexed with cancellation, with the same
+// contract as JoinContext: on cancellation the accumulated Stats and
+// ctx.Err() are returned and the partial results are dropped.
+func JoinIndexedContext(ctx context.Context, idx *Index, u []*ugraph.Graph, opts Options) ([]Pair, Stats, error) {
 	if err := opts.normalise(); err != nil {
 		return nil, Stats{}, err
 	}
+	jo := newJoinObs(&opts)
+	stopProgress := jo.startProgress(&opts, int64(idx.Len())*int64(len(u)))
+	defer stopProgress()
+
 	type task struct {
 		gi    int
 		cands []int
@@ -136,25 +148,42 @@ func JoinIndexed(idx *Index, u []*ugraph.Graph, opts Options) ([]Pair, Stats, er
 
 	go func() {
 		defer close(done)
-		var local Stats
+		local := rec{jo: jo}
 		for t := range tasks {
 			for _, qi := range t.cands {
+				if ctx.Err() != nil {
+					break
+				}
 				local.Pairs++
 				p, ok := joinPair(idx.d[qi], u[t.gi], qi, t.gi, &opts, &local)
 				if ok {
 					results = append(results, p)
 					local.Results++
 				}
+				if jo.progress {
+					jo.pairsDone.Add(1)
+				}
 			}
 		}
-		total.add(&local)
+		total.add(&local.Stats)
 	}()
 
 	var skipped int64
+feed:
 	for gi, g := range u {
+		if ctx.Err() != nil {
+			break
+		}
 		cands := idx.Candidates(g, opts.Tau)
 		skipped += int64(idx.Len() - len(cands))
-		tasks <- task{gi: gi, cands: cands}
+		if jo.progress {
+			jo.pairsDone.Add(int64(idx.Len() - len(cands)))
+		}
+		select {
+		case tasks <- task{gi: gi, cands: cands}:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(tasks)
 	<-done
@@ -162,6 +191,10 @@ func JoinIndexed(idx *Index, u []*ugraph.Graph, opts Options) ([]Pair, Stats, er
 	total.Pairs += skipped
 	total.CSSPruned += skipped // prescreens are implied by the CSS stage
 	total.IndexSkipped = skipped
+	publishStats(opts.Obs, &total)
+	if err := ctx.Err(); err != nil {
+		return nil, total, err
+	}
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Q != results[j].Q {
 			return results[i].Q < results[j].Q

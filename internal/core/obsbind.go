@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"simjoin/internal/filter"
+	"simjoin/internal/ged"
+	"simjoin/internal/obs"
+)
+
+// joinObs carries the shared observability state of one join run: registry
+// handles for per-stage histograms, the per-filter counters, the GED engine
+// metrics, the span tracer, and the live tallies the progress reporter
+// reads. Every handle is a nil-safe obs instrument, so with observability
+// disabled (Options.Obs, Tracer and Logger all nil) recording degenerates to
+// nil checks and the join runs at seed speed.
+type joinObs struct {
+	reg  *obs.Registry
+	tr   *obs.Tracer
+	filt *filter.Obs
+	gedM *ged.Metrics
+
+	pruneSeconds  *obs.Histogram
+	verifySeconds *obs.Histogram
+	worldsPerPair *obs.Histogram
+
+	// progress gates the live atomics below; they are only maintained when a
+	// Logger and ProgressEvery are configured.
+	progress   bool
+	pairsDone  atomic.Int64
+	candidates atomic.Int64
+}
+
+func newJoinObs(o *Options) *joinObs {
+	jo := &joinObs{
+		reg:      o.Obs,
+		tr:       o.Tracer,
+		progress: o.Logger != nil && o.ProgressEvery > 0,
+	}
+	if o.Obs != nil {
+		jo.filt = filter.NewObs(o.Obs)
+		jo.gedM = ged.NewMetrics(o.Obs)
+		jo.pruneSeconds = o.Obs.Histogram("simjoin_prune_seconds", obs.DurationBuckets)
+		jo.verifySeconds = o.Obs.Histogram("simjoin_verify_seconds", obs.DurationBuckets)
+		jo.worldsPerPair = o.Obs.Histogram("simjoin_worlds_per_pair", obs.CountBuckets)
+	}
+	return jo
+}
+
+// startProgress launches the periodic progress reporter for a join over
+// total pairs; the returned stop function is safe to call always.
+func (jo *joinObs) startProgress(o *Options, total int64) func() {
+	if !jo.progress {
+		return func() {}
+	}
+	return obs.StartProgress(o.Logger, o.ProgressEvery, total, func() (int64, int64) {
+		return jo.pairsDone.Load(), jo.candidates.Load()
+	})
+}
+
+// rec is the per-worker recording context: the paper-facing Stats tallies
+// (plain fields, merged once per worker via Stats.add) plus the run's shared
+// observability handles.
+type rec struct {
+	Stats
+	jo *joinObs
+}
+
+// statsCounterSpec is the single source of truth tying every Stats counter
+// field to its registry metric name. publishStats writes through it and
+// StatsFromSnapshot reads through it, so the paper-facing Stats and the
+// registry can never disagree; a reflection test asserts the table covers
+// every field of Stats.
+var statsCounterSpec = []struct {
+	name string
+	fld  func(*Stats) *int64
+}{
+	{"simjoin_pairs_total", func(s *Stats) *int64 { return &s.Pairs }},
+	{"simjoin_css_pruned_total", func(s *Stats) *int64 { return &s.CSSPruned }},
+	{"simjoin_prob_pruned_total", func(s *Stats) *int64 { return &s.ProbPruned }},
+	{"simjoin_candidates_total", func(s *Stats) *int64 { return &s.Candidates }},
+	{"simjoin_results_total", func(s *Stats) *int64 { return &s.Results }},
+	{"simjoin_skipped_pairs_total", func(s *Stats) *int64 { return &s.SkippedPairs }},
+	{"simjoin_worlds_checked_total", func(s *Stats) *int64 { return &s.WorldsChecked }},
+	{"simjoin_ged_calls_total", func(s *Stats) *int64 { return &s.GEDCalls }},
+	{"simjoin_ged_budget_hits_total", func(s *Stats) *int64 { return &s.GEDBudgetHits }},
+	{"simjoin_groups_built_total", func(s *Stats) *int64 { return &s.GroupsBuilt }},
+	{"simjoin_groups_pruned_total", func(s *Stats) *int64 { return &s.GroupsPruned }},
+	{"simjoin_early_accepts_total", func(s *Stats) *int64 { return &s.EarlyAccepts }},
+	{"simjoin_early_rejects_total", func(s *Stats) *int64 { return &s.EarlyRejects }},
+	{"simjoin_index_skipped_total", func(s *Stats) *int64 { return &s.IndexSkipped }},
+	{"simjoin_sampled_pairs_total", func(s *Stats) *int64 { return &s.SampledPairs }},
+}
+
+// statsDurationSpec does the same for the duration fields; the registry
+// counters accumulate nanoseconds.
+var statsDurationSpec = []struct {
+	name string
+	fld  func(*Stats) *time.Duration
+}{
+	{"simjoin_prune_time_nanoseconds_total", func(s *Stats) *time.Duration { return &s.PruneTime }},
+	{"simjoin_verify_time_nanoseconds_total", func(s *Stats) *time.Duration { return &s.VerifyTime }},
+}
+
+// publishStats accumulates a finished join's Stats into the registry.
+// Counters are cumulative across joins sharing a registry; per-run numbers
+// come from diffing snapshots (obs.DiffCounters) or the returned Stats.
+func publishStats(reg *obs.Registry, s *Stats) {
+	if reg == nil {
+		return
+	}
+	for _, c := range statsCounterSpec {
+		reg.Counter(c.name).Add(*c.fld(s))
+	}
+	for _, c := range statsDurationSpec {
+		reg.Counter(c.name).Add(int64(*c.fld(s)))
+	}
+}
+
+// StatsFromSnapshot reconstructs a Stats from a registry snapshot through
+// the same name table publishStats writes, so snapshot-derived numbers and
+// the paper-facing summary agree by construction. Over a registry that
+// served several joins the result is their sum.
+func StatsFromSnapshot(snap obs.Snapshot) Stats {
+	var s Stats
+	for _, c := range statsCounterSpec {
+		*c.fld(&s) = snap.Counters[c.name]
+	}
+	for _, c := range statsDurationSpec {
+		*c.fld(&s) = time.Duration(snap.Counters[c.name])
+	}
+	return s
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"simjoin/internal/obs"
+)
+
+// fillStats sets every field of a Stats to a distinct nonzero value via
+// reflection, so coverage holes show up no matter which field is missed.
+func fillStats(t *testing.T, s *Stats) {
+	t.Helper()
+	v := reflect.ValueOf(s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int64:
+			f.SetInt(int64(100 + i))
+		default:
+			t.Fatalf("Stats field %s has unhandled kind %s", v.Type().Field(i).Name, f.Kind())
+		}
+	}
+}
+
+// TestStatsAddCoversAllFields asserts Stats.add folds in every field: a
+// forgotten += line leaves the corresponding field at zero.
+func TestStatsAddCoversAllFields(t *testing.T) {
+	var src, dst Stats
+	fillStats(t, &src)
+	dst.add(&src)
+	if dst != src {
+		t.Fatalf("Stats.add does not cover every field:\n got %+v\nwant %+v", dst, src)
+	}
+	dst.add(&src)
+	v := reflect.ValueOf(dst)
+	for i := 0; i < v.NumField(); i++ {
+		if got, want := v.Field(i).Int(), 2*(100+int64(i)); got != want {
+			t.Errorf("after double add, field %s = %d, want %d", v.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestStatsMetricTableCoversAllFields asserts the declarative field↔metric
+// table behind publishStats/StatsFromSnapshot names every Stats field
+// exactly once, so Stats and the registry cannot drift apart as fields are
+// added.
+func TestStatsMetricTableCoversAllFields(t *testing.T) {
+	if got, want := len(statsCounterSpec)+len(statsDurationSpec), reflect.TypeOf(Stats{}).NumField(); got != want {
+		t.Fatalf("metric table has %d entries, Stats has %d fields", got, want)
+	}
+	// Each table entry must address a distinct field.
+	var probe Stats
+	seen := make(map[*int64]string)
+	for _, c := range statsCounterSpec {
+		p := c.fld(&probe)
+		if prev, dup := seen[p]; dup {
+			t.Errorf("counter %q and %q address the same Stats field", c.name, prev)
+		}
+		seen[p] = c.name
+		if !strings.HasPrefix(c.name, "simjoin_") || !strings.HasSuffix(c.name, "_total") {
+			t.Errorf("counter name %q does not follow simjoin_*_total", c.name)
+		}
+	}
+	durSeen := make(map[*time.Duration]string)
+	for _, c := range statsDurationSpec {
+		p := c.fld(&probe)
+		if prev, dup := durSeen[p]; dup {
+			t.Errorf("duration counter %q and %q address the same Stats field", c.name, prev)
+		}
+		durSeen[p] = c.name
+	}
+}
+
+// TestPublishStatsRoundTrip pushes a fully populated Stats through the
+// registry and back; any asymmetry between publishStats and
+// StatsFromSnapshot breaks the equality.
+func TestPublishStatsRoundTrip(t *testing.T) {
+	var src Stats
+	fillStats(t, &src)
+	reg := obs.New()
+	publishStats(reg, &src)
+	got := StatsFromSnapshot(reg.Snapshot())
+	if got != src {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, src)
+	}
+	// publishStats accumulates: a second publish doubles every counter.
+	publishStats(reg, &src)
+	got = StatsFromSnapshot(reg.Snapshot())
+	want := src
+	want.add(&src)
+	if got != want {
+		t.Fatalf("second publish should accumulate:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestJoinStatsMatchRegistry runs real joins with a registry attached and
+// checks (a) the returned Stats equal the snapshot-derived Stats and (b) the
+// per-filter counters sum consistently with the lumped Stats fields.
+func TestJoinStatsMatchRegistry(t *testing.T) {
+	d, u := smallWorkload(7, 8, 8)
+	for _, mode := range []Mode{ModeCSSOnly, ModeSimJ, ModeSimJOpt} {
+		reg := obs.New()
+		opts := DefaultOptions()
+		opts.Mode = mode
+		opts.Tau = 1
+		opts.Alpha = 0.5
+		opts.Obs = reg
+		opts.Tracer = obs.NewTracer(128)
+		_, st, err := Join(d, u, opts)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		snap := reg.Snapshot()
+		from := StatsFromSnapshot(snap)
+		// Durations are re-measured per field; counters must match exactly.
+		from.PruneTime, from.VerifyTime = st.PruneTime, st.VerifyTime
+		if from != st {
+			t.Errorf("mode %v: snapshot stats diverge:\n got %+v\nwant %+v", mode, from, st)
+		}
+		c := snap.Counters
+		if got := c["filter_css_pruned_total"]; got != st.CSSPruned {
+			t.Errorf("mode %v: filter_css_pruned_total = %d, Stats.CSSPruned = %d", mode, got, st.CSSPruned)
+		}
+		probSum := c["filter_prob_pruned_total"] + c["filter_prob_tight_pruned_total"] + c["filter_group_bound_pruned_total"]
+		if probSum != st.ProbPruned {
+			t.Errorf("mode %v: per-filter prob prunes sum to %d, Stats.ProbPruned = %d", mode, probSum, st.ProbPruned)
+		}
+		if got := c["filter_group_css_pruned_total"]; got != st.GroupsPruned {
+			t.Errorf("mode %v: filter_group_css_pruned_total = %d, Stats.GroupsPruned = %d", mode, got, st.GroupsPruned)
+		}
+		if got := c["ged_compute_total"]; got != st.GEDCalls {
+			t.Errorf("mode %v: ged_compute_total = %d, Stats.GEDCalls = %d", mode, got, st.GEDCalls)
+		}
+		if got := c["ged_budget_exhausted_total"]; got != st.GEDBudgetHits {
+			t.Errorf("mode %v: ged_budget_exhausted_total = %d, Stats.GEDBudgetHits = %d", mode, got, st.GEDBudgetHits)
+		}
+		// Evaluated counts: the CSS bound sees every pair once.
+		if got := c["filter_css_evaluated_total"]; got != st.Pairs {
+			t.Errorf("mode %v: filter_css_evaluated_total = %d, Stats.Pairs = %d", mode, got, st.Pairs)
+		}
+		// Stage histograms observed once per pair surviving to each stage.
+		if h, ok := snap.Histograms["simjoin_prune_seconds"]; !ok || h.Count != st.Pairs {
+			t.Errorf("mode %v: simjoin_prune_seconds count = %d, want %d", mode, h.Count, st.Pairs)
+		}
+		if h, ok := snap.Histograms["simjoin_verify_seconds"]; !ok || h.Count != st.Candidates {
+			t.Errorf("mode %v: simjoin_verify_seconds count = %d, want %d", mode, h.Count, st.Candidates)
+		}
+	}
+}
+
+// TestJoinIndexedPublishesStats checks JoinIndexed's registry publication,
+// including the skipped-pair accounting added outside the worker loop.
+func TestJoinIndexedPublishesStats(t *testing.T) {
+	d, u := smallWorkload(11, 10, 6)
+	reg := obs.New()
+	opts := DefaultOptions()
+	opts.Alpha = 0.5
+	opts.Obs = reg
+	_, st, err := JoinIndexed(BuildIndex(d), u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := StatsFromSnapshot(reg.Snapshot())
+	from.PruneTime, from.VerifyTime = st.PruneTime, st.VerifyTime
+	if from != st {
+		t.Fatalf("snapshot stats diverge:\n got %+v\nwant %+v", from, st)
+	}
+	if st.IndexSkipped == 0 {
+		t.Log("note: prescreens skipped nothing on this workload")
+	}
+}
+
+// TestJoinContextCancelled verifies the cancellation contract: a cancelled
+// context stops the join, ctx.Err() is surfaced, and no results leak out.
+func TestJoinContextCancelled(t *testing.T) {
+	d, u := smallWorkload(3, 10, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, st, err := JoinContext(ctx, d, u, DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled join returned %d results, want none", len(res))
+	}
+	if st.Pairs >= int64(len(d))*int64(len(u)) {
+		t.Fatalf("cancelled join still processed all %d pairs", st.Pairs)
+	}
+}
+
+// TestJoinIndexedContextCancelled does the same for the indexed join.
+func TestJoinIndexedContextCancelled(t *testing.T) {
+	d, u := smallWorkload(3, 10, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, _, err := JoinIndexedContext(ctx, BuildIndex(d), u, DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled join returned %d results, want none", len(res))
+	}
+}
+
+// TestJoinContextDeadline cancels mid-join via a deadline and checks the
+// join returns promptly rather than completing the full cross product.
+func TestJoinContextDeadline(t *testing.T) {
+	d, u := smallWorkload(5, 12, 12)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // ensure expiry before the feed starts
+	_, _, err := JoinContext(ctx, d, u, DefaultOptions())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestJoinProgressReporter exercises the progress plumbing end to end: a
+// fast interval must produce at least a final report with the exact totals.
+func TestJoinProgressReporter(t *testing.T) {
+	d, u := smallWorkload(9, 6, 6)
+	var (
+		mu    sync.Mutex
+		lines []string
+	)
+	logger := obs.FuncLogger(func(format string, args ...interface{}) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+	opts := DefaultOptions()
+	opts.Alpha = 0.5
+	opts.Workers = 2
+	opts.Logger = logger
+	opts.ProgressEvery = time.Millisecond
+	_, st, err := Join(d, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) == 0 {
+		t.Fatal("no progress output")
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "join done") {
+		t.Fatalf("final line %q is not the completion report", last)
+	}
+	if want := fmt.Sprintf("%d/%d pairs", st.Pairs, st.Pairs); !strings.Contains(last, want) {
+		t.Fatalf("final line %q lacks the pair total %s", last, want)
+	}
+}

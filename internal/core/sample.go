@@ -19,7 +19,7 @@ import (
 // as undecidable (skipped, like the exhausted-budget case) in between.
 //
 // The estimator is deterministic: the RNG is seeded from the pair indices.
-func sampleVerify(q *graph.Graph, g *ugraph.Graph, qi, gi int, opts *Options, st *Stats) (Pair, bool) {
+func sampleVerify(q *graph.Graph, g *ugraph.Graph, qi, gi int, opts *Options, st *rec) (Pair, bool) {
 	n := opts.SampleWorlds
 	mass := g.TotalMass()
 	rng := rand.New(rand.NewSource(int64(qi)*1_000_003 + int64(gi) + 42))
@@ -68,7 +68,7 @@ func sampleVerify(q *graph.Graph, g *ugraph.Graph, qi, gi int, opts *Options, st
 			continue
 		}
 		st.GEDCalls++
-		res, err := ged.Compute(q, w, ged.Options{Threshold: opts.Tau, MaxStates: opts.VerifyMaxStates})
+		res, err := ged.Compute(q, w, ged.Options{Threshold: opts.Tau, MaxStates: opts.VerifyMaxStates, Metrics: st.jo.gedM})
 		if err != nil {
 			st.GEDBudgetHits++
 			continue

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -23,6 +24,7 @@ import (
 	"simjoin/internal/filter"
 	"simjoin/internal/ged"
 	"simjoin/internal/graph"
+	"simjoin/internal/obs"
 	"simjoin/internal/ugraph"
 )
 
@@ -91,6 +93,20 @@ type Options struct {
 	// pair (needed for template generation; costs one extra exact GED per
 	// result).
 	KeepMappings bool
+
+	// Obs, when non-nil, receives live metrics for the run: per-stage
+	// latency histograms, per-filter prune counters, GED engine metrics,
+	// and — on completion — the cumulative Stats counters (see
+	// StatsFromSnapshot). Nil disables metric collection at no cost.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records prune/verify spans per pair into its
+	// ring buffer (exportable as a Chrome trace).
+	Tracer *obs.Tracer
+	// Logger and ProgressEvery enable the periodic progress reporter: every
+	// ProgressEvery, Logger receives pairs done/total, candidate ratio and
+	// ETA. Both must be set for reports to be emitted.
+	Logger        obs.Logger
+	ProgressEvery time.Duration
 }
 
 // DefaultOptions returns the paper's default configuration: τ=1, α=0.9,
@@ -199,9 +215,20 @@ func (s *Stats) add(o *Stats) {
 // and the uncertain graphs U, returning all pairs with SimPτ ≥ α sorted by
 // (Q, G).
 func Join(d []*graph.Graph, u []*ugraph.Graph, opts Options) ([]Pair, Stats, error) {
+	return JoinContext(context.Background(), d, u, opts)
+}
+
+// JoinContext is Join with cancellation: when ctx is cancelled the workers
+// stop picking up new pairs, in-flight pairs finish, and ctx.Err() is
+// returned along with the Stats accumulated so far (results are dropped —
+// a partial join result would be silently incomplete).
+func JoinContext(ctx context.Context, d []*graph.Graph, u []*ugraph.Graph, opts Options) ([]Pair, Stats, error) {
 	if err := opts.normalise(); err != nil {
 		return nil, Stats{}, err
 	}
+	jo := newJoinObs(&opts)
+	stopProgress := jo.startProgress(&opts, int64(len(d))*int64(len(u)))
+	defer stopProgress()
 
 	type task struct{ qi, gi int }
 	tasks := make(chan task, 256)
@@ -214,19 +241,25 @@ func Join(d []*graph.Graph, u []*ugraph.Graph, opts Options) ([]Pair, Stats, err
 
 	worker := func() {
 		defer wg.Done()
-		var local Stats
+		local := rec{jo: jo}
 		var pairs []Pair
 		for t := range tasks {
+			if ctx.Err() != nil {
+				continue // cancelled: drain the channel without working
+			}
 			local.Pairs++
 			p, ok := joinPair(d[t.qi], u[t.gi], t.qi, t.gi, &opts, &local)
 			if ok {
 				pairs = append(pairs, p)
 				local.Results++
 			}
+			if jo.progress {
+				jo.pairsDone.Add(1)
+			}
 		}
 		mu.Lock()
 		results = append(results, pairs...)
-		total.add(&local)
+		total.add(&local.Stats)
 		mu.Unlock()
 	}
 
@@ -234,14 +267,23 @@ func Join(d []*graph.Graph, u []*ugraph.Graph, opts Options) ([]Pair, Stats, err
 	for i := 0; i < opts.Workers; i++ {
 		go worker()
 	}
+feed:
 	for qi := range d {
 		for gi := range u {
-			tasks <- task{qi, gi}
+			select {
+			case tasks <- task{qi, gi}:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 	}
 	close(tasks)
 	wg.Wait()
+	publishStats(opts.Obs, &total)
 
+	if err := ctx.Err(); err != nil {
+		return nil, total, err
+	}
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Q != results[j].Q {
 			return results[i].Q < results[j].Q
@@ -252,26 +294,37 @@ func Join(d []*graph.Graph, u []*ugraph.Graph, opts Options) ([]Pair, Stats, err
 }
 
 // joinPair runs the filter-and-refine pipeline of Algorithm 1 on one pair.
-func joinPair(q *graph.Graph, g *ugraph.Graph, qi, gi int, opts *Options, st *Stats) (Pair, bool) {
+func joinPair(q *graph.Graph, g *ugraph.Graph, qi, gi int, opts *Options, st *rec) (Pair, bool) {
 	pruneStart := time.Now()
 	groups, pruned := prunephase(q, g, opts, st)
-	st.PruneTime += time.Since(pruneStart)
+	pruneDur := time.Since(pruneStart)
+	st.PruneTime += pruneDur
+	st.jo.pruneSeconds.ObserveDuration(pruneDur)
+	st.jo.tr.Record("prune", pruneStart, pruneDur)
 	if pruned {
 		return Pair{}, false
 	}
 	st.Candidates++
+	if st.jo.progress {
+		st.jo.candidates.Add(1)
+	}
 
 	verifyStart := time.Now()
 	p, ok := verify(q, g, qi, gi, groups, opts, st)
-	st.VerifyTime += time.Since(verifyStart)
+	verifyDur := time.Since(verifyStart)
+	st.VerifyTime += verifyDur
+	st.jo.verifySeconds.ObserveDuration(verifyDur)
+	st.jo.tr.Record("verify", verifyStart, verifyDur)
 	return p, ok
 }
 
 // prunephase applies the configured filters. It returns the possible-world
 // groups to verify (nil means verify the whole graph as one group) and
 // whether the pair was pruned outright.
-func prunephase(q *graph.Graph, g *ugraph.Graph, opts *Options, st *Stats) ([]ugraph.Group, bool) {
-	if filter.CSSLowerBoundUncertain(q, g) > opts.Tau {
+func prunephase(q *graph.Graph, g *ugraph.Graph, opts *Options, st *rec) ([]ugraph.Group, bool) {
+	cssPruned := filter.CSSLowerBoundUncertain(q, g) > opts.Tau
+	st.jo.filt.RecordCSS(cssPruned)
+	if cssPruned {
 		st.CSSPruned++
 		return nil, true
 	}
@@ -285,7 +338,9 @@ func prunephase(q *graph.Graph, g *ugraph.Graph, opts *Options, st *Stats) ([]ug
 		} else {
 			ub = filter.SimilarityUpperBound(q, g, opts.Tau)
 		}
-		if ub < opts.Alpha {
+		pruned := ub < opts.Alpha
+		st.jo.filt.RecordProb(opts.TightProbBound, pruned)
+		if pruned {
 			st.ProbPruned++
 			return nil, true
 		}
@@ -295,15 +350,19 @@ func prunephase(q *graph.Graph, g *ugraph.Graph, opts *Options, st *Stats) ([]ug
 		st.GroupsBuilt += int64(len(groups))
 		ubSum := 0.0
 		kept := groups[:0]
+		groupsCSSPruned := int64(0)
 		for _, gr := range groups {
 			if filter.CSSLowerBoundUncertain(q, gr.G) > opts.Tau {
 				st.GroupsPruned++
+				groupsCSSPruned++
 				continue
 			}
 			ubSum += filter.GroupUpperBound(q, gr, opts.Tau)
 			kept = append(kept, gr)
 		}
-		if ubSum < opts.Alpha {
+		pruned := ubSum < opts.Alpha
+		st.jo.filt.RecordGroupBound(pruned, groupsCSSPruned)
+		if pruned {
 			st.ProbPruned++
 			return nil, true
 		}
@@ -336,7 +395,7 @@ func partitionForQuery(q *graph.Graph, g *ugraph.Graph, k, tau int) []ugraph.Gro
 // verify computes the exact SimPτ(q, g) by enumerating possible worlds
 // (grouped when SimJ+opt kept groups), with a per-world CSS pre-check and —
 // unless disabled — early accept/reject on accumulated mass.
-func verify(q *graph.Graph, g *ugraph.Graph, qi, gi int, groups []ugraph.Group, opts *Options, st *Stats) (Pair, bool) {
+func verify(q *graph.Graph, g *ugraph.Graph, qi, gi int, groups []ugraph.Group, opts *Options, st *rec) (Pair, bool) {
 	if opts.SampleWorlds > 0 && g.WorldCountFloat() > float64(opts.MaxWorlds) {
 		return sampleVerify(q, g, qi, gi, opts, st)
 	}
@@ -357,6 +416,7 @@ func verify(q *graph.Graph, g *ugraph.Graph, qi, gi int, groups []ugraph.Group, 
 	best := Pair{Q: qi, G: gi, Distance: opts.Tau + 1}
 	decided := false
 	accepted := false
+	pairWorlds := int64(0)
 
 	for _, gr := range groups {
 		if decided {
@@ -364,6 +424,7 @@ func verify(q *graph.Graph, g *ugraph.Graph, qi, gi int, groups []ugraph.Group, 
 		}
 		gr.G.Worlds(func(w *graph.Graph, p float64) bool {
 			st.WorldsChecked++
+			pairWorlds++
 			worldBudget--
 			if worldBudget < 0 {
 				st.SkippedPairs++
@@ -374,7 +435,7 @@ func verify(q *graph.Graph, g *ugraph.Graph, qi, gi int, groups []ugraph.Group, 
 			remaining -= p
 			if filter.CSSLowerBound(q, w) <= opts.Tau {
 				st.GEDCalls++
-				res, err := ged.Compute(q, w, ged.Options{Threshold: opts.Tau, MaxStates: opts.VerifyMaxStates})
+				res, err := ged.Compute(q, w, ged.Options{Threshold: opts.Tau, MaxStates: opts.VerifyMaxStates, Metrics: st.jo.gedM})
 				switch {
 				case err != nil:
 					st.GEDBudgetHits++ // treated as dissimilar, recorded
@@ -403,6 +464,7 @@ func verify(q *graph.Graph, g *ugraph.Graph, qi, gi int, groups []ugraph.Group, 
 		})
 	}
 
+	st.jo.worldsPerPair.Observe(float64(pairWorlds))
 	if !decided {
 		accepted = simP >= opts.Alpha
 	}

@@ -25,6 +25,9 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 		k = 1
 	}
 	opts.DisableEarlyExit = true
+	jo := newJoinObs(&opts)
+	stopProgress := jo.startProgress(&opts, int64(len(d))*int64(len(u)))
+	defer stopProgress()
 
 	perQuestion := make([][]Pair, len(u))
 	var (
@@ -35,12 +38,15 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 	tasks := make(chan int, 64)
 	worker := func() {
 		defer wg.Done()
-		var local Stats
+		local := rec{jo: jo}
 		for gi := range tasks {
 			var best []Pair
 			for qi := range d {
 				local.Pairs++
 				p, ok := joinPair(d[qi], u[gi], qi, gi, &opts, &local)
+				if jo.progress {
+					jo.pairsDone.Add(1)
+				}
 				if !ok {
 					continue
 				}
@@ -52,7 +58,7 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 			mu.Unlock()
 		}
 		mu.Lock()
-		total.add(&local)
+		total.add(&local.Stats)
 		mu.Unlock()
 	}
 
@@ -65,6 +71,7 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 	}
 	close(tasks)
 	wg.Wait()
+	publishStats(opts.Obs, &total)
 	return perQuestion, total, nil
 }
 

@@ -1,0 +1,16 @@
+package experiments
+
+import "simjoin/internal/obs"
+
+var (
+	obsReg    *obs.Registry
+	obsTracer *obs.Tracer
+)
+
+// Observe attaches a metrics registry and span tracer to every join
+// configured through DefaultJoinOptions — the single chokepoint all
+// experiment and training joins flow through — so commands can expose one
+// registry covering a whole run. Passing nils detaches.
+func Observe(reg *obs.Registry, tr *obs.Tracer) {
+	obsReg, obsTracer = reg, tr
+}

@@ -224,6 +224,8 @@ func AnswerSet(sys interface {
 func DefaultJoinOptions() core.Options {
 	o := core.DefaultOptions()
 	o.Mode = core.ModeSimJ
+	o.Obs = obsReg
+	o.Tracer = obsTracer
 	return o
 }
 

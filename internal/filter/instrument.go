@@ -1,0 +1,91 @@
+package filter
+
+import (
+	"simjoin/internal/obs"
+)
+
+// Obs bundles per-bound observability counters so each lower/upper bound's
+// selectivity is visible individually instead of being lumped into the join
+// pipeline's aggregate CSSPruned/ProbPruned tallies. A nil *Obs discards all
+// records, so callers instrument unconditionally.
+//
+// Evaluated counts pairs a bound was computed for; Pruned counts the subset
+// it eliminated. Pruned/Evaluated is the bound's measured selectivity — the
+// quantity §6.2's cost model (and the filter comparisons of Fig. 15) reason
+// about.
+type Obs struct {
+	// CSS is the structural lower bound of Theorem 3 applied to whole pairs.
+	CSSEvaluated, CSSPruned *obs.Counter
+	// Prob is the Markov-inequality upper bound of Theorem 4.
+	ProbEvaluated, ProbPruned *obs.Counter
+	// Tight is the law-of-total-probability refinement (ablation A6).
+	TightEvaluated, TightPruned *obs.Counter
+	// Group is the summed per-group bound of Algorithm 2 (SimJ+opt).
+	GroupEvaluated, GroupPruned *obs.Counter
+	// GroupCSSPruned counts individual possible-world groups removed by
+	// their own CSS bound inside Algorithm 2.
+	GroupCSSPruned *obs.Counter
+}
+
+// NewObs registers the per-filter counters on reg; nil reg yields nil (all
+// records discarded).
+func NewObs(reg *obs.Registry) *Obs {
+	if reg == nil {
+		return nil
+	}
+	return &Obs{
+		CSSEvaluated:   reg.Counter("filter_css_evaluated_total"),
+		CSSPruned:      reg.Counter("filter_css_pruned_total"),
+		ProbEvaluated:  reg.Counter("filter_prob_evaluated_total"),
+		ProbPruned:     reg.Counter("filter_prob_pruned_total"),
+		TightEvaluated: reg.Counter("filter_prob_tight_evaluated_total"),
+		TightPruned:    reg.Counter("filter_prob_tight_pruned_total"),
+		GroupEvaluated: reg.Counter("filter_group_bound_evaluated_total"),
+		GroupPruned:    reg.Counter("filter_group_bound_pruned_total"),
+		GroupCSSPruned: reg.Counter("filter_group_css_pruned_total"),
+	}
+}
+
+// RecordCSS tallies one whole-pair CSS bound evaluation.
+func (f *Obs) RecordCSS(pruned bool) {
+	if f == nil {
+		return
+	}
+	f.CSSEvaluated.Inc()
+	if pruned {
+		f.CSSPruned.Inc()
+	}
+}
+
+// RecordProb tallies one probabilistic upper bound evaluation; tight selects
+// the total-probability refinement's counters.
+func (f *Obs) RecordProb(tight, pruned bool) {
+	if f == nil {
+		return
+	}
+	if tight {
+		f.TightEvaluated.Inc()
+		if pruned {
+			f.TightPruned.Inc()
+		}
+		return
+	}
+	f.ProbEvaluated.Inc()
+	if pruned {
+		f.ProbPruned.Inc()
+	}
+}
+
+// RecordGroupBound tallies one grouped upper bound evaluation (the ubSum
+// test of Algorithm 2) and how many individual groups the per-group CSS
+// bound removed along the way.
+func (f *Obs) RecordGroupBound(pruned bool, groupsCSSPruned int64) {
+	if f == nil {
+		return
+	}
+	f.GroupEvaluated.Inc()
+	if pruned {
+		f.GroupPruned.Inc()
+	}
+	f.GroupCSSPruned.Add(groupsCSSPruned)
+}

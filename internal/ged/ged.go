@@ -17,6 +17,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"time"
 
 	"simjoin/internal/graph"
 )
@@ -43,6 +44,9 @@ type Options struct {
 	// MaxStates caps the number of expanded states; 0 means unlimited.
 	// When exceeded, Compute returns ErrBudget.
 	MaxStates int
+	// Metrics, when non-nil, records per-call diagnostics (states expanded,
+	// wall time, budget exhaustions) into the observability registry.
+	Metrics *Metrics
 }
 
 // Result is the outcome of a GED computation.
@@ -135,6 +139,16 @@ func (h *stateHeap) Pop() interface{} {
 
 // Compute runs the A* search with the given options.
 func Compute(g1, g2 *graph.Graph, opts Options) (Result, error) {
+	if opts.Metrics != nil {
+		start := time.Now()
+		res, err := compute(g1, g2, opts)
+		opts.Metrics.record(res, err, start)
+		return res, err
+	}
+	return compute(g1, g2, opts)
+}
+
+func compute(g1, g2 *graph.Graph, opts Options) (Result, error) {
 	if g2.NumVertices() > 64 || g1.NumVertices() > 64 {
 		return Result{}, fmt.Errorf("ged: graphs larger than 64 vertices unsupported (got %d, %d)",
 			g1.NumVertices(), g2.NumVertices())
@@ -244,6 +258,7 @@ func (s *searcher) run() (Result, error) {
 	for pq.Len() > 0 {
 		cur := heap.Pop(pq).(*state)
 		if s.opts.Threshold != NoThreshold && cur.f > s.opts.Threshold {
+			best.States = expanded
 			return best, nil // all remaining states exceed τ as well
 		}
 		if cur.k == m {
@@ -268,6 +283,7 @@ func (s *searcher) run() (Result, error) {
 		s.push(pq, cur, u, Deleted)
 	}
 	if s.opts.Threshold != NoThreshold {
+		best.States = expanded
 		return best, nil
 	}
 	return Result{}, errors.New("ged: search space exhausted without a goal (internal error)")

@@ -1,0 +1,48 @@
+package ged
+
+import (
+	"errors"
+	"time"
+
+	"simjoin/internal/obs"
+)
+
+// Metrics bundles the GED engine's observability instruments. A nil
+// *Metrics (the default) records nothing and costs Compute a single nil
+// check, so the verification hot path is unaffected when observability is
+// disabled.
+type Metrics struct {
+	// Calls counts Compute invocations.
+	Calls *obs.Counter
+	// BudgetHits counts searches aborted by Options.MaxStates (ErrBudget).
+	BudgetHits *obs.Counter
+	// States is the distribution of A* states expanded per call.
+	States *obs.Histogram
+	// Seconds is the distribution of per-call wall time.
+	Seconds *obs.Histogram
+}
+
+// NewMetrics registers the engine's metrics on reg; nil reg yields nil.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Calls:      reg.Counter("ged_compute_total"),
+		BudgetHits: reg.Counter("ged_budget_exhausted_total"),
+		States:     reg.Histogram("ged_states_expanded", obs.CountBuckets),
+		Seconds:    reg.Histogram("ged_compute_seconds", obs.DurationBuckets),
+	}
+}
+
+func (m *Metrics) record(res Result, err error, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.Calls.Inc()
+	m.States.Observe(float64(res.States))
+	m.Seconds.ObserveDuration(time.Since(start))
+	if errors.Is(err, ErrBudget) {
+		m.BudgetHits.Inc()
+	}
+}

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"time"
 
+	"simjoin/internal/obs"
 	"simjoin/internal/rdf"
 	"simjoin/internal/sparql"
 )
@@ -66,6 +68,35 @@ type Index struct {
 	store      *rdf.Store
 	subjects   []string
 	signatures []Signature
+	m          engineMetrics
+}
+
+// engineMetrics holds the optional observability handles of an Index; every
+// field is a nil-safe obs instrument.
+type engineMetrics struct {
+	queries   *obs.Counter // Execute calls
+	fallbacks *obs.Counter // queries with no filterable variable
+	scanned   *obs.Counter // subject signatures tested
+	matched   *obs.Counter // signatures covering the query signature
+	seconds   *obs.Histogram
+}
+
+// SetObs attaches observability instruments to the engine: query counts,
+// reference-executor fallbacks, signature filter selectivity
+// (gstore_candidates_matched_total / gstore_candidates_scanned_total), and
+// per-query latency. Passing nil detaches.
+func (idx *Index) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		idx.m = engineMetrics{}
+		return
+	}
+	idx.m = engineMetrics{
+		queries:   reg.Counter("gstore_queries_total"),
+		fallbacks: reg.Counter("gstore_fallback_total"),
+		scanned:   reg.Counter("gstore_candidates_scanned_total"),
+		matched:   reg.Counter("gstore_candidates_matched_total"),
+		seconds:   reg.Histogram("gstore_query_seconds", obs.DurationBuckets),
+	}
 }
 
 // Build scans the store and computes every subject's signature.
@@ -94,7 +125,9 @@ func (idx *Index) Len() int { return len(idx.subjects) }
 // candidates streams subjects whose signature covers q.
 func (idx *Index) candidates(q Signature, fn func(s string) bool) {
 	for i, sig := range idx.signatures {
+		idx.m.scanned.Inc()
 		if sig.covers(q) {
+			idx.m.matched.Inc()
 			if !fn(idx.subjects[i]) {
 				return
 			}
@@ -130,6 +163,11 @@ func (idx *Index) Execute(q *sparql.Query, maxSolutions int) ([]sparql.Binding, 
 	if len(q.Patterns) == 0 {
 		return nil, fmt.Errorf("gstore: query has no patterns")
 	}
+	idx.m.queries.Inc()
+	if idx.m.seconds != nil {
+		start := time.Now()
+		defer func() { idx.m.seconds.ObserveDuration(time.Since(start)) }()
+	}
 	sigs := querySignatures(q)
 
 	// Pick the most selective subject variable (largest signature) and
@@ -144,6 +182,7 @@ func (idx *Index) Execute(q *sparql.Query, maxSolutions int) ([]sparql.Binding, 
 	}
 	if bestVar == "" || bestBits <= 0 {
 		// Nothing to filter on; fall back entirely.
+		idx.m.fallbacks.Inc()
 		return sparql.Execute(idx.store, q, maxSolutions)
 	}
 

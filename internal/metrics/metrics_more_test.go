@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// columnStarts returns the byte offsets where cells begin on a rendered
+// line: position 0 plus every non-space character preceded by at least two
+// spaces (the tabwriter padding).
+func columnStarts(line string) []int {
+	starts := []int{0}
+	spaces := 0
+	for i, c := range line {
+		if c == ' ' {
+			spaces++
+			continue
+		}
+		if spaces >= 2 {
+			starts = append(starts, i)
+		}
+		spaces = 0
+	}
+	return starts
+}
+
+func TestTableRenderColumnAlignment(t *testing.T) {
+	tab := NewTable("name", "count", "ratio")
+	tab.AddRow("a", 1, 0.5)
+	tab.AddRow("much-longer-name", 123456, 0.0001)
+	tab.AddRow("mid", 42, 1.0)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	want := columnStarts(lines[0])
+	if len(want) != 3 {
+		t.Fatalf("header has %d columns, want 3: %q", len(want), lines[0])
+	}
+	for i, line := range lines[1:] {
+		got := columnStarts(line)
+		if len(got) != len(want) {
+			t.Fatalf("row %d has %d columns, want %d: %q", i, len(got), len(want), line)
+		}
+		for c := range got {
+			if got[c] != want[c] {
+				t.Errorf("row %d column %d starts at %d, header at %d:\n%s",
+					i, c, got[c], want[c], buf.String())
+			}
+		}
+	}
+}
+
+func TestTableRenderEmpty(t *testing.T) {
+	tab := NewTable("only", "header")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("headers-only table rendered %d lines, want 1", got)
+	}
+}
+
+// TestSetPRFEmptySetConventions pins the QALD edge-case conventions down
+// individually so a regression reports which convention broke.
+func TestSetPRFEmptySetConventions(t *testing.T) {
+	if p, r, f := SetPRF(set(), set()); p != 1 || r != 1 || f != 1 {
+		t.Errorf("empty vs empty = %v/%v/%v, QALD convention is 1/1/1", p, r, f)
+	}
+	if p, r, f := SetPRF(set(), set("gold")); p != 0 || r != 0 || f != 0 {
+		t.Errorf("empty answers vs gold = %v/%v/%v, want 0/0/0", p, r, f)
+	}
+	if p, r, f := SetPRF(set("a"), set()); p != 0 || r != 0 || f != 0 {
+		t.Errorf("answers vs empty gold = %v/%v/%v, want 0/0/0", p, r, f)
+	}
+}
+
+// TestSetPRFHarmonicMean checks F1 is the harmonic mean of P and R on
+// non-degenerate inputs.
+func TestSetPRFHarmonicMean(t *testing.T) {
+	cases := []struct{ ans, gold map[string]bool }{
+		{set("a", "b", "c"), set("b", "c", "d", "e")},
+		{set("a"), set("a", "b", "c")},
+		{set("a", "b", "x", "y"), set("a")},
+	}
+	for i, c := range cases {
+		p, r, f := SetPRF(c.ans, c.gold)
+		want := 0.0
+		if p+r > 0 {
+			want = 2 * p * r / (p + r)
+		}
+		if math.Abs(f-want) > 1e-12 {
+			t.Errorf("case %d: F = %v, harmonic mean of %v and %v is %v", i, f, p, r, want)
+		}
+	}
+}
+
+// TestQALDMacroMixed checks the macro average divides by ALL questions,
+// answered or not — the global QALD measure — across several mixes.
+func TestQALDMacroMixed(t *testing.T) {
+	var q QALD
+	q.AddAnswered(1, 1, 1)
+	for i := 0; i < 3; i++ {
+		q.AddUnanswered()
+	}
+	p, r, f := q.Macro()
+	if math.Abs(p-0.25) > 1e-12 || math.Abs(r-0.25) > 1e-12 || math.Abs(f-0.25) > 1e-12 {
+		t.Errorf("1 perfect + 3 unanswered: macro = %v/%v/%v, want 0.25 each", p, r, f)
+	}
+	if answered, total := q.Answered(); answered != 1 || total != 4 {
+		t.Errorf("Answered = %d/%d, want 1/4", answered, total)
+	}
+
+	var only QALD
+	only.AddUnanswered()
+	only.AddUnanswered()
+	if p, r, f := only.Macro(); p != 0 || r != 0 || f != 0 {
+		t.Errorf("all unanswered: macro = %v/%v/%v, want zeros", p, r, f)
+	}
+
+	var asym QALD
+	asym.AddAnswered(1, 0.5, 2.0/3.0)
+	asym.AddAnswered(0.5, 1, 2.0/3.0)
+	asym.AddUnanswered()
+	asym.AddUnanswered()
+	p, r, f = asym.Macro()
+	if math.Abs(p-0.375) > 1e-12 || math.Abs(r-0.375) > 1e-12 || math.Abs(f-1.0/3.0) > 1e-12 {
+		t.Errorf("asymmetric mix: macro = %v/%v/%v, want 0.375/0.375/0.3333", p, r, f)
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler returns the debug mux: Prometheus metrics at /metrics, the JSON
+// snapshot at /metrics.json, the Chrome trace export at /debug/trace,
+// expvar at /debug/vars, and the pprof suite under /debug/pprof/. reg and tr
+// may be nil; the corresponding endpoints then serve empty documents.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteChromeTrace(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, `<html><body><h1>simjoin debug</h1><ul>
+<li><a href="/metrics">/metrics</a> (Prometheus text)</li>
+<li><a href="/metrics.json">/metrics.json</a> (JSON snapshot)</li>
+<li><a href="/debug/trace">/debug/trace</a> (Chrome trace_event spans)</li>
+<li><a href="/debug/vars">/debug/vars</a> (expvar)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a></li>
+</ul></body></html>`)
+	})
+	return mux
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	// Addr is the bound address (useful with ":0" listeners).
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Close shuts the listener down.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+var expvarOnce sync.Once
+
+// Serve binds addr and serves Handler(reg, tr) in a background goroutine.
+// It also publishes the registry snapshot as the expvar "simjoin.obs" so
+// /debug/vars carries the same numbers. The returned Server reports the
+// actual bound address and must be Closed by the caller.
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	if reg != nil {
+		expvarOnce.Do(func() {
+			expvar.Publish("simjoin.obs", expvar.Func(func() interface{} {
+				return reg.Snapshot()
+			}))
+		})
+	}
+	srv := &http.Server{Handler: Handler(reg, tr)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	reg := New()
+	reg.Counter("simjoin_pairs_total").Add(11)
+	tr := NewTracer(8)
+	tr.Record("prune", time.Now(), time.Millisecond)
+
+	srv, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "simjoin_pairs_total 11") {
+		t.Errorf("/metrics: %d %q", code, body)
+	}
+	if code, body := get("/metrics.json"); code != 200 {
+		t.Errorf("/metrics.json: %d", code)
+	} else {
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil || snap.Counters["simjoin_pairs_total"] != 11 {
+			t.Errorf("/metrics.json: %v %q", err, body)
+		}
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "cmdline") {
+		t.Errorf("/debug/vars: %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "simjoin.obs") {
+		t.Errorf("/debug/vars missing registry expvar: %d %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: %d", code)
+		_ = body
+	}
+	if code, body := get("/debug/trace"); code != 200 {
+		t.Errorf("/debug/trace: %d", code)
+	} else {
+		var events []map[string]interface{}
+		if err := json.Unmarshal([]byte(body), &events); err != nil || len(events) != 1 {
+			t.Errorf("/debug/trace: %v %q", err, body)
+		}
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: %d %q", code, body)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("unknown path served %d, want 404", code)
+	}
+}

@@ -1,0 +1,60 @@
+// Package obs is the observability substrate of the simjoin system: a
+// dependency-free, concurrency-safe metrics registry (counters, gauges,
+// fixed-bucket histograms), lightweight span tracing into a bounded ring
+// buffer, a periodic progress reporter, and an optional HTTP debug endpoint
+// exposing everything in Prometheus text-exposition format and JSON next to
+// expvar and net/http/pprof.
+//
+// Every instrument is safe to use with a nil receiver: a nil *Counter,
+// *Gauge, *Histogram or *Tracer silently discards writes, so pipeline code
+// records unconditionally and pays only a nil check when observability is
+// disabled. Handles are obtained from a *Registry (nil Registry hands out
+// nil instruments) and hot paths should hold onto them rather than re-resolve
+// names per event.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Logger receives human-readable progress and status lines from long-running
+// operations. Implementations must be safe for concurrent use.
+type Logger interface {
+	Logf(format string, args ...interface{})
+}
+
+// NopLogger discards everything.
+type NopLogger struct{}
+
+// Logf implements Logger.
+func (NopLogger) Logf(string, ...interface{}) {}
+
+// writerLogger timestamps each line and writes it to w under a mutex.
+type writerLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterLogger returns a Logger writing timestamped lines to w.
+func NewWriterLogger(w io.Writer) Logger { return &writerLogger{w: w} }
+
+// StderrLogger returns a Logger writing timestamped lines to standard error.
+func StderrLogger() Logger { return NewWriterLogger(os.Stderr) }
+
+// Logf implements Logger.
+func (l *writerLogger) Logf(format string, args ...interface{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "%s "+format+"\n",
+		append([]interface{}{time.Now().Format("15:04:05.000")}, args...)...)
+}
+
+// FuncLogger adapts a function to Logger (handy in tests).
+type FuncLogger func(format string, args ...interface{})
+
+// Logf implements Logger.
+func (f FuncLogger) Logf(format string, args ...interface{}) { f(format, args...) }

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"time"
+)
+
+// ProgressFunc reports a long join's live state: pairs processed so far and
+// how many of them survived the filters into verification.
+type ProgressFunc func() (done, candidates int64)
+
+// StartProgress launches a goroutine that logs a progress line every
+// interval until the returned stop function is called: pairs done out of
+// total with a percentage, the candidate ratio so far, elapsed time, and an
+// ETA extrapolated from the current rate. A final line is emitted on stop.
+// With a nil logger or non-positive interval it does nothing.
+func StartProgress(l Logger, interval time.Duration, total int64, f ProgressFunc) (stop func()) {
+	if l == nil || interval <= 0 || f == nil {
+		return func() {}
+	}
+	start := time.Now()
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+
+	emit := func(final bool) {
+		done, cands := f()
+		elapsed := time.Since(start)
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(done) / float64(total)
+		}
+		ratio := 0.0
+		if done > 0 {
+			ratio = float64(cands) / float64(done)
+		}
+		if final {
+			l.Logf("join done: %d/%d pairs, candidate ratio %.4f, elapsed %s",
+				done, total, ratio, elapsed.Round(time.Millisecond))
+			return
+		}
+		eta := "?"
+		if done > 0 && total > done {
+			rem := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+			eta = rem.Round(time.Second).String()
+		}
+		l.Logf("join progress: %d/%d pairs (%.1f%%), candidate ratio %.4f, elapsed %s, eta %s",
+			done, total, pct, ratio, elapsed.Round(time.Millisecond), eta)
+	}
+
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				emit(false)
+			case <-quit:
+				emit(true)
+				return
+			}
+		}
+	}()
+
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		close(quit)
+		<-finished
+	}
+}

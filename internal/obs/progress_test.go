@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestProgressEmitsAndStops(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	logger := FuncLogger(func(format string, args ...interface{}) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+
+	var done atomic.Int64
+	stop := StartProgress(logger, 5*time.Millisecond, 100, func() (int64, int64) {
+		return done.Load(), done.Load() / 2
+	})
+	done.Store(40)
+	time.Sleep(30 * time.Millisecond)
+	done.Store(100)
+	stop()
+	stop() // idempotent
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) < 2 {
+		t.Fatalf("expected periodic lines plus a final one, got %v", lines)
+	}
+	sawProgress := false
+	for _, l := range lines[:len(lines)-1] {
+		if strings.Contains(l, "join progress:") && strings.Contains(l, "/100 pairs") &&
+			strings.Contains(l, "eta") {
+			sawProgress = true
+		}
+	}
+	if !sawProgress {
+		t.Errorf("no progress line with pairs and eta: %v", lines)
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "join done: 100/100 pairs") ||
+		!strings.Contains(last, "candidate ratio 0.5000") {
+		t.Errorf("final line = %q", last)
+	}
+}
+
+func TestProgressDisabled(t *testing.T) {
+	stop := StartProgress(nil, time.Millisecond, 10, func() (int64, int64) { return 0, 0 })
+	stop()
+	stop = StartProgress(NopLogger{}, 0, 10, func() (int64, int64) { return 0, 0 })
+	stop()
+}

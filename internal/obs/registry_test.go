@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Error("Counter lookup not idempotent")
+	}
+
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+	if r.Gauge("g") != g {
+		t.Error("Gauge lookup not idempotent")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 5056.5 {
+		t.Errorf("sum = %v, want 5056.5", h.Sum())
+	}
+	snap := h.snapshot()
+	// Cumulative: ≤1: 2 (0.5, 1 — bound is inclusive), ≤10: 3, ≤100: 4, +Inf: 5.
+	want := []int64{2, 3, 4, 5}
+	for i, b := range snap.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %s = %d, want %d", b.Le, b.Count, want[i])
+		}
+	}
+	if snap.Buckets[3].Le != "+Inf" {
+		t.Errorf("last bucket le = %q, want +Inf", snap.Buckets[3].Le)
+	}
+	h.ObserveDuration(2 * time.Second)
+	if h.Count() != 6 {
+		t.Error("ObserveDuration did not count")
+	}
+}
+
+func TestNilInstrumentsAreNoops(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DurationBuckets)
+	var tr *Tracer
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	tr.Record("x", time.Now(), time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	if tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer must read as empty")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", CountBuckets).Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("g").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h", CountBuckets).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := Name("base"); got != "base" {
+		t.Errorf("Name(base) = %q", got)
+	}
+	got := Name("qa_total", "system", "template")
+	if got != `qa_total{system="template"}` {
+		t.Errorf("Name = %q", got)
+	}
+	// Keys sort so the registry key is stable regardless of argument order.
+	a := Name("m", "b", "2", "a", "1")
+	b := Name("m", "a", "1", "b", "2")
+	if a != b || a != `m{a="1",b="2"}` {
+		t.Errorf("Name ordering: %q vs %q", a, b)
+	}
+	if got := Name("m", "k", `va"l`); got != `m{k="va\"l"}` {
+		t.Errorf("Name escaping = %q", got)
+	}
+	base, labels := splitName(a)
+	if base != "m" || labels != `a="1",b="2"` {
+		t.Errorf("splitName = %q, %q", base, labels)
+	}
+}

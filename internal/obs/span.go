@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one completed timed operation. Parent is 0 for root spans.
+type Span struct {
+	ID       uint64
+	Parent   uint64
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// Tracer records completed spans into a bounded ring buffer: the most recent
+// Cap spans are kept, older ones are overwritten and counted as dropped.
+// A nil *Tracer discards everything. Safe for concurrent use.
+type Tracer struct {
+	seq     atomic.Uint64
+	dropped atomic.Int64
+
+	mu   sync.Mutex
+	ring []Span
+	next int
+	full bool
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer keeping the last capacity spans
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Record stores a completed root span; nil-safe. Hot paths that already
+// track their own start times should prefer Record over StartSpan to avoid
+// context plumbing.
+func (t *Tracer) Record(name string, start time.Time, d time.Duration) {
+	t.record(Span{Name: name, Start: start, Duration: d})
+}
+
+func (t *Tracer) record(s Span) {
+	if t == nil {
+		return
+	}
+	if s.ID == 0 {
+		s.ID = t.seq.Add(1)
+	}
+	t.mu.Lock()
+	if t.full {
+		t.dropped.Add(1)
+	}
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Dropped returns how many spans were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Spans returns the retained spans in chronological (recording) order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// traceEvent is one Chrome trace_event entry ("X" = complete event).
+type traceEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   int64                  `json:"ts"`  // microseconds
+	Dur  int64                  `json:"dur"` // microseconds
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the retained spans as a Chrome trace_event JSON
+// array (load it at chrome://tracing or https://ui.perfetto.dev). Timestamps
+// are relative to the earliest retained span.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	var epoch time.Time
+	if len(spans) > 0 {
+		epoch = spans[0].Start
+	}
+	events := make([]traceEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := traceEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   s.Start.Sub(epoch).Microseconds(),
+			Dur:  s.Duration.Microseconds(),
+			Pid:  1,
+			Tid:  1,
+		}
+		if s.Parent != 0 {
+			ev.Args = map[string]interface{}{"id": s.ID, "parent": s.Parent}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// WithTracer returns a context carrying t; StartSpan picks it up.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// StartSpan opens a span named name under the tracer (and parent span)
+// carried by ctx. The returned context carries the new span as parent for
+// nested StartSpan calls; end records the span and must be called exactly
+// once. Without a tracer in ctx both returns are cheap no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, func()) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, func() {}
+	}
+	id := t.seq.Add(1)
+	parent, _ := ctx.Value(spanKey).(uint64)
+	start := time.Now()
+	ctx = context.WithValue(ctx, spanKey, id)
+	return ctx, func() {
+		t.record(Span{ID: id, Parent: parent, Name: name, Start: start, Duration: time.Since(start)})
+	}
+}

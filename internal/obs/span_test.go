@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartSpanNesting(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := WithTracer(context.Background(), tr)
+	octx, endOuter := StartSpan(ctx, "outer")
+	_, endInner := StartSpan(octx, "inner")
+	endInner()
+	endOuter()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	inner, outer := spans[0], spans[1] // inner ends first
+	if inner.Name != "inner" || outer.Name != "outer" {
+		t.Fatalf("span order: %q, %q", inner.Name, outer.Name)
+	}
+	if inner.Parent != outer.ID {
+		t.Errorf("inner.Parent = %d, want outer ID %d", inner.Parent, outer.ID)
+	}
+	if outer.Parent != 0 {
+		t.Errorf("outer.Parent = %d, want 0 (root)", outer.Parent)
+	}
+}
+
+func TestStartSpanWithoutTracer(t *testing.T) {
+	ctx, end := StartSpan(context.Background(), "x")
+	if ctx == nil {
+		t.Fatal("nil ctx")
+	}
+	end() // must not panic
+	if TracerFrom(ctx) != nil {
+		t.Error("no tracer expected")
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record("s", time.Now(), time.Millisecond)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+	// Retained spans are the most recent ones, in order.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].ID <= spans[i-1].ID {
+			t.Errorf("span IDs not chronological: %d then %d", spans[i-1].ID, spans[i].ID)
+		}
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record("p", time.Now(), time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 64 {
+		t.Errorf("retained %d, want 64", got)
+	}
+	if tr.Dropped() != 8*100-64 {
+		t.Errorf("dropped = %d, want %d", tr.Dropped(), 8*100-64)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(8)
+	base := time.Now()
+	tr.record(Span{Name: "prune", Start: base, Duration: 2 * time.Millisecond})
+	tr.record(Span{Name: "verify", Parent: 1, Start: base.Add(time.Millisecond), Duration: 5 * time.Millisecond})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0]["name"] != "prune" || events[0]["ph"] != "X" {
+		t.Errorf("event 0: %v", events[0])
+	}
+	if events[0]["ts"].(float64) != 0 {
+		t.Errorf("epoch-relative ts expected, got %v", events[0]["ts"])
+	}
+	if events[1]["dur"].(float64) != 5000 {
+		t.Errorf("dur = %v, want 5000us", events[1]["dur"])
+	}
+	if events[1]["args"].(map[string]interface{})["parent"].(float64) != 1 {
+		t.Errorf("parent arg missing: %v", events[1])
+	}
+
+	// Empty tracer still emits a valid (empty) array.
+	buf.Reset()
+	if err := NewTracer(2).WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var empty []interface{}
+	if err := json.Unmarshal(buf.Bytes(), &empty); err != nil || len(empty) != 0 {
+		t.Errorf("empty trace: %v %v", err, empty)
+	}
+}

@@ -1,0 +1,59 @@
+package qa
+
+import (
+	"time"
+
+	"simjoin/internal/obs"
+	"simjoin/internal/sparql"
+)
+
+// instrumented decorates a System with per-question observability.
+type instrumented struct {
+	inner     System
+	tr        *obs.Tracer
+	questions *obs.Counter
+	answered  *obs.Counter
+	failed    *obs.Counter
+	seconds   *obs.Histogram
+	spanName  string
+}
+
+// Instrument wraps a System so every Answer call is counted (split into
+// answered/failed), its latency recorded into a per-system histogram, and a
+// span emitted. Metric names carry the system as a label, e.g.
+// qa_questions_total{system="template"}. With both reg and tr nil the
+// original system is returned unchanged.
+func Instrument(s System, reg *obs.Registry, tr *obs.Tracer) System {
+	if reg == nil && tr == nil {
+		return s
+	}
+	name := s.Name()
+	return &instrumented{
+		inner:     s,
+		tr:        tr,
+		questions: reg.Counter(obs.Name("qa_questions_total", "system", name)),
+		answered:  reg.Counter(obs.Name("qa_answered_total", "system", name)),
+		failed:    reg.Counter(obs.Name("qa_failed_total", "system", name)),
+		seconds:   reg.Histogram(obs.Name("qa_answer_seconds", "system", name), obs.DurationBuckets),
+		spanName:  "qa.answer." + name,
+	}
+}
+
+// Name implements System.
+func (s *instrumented) Name() string { return s.inner.Name() }
+
+// Answer implements System.
+func (s *instrumented) Answer(question string) ([]sparql.Binding, error) {
+	start := time.Now()
+	res, err := s.inner.Answer(question)
+	d := time.Since(start)
+	s.questions.Inc()
+	if err != nil {
+		s.failed.Inc()
+	} else {
+		s.answered.Inc()
+	}
+	s.seconds.ObserveDuration(d)
+	s.tr.Record(s.spanName, start, d)
+	return res, err
+}

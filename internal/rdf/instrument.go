@@ -1,0 +1,33 @@
+package rdf
+
+import (
+	"simjoin/internal/obs"
+)
+
+// storeMetrics holds the optional observability handles of a Store. All
+// fields are nil-safe obs instruments, so the uninstrumented path costs one
+// nil-receiver check per recorded event.
+type storeMetrics struct {
+	adds    *obs.Counter
+	matches *obs.Counter
+	scanned *obs.Counter
+	size    *obs.Gauge
+}
+
+// SetObs attaches observability counters to the store: rdf_triples_added_total,
+// rdf_match_calls_total (pattern lookups) and rdf_match_triples_total
+// (triples streamed to callbacks), plus an rdf_triples gauge tracking the
+// store size. Call before serving traffic; passing nil detaches.
+func (st *Store) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		st.m = storeMetrics{}
+		return
+	}
+	st.m = storeMetrics{
+		adds:    reg.Counter("rdf_triples_added_total"),
+		matches: reg.Counter("rdf_match_calls_total"),
+		scanned: reg.Counter("rdf_match_triples_total"),
+		size:    reg.Gauge("rdf_triples"),
+	}
+	st.m.size.Set(float64(st.Len()))
+}

@@ -36,6 +36,9 @@ type Store struct {
 	spo map[id]map[id][]id
 	pos map[id]map[id][]id
 	osp map[id]map[id][]id
+
+	// Optional observability handles (see SetObs); nil-safe when unset.
+	m storeMetrics
 }
 
 // NewStore returns an empty store.
@@ -83,6 +86,8 @@ func (st *Store) Add(s, p, o string) error {
 	insertIndex(st.spo, e.s, e.p, e.o)
 	insertIndex(st.pos, e.p, e.o, e.s)
 	insertIndex(st.osp, e.o, e.s, e.p)
+	st.m.adds.Inc()
+	st.m.size.Set(float64(len(st.triples)))
 	return nil
 }
 
@@ -133,6 +138,7 @@ func (st *Store) Contains(s, p, o string) bool {
 // '?'-prefixed terms are wildcards. Enumeration stops when fn returns false.
 // The best index for the bound positions is chosen automatically.
 func (st *Store) Match(s, p, o string, fn func(t Triple) bool) {
+	st.m.matches.Inc()
 	wild := func(t string) bool { return t == "" || t[0] == '?' }
 	ws, wp, wo := wild(s), wild(p), wild(o)
 
@@ -150,6 +156,7 @@ func (st *Store) Match(s, p, o string, fn func(t Triple) bool) {
 	}
 
 	emit := func(a, b, c id) bool {
+		st.m.scanned.Inc()
 		return fn(Triple{st.terms[a], st.terms[b], st.terms[c]})
 	}
 

@@ -1,0 +1,26 @@
+#!/bin/sh
+# CI entry point: formatting, vet, build, full tests, and race detection on
+# the concurrency-heavy packages. Run from the repository root.
+set -eu
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (core, obs)"
+go test -race ./internal/core ./internal/obs
+
+echo "CI passed"
