@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench clean
+.PHONY: all build test race vet fmt ci bench bench-join clean
 
 all: build
 
@@ -10,10 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the concurrency-heavy packages: the join worker pool and the
-# observability instruments it writes through.
+# Race-detect the concurrency-heavy packages: the join worker pools, the
+# pooled/scratch-reusing filter and GED kernels they call, and the
+# observability instruments they write through.
 race:
-	$(GO) test -race ./internal/core ./internal/obs
+	$(GO) test -race ./internal/core ./internal/filter ./internal/ged ./internal/obs
 
 vet:
 	$(GO) vet ./...
@@ -27,8 +28,14 @@ fmt:
 ci:
 	./scripts/ci.sh
 
+# Full suite, quick pass.
 bench:
 	$(GO) test -bench . -benchtime 2x -run '^$$' .
+
+# Join hot-path benchmarks, averaged over several runs, emitted as
+# machine-readable BENCH_join.json (see scripts/bench.sh for knobs).
+bench-join:
+	./scripts/bench.sh
 
 clean:
 	$(GO) clean ./...

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"sort"
+	"sync"
 
+	"simjoin/internal/filter"
 	"simjoin/internal/graph"
 	"simjoin/internal/ugraph"
 )
@@ -20,24 +22,23 @@ import (
 //
 // Both screens are implied by bounds the pipeline applies anyway, so
 // JoinIndexed returns exactly the same pairs as Join.
+//
+// The index also stores every query's filter signature (filter.QSig), built
+// once at BuildIndex time and shared by all joins over the index.
 type Index struct {
 	d       []*graph.Graph
+	qsigs   []*filter.QSig
 	bySize  map[int][]int
 	minSize int
 	maxSize int
-	// labels[i] is the concrete vertex label multiset of d[i]; wilds[i] its
-	// wildcard vertex count.
-	labels []map[string]int
-	wilds  []int
 }
 
 // BuildIndex indexes a certain-graph set for repeated joins.
 func BuildIndex(d []*graph.Graph) *Index {
 	idx := &Index{
 		d:      d,
+		qsigs:  filter.NewQSigs(d),
 		bySize: make(map[int][]int),
-		labels: make([]map[string]int, len(d)),
-		wilds:  make([]int, len(d)),
 	}
 	idx.minSize = int(^uint(0) >> 1)
 	for i, q := range d {
@@ -49,7 +50,6 @@ func BuildIndex(d []*graph.Graph) *Index {
 		if size > idx.maxSize {
 			idx.maxSize = size
 		}
-		idx.labels[i], idx.wilds[i] = q.VertexLabelMultiset()
 	}
 	return idx
 }
@@ -60,9 +60,16 @@ func (idx *Index) Len() int { return len(idx.d) }
 // Candidates streams the indices of queries surviving both prescreens
 // against the uncertain graph g at threshold tau, in ascending order.
 func (idx *Index) Candidates(g *ugraph.Graph, tau int) []int {
+	return idx.candidates(g, tau, make(map[string]bool))
+}
+
+// candidates is Candidates with a caller-owned label-set scratch map, cleared
+// on entry; the feed loop of JoinIndexedContext reuses one map across every
+// uncertain graph instead of allocating |U| of them.
+func (idx *Index) candidates(g *ugraph.Graph, tau int, gLabels map[string]bool) []int {
 	gSize := g.Size()
 	// Union label multiset of g (any candidate label can realise a match).
-	gLabels := make(map[string]bool)
+	clear(gLabels)
 	gWilds := 0
 	for v := 0; v < g.NumVertices(); v++ {
 		wild := false
@@ -101,15 +108,15 @@ func (idx *Index) Candidates(g *ugraph.Graph, tau int) []int {
 // overlap estimate leaves more than τ unmatched vertices on the larger side,
 // the LM (and hence CSS) bound would prune the pair anyway.
 func (idx *Index) labelScreen(i int, g *ugraph.Graph, gLabels map[string]bool, gWilds, tau int) bool {
-	q := idx.d[i]
-	overlap := idx.wilds[i] // every wildcard q-vertex can match something
-	for l, c := range idx.labels[i] {
+	qs := idx.qsigs[i]
+	overlap := qs.VWilds // every wildcard q-vertex can match something
+	for l, c := range qs.VLabels {
 		if gLabels[l] {
 			overlap += c
 		}
 	}
 	overlap += gWilds // wildcard g-vertices absorb leftover q-vertices
-	maxV := q.NumVertices()
+	maxV := qs.NumV
 	if g.NumVertices() > maxV {
 		maxV = g.NumVertices()
 	}
@@ -126,9 +133,24 @@ func JoinIndexed(idx *Index, u []*ugraph.Graph, opts Options) ([]Pair, Stats, er
 	return JoinIndexedContext(context.Background(), idx, u, opts)
 }
 
+// indexTaskChunk is how many candidate queries one JoinIndexedContext task
+// carries: small enough that a single uncertain graph's candidate list is
+// shared across workers, large enough to amortise channel traffic.
+const indexTaskChunk = 16
+
+// testPairHook, when non-nil, is called by every JoinIndexedContext worker
+// after processing a pair, with the worker's index. Tests install it to
+// assert that pair processing really fans out across the configured workers.
+var testPairHook func(worker int)
+
 // JoinIndexedContext is JoinIndexed with cancellation, with the same
 // contract as JoinContext: on cancellation the accumulated Stats and
 // ctx.Err() are returned and the partial results are dropped.
+//
+// Surviving candidates are processed by opts.Workers workers, mirroring
+// JoinContext: the feed goroutine runs the prescreens and builds each
+// uncertain graph's filter signature once, then fans the candidate list out
+// as (g, chunk) tasks.
 func JoinIndexedContext(ctx context.Context, idx *Index, u []*ugraph.Graph, opts Options) ([]Pair, Stats, error) {
 	if err := opts.normalise(); err != nil {
 		return nil, Stats{}, err
@@ -139,54 +161,84 @@ func JoinIndexedContext(ctx context.Context, idx *Index, u []*ugraph.Graph, opts
 
 	type task struct {
 		gi    int
+		g     *ugraph.Graph
+		gs    *filter.GSig
 		cands []int
 	}
-	tasks := make(chan task, 64)
-	results := make([]Pair, 0)
-	var total Stats
-	done := make(chan struct{})
+	tasks := make(chan task, 256)
+	var (
+		mu      sync.Mutex
+		results []Pair
+		total   Stats
+		wg      sync.WaitGroup
+	)
 
-	go func() {
-		defer close(done)
+	worker := func(id int) {
+		defer wg.Done()
 		local := rec{jo: jo}
+		var pairs []Pair
+		hook := testPairHook
 		for t := range tasks {
 			for _, qi := range t.cands {
 				if ctx.Err() != nil {
 					break
 				}
 				local.Pairs++
-				p, ok := joinPair(idx.d[qi], u[t.gi], qi, t.gi, &opts, &local)
+				pi := pairIn{q: idx.d[qi], g: t.g, qs: idx.qsigs[qi], gs: t.gs, qi: qi, gi: t.gi}
+				p, ok := joinPair(&pi, &opts, &local)
 				if ok {
-					results = append(results, p)
+					pairs = append(pairs, p)
 					local.Results++
+				}
+				if hook != nil {
+					hook(id)
 				}
 				if jo.progress {
 					jo.pairsDone.Add(1)
 				}
 			}
 		}
+		mu.Lock()
+		results = append(results, pairs...)
 		total.add(&local.Stats)
-	}()
+		mu.Unlock()
+	}
+
+	wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go worker(i)
+	}
 
 	var skipped int64
+	gLabels := make(map[string]bool)
 feed:
 	for gi, g := range u {
 		if ctx.Err() != nil {
 			break
 		}
-		cands := idx.Candidates(g, opts.Tau)
+		cands := idx.candidates(g, opts.Tau, gLabels)
 		skipped += int64(idx.Len() - len(cands))
 		if jo.progress {
 			jo.pairsDone.Add(int64(idx.Len() - len(cands)))
 		}
-		select {
-		case tasks <- task{gi: gi, cands: cands}:
-		case <-ctx.Done():
-			break feed
+		if len(cands) == 0 {
+			continue
+		}
+		gs := filter.NewGSig(g)
+		for start := 0; start < len(cands); start += indexTaskChunk {
+			end := start + indexTaskChunk
+			if end > len(cands) {
+				end = len(cands)
+			}
+			select {
+			case tasks <- task{gi: gi, g: g, gs: gs, cands: cands[start:end]}:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 	}
 	close(tasks)
-	<-done
+	wg.Wait()
 
 	total.Pairs += skipped
 	total.CSSPruned += skipped // prescreens are implied by the CSS stage

@@ -6,7 +6,9 @@ import (
 
 	"simjoin/internal/filter"
 	"simjoin/internal/ged"
+	"simjoin/internal/matching"
 	"simjoin/internal/obs"
+	"simjoin/internal/ugraph"
 )
 
 // joinObs carries the shared observability state of one join run: registry
@@ -61,10 +63,21 @@ func (jo *joinObs) startProgress(o *Options, total int64) func() {
 
 // rec is the per-worker recording context: the paper-facing Stats tallies
 // (plain fields, merged once per worker via Stats.add) plus the run's shared
-// observability handles.
+// observability handles and the worker's reusable scratch buffers. A rec must
+// not be shared between goroutines.
 type rec struct {
 	Stats
 	jo *joinObs
+
+	// bp backs the λV matchings of the CSS pruning stage; pv caches the
+	// world-invariant CSS constants of the pair under verification; ws holds
+	// the possible-world enumeration buffers; groupCache memoises per-group
+	// signatures and bounds for the ModeSimJOpt partition policy (reset per
+	// pair, keyed by the group graphs' identity).
+	bp         matching.Bipartite
+	pv         filter.PairVerifier
+	ws         ugraph.WorldScratch
+	groupCache map[*ugraph.Graph]*groupEval
 }
 
 // statsCounterSpec is the single source of truth tying every Stats counter

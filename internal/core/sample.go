@@ -4,7 +4,6 @@ import (
 	"math"
 	"math/rand"
 
-	"simjoin/internal/filter"
 	"simjoin/internal/ged"
 	"simjoin/internal/graph"
 	"simjoin/internal/ugraph"
@@ -19,9 +18,10 @@ import (
 // as undecidable (skipped, like the exhausted-budget case) in between.
 //
 // The estimator is deterministic: the RNG is seeded from the pair indices.
-func sampleVerify(q *graph.Graph, g *ugraph.Graph, qi, gi int, opts *Options, st *rec) (Pair, bool) {
+func sampleVerify(pi *pairIn, opts *Options, st *rec) (Pair, bool) {
+	q, g, qi, gi := pi.q, pi.g, pi.qi, pi.gi
 	n := opts.SampleWorlds
-	mass := g.TotalMass()
+	mass := pi.gs.Mass
 	rng := rand.New(rand.NewSource(int64(qi)*1_000_003 + int64(gi) + 42))
 
 	// Per-vertex cumulative distributions (normalised).
@@ -49,6 +49,7 @@ func sampleVerify(q *graph.Graph, g *ugraph.Graph, qi, gi int, opts *Options, st
 
 	hits := 0
 	best := Pair{Q: qi, G: gi, Distance: opts.Tau + 1}
+	st.pv.Reset(pi.qs, pi.gs) // sampled worlds share g's structure
 	for i := 0; i < n; i++ {
 		for v := 0; v < g.NumVertices(); v++ {
 			r := rng.Float64() * dists[v].sum
@@ -64,7 +65,7 @@ func sampleVerify(q *graph.Graph, g *ugraph.Graph, qi, gi int, opts *Options, st
 			w.SetVertexLabel(v, label)
 		}
 		st.WorldsChecked++
-		if filter.CSSLowerBound(q, w) > opts.Tau {
+		if st.pv.WorldLowerBound(w) > opts.Tau {
 			continue
 		}
 		st.GEDCalls++

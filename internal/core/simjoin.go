@@ -155,13 +155,21 @@ type Pair struct {
 
 // Stats aggregates join diagnostics; Fig. 11–14 are printed from it.
 type Stats struct {
-	Pairs         int64 // |D| × |U|
-	CSSPruned     int64 // pairs removed by Theorem 3
-	ProbPruned    int64 // pairs removed by Theorem 4 / grouped bounds
-	Candidates    int64 // pairs entering verification
-	Results       int64 // pairs reported
-	SkippedPairs  int64 // pairs skipped by the MaxWorlds safety cap
-	WorldsChecked int64 // possible worlds examined during verification
+	Pairs      int64 // |D| × |U|
+	CSSPruned  int64 // pairs removed by Theorem 3
+	ProbPruned int64 // pairs removed by Theorem 4 / grouped bounds
+	Candidates int64 // pairs entering verification
+	Results    int64 // pairs reported
+	// SkippedPairs counts pairs whose verification was abandoned: the
+	// MaxWorlds cap blew (or sampling was undecidable at its margin). Such
+	// pairs still count in Candidates — they entered verification — and the
+	// worlds enumerated before the cap stay in WorldsChecked (exactly
+	// MaxWorlds+1 for a capped pair, counting the world that tripped it), so
+	// CSSPruned + ProbPruned + Candidates == Pairs always holds.
+	SkippedPairs int64
+	// WorldsChecked counts every possible world examined during verification,
+	// including the partial enumerations of pairs that ended in SkippedPairs.
+	WorldsChecked int64
 	GEDCalls      int64 // exact GED verifications run
 	GEDBudgetHits int64 // GED calls aborted by VerifyMaxStates
 	PruneTime     time.Duration
@@ -230,6 +238,12 @@ func JoinContext(ctx context.Context, d []*graph.Graph, u []*ugraph.Graph, opts 
 	stopProgress := jo.startProgress(&opts, int64(len(d))*int64(len(u)))
 	defer stopProgress()
 
+	// Precompute both sides' filter signatures once: every graph participates
+	// in |U| (resp. |D|) pairs, and the signatures carry everything the bounds
+	// would otherwise recompute per pair.
+	qsigs := filter.NewQSigs(d)
+	gsigs := filter.NewGSigs(u)
+
 	type task struct{ qi, gi int }
 	tasks := make(chan task, 256)
 	var (
@@ -248,7 +262,8 @@ func JoinContext(ctx context.Context, d []*graph.Graph, u []*ugraph.Graph, opts 
 				continue // cancelled: drain the channel without working
 			}
 			local.Pairs++
-			p, ok := joinPair(d[t.qi], u[t.gi], t.qi, t.gi, &opts, &local)
+			pi := pairIn{q: d[t.qi], g: u[t.gi], qs: qsigs[t.qi], gs: gsigs[t.gi], qi: t.qi, gi: t.gi}
+			p, ok := joinPair(&pi, &opts, &local)
 			if ok {
 				pairs = append(pairs, p)
 				local.Results++
@@ -293,10 +308,21 @@ feed:
 	return results, total, nil
 }
 
+// pairIn bundles one (q, g) pair with its precomputed filter signatures and
+// dataset indices. The join drivers assemble it once per pair so the pipeline
+// below never rebuilds signatures inside the pair loop.
+type pairIn struct {
+	q      *graph.Graph
+	g      *ugraph.Graph
+	qs     *filter.QSig
+	gs     *filter.GSig
+	qi, gi int
+}
+
 // joinPair runs the filter-and-refine pipeline of Algorithm 1 on one pair.
-func joinPair(q *graph.Graph, g *ugraph.Graph, qi, gi int, opts *Options, st *rec) (Pair, bool) {
+func joinPair(pi *pairIn, opts *Options, st *rec) (Pair, bool) {
 	pruneStart := time.Now()
-	groups, pruned := prunephase(q, g, opts, st)
+	groups, pruned := prunephase(pi, opts, st)
 	pruneDur := time.Since(pruneStart)
 	st.PruneTime += pruneDur
 	st.jo.pruneSeconds.ObserveDuration(pruneDur)
@@ -310,7 +336,7 @@ func joinPair(q *graph.Graph, g *ugraph.Graph, qi, gi int, opts *Options, st *re
 	}
 
 	verifyStart := time.Now()
-	p, ok := verify(q, g, qi, gi, groups, opts, st)
+	p, ok := verify(pi, groups, opts, st)
 	verifyDur := time.Since(verifyStart)
 	st.VerifyTime += verifyDur
 	st.jo.verifySeconds.ObserveDuration(verifyDur)
@@ -321,8 +347,9 @@ func joinPair(q *graph.Graph, g *ugraph.Graph, qi, gi int, opts *Options, st *re
 // prunephase applies the configured filters. It returns the possible-world
 // groups to verify (nil means verify the whole graph as one group) and
 // whether the pair was pruned outright.
-func prunephase(q *graph.Graph, g *ugraph.Graph, opts *Options, st *rec) ([]ugraph.Group, bool) {
-	cssPruned := filter.CSSLowerBoundUncertain(q, g) > opts.Tau
+func prunephase(pi *pairIn, opts *Options, st *rec) ([]ugraph.Group, bool) {
+	cssLB := filter.CSSLowerBoundUncertainSigScratch(&st.bp, pi.qs, pi.gs)
+	cssPruned := cssLB > opts.Tau
 	st.jo.filt.RecordCSS(cssPruned)
 	if cssPruned {
 		st.CSSPruned++
@@ -334,9 +361,9 @@ func prunephase(q *graph.Graph, g *ugraph.Graph, opts *Options, st *rec) ([]ugra
 	case ModeSimJ:
 		ub := 0.0
 		if opts.TightProbBound {
-			ub = filter.TotalProbabilityUpperBound(q, g, opts.Tau)
+			ub = filter.TotalProbabilityUpperBoundSig(pi.qs, pi.gs, opts.Tau)
 		} else {
-			ub = filter.SimilarityUpperBound(q, g, opts.Tau)
+			ub = filter.SimilarityUpperBoundSig(pi.qs, pi.gs, opts.Tau)
 		}
 		pruned := ub < opts.Alpha
 		st.jo.filt.RecordProb(opts.TightProbBound, pruned)
@@ -346,18 +373,24 @@ func prunephase(q *graph.Graph, g *ugraph.Graph, opts *Options, st *rec) ([]ugra
 		}
 		return nil, false
 	case ModeSimJOpt:
-		groups := partitionForQuery(q, g, opts.GroupCount, opts.Tau)
+		st.resetGroupCache(pi, cssLB, opts.Tau)
+		groups := partitionForQuery(pi, opts.GroupCount, opts.Tau, st)
 		st.GroupsBuilt += int64(len(groups))
 		ubSum := 0.0
 		kept := groups[:0]
 		groupsCSSPruned := int64(0)
 		for _, gr := range groups {
-			if filter.CSSLowerBoundUncertain(q, gr.G) > opts.Tau {
+			ge := st.evalGroup(pi.qs, gr.G, opts.Tau)
+			if ge.cssLB > opts.Tau {
 				st.GroupsPruned++
 				groupsCSSPruned++
 				continue
 			}
-			ubSum += filter.GroupUpperBound(q, gr, opts.Tau)
+			ub := ge.simUB
+			if ub > gr.Mass {
+				ub = gr.Mass
+			}
+			ubSum += ub
 			kept = append(kept, gr)
 		}
 		pruned := ubSum < opts.Alpha
@@ -372,35 +405,89 @@ func prunephase(q *graph.Graph, g *ugraph.Graph, opts *Options, st *rec) ([]ugra
 	}
 }
 
+// groupEval caches one possible-world group's signature and bounds during a
+// single pair's ModeSimJOpt pruning: the partition policy of §6.2 re-examines
+// every group each split round, which without the cache re-ran the O(V³)
+// λV matching and multiset scans O(k²) times per pair.
+type groupEval struct {
+	gs    *filter.GSig
+	cssLB int
+	simUB float64 // Theorem 4 bound; valid only when cssLB <= tau
+}
+
+// resetGroupCache clears the per-pair group cache and seeds it with the whole
+// graph's already-computed signature and CSS bound.
+func (st *rec) resetGroupCache(pi *pairIn, cssLB, tau int) {
+	if st.groupCache == nil {
+		st.groupCache = make(map[*ugraph.Graph]*groupEval)
+	}
+	clear(st.groupCache)
+	ge := &groupEval{gs: pi.gs, cssLB: cssLB}
+	if cssLB <= tau {
+		ge.simUB = filter.SimilarityUpperBoundSig(pi.qs, pi.gs, tau)
+	}
+	st.groupCache[pi.g] = ge
+}
+
+// evalGroup returns the cached evaluation of a group's graph, computing it on
+// first sight. Group graphs are immutable once created by Condition, so
+// caching by pointer identity is sound; the values are exactly what direct
+// recomputation would yield.
+func (st *rec) evalGroup(qs *filter.QSig, g *ugraph.Graph, tau int) *groupEval {
+	ge, ok := st.groupCache[g]
+	if !ok {
+		gs := filter.NewGSig(g)
+		ge = &groupEval{gs: gs, cssLB: filter.CSSLowerBoundUncertainSigScratch(&st.bp, qs, gs)}
+		if ge.cssLB <= tau {
+			ge.simUB = filter.SimilarityUpperBoundSig(qs, gs, tau)
+		}
+		st.groupCache[g] = ge
+	}
+	return ge
+}
+
 // partitionForQuery divides g's possible worlds into at most k groups using
 // the cost model of §6.2: at every round, split the group with the largest
 // probabilistic upper bound (the loosest contributor), i.e. minimise
-// Σ ub_SimP over non-pruned groups.
-func partitionForQuery(q *graph.Graph, g *ugraph.Graph, k, tau int) []ugraph.Group {
+// Σ ub_SimP over non-pruned groups. Per-group bounds come from the worker's
+// group cache, so each group is evaluated once regardless of round count.
+func partitionForQuery(pi *pairIn, k, tau int, st *rec) []ugraph.Group {
 	policy := func(groups []ugraph.Group) int {
 		best, bestUB := -1, -1.0
 		for i, gr := range groups {
 			if gr.G.SplitVertex() < 0 {
 				continue
 			}
-			if ub := filter.GroupUpperBound(q, gr, tau); ub > bestUB {
+			ge := st.evalGroup(pi.qs, gr.G, tau)
+			ub := 0.0
+			if ge.cssLB <= tau {
+				ub = ge.simUB
+				if ub > gr.Mass {
+					ub = gr.Mass
+				}
+			}
+			if ub > bestUB {
 				best, bestUB = i, ub
 			}
 		}
 		return best
 	}
-	return g.PartitionWorlds(k, policy)
+	return pi.g.PartitionWorlds(k, policy)
 }
 
 // verify computes the exact SimPτ(q, g) by enumerating possible worlds
 // (grouped when SimJ+opt kept groups), with a per-world CSS pre-check and —
-// unless disabled — early accept/reject on accumulated mass.
-func verify(q *graph.Graph, g *ugraph.Graph, qi, gi int, groups []ugraph.Group, opts *Options, st *rec) (Pair, bool) {
-	if opts.SampleWorlds > 0 && g.WorldCountFloat() > float64(opts.MaxWorlds) {
-		return sampleVerify(q, g, qi, gi, opts, st)
+// unless disabled — early accept/reject on accumulated mass. The per-world
+// CSS bound runs through the worker's PairVerifier: every world of g (and of
+// its conditioned groups) shares g's structure, so only the λV matching is
+// recomputed per world.
+func verify(pi *pairIn, groups []ugraph.Group, opts *Options, st *rec) (Pair, bool) {
+	q, qi, gi := pi.q, pi.qi, pi.gi
+	if opts.SampleWorlds > 0 && pi.gs.WorldsF > float64(opts.MaxWorlds) {
+		return sampleVerify(pi, opts, st)
 	}
 	if groups == nil {
-		groups = []ugraph.Group{g.AsGroup()}
+		groups = []ugraph.Group{{G: pi.g, Mass: pi.gs.Mass}}
 	}
 	// High-mass groups first: the early accept/reject thresholds are reached
 	// sooner when probable worlds are enumerated early.
@@ -418,11 +505,12 @@ func verify(q *graph.Graph, g *ugraph.Graph, qi, gi int, groups []ugraph.Group, 
 	accepted := false
 	pairWorlds := int64(0)
 
+	st.pv.Reset(pi.qs, pi.gs)
 	for _, gr := range groups {
 		if decided {
 			break
 		}
-		gr.G.Worlds(func(w *graph.Graph, p float64) bool {
+		gr.G.WorldsScratch(&st.ws, func(w *graph.Graph, p float64) bool {
 			st.WorldsChecked++
 			pairWorlds++
 			worldBudget--
@@ -433,7 +521,7 @@ func verify(q *graph.Graph, g *ugraph.Graph, qi, gi int, groups []ugraph.Group, 
 				return false
 			}
 			remaining -= p
-			if filter.CSSLowerBound(q, w) <= opts.Tau {
+			if st.pv.WorldLowerBound(w) <= opts.Tau {
 				st.GEDCalls++
 				res, err := ged.Compute(q, w, ged.Options{Threshold: opts.Tau, MaxStates: opts.VerifyMaxStates, Metrics: st.jo.gedM})
 				switch {

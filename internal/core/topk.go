@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"simjoin/internal/filter"
 	"simjoin/internal/graph"
 	"simjoin/internal/ugraph"
 )
@@ -29,6 +30,9 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 	stopProgress := jo.startProgress(&opts, int64(len(d))*int64(len(u)))
 	defer stopProgress()
 
+	qsigs := filter.NewQSigs(d)
+	gsigs := filter.NewGSigs(u)
+
 	perQuestion := make([][]Pair, len(u))
 	var (
 		mu    sync.Mutex
@@ -43,7 +47,8 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 			var best []Pair
 			for qi := range d {
 				local.Pairs++
-				p, ok := joinPair(d[qi], u[gi], qi, gi, &opts, &local)
+				pi := pairIn{q: d[qi], g: u[gi], qs: qsigs[qi], gs: gsigs[gi], qi: qi, gi: gi}
+				p, ok := joinPair(&pi, &opts, &local)
 				if jo.progress {
 					jo.pairsDone.Add(1)
 				}

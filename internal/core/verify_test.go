@@ -74,6 +74,39 @@ func TestVerifyMaxStatesBudgetCounted(t *testing.T) {
 	}
 }
 
+func TestSkippedPairsAccounting(t *testing.T) {
+	// A pair whose world count blows MaxWorlds still counts as a candidate
+	// (it entered verification), lands in SkippedPairs instead of Results,
+	// and keeps its partial enumeration in WorldsChecked: exactly
+	// MaxWorlds+1 worlds, counting the one that tripped the cap.
+	q := graph.New(2)
+	q.AddVertex("A")
+	q.AddVertex("B")
+	q.MustAddEdge(0, 1, "p")
+	g := ugraph.New(2)
+	g.AddVertex(ugraph.Label{Name: "A", P: 0.5}, ugraph.Label{Name: "B", P: 0.5})
+	g.AddVertex(ugraph.Label{Name: "B", P: 0.5}, ugraph.Label{Name: "A", P: 0.5})
+	g.MustAddEdge(0, 1, "p")
+
+	_, st, err := Join([]*graph.Graph{q}, []*ugraph.Graph{g},
+		Options{Tau: 2, Alpha: 0.9, Mode: ModeCSSOnly, Workers: 1, MaxWorlds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates != 1 {
+		t.Fatalf("capped pair not counted as candidate: %+v", st)
+	}
+	if st.SkippedPairs != 1 {
+		t.Fatalf("capped pair not counted in SkippedPairs: %+v", st)
+	}
+	if st.WorldsChecked != 2 { // MaxWorlds+1
+		t.Fatalf("partial WorldsChecked not kept: got %d, want 2", st.WorldsChecked)
+	}
+	if st.Results != 0 {
+		t.Fatalf("skipped pair reported as result: %+v", st)
+	}
+}
+
 func TestGroupedVerificationExactWithEarlyExitOff(t *testing.T) {
 	d, u := smallWorkload(37, 6, 6)
 	want := naiveJoin(d, u, 1, 0.4)

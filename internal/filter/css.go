@@ -45,13 +45,11 @@ func CSSLowerBound(q, g *graph.Graph) int {
 // Theorem 3 that holds simultaneously for every possible world of the
 // uncertain graph g: Theorem 1's formula with λV replaced by the maximum
 // matching of the vertex label bipartite graph of Def. 10 (an upper bound on
-// λV against any possible world).
+// λV against any possible world). It is a thin wrapper building throwaway
+// signatures; pair loops should precompute QSig/GSig and call
+// CSSLowerBoundUncertainSig instead.
 func CSSLowerBoundUncertain(q *graph.Graph, g *ugraph.Graph) int {
-	lb := CSSConstant(q, g) - LambdaVUncertain(q, g)
-	if lb < 0 {
-		lb = 0
-	}
-	return lb
+	return CSSLowerBoundUncertainSig(NewQSig(q), NewGSig(g))
 }
 
 // CSSConstant returns C(q, g) = |V(big)| + |E(big)| − λE + ⌈dif/2⌉, the
@@ -60,22 +58,5 @@ func CSSLowerBoundUncertain(q *graph.Graph, g *ugraph.Graph) int {
 // forces λV ≥ C − τ). On vertex-count ties the tighter orientation is used,
 // mirroring CSSLowerBoundUncertain.
 func CSSConstant(q *graph.Graph, g *ugraph.Graph) int {
-	lamE := LambdaEUncertain(q, g)
-	qd := q.DegreeSequence()
-	gd := g.DegreeSequence()
-	oriented := func(small, big []int, bigV, bigE int) int {
-		return bigV + bigE - lamE + (degreeDistanceSeq(small, big)+1)/2
-	}
-	switch {
-	case q.NumVertices() < g.NumVertices():
-		return oriented(qd, gd, g.NumVertices(), g.NumEdges())
-	case q.NumVertices() > g.NumVertices():
-		return oriented(gd, qd, q.NumVertices(), q.NumEdges())
-	default:
-		a := oriented(qd, gd, g.NumVertices(), g.NumEdges())
-		if b := oriented(gd, qd, q.NumVertices(), q.NumEdges()); b > a {
-			return b
-		}
-		return a
-	}
+	return CSSConstantSig(NewQSig(q), NewGSig(g))
 }

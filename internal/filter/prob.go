@@ -27,26 +27,7 @@ import (
 // denominator is non-positive the inequality is vacuous and the cap is
 // returned.
 func SimilarityUpperBound(q *graph.Graph, g *ugraph.Graph, tau int) float64 {
-	mass := g.TotalMass()
-	c := CSSConstant(q, g)
-	wq := 0
-	for v := 0; v < q.NumVertices(); v++ {
-		if graph.IsWildcard(q.VertexLabel(v)) {
-			wq++
-		}
-	}
-	denom := float64(c - tau - wq)
-	if denom <= 0 {
-		return mass
-	}
-	ub := ExpectedCommonLabels(q, g) / denom
-	if ub > mass {
-		return mass
-	}
-	if ub < 0 {
-		return 0
-	}
-	return ub
+	return SimilarityUpperBoundSig(NewQSig(q), NewGSig(g), tau)
 }
 
 // ExpectedCommonLabels returns E(Z) = Σ_i E(zi): for every vertex of g, the
@@ -54,21 +35,7 @@ func SimilarityUpperBound(q *graph.Graph, g *ugraph.Graph, tau int) float64 {
 // among q's concrete vertex labels. Probabilities are used unnormalised, so
 // the value is correct for conditioned possible-world groups too.
 func ExpectedCommonLabels(q *graph.Graph, g *ugraph.Graph) float64 {
-	qLabels := make(map[string]bool, q.NumVertices())
-	for v := 0; v < q.NumVertices(); v++ {
-		if l := q.VertexLabel(v); !graph.IsWildcard(l) {
-			qLabels[l] = true
-		}
-	}
-	ez := 0.0
-	for v := 0; v < g.NumVertices(); v++ {
-		for _, l := range g.Labels(v) {
-			if graph.IsWildcard(l.Name) || qLabels[l.Name] {
-				ez += l.P
-			}
-		}
-	}
-	return ez
+	return ExpectedCommonLabelsSig(NewQSig(q), NewGSig(g))
 }
 
 // TotalProbabilityUpperBound tightens Theorem 4 with the law of total
@@ -78,29 +45,7 @@ func ExpectedCommonLabels(q *graph.Graph, g *ugraph.Graph) float64 {
 // is always a valid upper bound on SimPτ(q, g) and never looser than
 // evaluating each branch's cap.
 func TotalProbabilityUpperBound(q *graph.Graph, g *ugraph.Graph, tau int) float64 {
-	if CSSLowerBoundUncertain(q, g) > tau {
-		return 0
-	}
-	v := g.SplitVertex()
-	if v < 0 {
-		return SimilarityUpperBound(q, g, tau)
-	}
-	ub := 0.0
-	for i := range g.Labels(v) {
-		cond, mass := g.Condition(v, []int{i})
-		if CSSLowerBoundUncertain(q, cond) > tau {
-			continue
-		}
-		b := SimilarityUpperBound(q, cond, tau)
-		if b > mass {
-			b = mass
-		}
-		ub += b
-	}
-	if plain := SimilarityUpperBound(q, g, tau); plain < ub {
-		return plain
-	}
-	return ub
+	return TotalProbabilityUpperBoundSig(NewQSig(q), NewGSig(g), tau)
 }
 
 // GroupUpperBound computes the probabilistic upper bound restricted to one
@@ -109,12 +54,5 @@ func TotalProbabilityUpperBound(q *graph.Graph, g *ugraph.Graph, tau int) float6
 // contribution to SimPτ(q, g). Groups whose CSS bound already exceeds τ
 // contribute 0 (Algorithm 2, line 5).
 func GroupUpperBound(q *graph.Graph, gr ugraph.Group, tau int) float64 {
-	if CSSLowerBoundUncertain(q, gr.G) > tau {
-		return 0
-	}
-	ub := SimilarityUpperBound(q, gr.G, tau)
-	if ub > gr.Mass {
-		return gr.Mass
-	}
-	return ub
+	return GroupUpperBoundSig(NewQSig(q), NewGSig(gr.G), gr.Mass, tau)
 }

@@ -1,0 +1,355 @@
+package filter
+
+// Precomputed per-graph signatures for the filtering pipeline.
+//
+// Every bound in this package needs the same handful of per-graph structures:
+// degree sequences (Def. 9), vertex/edge label multisets, wildcard counts,
+// probability mass, and — for the probabilistic bound — per-label existence
+// probabilities. The original entry points recompute all of them on every
+// call, which is wasted work inside the O(|D|·|U|) pair loop of a join where
+// each graph participates in thousands of pairs. QSig and GSig compute them
+// exactly once per graph; the *Sig bound variants below consume the cached
+// structures and return bit-identical values to their recomputing
+// counterparts (which remain as thin wrappers).
+
+import (
+	"simjoin/internal/graph"
+	"simjoin/internal/matching"
+	"simjoin/internal/ugraph"
+)
+
+// QSig is the precomputed signature of a certain (query) graph: everything
+// the CSS and probabilistic bounds read from the q side of a pair.
+type QSig struct {
+	G          *graph.Graph
+	NumV, NumE int
+	DegSeq     []int          // total degrees, non-increasing
+	VLabels    map[string]int // concrete vertex label multiset
+	VWilds     int            // wildcard vertex count (Wq of Theorem 4)
+	ELabels    map[string]int // concrete edge label multiset
+	EWilds     int            // wildcard edge count
+
+	vLabelSet map[string]bool // distinct concrete vertex labels
+}
+
+// NewQSig precomputes the signature of one certain graph.
+func NewQSig(q *graph.Graph) *QSig {
+	s := &QSig{
+		G:      q,
+		NumV:   q.NumVertices(),
+		NumE:   q.NumEdges(),
+		DegSeq: q.DegreeSequence(),
+	}
+	s.VLabels, s.VWilds = q.VertexLabelMultiset()
+	s.ELabels, s.EWilds = q.EdgeLabelMultiset()
+	s.vLabelSet = make(map[string]bool, len(s.VLabels))
+	for l := range s.VLabels {
+		s.vLabelSet[l] = true
+	}
+	return s
+}
+
+// NewQSigs precomputes signatures for a certain-graph set.
+func NewQSigs(d []*graph.Graph) []*QSig {
+	out := make([]*QSig, len(d))
+	for i, q := range d {
+		out[i] = NewQSig(q)
+	}
+	return out
+}
+
+// gsigLabel is one (vertex, candidate label) record of a GSig, kept in the
+// exact order ExpectedCommonLabels iterates so the cached computation
+// accumulates floating-point sums identically.
+type gsigLabel struct {
+	name string
+	p    float64
+	wild bool
+}
+
+// GSig is the precomputed signature of an uncertain graph: the structures
+// Theorems 3 and 4 read from the g side of a pair.
+type GSig struct {
+	G          *ugraph.Graph
+	NumV, NumE int
+	DegSeq     []int
+	ELabels    map[string]int
+	EWilds     int
+	Mass       float64 // TotalMass
+	WorldsF    float64 // WorldCountFloat
+
+	flat      []gsigLabel        // all (vertex, label) records in order
+	byLabel   map[string][]int32 // concrete label -> vertices carrying it
+	wildVerts []int32            // vertices with a wildcard candidate label
+}
+
+// NewGSig precomputes the signature of one uncertain graph.
+func NewGSig(g *ugraph.Graph) *GSig {
+	s := &GSig{
+		G:       g,
+		NumV:    g.NumVertices(),
+		NumE:    g.NumEdges(),
+		DegSeq:  g.DegreeSequence(),
+		Mass:    g.TotalMass(),
+		WorldsF: g.WorldCountFloat(),
+		byLabel: make(map[string][]int32),
+	}
+	s.ELabels, s.EWilds = g.EdgeLabelMultiset()
+	for v := 0; v < s.NumV; v++ {
+		wild := false
+		for _, l := range g.Labels(v) {
+			isWild := graph.IsWildcard(l.Name)
+			s.flat = append(s.flat, gsigLabel{name: l.Name, p: l.P, wild: isWild})
+			if isWild {
+				wild = true
+			} else {
+				s.byLabel[l.Name] = append(s.byLabel[l.Name], int32(v))
+			}
+		}
+		if wild {
+			s.wildVerts = append(s.wildVerts, int32(v))
+		}
+	}
+	return s
+}
+
+// NewGSigs precomputes signatures for an uncertain-graph set.
+func NewGSigs(u []*ugraph.Graph) []*GSig {
+	out := make([]*GSig, len(u))
+	for i, g := range u {
+		out[i] = NewGSig(g)
+	}
+	return out
+}
+
+// LambdaVUncertainSig is LambdaVUncertain over precomputed signatures: the
+// Def. 10 bipartite graph is built from the per-label vertex lists instead of
+// scanning every candidate label of every (u, v) pair.
+func LambdaVUncertainSig(qs *QSig, gs *GSig) int {
+	bp := matching.NewBipartite(qs.NumV, gs.NumV)
+	addLambdaVEdges(bp, qs, gs)
+	return bp.MaxMatchingSize()
+}
+
+// addLambdaVEdges populates the Def. 10 vertex-label compatibility graph.
+// A g-vertex may be added twice for one q-vertex (once via its concrete
+// label, once via a wildcard candidate); duplicate edges do not change the
+// maximum matching size.
+func addLambdaVEdges(bp *matching.Bipartite, qs *QSig, gs *GSig) {
+	for u := 0; u < qs.NumV; u++ {
+		ql := qs.G.VertexLabel(u)
+		if graph.IsWildcard(ql) {
+			for v := 0; v < gs.NumV; v++ {
+				bp.AddEdge(u, v)
+			}
+			continue
+		}
+		for _, v := range gs.byLabel[ql] {
+			bp.AddEdge(u, int(v))
+		}
+		for _, v := range gs.wildVerts {
+			bp.AddEdge(u, int(v))
+		}
+	}
+}
+
+// LambdaVUncertainSigScratch is LambdaVUncertainSig reusing a caller-provided
+// bipartite scratch, for allocation-free pruning inside pair loops.
+func LambdaVUncertainSigScratch(bp *matching.Bipartite, qs *QSig, gs *GSig) int {
+	bp.Reset(qs.NumV, gs.NumV)
+	addLambdaVEdges(bp, qs, gs)
+	return bp.MaxMatchingSize()
+}
+
+// CSSLowerBoundUncertainSigScratch is CSSLowerBoundUncertainSig reusing a
+// caller-provided bipartite scratch.
+func CSSLowerBoundUncertainSigScratch(bp *matching.Bipartite, qs *QSig, gs *GSig) int {
+	lb := CSSConstantSig(qs, gs) - LambdaVUncertainSigScratch(bp, qs, gs)
+	if lb < 0 {
+		lb = 0
+	}
+	return lb
+}
+
+// LambdaEUncertainSig is LambdaEUncertain over precomputed signatures.
+func LambdaEUncertainSig(qs *QSig, gs *GSig) int {
+	return multisetCommon(qs.ELabels, qs.EWilds, qs.NumE, gs.ELabels, gs.EWilds, gs.NumE)
+}
+
+// CSSConstantSig is CSSConstant over precomputed signatures.
+func CSSConstantSig(qs *QSig, gs *GSig) int {
+	lamE := LambdaEUncertainSig(qs, gs)
+	oriented := func(small, big []int, bigV, bigE int) int {
+		return bigV + bigE - lamE + (degreeDistanceSeq(small, big)+1)/2
+	}
+	switch {
+	case qs.NumV < gs.NumV:
+		return oriented(qs.DegSeq, gs.DegSeq, gs.NumV, gs.NumE)
+	case qs.NumV > gs.NumV:
+		return oriented(gs.DegSeq, qs.DegSeq, qs.NumV, qs.NumE)
+	default:
+		a := oriented(qs.DegSeq, gs.DegSeq, gs.NumV, gs.NumE)
+		if b := oriented(gs.DegSeq, qs.DegSeq, qs.NumV, qs.NumE); b > a {
+			return b
+		}
+		return a
+	}
+}
+
+// CSSLowerBoundUncertainSig is CSSLowerBoundUncertain over precomputed
+// signatures (Theorem 3).
+func CSSLowerBoundUncertainSig(qs *QSig, gs *GSig) int {
+	lb := CSSConstantSig(qs, gs) - LambdaVUncertainSig(qs, gs)
+	if lb < 0 {
+		lb = 0
+	}
+	return lb
+}
+
+// ExpectedCommonLabelsSig is ExpectedCommonLabels over precomputed
+// signatures. It iterates the cached (vertex, label) records in the same
+// order as the original, so the floating-point sum is bit-identical.
+func ExpectedCommonLabelsSig(qs *QSig, gs *GSig) float64 {
+	ez := 0.0
+	for i := range gs.flat {
+		fl := &gs.flat[i]
+		if fl.wild || qs.vLabelSet[fl.name] {
+			ez += fl.p
+		}
+	}
+	return ez
+}
+
+// SimilarityUpperBoundSig is SimilarityUpperBound over precomputed
+// signatures (Theorem 4).
+func SimilarityUpperBoundSig(qs *QSig, gs *GSig, tau int) float64 {
+	mass := gs.Mass
+	denom := float64(CSSConstantSig(qs, gs) - tau - qs.VWilds)
+	if denom <= 0 {
+		return mass
+	}
+	ub := ExpectedCommonLabelsSig(qs, gs) / denom
+	if ub > mass {
+		return mass
+	}
+	if ub < 0 {
+		return 0
+	}
+	return ub
+}
+
+// GroupUpperBoundSig is GroupUpperBound with the group's conditioned graph
+// already summarised as gs; mass is the group's probability mass.
+func GroupUpperBoundSig(qs *QSig, gs *GSig, mass float64, tau int) float64 {
+	if CSSLowerBoundUncertainSig(qs, gs) > tau {
+		return 0
+	}
+	ub := SimilarityUpperBoundSig(qs, gs, tau)
+	if ub > mass {
+		return mass
+	}
+	return ub
+}
+
+// TotalProbabilityUpperBoundSig is TotalProbabilityUpperBound over
+// precomputed signatures; the per-condition sub-signatures are built on the
+// fly (each condition is evaluated exactly once).
+func TotalProbabilityUpperBoundSig(qs *QSig, gs *GSig, tau int) float64 {
+	if CSSLowerBoundUncertainSig(qs, gs) > tau {
+		return 0
+	}
+	v := gs.G.SplitVertex()
+	if v < 0 {
+		return SimilarityUpperBoundSig(qs, gs, tau)
+	}
+	ub := 0.0
+	for i := range gs.G.Labels(v) {
+		cond, mass := gs.G.Condition(v, []int{i})
+		cs := NewGSig(cond)
+		if CSSLowerBoundUncertainSig(qs, cs) > tau {
+			continue
+		}
+		b := SimilarityUpperBoundSig(qs, cs, tau)
+		if b > mass {
+			b = mass
+		}
+		ub += b
+	}
+	if plain := SimilarityUpperBoundSig(qs, gs, tau); plain < ub {
+		return plain
+	}
+	return ub
+}
+
+// PairVerifier caches the world-invariant parts of the certain×certain CSS
+// bound (Theorem 1) between a query and the possible worlds of one uncertain
+// graph. Every world shares the uncertain graph's vertex count, edge set and
+// edge labels — only vertex labels vary — so λE and the degree-distance term
+// are constants of the pair and only λV must be recomputed per world. The
+// zero value is ready to use after Reset; the embedded matching scratch is
+// reused across worlds and pairs, so a PairVerifier must not be shared
+// between goroutines.
+type PairVerifier struct {
+	qs *QSig
+	// constQ is the oriented CSS constant with q as the smaller graph
+	// (bound = constQ − λV); constG with the world as the smaller graph.
+	constQ, constG int
+	gNumV          int
+	bp             *matching.Bipartite
+}
+
+// Reset reconfigures the verifier for a new (q, g) pair, retaining scratch
+// allocations. The worlds later passed to WorldLowerBound must come from gs's
+// graph (or a conditioned group of it — conditioning preserves structure).
+func (pv *PairVerifier) Reset(qs *QSig, gs *GSig) {
+	lamE := LambdaEUncertainSig(qs, gs)
+	pv.qs = qs
+	pv.gNumV = gs.NumV
+	// degreeDistanceSeq requires the smaller sequence first; only the
+	// orientation(s) WorldLowerBound will read are computed.
+	pv.constQ, pv.constG = 0, 0
+	if qs.NumV <= gs.NumV {
+		pv.constQ = gs.NumV + gs.NumE - lamE + (degreeDistanceSeq(qs.DegSeq, gs.DegSeq)+1)/2
+	}
+	if gs.NumV <= qs.NumV {
+		pv.constG = qs.NumV + qs.NumE - lamE + (degreeDistanceSeq(gs.DegSeq, qs.DegSeq)+1)/2
+	}
+	if pv.bp == nil {
+		pv.bp = matching.NewBipartite(qs.NumV, gs.NumV)
+	}
+}
+
+// WorldLowerBound returns CSSLowerBound(q, w) for a possible world w of the
+// pair's uncertain graph, recomputing only the λV matching.
+func (pv *PairVerifier) WorldLowerBound(w *graph.Graph) int {
+	qs := pv.qs
+	bp := pv.bp
+	bp.Reset(qs.NumV, pv.gNumV)
+	for u := 0; u < qs.NumV; u++ {
+		ql := qs.G.VertexLabel(u)
+		for v := 0; v < pv.gNumV; v++ {
+			if graph.LabelsMatch(ql, w.VertexLabel(v)) {
+				bp.AddEdge(u, v)
+			}
+		}
+	}
+	lamV := bp.MaxMatchingSize()
+	clamp := func(x int) int {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+	switch {
+	case qs.NumV < pv.gNumV:
+		return clamp(pv.constQ - lamV)
+	case qs.NumV > pv.gNumV:
+		return clamp(pv.constG - lamV)
+	default:
+		a := clamp(pv.constQ - lamV)
+		if b := clamp(pv.constG - lamV); b > a {
+			return b
+		}
+		return a
+	}
+}

@@ -11,12 +11,19 @@
 // (cf. Riesen et al. [17] and Zhao et al. [31]). A threshold-bounded variant
 // prunes every state whose optimistic cost exceeds τ, which is what the SimJ
 // verification phase uses.
+//
+// The search is allocation-lean: searchers are pooled (sync.Pool), states and
+// mappings come from per-searcher chunk arenas, and the heuristic counts
+// label multisets in reusable slices over interned label ids instead of maps.
+// In a join, where Compute runs once per surviving possible world, this keeps
+// the verification hot path nearly allocation-free at steady state.
 package ged
 
 import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"simjoin/internal/graph"
@@ -94,19 +101,51 @@ func WithinThreshold(g1, g2 *graph.Graph, tau int) (int, bool) {
 	return r.Distance, !r.Exceeded
 }
 
-// searcher holds the immutable inputs of one A* run. The smaller graph (by
-// vertex count) is always mapped onto the larger one; swapped indicates the
-// caller's arguments were reversed.
+// Arena chunk sizes: mappings are at most 64 ints, states are small structs;
+// the chunks amortise allocation to ~one per few hundred generated states.
+const (
+	mapChunkInts   = 4096
+	stateChunkSize = 256
+)
+
+// searcher holds the inputs and all reusable scratch of one A* run. The
+// smaller graph (by vertex count) is always mapped onto the larger one;
+// swapped indicates the caller's arguments were reversed. Searchers are
+// recycled through searcherPool; every slice below retains capacity across
+// runs.
 type searcher struct {
 	a, b    *graph.Graph // |V(a)| <= |V(b)|
 	order   []int        // processing order of a's vertices (degree-descending)
 	swapped bool
 	opts    Options
 
-	// Interned labels: id 0 is reserved for wildcards.
+	// Interned labels: id 0 is reserved for wildcards. Vertex and edge
+	// labels share one id space; all labels of both graphs are interned
+	// upfront so the hot path never touches the map.
+	ids              map[string]int
 	vLabelA, vLabelB []int
-	nVLabels         int
-	eLabelIDs        map[string]int
+	eLabA, eLabB     []int // per-edge label ids, parallel to Edges()
+	nLabels          int
+
+	// processedMask[k] is the bitmask of a-vertices in order[:k].
+	processedMask []uint64
+
+	// Heuristic multiset scratch, indexed by label id, zeroed per call.
+	vCntA, vCntB, eCntA, eCntB []int32
+
+	// Chunk arenas for mapping slices and states.
+	mapChunks [][]int
+	mapIdx    int
+	mapUsed   int
+	stChunks  [][]state
+	stIdx     int
+	stUsed    int
+
+	pq stateHeap
+}
+
+var searcherPool = sync.Pool{
+	New: func() interface{} { return &searcher{ids: make(map[string]int)} },
 }
 
 type state struct {
@@ -153,11 +192,19 @@ func compute(g1, g2 *graph.Graph, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("ged: graphs larger than 64 vertices unsupported (got %d, %d)",
 			g1.NumVertices(), g2.NumVertices())
 	}
-	s := &searcher{a: g1, b: g2, opts: opts}
+	s := searcherPool.Get().(*searcher)
+	defer func() {
+		s.a, s.b = nil, nil
+		s.opts = Options{}
+		searcherPool.Put(s)
+	}()
+	s.a, s.b, s.swapped, s.opts = g1, g2, false, opts
 	if g1.NumVertices() > g2.NumVertices() {
 		s.a, s.b = g2, g1
 		s.swapped = true
 	}
+	s.mapIdx, s.mapUsed = 0, 0
+	s.stIdx, s.stUsed = 0, 0
 	s.intern()
 	s.computeOrder()
 
@@ -169,8 +216,8 @@ func compute(g1, g2 *graph.Graph, opts Options) (Result, error) {
 		res.Mapping = nil
 		return res, nil
 	}
-	// Translate the internal mapping (a->b) to the caller's direction
-	// (g1 -> g2).
+	// Translate the internal arena-backed mapping (a->b) to a fresh slice in
+	// the caller's direction (g1 -> g2); the arena is recycled with s.
 	m := make(Mapping, g1.NumVertices())
 	for i := range m {
 		m[i] = Deleted
@@ -189,8 +236,34 @@ func compute(g1, g2 *graph.Graph, opts Options) (Result, error) {
 	return res, nil
 }
 
+// growInts returns s resized to n, reusing capacity when possible. Contents
+// are unspecified; callers overwrite every element.
+func growInts(s []int, n int) []int {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func growMasks(s []uint64, n int) []uint64 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]uint64, n)
+}
+
+// intern assigns dense ids to every vertex and edge label of both graphs
+// (wildcards collapse to id 0) and sizes the heuristic count slices.
 func (s *searcher) intern() {
-	ids := map[string]int{}
+	ids := s.ids
+	clear(ids)
 	get := func(l string) int {
 		if graph.IsWildcard(l) {
 			return 0
@@ -202,36 +275,36 @@ func (s *searcher) intern() {
 		}
 		return id
 	}
-	s.vLabelA = make([]int, s.a.NumVertices())
+	s.vLabelA = growInts(s.vLabelA, s.a.NumVertices())
 	for v := range s.vLabelA {
 		s.vLabelA[v] = get(s.a.VertexLabel(v))
 	}
-	s.vLabelB = make([]int, s.b.NumVertices())
+	s.vLabelB = growInts(s.vLabelB, s.b.NumVertices())
 	for v := range s.vLabelB {
 		s.vLabelB[v] = get(s.b.VertexLabel(v))
 	}
-	s.nVLabels = len(ids) + 1
-	s.eLabelIDs = ids // edge labels share the intern table via labelID below
-}
-
-func (s *searcher) labelID(l string) int {
-	if graph.IsWildcard(l) {
-		return 0
+	s.eLabA = growInts(s.eLabA, s.a.NumEdges())
+	for i, e := range s.a.Edges() {
+		s.eLabA[i] = get(e.Label)
 	}
-	id, ok := s.eLabelIDs[l]
-	if !ok {
-		id = len(s.eLabelIDs) + 1
-		s.eLabelIDs[l] = id
+	s.eLabB = growInts(s.eLabB, s.b.NumEdges())
+	for i, e := range s.b.Edges() {
+		s.eLabB[i] = get(e.Label)
 	}
-	return id
+	s.nLabels = len(ids) + 1
+	s.vCntA = growInt32s(s.vCntA, s.nLabels)
+	s.vCntB = growInt32s(s.vCntB, s.nLabels)
+	s.eCntA = growInt32s(s.eCntA, s.nLabels)
+	s.eCntB = growInt32s(s.eCntB, s.nLabels)
 }
 
 // computeOrder processes high-degree vertices first: they constrain the most
-// edges and tighten costs early.
+// edges and tighten costs early. It also precomputes the processed-prefix
+// bitmasks the heuristic's edge term reads.
 func (s *searcher) computeOrder() {
 	deg := s.a.Degrees()
 	n := s.a.NumVertices()
-	s.order = make([]int, n)
+	s.order = growInts(s.order, n)
 	for i := range s.order {
 		s.order[i] = i
 	}
@@ -240,18 +313,59 @@ func (s *searcher) computeOrder() {
 			s.order[j], s.order[j-1] = s.order[j-1], s.order[j]
 		}
 	}
+	s.processedMask = growMasks(s.processedMask, n+1)
+	s.processedMask[0] = 0
+	for k := 1; k <= n; k++ {
+		s.processedMask[k] = s.processedMask[k-1] | 1<<uint(s.order[k-1])
+	}
+}
+
+// newMapping hands out an n-int slice from the mapping arena.
+func (s *searcher) newMapping(n int) []int {
+	if s.mapIdx < len(s.mapChunks) && s.mapUsed+n > len(s.mapChunks[s.mapIdx]) {
+		s.mapIdx++
+		s.mapUsed = 0
+	}
+	if s.mapIdx >= len(s.mapChunks) {
+		c := mapChunkInts
+		if n > c {
+			c = n
+		}
+		s.mapChunks = append(s.mapChunks, make([]int, c))
+		s.mapUsed = 0
+	}
+	chunk := s.mapChunks[s.mapIdx]
+	out := chunk[s.mapUsed : s.mapUsed+n : s.mapUsed+n]
+	s.mapUsed += n
+	return out
+}
+
+// newState hands out a state from the state arena; callers overwrite it.
+func (s *searcher) newState() *state {
+	if s.stIdx < len(s.stChunks) && s.stUsed >= len(s.stChunks[s.stIdx]) {
+		s.stIdx++
+		s.stUsed = 0
+	}
+	if s.stIdx >= len(s.stChunks) {
+		s.stChunks = append(s.stChunks, make([]state, stateChunkSize))
+		s.stUsed = 0
+	}
+	st := &s.stChunks[s.stIdx][s.stUsed]
+	s.stUsed++
+	return st
 }
 
 func (s *searcher) run() (Result, error) {
 	m, n := s.a.NumVertices(), s.b.NumVertices()
-	start := &state{mapping: make([]int, m)}
+	start := s.newState()
+	*start = state{mapping: s.newMapping(m)}
 	for i := range start.mapping {
 		start.mapping[i] = Deleted
 	}
-	start.f = s.heuristic(start)
+	start.f = s.heuristic(0, 0)
 
-	pq := &stateHeap{start}
-	heap.Init(pq)
+	s.pq = append(s.pq[:0], start)
+	pq := &s.pq
 	expanded := 0
 	best := Result{Distance: s.opts.Threshold + 1, Exceeded: true}
 
@@ -278,9 +392,9 @@ func (s *searcher) run() (Result, error) {
 			if cur.used&(1<<uint(v)) != 0 {
 				continue
 			}
-			s.push(pq, cur, u, v)
+			s.push(cur, u, v)
 		}
-		s.push(pq, cur, u, Deleted)
+		s.push(cur, u, Deleted)
 	}
 	if s.opts.Threshold != NoThreshold {
 		best.States = expanded
@@ -290,21 +404,24 @@ func (s *searcher) run() (Result, error) {
 }
 
 // push extends cur by assigning a-vertex u to b-vertex v (or Deleted) and
-// enqueues the successor unless it is already over threshold.
-func (s *searcher) push(pq *stateHeap, cur *state, u, v int) {
+// enqueues the successor unless it is already over threshold. The heuristic
+// is evaluated before touching the arenas so pruned successors cost nothing.
+func (s *searcher) push(cur *state, u, v int) {
 	cost := cur.g + s.extensionCost(cur, u, v)
-	nm := make([]int, len(cur.mapping))
-	copy(nm, cur.mapping)
-	nm[u] = v
-	next := &state{k: cur.k + 1, used: cur.used, g: cost, mapping: nm}
+	used := cur.used
 	if v != Deleted {
-		next.used |= 1 << uint(v)
+		used |= 1 << uint(v)
 	}
-	next.f = cost + s.heuristic(next)
-	if s.opts.Threshold != NoThreshold && next.f > s.opts.Threshold {
+	f := cost + s.heuristic(cur.k+1, used)
+	if s.opts.Threshold != NoThreshold && f > s.opts.Threshold {
 		return
 	}
-	heap.Push(pq, next)
+	nm := s.newMapping(len(cur.mapping))
+	copy(nm, cur.mapping)
+	nm[u] = v
+	next := s.newState()
+	*next = state{k: cur.k + 1, used: used, g: cost, f: f, mapping: nm}
+	heap.Push(&s.pq, next)
 }
 
 // extensionCost is the exact cost added by assigning u -> v given the already
@@ -367,44 +484,56 @@ func (s *searcher) completionCost(cur *state) int {
 	return cost
 }
 
-// heuristic is an admissible lower bound on the remaining cost: a vertex term
-// and an edge term, each of the form max(r1, r2) − (upper bound on matchable
-// pairs). Overestimating the matchable pairs keeps the bound admissible.
-func (s *searcher) heuristic(st *state) int {
+// heuristic is an admissible lower bound on the remaining cost of a state
+// with k processed a-vertices and the given used-b mask: a vertex term and an
+// edge term, each of the form max(r1, r2) − (upper bound on matchable pairs).
+// Overestimating the matchable pairs keeps the bound admissible. All counting
+// happens in the searcher's id-indexed scratch slices; no allocation.
+func (s *searcher) heuristic(k int, used uint64) int {
+	vCntA, vCntB := s.vCntA, s.vCntB
+	eCntA, eCntB := s.eCntA, s.eCntB
+	for i := range vCntA {
+		vCntA[i] = 0
+	}
+	for i := range vCntB {
+		vCntB[i] = 0
+	}
+	for i := range eCntA {
+		eCntA[i] = 0
+	}
+	for i := range eCntB {
+		eCntB[i] = 0
+	}
+
 	// Remaining a-vertices and their label counts.
-	remA := s.a.NumVertices() - st.k
-	countA := make(map[int]int)
+	remA := s.a.NumVertices() - k
 	wildA := 0
-	for k := st.k; k < s.a.NumVertices(); k++ {
-		id := s.vLabelA[s.order[k]]
-		if id == 0 {
+	for i := k; i < len(s.order); i++ {
+		if id := s.vLabelA[s.order[i]]; id == 0 {
 			wildA++
 		} else {
-			countA[id]++
+			vCntA[id]++
 		}
 	}
 	// Unused b-vertices and their label counts.
-	remB := 0
-	countB := make(map[int]int)
-	wildB := 0
+	remB, wildB := 0, 0
 	for v := 0; v < s.b.NumVertices(); v++ {
-		if st.used&(1<<uint(v)) != 0 {
+		if used&(1<<uint(v)) != 0 {
 			continue
 		}
 		remB++
-		id := s.vLabelB[v]
-		if id == 0 {
+		if id := s.vLabelB[v]; id == 0 {
 			wildB++
 		} else {
-			countB[id]++
+			vCntB[id]++
 		}
 	}
 	common := wildA + wildB
-	for id, c := range countA {
-		if cb := countB[id]; cb < c {
-			common += cb
+	for id := 1; id < s.nLabels; id++ {
+		if ca, cb := vCntA[id], vCntB[id]; cb < ca {
+			common += int(cb)
 		} else {
-			common += c
+			common += int(ca)
 		}
 	}
 	if common > remA {
@@ -420,40 +549,37 @@ func (s *searcher) heuristic(st *state) int {
 	hv -= common
 
 	// Edge term: edges with at least one unprocessed/unused endpoint.
-	processedA := make(map[int]bool, st.k)
-	for k := 0; k < st.k; k++ {
-		processedA[s.order[k]] = true
-	}
-	eA, eALabels, eAWild := 0, make(map[int]int), 0
-	for _, e := range s.a.Edges() {
-		if processedA[e.From] && processedA[e.To] {
+	pm := s.processedMask[k]
+	eA, eAWild := 0, 0
+	for i, e := range s.a.Edges() {
+		if pm&(1<<uint(e.From)) != 0 && pm&(1<<uint(e.To)) != 0 {
 			continue
 		}
 		eA++
-		if id := s.labelID(e.Label); id == 0 {
+		if id := s.eLabA[i]; id == 0 {
 			eAWild++
 		} else {
-			eALabels[id]++
+			eCntA[id]++
 		}
 	}
-	eB, eBLabels, eBWild := 0, make(map[int]int), 0
-	for _, e := range s.b.Edges() {
-		if st.used&(1<<uint(e.From)) != 0 && st.used&(1<<uint(e.To)) != 0 {
+	eB, eBWild := 0, 0
+	for i, e := range s.b.Edges() {
+		if used&(1<<uint(e.From)) != 0 && used&(1<<uint(e.To)) != 0 {
 			continue
 		}
 		eB++
-		if id := s.labelID(e.Label); id == 0 {
+		if id := s.eLabB[i]; id == 0 {
 			eBWild++
 		} else {
-			eBLabels[id]++
+			eCntB[id]++
 		}
 	}
 	ecommon := eAWild + eBWild
-	for id, c := range eALabels {
-		if cb := eBLabels[id]; cb < c {
-			ecommon += cb
+	for id := 1; id < s.nLabels; id++ {
+		if ca, cb := eCntA[id], eCntB[id]; cb < ca {
+			ecommon += int(cb)
 		} else {
-			ecommon += c
+			ecommon += int(ca)
 		}
 	}
 	if ecommon > eA {

@@ -54,8 +54,29 @@ func LabelsMatch(a, b string) bool {
 // AddVertex appends a vertex with the given label and returns its index.
 func (g *Graph) AddVertex(label string) int {
 	g.labels = append(g.labels, label)
-	g.out = append(g.out, nil)
+	if len(g.out) < cap(g.out) {
+		// Reuse the slot (and any adjacency map a prior Reset left cleared
+		// there) instead of overwriting it with nil.
+		g.out = g.out[:len(g.out)+1]
+	} else {
+		g.out = append(g.out, nil)
+	}
 	return len(g.labels) - 1
+}
+
+// Reset clears the graph for reuse, retaining allocated capacity — including
+// the per-vertex adjacency maps, which are emptied in place so rebuilding a
+// graph of the same shape allocates nothing. Used by the possible-world
+// enumeration scratch buffers of package ugraph.
+func (g *Graph) Reset() {
+	g.labels = g.labels[:0]
+	g.edges = g.edges[:0]
+	for i := range g.out {
+		for k := range g.out[i] {
+			delete(g.out[i], k)
+		}
+	}
+	g.out = g.out[:0]
 }
 
 // AddEdge inserts a directed edge from u to v with the given label. It returns

@@ -9,15 +9,34 @@ package matching
 const inf = int(^uint(0) >> 1)
 
 // Bipartite is a bipartite graph on nLeft + nRight vertices with adjacency
-// from left vertices to right vertices.
+// from left vertices to right vertices. A Bipartite may be reused across
+// matchings via Reset, which retains the adjacency and matching buffers.
 type Bipartite struct {
 	nLeft, nRight int
 	adj           [][]int
+
+	// Matching scratch, reused across MaxMatching calls.
+	matchL, matchR, dist, queue []int
 }
 
 // NewBipartite returns an empty bipartite graph with the given part sizes.
 func NewBipartite(nLeft, nRight int) *Bipartite {
 	return &Bipartite{nLeft: nLeft, nRight: nRight, adj: make([][]int, nLeft)}
+}
+
+// Reset clears all edges and resizes the parts, retaining allocated
+// capacity so a Bipartite can be reused in hot loops without reallocating
+// adjacency lists.
+func (b *Bipartite) Reset(nLeft, nRight int) {
+	if nLeft <= cap(b.adj) {
+		b.adj = b.adj[:nLeft]
+	} else {
+		b.adj = append(b.adj[:cap(b.adj)], make([][]int, nLeft-cap(b.adj))...)
+	}
+	for i := range b.adj {
+		b.adj[i] = b.adj[i][:0]
+	}
+	b.nLeft, b.nRight = nLeft, nRight
 }
 
 // AddEdge connects left vertex l to right vertex r. Out-of-range indices
@@ -29,21 +48,35 @@ func (b *Bipartite) AddEdge(l, r int) {
 	b.adj[l] = append(b.adj[l], r)
 }
 
+// grow returns s resized to n, reusing capacity when possible.
+func grow(s []int, n int) []int {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
 // MaxMatching computes a maximum-cardinality matching with the Hopcroft–Karp
 // algorithm in O(E·sqrt(V)). It returns the matching size and the pairing
 // arrays: matchL[l] is the right vertex matched to l (or -1), and matchR[r]
-// is the left vertex matched to r (or -1).
+// is the left vertex matched to r (or -1). The returned slices are owned by
+// the Bipartite and remain valid only until its next MaxMatching or Reset
+// call.
 func (b *Bipartite) MaxMatching() (size int, matchL, matchR []int) {
-	matchL = make([]int, b.nLeft)
-	matchR = make([]int, b.nRight)
+	b.matchL = grow(b.matchL, b.nLeft)
+	b.matchR = grow(b.matchR, b.nRight)
+	b.dist = grow(b.dist, b.nLeft)
+	b.queue = grow(b.queue, b.nLeft)[:0]
+	matchL = b.matchL
+	matchR = b.matchR
 	for i := range matchL {
 		matchL[i] = -1
 	}
 	for i := range matchR {
 		matchR[i] = -1
 	}
-	dist := make([]int, b.nLeft)
-	queue := make([]int, 0, b.nLeft)
+	dist := b.dist
+	queue := b.queue
 
 	bfs := func() bool {
 		queue = queue[:0]

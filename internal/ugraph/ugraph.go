@@ -251,15 +251,41 @@ func (g *Graph) Clone() *Graph {
 // same *graph.Graph is reused across invocations; clone it to retain it.
 // Enumeration stops early when fn returns false.
 func (g *Graph) Worlds(fn func(world *graph.Graph, p float64) bool) {
+	var s WorldScratch
+	g.WorldsScratch(&s, fn)
+}
+
+// WorldScratch holds the reusable buffers of a Worlds enumeration: the
+// materialised world graph and the mixed-radix choice counter. The zero
+// value is ready to use; reusing one scratch across many WorldsScratch
+// calls (e.g. per join worker) makes steady-state enumeration allocation-
+// free. A WorldScratch must not be shared between goroutines.
+type WorldScratch struct {
+	w      *graph.Graph
+	choice []int
+}
+
+// WorldsScratch is Worlds reusing caller-provided scratch buffers.
+func (g *Graph) WorldsScratch(s *WorldScratch, fn func(world *graph.Graph, p float64) bool) {
 	n := len(g.vertices)
-	w := graph.New(n)
+	if s.w == nil {
+		s.w = graph.New(n)
+	}
+	w := s.w
+	w.Reset()
 	for v := 0; v < n; v++ {
 		w.AddVertex(g.vertices[v][0].Name)
 	}
 	for _, e := range g.edges {
 		w.MustAddEdge(e.From, e.To, e.Label)
 	}
-	choice := make([]int, n)
+	if cap(s.choice) < n {
+		s.choice = make([]int, n)
+	}
+	choice := s.choice[:n]
+	for i := range choice {
+		choice[i] = 0
+	}
 	for {
 		p := 1.0
 		for v := 0; v < n; v++ {

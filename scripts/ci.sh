@@ -20,7 +20,10 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (core, obs)"
-go test -race ./internal/core ./internal/obs
+echo "== go test -race (core, filter, ged, obs)"
+go test -race ./internal/core ./internal/filter ./internal/ged ./internal/obs
+
+echo "== benchmark smoke (join benchmarks, 1 iteration)"
+go test -run '^$' -bench '^BenchmarkJoin(ER|IndexedER|TopK)$' -benchtime 1x -benchmem .
 
 echo "CI passed"
