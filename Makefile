@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench bench-join clean
+.PHONY: all build test race vet fmt fuzz ci bench bench-join clean
 
 all: build
 
@@ -14,7 +14,13 @@ test:
 # pooled/scratch-reusing filter and GED kernels they call, and the
 # observability instruments they write through.
 race:
-	$(GO) test -race ./internal/core ./internal/filter ./internal/ged ./internal/obs
+	$(GO) test -race ./internal/core ./internal/filter ./internal/ged ./internal/obs ./internal/fault
+
+# Coverage-guided smoke on each fuzz target (seed corpora live under
+# internal/*/testdata/fuzz; crashers found in CI land there too).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime 20s ./internal/sparql
+	$(GO) test -run '^$$' -fuzz '^FuzzParseTriples$$' -fuzztime 20s ./internal/rdf
 
 vet:
 	$(GO) vet ./...

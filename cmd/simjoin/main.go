@@ -16,6 +16,7 @@ import (
 
 	"simjoin/internal/core"
 	"simjoin/internal/experiments"
+	"simjoin/internal/fault"
 	"simjoin/internal/graph"
 	"simjoin/internal/obs"
 	"simjoin/internal/ugraph"
@@ -36,8 +37,28 @@ func main() {
 		statsJSON = flag.String("stats-json", "", "write the final Stats and metrics snapshot as JSON to this file")
 		traceOut  = flag.String("trace-out", "", "write recorded spans as Chrome trace_event JSON to this file")
 		progress  = flag.Duration("progress", 0, "log join progress at this interval (e.g. 2s; 0 disables)")
+
+		pairDeadline = flag.Duration("pair-deadline", 0, "soft per-pair verification deadline; past it the pair degrades down the verdict ladder (0 disables)")
+		fallbackName = flag.String("fallback", "full", "budget-cliff policy: full (sample then approx bounds), sample, none (legacy skip)")
+		watchdog     = flag.Duration("watchdog", 0, "log workers stuck on one pair longer than this (0 disables)")
+		failpoints   = flag.String("failpoints", "", "comma-separated fault injections, e.g. 'ged.compute=error#3,core.pair=delay:5ms' (also via "+fault.EnvVar+")")
 	)
 	flag.Parse()
+
+	fb, err := core.ParseFallback(*fallbackName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simjoin:", err)
+		os.Exit(1)
+	}
+	if *failpoints != "" {
+		if err := fault.EnableAll(*failpoints); err != nil {
+			fmt.Fprintln(os.Stderr, "simjoin:", err)
+			os.Exit(1)
+		}
+	}
+	if fault.Active() != nil {
+		fmt.Fprintf(os.Stderr, "simjoin: fault injection active: %v\n", fault.Active())
+	}
 
 	if *dump != "" {
 		var cfg workload.QAConfig
@@ -73,10 +94,22 @@ func main() {
 		traceOut:  *traceOut,
 		progress:  *progress,
 	}
-	if err := run(*wl, *tau, *alpha, *mode, *gn, experiments.Scale(*scale), *show, obsCfg); err != nil {
+	robust := robustConfig{
+		fallback:     fb,
+		pairDeadline: *pairDeadline,
+		watchdog:     *watchdog,
+	}
+	if err := run(*wl, *tau, *alpha, *mode, *gn, experiments.Scale(*scale), *show, obsCfg, robust); err != nil {
 		fmt.Fprintln(os.Stderr, "simjoin:", err)
 		os.Exit(1)
 	}
+}
+
+// robustConfig bundles the graceful-degradation flags.
+type robustConfig struct {
+	fallback     core.Fallback
+	pairDeadline time.Duration
+	watchdog     time.Duration
 }
 
 // obsConfig bundles the observability flags.
@@ -87,11 +120,17 @@ type obsConfig struct {
 	progress  time.Duration
 }
 
-func run(wl string, tau int, alpha float64, modeName string, gn int, scale experiments.Scale, show int, oc obsConfig) error {
+func run(wl string, tau int, alpha float64, modeName string, gn int, scale experiments.Scale, show int, oc obsConfig, rc robustConfig) error {
 	opts := core.DefaultOptions()
 	opts.Tau = tau
 	opts.Alpha = alpha
 	opts.GroupCount = gn
+	opts.Fallback = rc.fallback
+	opts.PairDeadline = rc.pairDeadline
+	opts.Watchdog = rc.watchdog
+	if rc.watchdog > 0 {
+		opts.Logger = obs.StderrLogger()
+	}
 
 	var (
 		reg *obs.Registry
@@ -181,6 +220,14 @@ func run(wl string, tau int, alpha float64, modeName string, gn int, scale exper
 	fmt.Printf("pairs: %d in %v\n", len(pairs), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("stats: css-pruned=%d prob-pruned=%d candidates=%d (ratio %.4f) worlds=%d ged-calls=%d\n",
 		st.CSSPruned, st.ProbPruned, st.Candidates, st.CandidateRatio(), st.WorldsChecked, st.GEDCalls)
+	fmt.Printf("verdicts: exact=%d sampled=%d approx=%d undecided=%d (budget-fallbacks=%d deadline-hits=%d)\n",
+		st.ExactPairs, st.SampledPairs, st.ApproxPairs, st.SkippedPairs, st.BudgetFallbacks, st.DeadlineHits)
+	if st.QuarantinedPairs > 0 {
+		fmt.Printf("quarantined: %d pairs\n", st.QuarantinedPairs)
+		for _, q := range st.Quarantined {
+			fmt.Printf("  pair (%d,%d): %s\n", q.Q, q.G, q.Reason)
+		}
+	}
 	if oc.statsJSON != "" {
 		if err := writeStatsJSON(oc.statsJSON, &st, reg); err != nil {
 			return err

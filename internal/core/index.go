@@ -138,9 +138,10 @@ func JoinIndexed(idx *Index, u []*ugraph.Graph, opts Options) ([]Pair, Stats, er
 // shared across workers, large enough to amortise channel traffic.
 const indexTaskChunk = 16
 
-// testPairHook, when non-nil, is called by every JoinIndexedContext worker
-// after processing a pair, with the worker's index. Tests install it to
-// assert that pair processing really fans out across the configured workers.
+// testPairHook, when non-nil, is called by every JoinContext and
+// JoinIndexedContext worker after processing a pair, with the worker's index.
+// Tests install it to assert that pair processing really fans out across the
+// configured workers, and to cancel the join deterministically mid-run.
 var testPairHook func(worker int)
 
 // JoinIndexedContext is JoinIndexed with cancellation, with the same
@@ -158,6 +159,8 @@ func JoinIndexedContext(ctx context.Context, idx *Index, u []*ugraph.Graph, opts
 	jo := newJoinObs(&opts)
 	stopProgress := jo.startProgress(&opts, int64(idx.Len())*int64(len(u)))
 	defer stopProgress()
+	stopWatchdog := jo.startWatchdog(&opts)
+	defer stopWatchdog()
 
 	type task struct {
 		gi    int
@@ -185,7 +188,9 @@ func JoinIndexedContext(ctx context.Context, idx *Index, u []*ugraph.Graph, opts
 				}
 				local.Pairs++
 				pi := pairIn{q: idx.d[qi], g: t.g, qs: idx.qsigs[qi], gs: t.gs, qi: qi, gi: t.gi}
-				p, ok := joinPair(&pi, &opts, &local)
+				jo.beatStart(id)
+				p, ok := joinPair(ctx, &pi, &opts, &local)
+				jo.beatEnd(id)
 				if ok {
 					pairs = append(pairs, p)
 					local.Results++
@@ -243,8 +248,9 @@ feed:
 	total.Pairs += skipped
 	total.CSSPruned += skipped // prescreens are implied by the CSS stage
 	total.IndexSkipped = skipped
-	publishStats(opts.Obs, &total)
+	finishStats(&total, opts.Obs)
 	if err := ctx.Err(); err != nil {
+		total.Cancelled = true
 		return nil, total, err
 	}
 	sort.Slice(results, func(i, j int) bool {

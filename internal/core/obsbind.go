@@ -32,6 +32,12 @@ type joinObs struct {
 	progress   bool
 	pairsDone  atomic.Int64
 	candidates atomic.Int64
+
+	// beats holds one pair-start timestamp (UnixNano) per worker, 0 when the
+	// worker is between pairs; allocated only when the watchdog is enabled.
+	// The watchdog goroutine scans them to spot workers stuck on one pair.
+	beats          []atomic.Int64
+	watchdogStalls *obs.Counter
 }
 
 func newJoinObs(o *Options) *joinObs {
@@ -46,8 +52,70 @@ func newJoinObs(o *Options) *joinObs {
 		jo.pruneSeconds = o.Obs.Histogram("simjoin_prune_seconds", obs.DurationBuckets)
 		jo.verifySeconds = o.Obs.Histogram("simjoin_verify_seconds", obs.DurationBuckets)
 		jo.worldsPerPair = o.Obs.Histogram("simjoin_worlds_per_pair", obs.CountBuckets)
+		jo.watchdogStalls = o.Obs.Counter("simjoin_watchdog_stalls_total")
 	}
 	return jo
+}
+
+// beatStart marks worker id as having started a pair; beatEnd clears it.
+// Both are single atomic stores and no-ops when the watchdog is off.
+func (jo *joinObs) beatStart(id int) {
+	if jo.beats != nil {
+		jo.beats[id].Store(time.Now().UnixNano())
+	}
+}
+
+func (jo *joinObs) beatEnd(id int) {
+	if jo.beats != nil {
+		jo.beats[id].Store(0)
+	}
+}
+
+// startWatchdog launches the stalled-worker monitor when Options.Watchdog is
+// positive: every quarter period it scans the worker heartbeats and, for each
+// worker stuck on the same pair for longer than the threshold, logs once (via
+// Options.Logger) and bumps simjoin_watchdog_stalls_total. It observes only —
+// the pair keeps running — so it catches hangs the soft deadline cannot
+// interrupt. The returned stop function is safe to call always.
+func (jo *joinObs) startWatchdog(o *Options) func() {
+	if o.Watchdog <= 0 {
+		return func() {}
+	}
+	jo.beats = make([]atomic.Int64, o.Workers)
+	interval := o.Watchdog / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		flagged := make([]bool, len(jo.beats))
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			now := time.Now().UnixNano()
+			for i := range jo.beats {
+				b := jo.beats[i].Load()
+				if b > 0 && now-b > int64(o.Watchdog) {
+					if !flagged[i] {
+						flagged[i] = true
+						jo.watchdogStalls.Inc()
+						if o.Logger != nil {
+							o.Logger.Logf("simjoin: watchdog: worker %d stalled on one pair for %v",
+								i, time.Duration(now-b).Round(time.Millisecond))
+						}
+					}
+				} else {
+					flagged[i] = false
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 // startProgress launches the periodic progress reporter for a join over
@@ -84,7 +152,8 @@ type rec struct {
 // field to its registry metric name. publishStats writes through it and
 // StatsFromSnapshot reads through it, so the paper-facing Stats and the
 // registry can never disagree; a reflection test asserts the table covers
-// every field of Stats.
+// every counter field of Stats (the non-counter Cancelled flag and
+// Quarantined log are excluded — QuarantinedPairs carries their count).
 var statsCounterSpec = []struct {
 	name string
 	fld  func(*Stats) *int64
@@ -104,6 +173,11 @@ var statsCounterSpec = []struct {
 	{"simjoin_early_rejects_total", func(s *Stats) *int64 { return &s.EarlyRejects }},
 	{"simjoin_index_skipped_total", func(s *Stats) *int64 { return &s.IndexSkipped }},
 	{"simjoin_sampled_pairs_total", func(s *Stats) *int64 { return &s.SampledPairs }},
+	{"simjoin_exact_pairs_total", func(s *Stats) *int64 { return &s.ExactPairs }},
+	{"simjoin_approx_pairs_total", func(s *Stats) *int64 { return &s.ApproxPairs }},
+	{"simjoin_budget_fallbacks_total", func(s *Stats) *int64 { return &s.BudgetFallbacks }},
+	{"simjoin_deadline_hits_total", func(s *Stats) *int64 { return &s.DeadlineHits }},
+	{"simjoin_quarantined_pairs_total", func(s *Stats) *int64 { return &s.QuarantinedPairs }},
 }
 
 // statsDurationSpec does the same for the duration fields; the registry

@@ -23,10 +23,29 @@ func fillStats(t *testing.T, s *Stats) {
 		switch f.Kind() {
 		case reflect.Int64:
 			f.SetInt(int64(100 + i))
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Slice:
+			f.Set(reflect.MakeSlice(f.Type(), 1, 1))
 		default:
 			t.Fatalf("Stats field %s has unhandled kind %s", v.Type().Field(i).Name, f.Kind())
 		}
 	}
+}
+
+// statsEqual compares two Stats deeply; Stats grew non-comparable fields
+// (the quarantine log), so tests can no longer use ==.
+func statsEqual(a, b Stats) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// counterPart strips the non-counter fields (the Cancelled flag and the
+// quarantine log), leaving what publishStats/StatsFromSnapshot round-trip
+// through the registry.
+func counterPart(s Stats) Stats {
+	s.Cancelled = false
+	s.Quarantined = nil
+	return s
 }
 
 // TestStatsAddCoversAllFields asserts Stats.add folds in every field: a
@@ -35,14 +54,27 @@ func TestStatsAddCoversAllFields(t *testing.T) {
 	var src, dst Stats
 	fillStats(t, &src)
 	dst.add(&src)
-	if dst != src {
+	if !statsEqual(dst, src) {
 		t.Fatalf("Stats.add does not cover every field:\n got %+v\nwant %+v", dst, src)
 	}
 	dst.add(&src)
 	v := reflect.ValueOf(dst)
 	for i := 0; i < v.NumField(); i++ {
-		if got, want := v.Field(i).Int(), 2*(100+int64(i)); got != want {
-			t.Errorf("after double add, field %s = %d, want %d", v.Type().Field(i).Name, got, want)
+		f := v.Field(i)
+		name := v.Type().Field(i).Name
+		switch f.Kind() {
+		case reflect.Int64:
+			if got, want := f.Int(), 2*(100+int64(i)); got != want {
+				t.Errorf("after double add, field %s = %d, want %d", name, got, want)
+			}
+		case reflect.Bool:
+			if !f.Bool() {
+				t.Errorf("after double add, flag %s lost", name)
+			}
+		case reflect.Slice:
+			if f.Len() != 2 {
+				t.Errorf("after double add, log %s has %d entries, want 2", name, f.Len())
+			}
 		}
 	}
 }
@@ -52,8 +84,22 @@ func TestStatsAddCoversAllFields(t *testing.T) {
 // exactly once, so Stats and the registry cannot drift apart as fields are
 // added.
 func TestStatsMetricTableCoversAllFields(t *testing.T) {
-	if got, want := len(statsCounterSpec)+len(statsDurationSpec), reflect.TypeOf(Stats{}).NumField(); got != want {
-		t.Fatalf("metric table has %d entries, Stats has %d fields", got, want)
+	// Count the counter-shaped fields; the Cancelled flag and Quarantined log
+	// are deliberately registry-exempt (QuarantinedPairs carries the count).
+	numeric := 0
+	typ := reflect.TypeOf(Stats{})
+	for i := 0; i < typ.NumField(); i++ {
+		switch typ.Field(i).Name {
+		case "Cancelled", "Quarantined":
+		default:
+			numeric++
+			if typ.Field(i).Type.Kind() != reflect.Int64 {
+				t.Errorf("Stats field %s is not int64-backed yet absent from the exemption list", typ.Field(i).Name)
+			}
+		}
+	}
+	if got := len(statsCounterSpec) + len(statsDurationSpec); got != numeric {
+		t.Fatalf("metric table has %d entries, Stats has %d counter fields", got, numeric)
 	}
 	// Each table entry must address a distinct field.
 	var probe Stats
@@ -87,16 +133,16 @@ func TestPublishStatsRoundTrip(t *testing.T) {
 	reg := obs.New()
 	publishStats(reg, &src)
 	got := StatsFromSnapshot(reg.Snapshot())
-	if got != src {
-		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, src)
+	if !statsEqual(got, counterPart(src)) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, counterPart(src))
 	}
 	// publishStats accumulates: a second publish doubles every counter.
 	publishStats(reg, &src)
 	got = StatsFromSnapshot(reg.Snapshot())
-	want := src
+	want := counterPart(src)
 	want.add(&src)
-	if got != want {
-		t.Fatalf("second publish should accumulate:\n got %+v\nwant %+v", got, want)
+	if !statsEqual(got, counterPart(want)) {
+		t.Fatalf("second publish should accumulate:\n got %+v\nwant %+v", got, counterPart(want))
 	}
 }
 
@@ -121,8 +167,8 @@ func TestJoinStatsMatchRegistry(t *testing.T) {
 		from := StatsFromSnapshot(snap)
 		// Durations are re-measured per field; counters must match exactly.
 		from.PruneTime, from.VerifyTime = st.PruneTime, st.VerifyTime
-		if from != st {
-			t.Errorf("mode %v: snapshot stats diverge:\n got %+v\nwant %+v", mode, from, st)
+		if !statsEqual(from, counterPart(st)) {
+			t.Errorf("mode %v: snapshot stats diverge:\n got %+v\nwant %+v", mode, from, counterPart(st))
 		}
 		c := snap.Counters
 		if got := c["filter_css_pruned_total"]; got != st.CSSPruned {
@@ -169,8 +215,8 @@ func TestJoinIndexedPublishesStats(t *testing.T) {
 	}
 	from := StatsFromSnapshot(reg.Snapshot())
 	from.PruneTime, from.VerifyTime = st.PruneTime, st.VerifyTime
-	if from != st {
-		t.Fatalf("snapshot stats diverge:\n got %+v\nwant %+v", from, st)
+	if !statsEqual(from, counterPart(st)) {
+		t.Fatalf("snapshot stats diverge:\n got %+v\nwant %+v", from, counterPart(st))
 	}
 	if st.IndexSkipped == 0 {
 		t.Log("note: prescreens skipped nothing on this workload")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -9,16 +10,36 @@ import (
 	"simjoin/internal/ugraph"
 )
 
-// sampleVerify estimates SimPτ(q, g) by Monte Carlo when exact possible-world
-// enumeration is out of budget: n worlds are drawn i.i.d. from the per-vertex
-// label distributions (normalised, then rescaled by the graph's total mass),
-// each checked with threshold-bounded GED. The pair is accepted when the
-// estimate clears α by the Hoeffding margin ε = sqrt(ln(1/δ) / (2n)) with
-// δ = 0.01, rejected when it falls below α by the same margin, and treated
-// as undecidable (skipped, like the exhausted-budget case) in between.
+// sampleOutcome reports how the Monte Carlo rung ended.
+type sampleOutcome int
+
+const (
+	sampleDecided   sampleOutcome = iota // estimate cleared α by the margin
+	sampleUndecided                      // estimate inside the margin
+	sampleDeadline                       // the pair's soft deadline expired
+	sampleCancelled                      // the whole join was cancelled
+)
+
+// sampleVerify estimates SimPτ(q, g) by Monte Carlo — the verdict ladder's
+// middle rung, used when exact possible-world enumeration is out of budget:
+// n worlds are drawn i.i.d. from the per-vertex label distributions
+// (normalised, then rescaled by the graph's total mass), each checked with
+// threshold-bounded GED. The pair is accepted when the estimate clears α by
+// the Hoeffding margin ε = sqrt(ln(1/δ) / (2n)) with δ = 0.01, rejected when
+// it falls below α by the same margin, and reported undecided in between
+// (the ladder falls through to the approximate rung). A decided pair carries
+// the cleared margin in Pair.CI.
 //
 // The estimator is deterministic: the RNG is seeded from the pair indices.
-func sampleVerify(pi *pairIn, opts *Options, st *rec) (Pair, bool) {
+func sampleVerify(pairCtx, joinCtx context.Context, pi *pairIn, opts *Options, st *rec) (Pair, bool, sampleOutcome) {
+	// Entry check mirrors the in-loop poll: a pair that arrives with its
+	// deadline already spent must not draw a full sample.
+	if pairCtx.Err() != nil {
+		if joinCtx.Err() != nil {
+			return Pair{}, false, sampleCancelled
+		}
+		return Pair{}, false, sampleDeadline
+	}
 	q, g, qi, gi := pi.q, pi.g, pi.qi, pi.gi
 	n := opts.SampleWorlds
 	mass := pi.gs.Mass
@@ -51,6 +72,14 @@ func sampleVerify(pi *pairIn, opts *Options, st *rec) (Pair, bool) {
 	best := Pair{Q: qi, G: gi, Distance: opts.Tau + 1}
 	st.pv.Reset(pi.qs, pi.gs) // sampled worlds share g's structure
 	for i := 0; i < n; i++ {
+		if i%ctxCheckEvery == ctxCheckEvery-1 && pairCtx.Err() != nil {
+			// A partial sample cannot honour the advertised margin; report
+			// why the rung stopped and let the ladder degrade further.
+			if joinCtx.Err() != nil {
+				return Pair{}, false, sampleCancelled
+			}
+			return Pair{}, false, sampleDeadline
+		}
 		for v := 0; v < g.NumVertices(); v++ {
 			r := rng.Float64() * dists[v].sum
 			acc := 0.0
@@ -86,19 +115,18 @@ func sampleVerify(pi *pairIn, opts *Options, st *rec) (Pair, bool) {
 
 	estimate := float64(hits) / float64(n) * mass
 	eps := hoeffdingMargin(n) * mass
-	st.SampledPairs++
 	switch {
 	case estimate-eps >= opts.Alpha:
 		best.SimP = estimate
+		best.CI = eps
 		if !opts.KeepMappings {
 			best.Mapping = nil
 		}
-		return best, true
+		return best, true, sampleDecided
 	case estimate+eps < opts.Alpha:
-		return Pair{}, false
+		return Pair{}, false, sampleDecided
 	default:
-		st.SkippedPairs++ // undecidable at this sample size
-		return Pair{}, false
+		return Pair{}, false, sampleUndecided // inside the margin
 	}
 }
 

@@ -17,10 +17,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
+	"simjoin/internal/fault"
 	"simjoin/internal/filter"
 	"simjoin/internal/ged"
 	"simjoin/internal/graph"
@@ -83,12 +85,32 @@ type Options struct {
 	// refinement in ModeSimJ (filter.TotalProbabilityUpperBound): tighter
 	// pruning for a little extra filter time (ablation A6).
 	TightProbBound bool
-	// SampleWorlds switches pairs whose possible-world count exceeds
-	// MaxWorlds from being skipped to Monte Carlo verification with this
-	// many sampled worlds. Accept/reject decisions carry a Hoeffding
-	// confidence margin (δ=0.01); pairs inside the margin stay skipped.
-	// 0 disables sampling.
+	// SampleWorlds is the Monte Carlo sample size of the verdict ladder's
+	// sampling rung, used when a pair's possible-world count exceeds
+	// MaxWorlds (or exact enumeration aborts on a budget or deadline).
+	// Accept/reject decisions carry a Hoeffding confidence margin (δ=0.01);
+	// pairs inside the margin fall through to the next rung. 0 means the
+	// default of 512; negative disables the sampling rung.
 	SampleWorlds int
+	// Fallback selects how far the verdict ladder degrades over-budget
+	// pairs; the default FallbackFull tries sampling and then approximate
+	// bounds, FallbackNone restores the legacy skip-on-cliff behaviour.
+	Fallback Fallback
+	// ApproxWorlds caps the most-probable worlds the approximate-bound rung
+	// examines (via ugraph.TopWorlds). 0 means the default of 64.
+	ApproxWorlds int
+	// ApproxBeam is the beam width of the ged.Approximate upper bound used
+	// by the approximate rung. 0 means the default of 8.
+	ApproxBeam int
+	// PairDeadline is the soft per-pair time budget: a pair whose exact
+	// enumeration or sampling outlives it degrades to the next ladder rung
+	// (counted in Stats.DeadlineHits). 0 disables per-pair deadlines.
+	PairDeadline time.Duration
+	// Watchdog, when positive, launches a monitor that logs (via Logger) and
+	// counts workers stuck on a single pair for longer than this. It only
+	// observes — the pair keeps running — so it is a diagnostic for hangs
+	// that the soft deadline cannot interrupt (e.g. a wedged GED call).
+	Watchdog time.Duration
 	// KeepMappings records the best-world vertex mapping on every result
 	// pair (needed for template generation; costs one extra exact GED per
 	// result).
@@ -140,6 +162,18 @@ func (o *Options) normalise() error {
 	if o.VerifyMaxStates <= 0 {
 		o.VerifyMaxStates = 4_000_000
 	}
+	switch {
+	case o.SampleWorlds == 0:
+		o.SampleWorlds = 512
+	case o.SampleWorlds < 0:
+		o.SampleWorlds = 0
+	}
+	if o.ApproxWorlds <= 0 {
+		o.ApproxWorlds = 64
+	}
+	if o.ApproxBeam <= 0 {
+		o.ApproxBeam = 8
+	}
 	return nil
 }
 
@@ -151,6 +185,13 @@ type Pair struct {
 	Distance int          // smallest ged(q, pw) among satisfying worlds
 	World    *graph.Graph // a satisfying world achieving Distance
 	Mapping  ged.Mapping  // q -> World vertex mapping (when KeepMappings)
+	// Verdict labels the rung of the verification ladder that decided the
+	// pair, i.e. whether SimP is exact, a sampling estimate, or a certified
+	// lower bound.
+	Verdict Verdict
+	// CI is the Hoeffding confidence half-width a VerdictSampled decision
+	// cleared (in probability-mass units); 0 for other verdicts.
+	CI float64
 }
 
 // Stats aggregates join diagnostics; Fig. 11–14 are printed from it.
@@ -160,12 +201,13 @@ type Stats struct {
 	ProbPruned int64 // pairs removed by Theorem 4 / grouped bounds
 	Candidates int64 // pairs entering verification
 	Results    int64 // pairs reported
-	// SkippedPairs counts pairs whose verification was abandoned: the
-	// MaxWorlds cap blew (or sampling was undecidable at its margin). Such
-	// pairs still count in Candidates — they entered verification — and the
-	// worlds enumerated before the cap stay in WorldsChecked (exactly
-	// MaxWorlds+1 for a capped pair, counting the world that tripped it), so
-	// CSSPruned + ProbPruned + Candidates == Pairs always holds.
+	// SkippedPairs counts pairs that ended VerdictUndecided: every rung of
+	// the verification ladder the Fallback policy allows failed to decide
+	// them (with FallbackNone this is the legacy budget cliff). Such pairs
+	// still count in Candidates — they entered verification — and the worlds
+	// examined before giving up stay in WorldsChecked (exactly MaxWorlds+1
+	// for a capped FallbackNone pair, counting the world that tripped it),
+	// so CSSPruned + ProbPruned + Candidates == Pairs always holds.
 	SkippedPairs int64
 	// WorldsChecked counts every possible world examined during verification,
 	// including the partial enumerations of pairs that ended in SkippedPairs.
@@ -179,7 +221,22 @@ type Stats struct {
 	EarlyAccepts  int64 // verifications stopped early at ≥ α
 	EarlyRejects  int64 // verifications stopped early at < α
 	IndexSkipped  int64 // pairs eliminated by JoinIndexed's prescreens
-	SampledPairs  int64 // pairs decided by Monte Carlo verification
+	SampledPairs  int64 // pairs decided by the Monte Carlo sampling rung
+	ExactPairs    int64 // pairs decided by exact possible-world enumeration
+	ApproxPairs   int64 // pairs decided with approximate-bound assistance
+	// BudgetFallbacks counts pairs that left the exact enumeration path
+	// (MaxWorlds blown, pre-screened as over budget, or deadline expired)
+	// and were handed to the ladder's fallback rungs.
+	BudgetFallbacks int64
+	DeadlineHits    int64 // per-pair soft deadline expiries
+	// QuarantinedPairs counts pairs whose processing panicked; the panics
+	// are contained per pair and documented in Quarantined.
+	QuarantinedPairs int64
+	// Cancelled reports that the run was truncated by context cancellation:
+	// counters cover only the pairs processed before the cut.
+	Cancelled bool
+	// Quarantined holds one record per quarantined pair, sorted by (Q, G).
+	Quarantined []QuarantineRecord
 }
 
 // CandidateRatio returns |candidates| / (|D|·|U|), the y-axis of
@@ -217,6 +274,13 @@ func (s *Stats) add(o *Stats) {
 	s.EarlyRejects += o.EarlyRejects
 	s.IndexSkipped += o.IndexSkipped
 	s.SampledPairs += o.SampledPairs
+	s.ExactPairs += o.ExactPairs
+	s.ApproxPairs += o.ApproxPairs
+	s.BudgetFallbacks += o.BudgetFallbacks
+	s.DeadlineHits += o.DeadlineHits
+	s.QuarantinedPairs += o.QuarantinedPairs
+	s.Cancelled = s.Cancelled || o.Cancelled
+	s.Quarantined = append(s.Quarantined, o.Quarantined...)
 }
 
 // Join performs the similarity join of Def. 7 between the certain graphs D
@@ -237,6 +301,8 @@ func JoinContext(ctx context.Context, d []*graph.Graph, u []*ugraph.Graph, opts 
 	jo := newJoinObs(&opts)
 	stopProgress := jo.startProgress(&opts, int64(len(d))*int64(len(u)))
 	defer stopProgress()
+	stopWatchdog := jo.startWatchdog(&opts)
+	defer stopWatchdog()
 
 	// Precompute both sides' filter signatures once: every graph participates
 	// in |U| (resp. |D|) pairs, and the signatures carry everything the bounds
@@ -253,20 +319,26 @@ func JoinContext(ctx context.Context, d []*graph.Graph, u []*ugraph.Graph, opts 
 		wg      sync.WaitGroup
 	)
 
-	worker := func() {
+	worker := func(id int) {
 		defer wg.Done()
 		local := rec{jo: jo}
 		var pairs []Pair
+		hook := testPairHook
 		for t := range tasks {
 			if ctx.Err() != nil {
 				continue // cancelled: drain the channel without working
 			}
 			local.Pairs++
 			pi := pairIn{q: d[t.qi], g: u[t.gi], qs: qsigs[t.qi], gs: gsigs[t.gi], qi: t.qi, gi: t.gi}
-			p, ok := joinPair(&pi, &opts, &local)
+			jo.beatStart(id)
+			p, ok := joinPair(ctx, &pi, &opts, &local)
+			jo.beatEnd(id)
 			if ok {
 				pairs = append(pairs, p)
 				local.Results++
+			}
+			if hook != nil {
+				hook(id)
 			}
 			if jo.progress {
 				jo.pairsDone.Add(1)
@@ -280,7 +352,7 @@ func JoinContext(ctx context.Context, d []*graph.Graph, u []*ugraph.Graph, opts 
 
 	wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
-		go worker()
+		go worker(i)
 	}
 feed:
 	for qi := range d {
@@ -294,9 +366,10 @@ feed:
 	}
 	close(tasks)
 	wg.Wait()
-	publishStats(opts.Obs, &total)
+	finishStats(&total, opts.Obs)
 
 	if err := ctx.Err(); err != nil {
+		total.Cancelled = true
 		return nil, total, err
 	}
 	sort.Slice(results, func(i, j int) bool {
@@ -306,6 +379,19 @@ feed:
 		return results[i].G < results[j].G
 	})
 	return results, total, nil
+}
+
+// finishStats orders the quarantine log deterministically and publishes the
+// run's counters to the registry; every join driver calls it once after its
+// workers drain.
+func finishStats(total *Stats, reg *obs.Registry) {
+	sort.Slice(total.Quarantined, func(i, j int) bool {
+		if total.Quarantined[i].Q != total.Quarantined[j].Q {
+			return total.Quarantined[i].Q < total.Quarantined[j].Q
+		}
+		return total.Quarantined[i].G < total.Quarantined[j].G
+	})
+	publishStats(reg, total)
 }
 
 // pairIn bundles one (q, g) pair with its precomputed filter signatures and
@@ -320,7 +406,34 @@ type pairIn struct {
 }
 
 // joinPair runs the filter-and-refine pipeline of Algorithm 1 on one pair.
-func joinPair(pi *pairIn, opts *Options, st *rec) (Pair, bool) {
+//
+// Panics are contained here: a panic anywhere in the pair's pruning or
+// verification quarantines the pair (recorded with its stack in
+// Stats.Quarantined) instead of crashing the join; the worker's scratch
+// buffers are reset at the start of every pair, so reuse after a contained
+// panic is safe. When Options.PairDeadline is set, verification runs under a
+// pair-scoped context deadline.
+func joinPair(ctx context.Context, pi *pairIn, opts *Options, st *rec) (p Pair, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.QuarantinedPairs++
+			st.Quarantined = append(st.Quarantined, QuarantineRecord{
+				Q:      pi.qi,
+				G:      pi.gi,
+				Reason: fmt.Sprint(r),
+				Stack:  string(debug.Stack()),
+			})
+			p, ok = Pair{}, false
+		}
+	}()
+	if fault.Enabled() {
+		// "core.pair" faults a whole pair; injected errors become panics so
+		// the quarantine path above is exercised end to end.
+		if err := fault.Hit("core.pair", pairKey(pi.qi, pi.gi)); err != nil {
+			panic(err)
+		}
+	}
+
 	pruneStart := time.Now()
 	groups, pruned := prunephase(pi, opts, st)
 	pruneDur := time.Since(pruneStart)
@@ -335,13 +448,24 @@ func joinPair(pi *pairIn, opts *Options, st *rec) (Pair, bool) {
 		st.jo.candidates.Add(1)
 	}
 
+	pairCtx := ctx
+	if opts.PairDeadline > 0 {
+		var cancel context.CancelFunc
+		pairCtx, cancel = context.WithTimeout(ctx, opts.PairDeadline)
+		defer cancel()
+	}
 	verifyStart := time.Now()
-	p, ok := verify(pi, groups, opts, st)
+	p, ok = verify(pairCtx, ctx, pi, groups, opts, st)
 	verifyDur := time.Since(verifyStart)
 	st.VerifyTime += verifyDur
 	st.jo.verifySeconds.ObserveDuration(verifyDur)
 	st.jo.tr.Record("verify", verifyStart, verifyDur)
 	return p, ok
+}
+
+// pairKey renders the (qi, gi) indices as the failpoint key "qi/gi".
+func pairKey(qi, gi int) string {
+	return fmt.Sprintf("%d/%d", qi, gi)
 }
 
 // prunephase applies the configured filters. It returns the possible-world
@@ -475,17 +599,108 @@ func partitionForQuery(pi *pairIn, k, tau int, st *rec) []ugraph.Group {
 	return pi.g.PartitionWorlds(k, policy)
 }
 
-// verify computes the exact SimPτ(q, g) by enumerating possible worlds
-// (grouped when SimJ+opt kept groups), with a per-world CSS pre-check and —
-// unless disabled — early accept/reject on accumulated mass. The per-world
-// CSS bound runs through the worker's PairVerifier: every world of g (and of
-// its conditioned groups) shares g's structure, so only the λV matching is
-// recomputed per world.
-func verify(pi *pairIn, groups []ugraph.Group, opts *Options, st *rec) (Pair, bool) {
-	q, qi, gi := pi.q, pi.qi, pi.gi
-	if opts.SampleWorlds > 0 && pi.gs.WorldsF > float64(opts.MaxWorlds) {
-		return sampleVerify(pi, opts, st)
+// exactOutcome reports how the exact enumeration rung ended.
+type exactOutcome int
+
+const (
+	exactDecided   exactOutcome = iota // accept/reject settled within budget
+	exactBudget                        // MaxWorlds blown (or a budget fault injected)
+	exactDeadline                      // the pair's soft deadline expired
+	exactCancelled                     // the whole join was cancelled
+)
+
+// ctxCheckEvery is how many worlds (resp. samples) the verification rungs
+// enumerate between context polls; one Err() call per 64 worlds keeps the
+// soft-deadline overhead invisible next to a GED computation.
+const ctxCheckEvery = 64
+
+// verify decides SimPτ(q, g) ≥ α through the verdict ladder:
+//
+//  1. Exact possible-world enumeration (grouped when SimJ+opt kept groups),
+//     with per-world CSS pre-checks and early accept/reject on accumulated
+//     mass — unless the world count is already over MaxWorlds and a fallback
+//     exists, in which case the rung is skipped outright.
+//  2. Monte Carlo sampling (sampleVerify) when rung 1 ran out of worlds,
+//     states or time.
+//  3. Approximate bounds over the most probable worlds (approxVerify), under
+//     FallbackFull only.
+//
+// Pairs no rung decides are counted in Stats.SkippedPairs (VerdictUndecided).
+// pairCtx carries the per-pair soft deadline, joinCtx the join-wide
+// cancellation; the distinction decides whether an interrupted rung degrades
+// (deadline) or aborts (cancelled).
+func verify(pairCtx, joinCtx context.Context, pi *pairIn, groups []ugraph.Group, opts *Options, st *rec) (Pair, bool) {
+	canFallback := opts.Fallback != FallbackNone
+	overBudget := pi.gs.WorldsF > float64(opts.MaxWorlds)
+	if canFallback && opts.SampleWorlds > 0 && overBudget {
+		// The world count alone proves exact enumeration cannot finish;
+		// skip straight to the sampling rung.
+		st.BudgetFallbacks++
+	} else {
+		p, ok, out, assisted := verifyExact(pairCtx, joinCtx, pi, groups, opts, st)
+		switch out {
+		case exactDecided:
+			if assisted {
+				st.ApproxPairs++
+				p.Verdict = VerdictApproxBound
+			} else {
+				st.ExactPairs++
+				p.Verdict = VerdictExact
+			}
+			return p, ok
+		case exactCancelled:
+			st.SkippedPairs++
+			return Pair{}, false
+		case exactDeadline:
+			st.DeadlineHits++
+			st.BudgetFallbacks++
+		case exactBudget:
+			st.BudgetFallbacks++
+		}
+		if !canFallback {
+			st.SkippedPairs++ // legacy cliff: over budget means skipped
+			return Pair{}, false
+		}
 	}
+	if opts.SampleWorlds > 0 {
+		p, ok, out := sampleVerify(pairCtx, joinCtx, pi, opts, st)
+		switch out {
+		case sampleDecided:
+			st.SampledPairs++
+			p.Verdict = VerdictSampled
+			return p, ok
+		case sampleCancelled:
+			st.SkippedPairs++
+			return Pair{}, false
+		case sampleDeadline:
+			st.DeadlineHits++
+		}
+		// sampleUndecided / sampleDeadline: fall through to the last rung.
+	}
+	if opts.Fallback == FallbackFull {
+		// The approximate rung is cheap and strictly bounded, so it runs even
+		// after a deadline hit: better a late certified bound than no verdict.
+		if p, ok, decided := approxVerify(pi, opts, st); decided {
+			st.ApproxPairs++
+			return p, ok
+		}
+	}
+	st.SkippedPairs++
+	return Pair{}, false
+}
+
+// verifyExact computes the exact SimPτ(q, g) by enumerating possible worlds,
+// with a per-world CSS pre-check and — unless disabled — early accept/reject
+// on the accumulated probability mass. The per-world CSS bound runs through
+// the worker's PairVerifier: every world of g (and of its conditioned groups)
+// shares g's structure, so only the λV matching is recomputed per world.
+//
+// assisted reports that at least one world's exact GED exhausted
+// VerifyMaxStates and the decision leaned on the beam-search upper bound
+// instead (under FallbackFull) or on treating the world as dissimilar
+// (legacy): either way the verdict is no longer exact.
+func verifyExact(pairCtx, joinCtx context.Context, pi *pairIn, groups []ugraph.Group, opts *Options, st *rec) (Pair, bool, exactOutcome, bool) {
+	q, qi, gi := pi.q, pi.qi, pi.gi
 	if groups == nil {
 		groups = []ugraph.Group{{G: pi.g, Mass: pi.gs.Mass}}
 	}
@@ -497,17 +712,32 @@ func verify(pi *pairIn, groups []ugraph.Group, opts *Options, st *rec) (Pair, bo
 		totalMass += gr.Mass
 	}
 	worldBudget := opts.MaxWorlds
+	faultKey := ""
+	if fault.Enabled() {
+		faultKey = pairKey(qi, gi)
+	}
 
 	simP := 0.0
 	remaining := totalMass
 	best := Pair{Q: qi, G: gi, Distance: opts.Tau + 1}
+	outcome := exactDecided
 	decided := false
 	accepted := false
+	assisted := false
 	pairWorlds := int64(0)
+
+	// The context is polled every ctxCheckEvery worlds, so short enumerations
+	// would outrun an already-expired deadline without this entry check.
+	if pairCtx.Err() != nil {
+		if joinCtx.Err() != nil {
+			return Pair{}, false, exactCancelled, false
+		}
+		return Pair{}, false, exactDeadline, false
+	}
 
 	st.pv.Reset(pi.qs, pi.gs)
 	for _, gr := range groups {
-		if decided {
+		if decided || outcome != exactDecided {
 			break
 		}
 		gr.G.WorldsScratch(&st.ws, func(w *graph.Graph, p float64) bool {
@@ -515,10 +745,24 @@ func verify(pi *pairIn, groups []ugraph.Group, opts *Options, st *rec) (Pair, bo
 			pairWorlds++
 			worldBudget--
 			if worldBudget < 0 {
-				st.SkippedPairs++
-				decided = true
-				accepted = false
+				outcome = exactBudget
 				return false
+			}
+			if pairWorlds%ctxCheckEvery == 0 && pairCtx.Err() != nil {
+				if joinCtx.Err() != nil {
+					outcome = exactCancelled
+				} else {
+					outcome = exactDeadline
+				}
+				return false
+			}
+			if faultKey != "" {
+				// "core.verify.world" simulates a mid-enumeration budget
+				// cliff: any injection here aborts the rung as over budget.
+				if err := fault.Hit("core.verify.world", faultKey); err != nil {
+					outcome = exactBudget
+					return false
+				}
 			}
 			remaining -= p
 			if st.pv.WorldLowerBound(w) <= opts.Tau {
@@ -526,7 +770,21 @@ func verify(pi *pairIn, groups []ugraph.Group, opts *Options, st *rec) (Pair, bo
 				res, err := ged.Compute(q, w, ged.Options{Threshold: opts.Tau, MaxStates: opts.VerifyMaxStates, Metrics: st.jo.gedM})
 				switch {
 				case err != nil:
-					st.GEDBudgetHits++ // treated as dissimilar, recorded
+					st.GEDBudgetHits++
+					assisted = true
+					if opts.Fallback == FallbackFull {
+						// Rescue the world with the beam-search upper bound:
+						// d ≤ τ still proves it similar, keeping the accept
+						// side sound where the legacy path undercounted.
+						if d, m := ged.Approximate(q, w, opts.ApproxBeam); d <= opts.Tau {
+							simP += p
+							if d < best.Distance {
+								best.Distance = d
+								best.World = w.Clone()
+								best.Mapping = m
+							}
+						}
+					}
 				case !res.Exceeded:
 					simP += p
 					if res.Distance < best.Distance {
@@ -553,15 +811,18 @@ func verify(pi *pairIn, groups []ugraph.Group, opts *Options, st *rec) (Pair, bo
 	}
 
 	st.jo.worldsPerPair.Observe(float64(pairWorlds))
+	if outcome != exactDecided {
+		return Pair{}, false, outcome, assisted
+	}
 	if !decided {
 		accepted = simP >= opts.Alpha
 	}
 	if !accepted {
-		return Pair{}, false
+		return Pair{}, false, exactDecided, assisted
 	}
 	best.SimP = simP
 	if !opts.KeepMappings {
 		best.Mapping = nil
 	}
-	return best, true
+	return best, true, exactDecided, assisted
 }

@@ -300,7 +300,7 @@ func TestOptionValidation(t *testing.T) {
 }
 
 func TestMaxWorldsSkips(t *testing.T) {
-	// An uncertain graph with 3^6 worlds and a 1-world budget must be skipped.
+	// An uncertain graph with 3^6 worlds against a 1-world budget.
 	g := ugraph.New(6)
 	for i := 0; i < 6; i++ {
 		g.AddVertex(
@@ -311,14 +311,34 @@ func TestMaxWorldsSkips(t *testing.T) {
 	}
 	q := graph.New(1)
 	q.AddVertex("A")
-	_, st, err := Join([]*graph.Graph{q}, []*ugraph.Graph{g},
-		Options{Tau: 10, Alpha: 0.01, Mode: ModeCSSOnly, Workers: 1, MaxWorlds: 1, DisableEarlyExit: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st.SkippedPairs != 1 {
-		t.Errorf("SkippedPairs = %d, want 1", st.SkippedPairs)
-	}
+	base := Options{Tau: 10, Alpha: 0.01, Mode: ModeCSSOnly, Workers: 1, MaxWorlds: 1, DisableEarlyExit: true}
+
+	t.Run("legacy cliff", func(t *testing.T) {
+		// FallbackNone restores the pre-ladder behaviour: over budget → skip.
+		opts := base
+		opts.Fallback = FallbackNone
+		_, st, err := Join([]*graph.Graph{q}, []*ugraph.Graph{g}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.SkippedPairs != 1 {
+			t.Errorf("SkippedPairs = %d, want 1", st.SkippedPairs)
+		}
+	})
+	t.Run("ladder decides", func(t *testing.T) {
+		// Every world is within tau=10 of the single-vertex query, so the
+		// default sampling fallback must accept instead of skipping.
+		pairs, st, err := Join([]*graph.Graph{q}, []*ugraph.Graph{g}, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.SkippedPairs != 0 || st.BudgetFallbacks != 1 || st.SampledPairs != 1 {
+			t.Errorf("ladder stats: %+v", st)
+		}
+		if len(pairs) != 1 || pairs[0].Verdict != VerdictSampled || pairs[0].CI <= 0 {
+			t.Errorf("pairs = %+v, want one VerdictSampled result with CI", pairs)
+		}
+	})
 }
 
 func TestEmptyInputs(t *testing.T) {

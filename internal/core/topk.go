@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -29,6 +30,8 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 	jo := newJoinObs(&opts)
 	stopProgress := jo.startProgress(&opts, int64(len(d))*int64(len(u)))
 	defer stopProgress()
+	stopWatchdog := jo.startWatchdog(&opts)
+	defer stopWatchdog()
 
 	qsigs := filter.NewQSigs(d)
 	gsigs := filter.NewGSigs(u)
@@ -39,8 +42,9 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 		total Stats
 		wg    sync.WaitGroup
 	)
+	ctx := context.Background()
 	tasks := make(chan int, 64)
-	worker := func() {
+	worker := func(id int) {
 		defer wg.Done()
 		local := rec{jo: jo}
 		for gi := range tasks {
@@ -48,7 +52,9 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 			for qi := range d {
 				local.Pairs++
 				pi := pairIn{q: d[qi], g: u[gi], qs: qsigs[qi], gs: gsigs[gi], qi: qi, gi: gi}
-				p, ok := joinPair(&pi, &opts, &local)
+				jo.beatStart(id)
+				p, ok := joinPair(ctx, &pi, &opts, &local)
+				jo.beatEnd(id)
 				if jo.progress {
 					jo.pairsDone.Add(1)
 				}
@@ -69,14 +75,14 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 
 	wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
-		go worker()
+		go worker(i)
 	}
 	for gi := range u {
 		tasks <- gi
 	}
 	close(tasks)
 	wg.Wait()
-	publishStats(opts.Obs, &total)
+	finishStats(&total, opts.Obs)
 	return perQuestion, total, nil
 }
 

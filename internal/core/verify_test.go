@@ -75,10 +75,11 @@ func TestVerifyMaxStatesBudgetCounted(t *testing.T) {
 }
 
 func TestSkippedPairsAccounting(t *testing.T) {
-	// A pair whose world count blows MaxWorlds still counts as a candidate
-	// (it entered verification), lands in SkippedPairs instead of Results,
-	// and keeps its partial enumeration in WorldsChecked: exactly
-	// MaxWorlds+1 worlds, counting the one that tripped the cap.
+	// Under FallbackNone (the legacy cliff) a pair whose world count blows
+	// MaxWorlds still counts as a candidate (it entered verification), lands
+	// in SkippedPairs instead of Results, and keeps its partial enumeration
+	// in WorldsChecked: exactly MaxWorlds+1 worlds, counting the one that
+	// tripped the cap.
 	q := graph.New(2)
 	q.AddVertex("A")
 	q.AddVertex("B")
@@ -89,7 +90,7 @@ func TestSkippedPairsAccounting(t *testing.T) {
 	g.MustAddEdge(0, 1, "p")
 
 	_, st, err := Join([]*graph.Graph{q}, []*ugraph.Graph{g},
-		Options{Tau: 2, Alpha: 0.9, Mode: ModeCSSOnly, Workers: 1, MaxWorlds: 1})
+		Options{Tau: 2, Alpha: 0.9, Mode: ModeCSSOnly, Workers: 1, MaxWorlds: 1, Fallback: FallbackNone})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,6 +105,9 @@ func TestSkippedPairsAccounting(t *testing.T) {
 	}
 	if st.Results != 0 {
 		t.Fatalf("skipped pair reported as result: %+v", st)
+	}
+	if st.BudgetFallbacks != 1 {
+		t.Fatalf("cliff not counted as budget fallback: %+v", st)
 	}
 }
 

@@ -1,0 +1,341 @@
+// Package fault provides named failpoints for fault-injection testing of the
+// SimJ pipeline. A failpoint is a named hook compiled into production code
+// (GED compute, possible-world enumeration, the SPARQL executor, the join's
+// per-pair entry) that normally does nothing: when no failpoint is armed,
+// Hit costs a single atomic pointer load. Tests — or an operator via the
+// SIMJOIN_FAILPOINTS environment variable or the simjoin -failpoints flag —
+// arm failpoints to inject panics, errors, delays, or budget exhaustion at
+// precise places, optionally scoped to one activation key (e.g. one join
+// pair) and capped to a firing count.
+//
+// Spec grammar (one failpoint):
+//
+//	name=kind[:delay][@key][#count]
+//
+//	kind   panic | error | budget | delay (delay requires :duration)
+//	@key   fire only when the call site's key matches exactly (e.g. @3/7
+//	       for join pair q=3, g=2; most sites pass an empty key)
+//	#count fire at most count times, then stay armed but inert
+//
+// Several specs are combined with commas:
+//
+//	SIMJOIN_FAILPOINTS="ged.compute=error#2,core.pair=panic@3/7"
+//
+// The catalog of wired failpoints is documented in DESIGN.md ("Robustness
+// architecture"); package core's fault-injection tests drive every one.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the effect an armed failpoint has when hit.
+type Kind int
+
+const (
+	// KindError makes Hit return an error wrapping ErrInjected.
+	KindError Kind = iota
+	// KindPanic makes Hit panic with a Panic value.
+	KindPanic
+	// KindDelay makes Hit sleep for the configured duration, then succeed.
+	KindDelay
+	// KindBudget makes Hit return an error wrapping ErrBudget; call sites
+	// treat it exactly like their own budget cliff (A* state budget, world
+	// budget), which is how the verdict-ladder fallbacks are tested.
+	KindBudget
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	case KindBudget:
+		return "budget"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the base error returned by error-kind failpoints.
+var ErrInjected = errors.New("fault: injected error")
+
+// ErrBudget is the base error returned by budget-kind failpoints; call sites
+// map it onto their own budget-exhaustion path.
+var ErrBudget = errors.New("fault: injected budget exhaustion")
+
+// Panic is the value panic-kind failpoints panic with, so recover sites can
+// recognise injected panics in quarantine records.
+type Panic struct{ Name string }
+
+// Error makes Panic usable as an error when recovered and wrapped.
+func (p Panic) Error() string { return fmt.Sprintf("fault: injected panic at %s", p.Name) }
+
+// point is one armed failpoint.
+type point struct {
+	name      string
+	kind      Kind
+	delay     time.Duration
+	key       string       // fire only on this key; "" fires on any
+	remaining atomic.Int64 // firings left; negative means unlimited
+	hits      atomic.Int64
+}
+
+// registry holds the armed failpoints, copy-on-write: Hit loads the map
+// without locking; Enable/Disable/Reset swap in a rebuilt copy under mu.
+var (
+	mu       sync.Mutex
+	registry atomic.Pointer[map[string]*point]
+)
+
+// EnvVar names the environment variable read at package initialisation.
+const EnvVar = "SIMJOIN_FAILPOINTS"
+
+func init() {
+	if spec := os.Getenv(EnvVar); spec != "" {
+		if err := EnableAll(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "fault: ignoring invalid %s: %v\n", EnvVar, err)
+		}
+	}
+}
+
+// Enabled reports whether any failpoint is armed. Call sites use it to skip
+// building activation keys on the hot path.
+func Enabled() bool { return registry.Load() != nil }
+
+// Hit triggers the named failpoint, if armed and matching key:
+// panic-kind panics, delay-kind sleeps and returns nil, error- and
+// budget-kind return an error wrapping ErrInjected or ErrBudget. With
+// nothing armed it returns nil after one atomic load.
+func Hit(name, key string) error {
+	m := registry.Load()
+	if m == nil {
+		return nil
+	}
+	pt := (*m)[name]
+	if pt == nil || (pt.key != "" && pt.key != key) {
+		return nil
+	}
+	// Consume one firing unless unlimited.
+	for {
+		r := pt.remaining.Load()
+		if r == 0 {
+			return nil // count exhausted: armed but inert
+		}
+		if r < 0 || pt.remaining.CompareAndSwap(r, r-1) {
+			break
+		}
+	}
+	pt.hits.Add(1)
+	switch pt.kind {
+	case KindPanic:
+		panic(Panic{Name: name})
+	case KindDelay:
+		time.Sleep(pt.delay)
+		return nil
+	case KindBudget:
+		return fmt.Errorf("%w (failpoint %s)", ErrBudget, name)
+	default:
+		return fmt.Errorf("%w (failpoint %s)", ErrInjected, name)
+	}
+}
+
+// MustHit is Hit for call sites without an error return (e.g. possible-world
+// enumeration): injected errors escalate to panics, which the join's per-pair
+// quarantine contains.
+func MustHit(name, key string) {
+	if err := Hit(name, key); err != nil {
+		panic(Panic{Name: name})
+	}
+}
+
+// Enable arms one failpoint from a spec (see the package comment for the
+// grammar). Re-enabling a name replaces its previous configuration.
+func Enable(spec string) error {
+	pt, err := parseSpec(spec)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	next := copyRegistry()
+	next[pt.name] = pt
+	registry.Store(&next)
+	return nil
+}
+
+// EnableAll arms every failpoint in a comma-separated spec list.
+func EnableAll(specs string) error {
+	for _, s := range strings.Split(specs, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if err := Enable(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Disable disarms the named failpoint; unknown names are a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	cur := registry.Load()
+	if cur == nil || (*cur)[name] == nil {
+		return
+	}
+	next := copyRegistry()
+	delete(next, name)
+	if len(next) == 0 {
+		registry.Store(nil)
+		return
+	}
+	registry.Store(&next)
+}
+
+// Reset disarms every failpoint.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	registry.Store(nil)
+}
+
+// Hits returns how many times the named failpoint has fired since it was
+// armed (0 for unknown names).
+func Hits(name string) int64 {
+	m := registry.Load()
+	if m == nil {
+		return 0
+	}
+	pt := (*m)[name]
+	if pt == nil {
+		return 0
+	}
+	return pt.hits.Load()
+}
+
+// Status describes one armed failpoint for introspection.
+type Status struct {
+	Name      string
+	Kind      Kind
+	Delay     time.Duration
+	Key       string
+	Remaining int64 // negative means unlimited
+	Hits      int64
+}
+
+// Active lists the armed failpoints sorted by name.
+func Active() []Status {
+	m := registry.Load()
+	if m == nil {
+		return nil
+	}
+	out := make([]Status, 0, len(*m))
+	for _, pt := range *m {
+		out = append(out, Status{
+			Name:      pt.name,
+			Kind:      pt.kind,
+			Delay:     pt.delay,
+			Key:       pt.key,
+			Remaining: pt.remaining.Load(),
+			Hits:      pt.hits.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// copyRegistry returns a mutable copy of the current registry map; callers
+// must hold mu.
+func copyRegistry() map[string]*point {
+	next := make(map[string]*point)
+	if cur := registry.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	return next
+}
+
+// parseSpec parses "name=kind[:delay][@key][#count]".
+func parseSpec(spec string) (*point, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return nil, fmt.Errorf("fault: spec %q is not name=kind[...]", spec)
+	}
+	pt := &point{name: name}
+	pt.remaining.Store(-1)
+	if rest, ok = cutSuffix(rest, "#", func(v string) error {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 1 {
+			return fmt.Errorf("fault: spec %q has invalid count %q", spec, v)
+		}
+		pt.remaining.Store(n)
+		return nil
+	}); !ok {
+		return nil, fmt.Errorf("fault: spec %q has invalid count", spec)
+	}
+	if rest, ok = cutSuffix(rest, "@", func(v string) error {
+		if v == "" {
+			return fmt.Errorf("fault: spec %q has empty key", spec)
+		}
+		pt.key = v
+		return nil
+	}); !ok {
+		return nil, fmt.Errorf("fault: spec %q has invalid key", spec)
+	}
+	kind, arg, hasArg := strings.Cut(rest, ":")
+	switch kind {
+	case "error":
+		pt.kind = KindError
+	case "panic":
+		pt.kind = KindPanic
+	case "budget":
+		pt.kind = KindBudget
+	case "delay":
+		pt.kind = KindDelay
+		if !hasArg {
+			return nil, fmt.Errorf("fault: spec %q needs delay:<duration>", spec)
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("fault: spec %q has invalid duration %q", spec, arg)
+		}
+		pt.delay = d
+		hasArg = false
+	default:
+		return nil, fmt.Errorf("fault: spec %q has unknown kind %q", spec, kind)
+	}
+	if hasArg {
+		return nil, fmt.Errorf("fault: kind %q takes no argument in spec %q", kind, spec)
+	}
+	return pt, nil
+}
+
+// cutSuffix splits rest at the last sep and feeds the suffix to parse; it
+// returns rest unchanged when sep is absent. The boolean is false when parse
+// rejected the suffix.
+func cutSuffix(rest, sep string, parse func(string) error) (string, bool) {
+	i := strings.LastIndex(rest, sep)
+	if i < 0 {
+		return rest, true
+	}
+	if err := parse(rest[i+1:]); err != nil {
+		return rest, false
+	}
+	return rest[:i], true
+}

@@ -1,0 +1,197 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// arm resets the registry around a test.
+func arm(t *testing.T, specs string) {
+	t.Helper()
+	Reset()
+	t.Cleanup(Reset)
+	if err := EnableAll(specs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisabledHitIsNil(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled with empty registry")
+	}
+	if err := Hit("anything", ""); err != nil {
+		t.Fatalf("disabled Hit returned %v", err)
+	}
+}
+
+func TestErrorKind(t *testing.T) {
+	arm(t, "p=error")
+	err := Hit("p", "")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if Hits("p") != 1 {
+		t.Fatalf("Hits = %d, want 1", Hits("p"))
+	}
+	if err := Hit("other", ""); err != nil {
+		t.Fatalf("unarmed name fired: %v", err)
+	}
+}
+
+func TestBudgetKind(t *testing.T) {
+	arm(t, "p=budget")
+	err := Hit("p", "")
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if errors.Is(err, ErrInjected) {
+		t.Fatal("budget error must not be ErrInjected")
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	arm(t, "p=panic")
+	defer func() {
+		r := recover()
+		pv, ok := r.(Panic)
+		if !ok || pv.Name != "p" {
+			t.Fatalf("recovered %v, want Panic{p}", r)
+		}
+	}()
+	_ = Hit("p", "")
+	t.Fatal("panic kind did not panic")
+}
+
+func TestMustHitEscalatesErrors(t *testing.T) {
+	arm(t, "p=error")
+	defer func() {
+		if _, ok := recover().(Panic); !ok {
+			t.Fatal("MustHit did not escalate the injected error to a panic")
+		}
+	}()
+	MustHit("p", "")
+	t.Fatal("unreachable")
+}
+
+func TestDelayKind(t *testing.T) {
+	arm(t, "p=delay:30ms")
+	start := time.Now()
+	if err := Hit("p", ""); err != nil {
+		t.Fatalf("delay returned %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay slept only %v", d)
+	}
+}
+
+func TestKeyScoping(t *testing.T) {
+	arm(t, "p=error@3/7")
+	if err := Hit("p", "0/0"); err != nil {
+		t.Fatalf("wrong key fired: %v", err)
+	}
+	if err := Hit("p", ""); err != nil {
+		t.Fatalf("empty key fired: %v", err)
+	}
+	if err := Hit("p", "3/7"); err == nil {
+		t.Fatal("matching key did not fire")
+	}
+}
+
+func TestCountCap(t *testing.T) {
+	arm(t, "p=error#2")
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if Hit("p", "") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+	if Hits("p") != 2 {
+		t.Fatalf("Hits = %d, want 2", Hits("p"))
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	arm(t, "a=error,b=error")
+	Disable("a")
+	if Hit("a", "") != nil {
+		t.Fatal("disabled failpoint fired")
+	}
+	if Hit("b", "") == nil {
+		t.Fatal("sibling failpoint disarmed by Disable")
+	}
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled after Reset")
+	}
+}
+
+func TestActiveStatus(t *testing.T) {
+	arm(t, "b=delay:1ms#3,a=panic@k")
+	_ = Hit("b", "")
+	st := Active()
+	if len(st) != 2 || st[0].Name != "a" || st[1].Name != "b" {
+		t.Fatalf("Active = %+v", st)
+	}
+	if st[0].Kind != KindPanic || st[0].Key != "k" || st[0].Remaining != -1 {
+		t.Fatalf("a status = %+v", st[0])
+	}
+	if st[1].Kind != KindDelay || st[1].Delay != time.Millisecond || st[1].Remaining != 2 || st[1].Hits != 1 {
+		t.Fatalf("b status = %+v", st[1])
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"noequals",
+		"=error",
+		"p=unknown",
+		"p=delay",
+		"p=delay:notadur",
+		"p=error:arg",
+		"p=error#0",
+		"p=error#x",
+		"p=error@",
+	} {
+		if err := Enable(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestConcurrentHitAndToggle runs Hit against Enable/Disable churn; under
+// -race this guards the copy-on-write registry discipline.
+func TestConcurrentHitAndToggle(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = Hit("p", "k")
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if err := Enable("p=error#5"); err != nil {
+			t.Error(err)
+			break
+		}
+		Disable("p")
+	}
+	close(stop)
+	wg.Wait()
+}

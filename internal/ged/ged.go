@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"simjoin/internal/fault"
 	"simjoin/internal/graph"
 )
 
@@ -177,7 +178,15 @@ func (h *stateHeap) Pop() interface{} {
 }
 
 // Compute runs the A* search with the given options.
+//
+// The "ged.compute" failpoint fires at entry: error- and budget-kind
+// injections surface as the returned error (callers already treat any
+// Compute error as a budget exhaustion), panics propagate to the caller's
+// containment layer.
 func Compute(g1, g2 *graph.Graph, opts Options) (Result, error) {
+	if err := fault.Hit("ged.compute", ""); err != nil {
+		return Result{}, err
+	}
 	if opts.Metrics != nil {
 		start := time.Now()
 		res, err := compute(g1, g2, opts)

@@ -5,9 +5,9 @@ import (
 	"testing"
 )
 
-// FuzzReadNTriples checks the reader never panics and that accepted input
+// FuzzParseTriples checks the reader never panics and that accepted input
 // round-trips through WriteNTriples.
-func FuzzReadNTriples(f *testing.F) {
+func FuzzParseTriples(f *testing.F) {
 	seeds := []string{
 		"",
 		"<a> <b> <c> .",

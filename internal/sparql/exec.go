@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"simjoin/internal/fault"
 	"simjoin/internal/rdf"
 )
 
@@ -24,6 +25,12 @@ func (b Binding) clone() Binding {
 // (all variables for SELECT *). Solutions are returned in deterministic
 // order. MaxSolutions caps the result size; 0 means unlimited.
 func Execute(st *rdf.Store, q *Query, maxSolutions int) ([]Binding, error) {
+	// "sparql.execute" covers every QA engine path (the reference executor
+	// backs both the template system's verified instantiation and the
+	// baselines' direct translations).
+	if err := fault.Hit("sparql.execute", ""); err != nil {
+		return nil, err
+	}
 	if len(q.Patterns) == 0 {
 		return nil, fmt.Errorf("sparql: query has no patterns")
 	}

@@ -2,10 +2,10 @@ package sparql
 
 import "testing"
 
-// FuzzParse exercises the parser with hostile inputs; without -fuzz the seed
+// FuzzParseQuery exercises the parser with hostile inputs; without -fuzz the seed
 // corpus runs as regular tests. Invariants: no panic, and anything that
 // parses must re-parse from its own String() to an equivalent query.
-func FuzzParse(f *testing.F) {
+func FuzzParseQuery(f *testing.F) {
 	seeds := []string{
 		"",
 		"SELECT",

@@ -36,6 +36,12 @@ func (t Term) String() string {
 	case Literal:
 		return `"` + t.Value + `"`
 	default:
+		// A local name holding tokenizer delimiters (possible when it was
+		// written <bracketed>) must render bracketed again or it would
+		// re-tokenize as several terms.
+		if strings.ContainsAny(t.Value, " \t\n\r{}.\"<") {
+			return "<" + t.Value + ">"
+		}
 		return t.Value
 	}
 }
@@ -148,6 +154,9 @@ func tokenize(input string) ([]token, error) {
 			end := strings.IndexByte(input[i:], '>')
 			if end < 0 {
 				return nil, fmt.Errorf("sparql: unterminated IRI at offset %d", i)
+			}
+			if end == 1 {
+				return nil, fmt.Errorf("sparql: empty IRI at offset %d", i)
 			}
 			toks = append(toks, token{text: input[i+1 : i+end]})
 			i += end + 1

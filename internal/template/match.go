@@ -267,6 +267,20 @@ func uncoveredRelationArgs(question string, lex *linker.Lexicon, tmplHas map[str
 // is the practical advantage a full template gives over committing to
 // maximum-confidence linking up front.
 func (m Match) InstantiateVerified(lex *linker.Lexicon, kb *rdf.Store, maxTries int) (*sparql.Query, []sparql.Binding, error) {
+	return m.InstantiateVerifiedWith(lex, func(q *sparql.Query) ([]sparql.Binding, error) {
+		return sparql.Execute(kb, q, 0)
+	}, maxTries)
+}
+
+// Executor runs one instantiated candidate query during verified
+// instantiation. A failing candidate is skipped, not fatal: verification
+// moves on to the next combination.
+type Executor func(q *sparql.Query) ([]sparql.Binding, error)
+
+// InstantiateVerifiedWith is InstantiateVerified over an arbitrary query
+// executor, so callers can route candidate verification through a different
+// engine (or one wrapped with deadlines and fault containment).
+func (m Match) InstantiateVerifiedWith(lex *linker.Lexicon, exec Executor, maxTries int) (*sparql.Query, []sparql.Binding, error) {
 	t := m.Template
 	if maxTries <= 0 {
 		maxTries = 8
@@ -345,7 +359,7 @@ func (m Match) InstantiateVerified(lex *linker.Lexicon, kb *rdf.Store, maxTries 
 	var firstRes []sparql.Binding
 	for i, c := range combos {
 		q := build(c.idx)
-		res, err := sparql.Execute(kb, q, 0)
+		res, err := exec(q)
 		if err != nil {
 			continue
 		}

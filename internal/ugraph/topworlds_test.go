@@ -1,0 +1,124 @@
+package ugraph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"simjoin/internal/graph"
+)
+
+// worldKey renders a world's label assignment for set comparison.
+func worldKey(w *graph.Graph) string {
+	s := ""
+	for v := 0; v < w.NumVertices(); v++ {
+		s += w.VertexLabel(v) + "|"
+	}
+	return s
+}
+
+// TestTopWorldsMatchesSortedEnumeration cross-checks TopWorlds against the
+// exhaustive enumeration sorted by probability: same prefix of worlds, same
+// probabilities, non-increasing order.
+func TestTopWorldsMatchesSortedEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		g := randomUncertain(rng, 2+rng.Intn(5), rng.Intn(5), 3)
+		type wp struct {
+			key string
+			p   float64
+		}
+		var all []wp
+		g.Worlds(func(w *graph.Graph, p float64) bool {
+			all = append(all, wp{worldKey(w), p})
+			return true
+		})
+		sort.SliceStable(all, func(i, j int) bool { return all[i].p > all[j].p })
+
+		for _, m := range []int{1, 3, len(all), len(all) + 10} {
+			var got []wp
+			prev := math.Inf(1)
+			g.TopWorlds(m, func(w *graph.Graph, p float64) bool {
+				if p > prev+1e-12 {
+					t.Fatalf("trial %d m=%d: probability increased %v -> %v", trial, m, prev, p)
+				}
+				prev = p
+				got = append(got, wp{worldKey(w), p})
+				return true
+			})
+			want := m
+			if want > len(all) {
+				want = len(all)
+			}
+			if len(got) != want {
+				t.Fatalf("trial %d m=%d: got %d worlds, want %d", trial, m, len(got), want)
+			}
+			// Probabilities must match the sorted exhaustive prefix exactly
+			// (the worlds themselves may permute within probability ties).
+			for i := range got {
+				if math.Abs(got[i].p-all[i].p) > 1e-12 {
+					t.Fatalf("trial %d m=%d world %d: p=%v, sorted exhaustive has %v",
+						trial, m, i, got[i].p, all[i].p)
+				}
+			}
+			// No duplicates.
+			seen := map[string]bool{}
+			for _, w := range got {
+				if seen[w.key] {
+					t.Fatalf("trial %d m=%d: duplicate world %s", trial, m, w.key)
+				}
+				seen[w.key] = true
+			}
+		}
+	}
+}
+
+func TestTopWorldsEarlyStopAndEdges(t *testing.T) {
+	g := paperG2()
+	calls := 0
+	g.TopWorlds(10, func(w *graph.Graph, p float64) bool {
+		calls++
+		if w.NumEdges() != g.NumEdges() {
+			t.Fatalf("world has %d edges, want %d", w.NumEdges(), g.NumEdges())
+		}
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early stop ignored: %d calls", calls)
+	}
+	// First world is the most likely one.
+	g.TopWorlds(1, func(w *graph.Graph, p float64) bool {
+		if w.VertexLabel(2) != "University" || math.Abs(p-0.8) > 1e-12 {
+			t.Fatalf("top world label %q p=%v, want University 0.8", w.VertexLabel(2), p)
+		}
+		return true
+	})
+	// m <= 0 yields nothing.
+	g.TopWorlds(0, func(*graph.Graph, float64) bool {
+		t.Fatal("m=0 enumerated a world")
+		return false
+	})
+}
+
+func TestTopWorldsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomUncertain(rng, 6, 5, 3)
+	run := func() []string {
+		var keys []string
+		g.TopWorlds(20, func(w *graph.Graph, p float64) bool {
+			keys = append(keys, worldKey(w))
+			return true
+		})
+		return keys
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("length differs across runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

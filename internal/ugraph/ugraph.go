@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"simjoin/internal/fault"
 	"simjoin/internal/graph"
 )
 
@@ -266,7 +267,12 @@ type WorldScratch struct {
 }
 
 // WorldsScratch is Worlds reusing caller-provided scratch buffers.
+//
+// The "ugraph.worlds" failpoint fires once per enumeration; since this
+// API has no error return, injected errors escalate to panics (contained by
+// the join's per-pair quarantine).
 func (g *Graph) WorldsScratch(s *WorldScratch, fn func(world *graph.Graph, p float64) bool) {
+	fault.MustHit("ugraph.worlds", "")
 	n := len(g.vertices)
 	if s.w == nil {
 		s.w = graph.New(n)

@@ -20,8 +20,18 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (core, filter, ged, obs)"
-go test -race ./internal/core ./internal/filter ./internal/ged ./internal/obs
+echo "== go test -race (core, filter, ged, obs, fault)"
+go test -race ./internal/core ./internal/filter ./internal/ged ./internal/obs ./internal/fault
+
+echo "== fault injection (failpoints armed end-to-end)"
+# Arm failpoints through the environment and run a small join: the pipeline
+# must complete, quarantine the panicking pair, and report it — not crash.
+SIMJOIN_FAILPOINTS='ged.compute=error#5,core.pair=panic#1' \
+	go run ./cmd/simjoin -workload er -scale 0.3 -tau 1 -alpha 0.5 -mode simj >/dev/null
+
+echo "== fuzz smoke (20s per target)"
+go test -run '^$' -fuzz '^FuzzParseQuery$' -fuzztime 20s ./internal/sparql
+go test -run '^$' -fuzz '^FuzzParseTriples$' -fuzztime 20s ./internal/rdf
 
 echo "== benchmark smoke (join benchmarks, 1 iteration)"
 go test -run '^$' -bench '^BenchmarkJoin(ER|IndexedER|TopK)$' -benchtime 1x -benchmem .
