@@ -12,11 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"simjoin/internal/core"
 	"simjoin/internal/experiments"
 	"simjoin/internal/fault"
+	"simjoin/internal/filter"
 	"simjoin/internal/graph"
 	"simjoin/internal/obs"
 	"simjoin/internal/ugraph"
@@ -29,6 +32,7 @@ func main() {
 		tau       = flag.Int("tau", 1, "GED threshold")
 		alpha     = flag.Float64("alpha", 0.9, "similarity probability threshold")
 		mode      = flag.String("mode", "opt", "pruning mode: css|simj|opt")
+		filters   = flag.String("filters", "", "comma-separated filter chain overriding the mode's default bound order, e.g. 'count,css,prob' (bounds: "+strings.Join(filter.BoundNames(), ", ")+")")
 		gn        = flag.Int("gn", 10, "possible-world group count (opt mode)")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		show      = flag.Int("show", 5, "matched pairs to print")
@@ -99,7 +103,7 @@ func main() {
 		pairDeadline: *pairDeadline,
 		watchdog:     *watchdog,
 	}
-	if err := run(*wl, *tau, *alpha, *mode, *gn, experiments.Scale(*scale), *show, obsCfg, robust); err != nil {
+	if err := run(*wl, *tau, *alpha, *mode, *filters, *gn, experiments.Scale(*scale), *show, obsCfg, robust); err != nil {
 		fmt.Fprintln(os.Stderr, "simjoin:", err)
 		os.Exit(1)
 	}
@@ -120,7 +124,7 @@ type obsConfig struct {
 	progress  time.Duration
 }
 
-func run(wl string, tau int, alpha float64, modeName string, gn int, scale experiments.Scale, show int, oc obsConfig, rc robustConfig) error {
+func run(wl string, tau int, alpha float64, modeName, filters string, gn int, scale experiments.Scale, show int, oc obsConfig, rc robustConfig) error {
 	opts := core.DefaultOptions()
 	opts.Tau = tau
 	opts.Alpha = alpha
@@ -156,15 +160,31 @@ func run(wl string, tau int, alpha float64, modeName string, gn int, scale exper
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/\n", srv.Addr)
 	}
+	var chainDesc string
 	switch modeName {
 	case "css":
 		opts.Mode = core.ModeCSSOnly
+		chainDesc = "css"
 	case "simj":
 		opts.Mode = core.ModeSimJ
+		chainDesc = "css,prob"
 	case "opt":
 		opts.Mode = core.ModeSimJOpt
+		chainDesc = "css,group"
 	default:
 		return fmt.Errorf("unknown mode %q", modeName)
+	}
+	if filters != "" {
+		chain, err := filter.ParseChain(filters)
+		if err != nil {
+			return err
+		}
+		opts.FilterChain = chain
+		names := make([]string, len(chain))
+		for i, b := range chain {
+			names[i] = b.Name()
+		}
+		chainDesc = strings.Join(names, ",")
 	}
 
 	var (
@@ -210,8 +230,8 @@ func run(wl string, tau int, alpha float64, modeName string, gn int, scale exper
 		return fmt.Errorf("unknown workload %q", wl)
 	}
 
-	fmt.Printf("joining |D|=%d certain graphs with |U|=%d uncertain graphs (tau=%d alpha=%v mode=%s)\n",
-		len(d), len(u), opts.Tau, opts.Alpha, opts.Mode)
+	fmt.Printf("joining |D|=%d certain graphs with |U|=%d uncertain graphs (tau=%d alpha=%v mode=%s filters=%s)\n",
+		len(d), len(u), opts.Tau, opts.Alpha, opts.Mode, chainDesc)
 	start := time.Now()
 	pairs, st, err := core.Join(d, u, opts)
 	if err != nil {
@@ -222,6 +242,18 @@ func run(wl string, tau int, alpha float64, modeName string, gn int, scale exper
 		st.CSSPruned, st.ProbPruned, st.Candidates, st.CandidateRatio(), st.WorldsChecked, st.GEDCalls)
 	fmt.Printf("verdicts: exact=%d sampled=%d approx=%d undecided=%d (budget-fallbacks=%d deadline-hits=%d)\n",
 		st.ExactPairs, st.SampledPairs, st.ApproxPairs, st.SkippedPairs, st.BudgetFallbacks, st.DeadlineHits)
+	if len(st.PrunedBy) > 0 {
+		bounds := make([]string, 0, len(st.PrunedBy))
+		for b := range st.PrunedBy {
+			bounds = append(bounds, b)
+		}
+		sort.Strings(bounds)
+		fmt.Printf("pruned-by:")
+		for _, b := range bounds {
+			fmt.Printf(" %s=%d", b, st.PrunedBy[b])
+		}
+		fmt.Println()
+	}
 	if st.QuarantinedPairs > 0 {
 		fmt.Printf("quarantined: %d pairs\n", st.QuarantinedPairs)
 		for _, q := range st.Quarantined {

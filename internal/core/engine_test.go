@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"simjoin/internal/fault"
+	"simjoin/internal/filter"
+	"simjoin/internal/obs"
+)
+
+// chainOf resolves a list of registered bound names, failing the test on
+// unknown names so chain tests stay in sync with the registry.
+func chainOf(t *testing.T, names ...string) []filter.Bound {
+	t.Helper()
+	chain := make([]filter.Bound, len(names))
+	for i, n := range names {
+		b, ok := filter.BoundByName(n)
+		if !ok {
+			t.Fatalf("bound %q not registered", n)
+		}
+		chain[i] = b
+	}
+	return chain
+}
+
+// TestFilterChainReorderMatchesOracle runs the join under several explicit
+// chain orders — including chains that demote css, drop it entirely, or
+// front-load the cheap certain-graph baselines — and checks every order
+// returns exactly the oracle's pairs. Bounds only prune provably-unqualified
+// pairs, so reordering (or removing) them must never change the result set.
+func TestFilterChainReorderMatchesOracle(t *testing.T) {
+	chains := [][]string{
+		{"css", "prob"},
+		{"prob", "css"},
+		{"prob-tight", "css"},
+		{"count", "lm", "css", "prob"},
+		{"segos", "pars", "path-gram", "cstar", "css", "group"},
+		{"group"},
+		{"lm", "count", "cstar", "path-gram", "pars", "segos", "css", "prob", "prob-tight", "group"},
+	}
+	for seed := int64(3); seed <= 5; seed++ {
+		d, u := smallWorkload(seed, 6, 6)
+		for _, tau := range []int{0, 1, 2} {
+			want := naiveJoin(d, u, tau, 0.6)
+			for _, names := range chains {
+				opts := Options{Tau: tau, Alpha: 0.6, GroupCount: 4, Workers: 2,
+					FilterChain: chainOf(t, names...)}
+				got, st, err := Join(d, u, opts)
+				if err != nil {
+					t.Fatalf("chain %v: %v", names, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("seed=%d tau=%d chain %v: got %d pairs, want %d",
+						seed, tau, names, len(got), len(want))
+				}
+				for _, p := range got {
+					if _, ok := want[[2]int{p.Q, p.G}]; !ok {
+						t.Fatalf("chain %v returned false pair (%d,%d)", names, p.Q, p.G)
+					}
+				}
+				if st.CSSPruned+st.ProbPruned+st.Candidates != st.Pairs {
+					t.Fatalf("chain %v: pruned(%d+%d)+candidates(%d) != pairs(%d)",
+						names, st.CSSPruned, st.ProbPruned, st.Candidates, st.Pairs)
+				}
+			}
+		}
+	}
+}
+
+// TestFilterChainIndexedEquivalence checks Join and JoinIndexed agree under a
+// custom chain: same engine, different candidate source.
+func TestFilterChainIndexedEquivalence(t *testing.T) {
+	d, u := smallWorkload(31, 10, 10)
+	opts := Options{Tau: 1, Alpha: 0.6, GroupCount: 4, Workers: 3,
+		FilterChain: chainOf(t, "count", "css", "group")}
+	flat, fs, err := Join(d, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := BuildIndex(d)
+	indexed, is, err := JoinIndexed(idx, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) != len(indexed) {
+		t.Fatalf("flat join found %d pairs, indexed %d", len(flat), len(indexed))
+	}
+	for i := range flat {
+		if flat[i].Q != indexed[i].Q || flat[i].G != indexed[i].G {
+			t.Fatalf("pair %d differs: flat (%d,%d) vs indexed (%d,%d)",
+				i, flat[i].Q, flat[i].G, indexed[i].Q, indexed[i].G)
+		}
+	}
+	if fs.Pairs != is.Pairs {
+		t.Errorf("Pairs differ: flat %d, indexed %d", fs.Pairs, is.Pairs)
+	}
+	if is.IndexSkipped == 0 {
+		t.Log("index screened nothing on this workload (not a failure, but unusual)")
+	}
+}
+
+// TestJoinWithSources exercises the exported engine entry point directly with
+// both source kinds and confirms it matches the wrapper APIs.
+func TestJoinWithSources(t *testing.T) {
+	d, u := smallWorkload(17, 8, 8)
+	opts := Options{Tau: 1, Alpha: 0.6, Mode: ModeSimJ, Workers: 2}
+
+	want, ws, err := Join(d, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gs, err := JoinWith(context.Background(), NewCrossSource(d, u), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || gs.Pairs != ws.Pairs || gs.Candidates != ws.Candidates {
+		t.Fatalf("JoinWith(cross) diverges from Join: %d/%d pairs, stats %+v vs %+v",
+			len(got), len(want), gs, ws)
+	}
+
+	idx := BuildIndex(d)
+	wantIdx, wis, err := JoinIndexed(idx, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIdx, gis, err := JoinWith(context.Background(), idx.Source(u), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotIdx) != len(wantIdx) || gis.IndexSkipped != wis.IndexSkipped {
+		t.Fatalf("JoinWith(index) diverges from JoinIndexed: %d/%d pairs, skipped %d/%d",
+			len(gotIdx), len(wantIdx), gis.IndexSkipped, wis.IndexSkipped)
+	}
+}
+
+// TestPrunedByAccounting checks the per-bound prune breakdown: it must sum to
+// the aggregate prune counters (minus index prescreen skips, which bypass the
+// chain), agree with the per-bound obs counters, and survive the snapshot
+// round trip.
+func TestPrunedByAccounting(t *testing.T) {
+	d, u := smallWorkload(41, 12, 12)
+	for _, indexed := range []bool{false, true} {
+		reg := obs.New()
+		opts := Options{Tau: 1, Alpha: 0.9, GroupCount: 4, Workers: 2, Obs: reg,
+			FilterChain: chainOf(t, "count", "css", "prob")}
+		var (
+			st  Stats
+			err error
+		)
+		if indexed {
+			_, st, err = JoinIndexed(BuildIndex(d), u, opts)
+		} else {
+			_, st, err = Join(d, u, opts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var byBound int64
+		for _, n := range st.PrunedBy {
+			byBound += n
+		}
+		if byBound != st.CSSPruned+st.ProbPruned-st.IndexSkipped {
+			t.Errorf("indexed=%v: PrunedBy sums to %d, want css(%d)+prob(%d)-skipped(%d)",
+				indexed, byBound, st.CSSPruned, st.ProbPruned, st.IndexSkipped)
+		}
+		snap := reg.Snapshot()
+		for bound, n := range st.PrunedBy {
+			metric := "simjoin_pruned_by_" + filter.MetricName(bound) + "_total"
+			if snap.Counters[metric] != n {
+				t.Errorf("indexed=%v: %s = %d, want %d", indexed, metric, snap.Counters[metric], n)
+			}
+		}
+		round := StatsFromSnapshot(snap)
+		if len(round.PrunedBy) != len(st.PrunedBy) {
+			t.Fatalf("indexed=%v: round-trip PrunedBy has %d bounds, want %d",
+				indexed, len(round.PrunedBy), len(st.PrunedBy))
+		}
+		for bound, n := range st.PrunedBy {
+			if round.PrunedBy[bound] != n {
+				t.Errorf("indexed=%v: round-trip PrunedBy[%s] = %d, want %d",
+					indexed, bound, round.PrunedBy[bound], n)
+			}
+		}
+	}
+}
+
+// TestChainValidation covers Options.FilterChain edge cases.
+func TestChainValidation(t *testing.T) {
+	d, u := smallWorkload(1, 2, 2)
+	opts := Options{Tau: 1, Alpha: 0.5, FilterChain: []filter.Bound{nil}}
+	if _, _, err := Join(d, u, opts); err == nil {
+		t.Error("nil bound in chain accepted")
+	}
+	// An explicit chain overrides the mode entirely.
+	reg := obs.New()
+	opts = Options{Tau: 1, Alpha: 0.5, Mode: ModeSimJOpt, GroupCount: 4, Workers: 1,
+		Obs: reg, FilterChain: chainOf(t, "lm")}
+	_, st, err := Join(d, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bound := range st.PrunedBy {
+		if bound != "lm" {
+			t.Errorf("chain [lm] pruned via unexpected bound %q", bound)
+		}
+	}
+}
+
+// BenchmarkPairFaultKey measures the satellite-1 win: the per-pair fault
+// lookup key as a packed integer versus the old fmt.Sprintf string. The
+// string variant allocates on every pair; the packed one is alloc-free.
+func BenchmarkPairFaultKey(b *testing.B) {
+	// Arm an unrelated pair so the match path runs without firing.
+	if err := fault.Enable("core.pair=error@1048575/1048575"); err != nil {
+		b.Fatal(err)
+	}
+	defer fault.Reset()
+	rng := rand.New(rand.NewSource(1))
+	qis := make([]int, 1024)
+	gis := make([]int, 1024)
+	for i := range qis {
+		qis[i] = rng.Intn(1 << 16)
+		gis[i] = rng.Intn(1 << 16)
+	}
+	b.Run("string", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := i & 1023
+			if err := fault.Hit("core.pair", fmt.Sprintf("%d/%d", qis[j], gis[j])); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := i & 1023
+			if err := fault.HitPair("core.pair", fault.PairKey(qis[j], gis[j])); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"sort"
-	"sync"
 
 	"simjoin/internal/filter"
 	"simjoin/internal/graph"
@@ -133,131 +132,18 @@ func JoinIndexed(idx *Index, u []*ugraph.Graph, opts Options) ([]Pair, Stats, er
 	return JoinIndexedContext(context.Background(), idx, u, opts)
 }
 
-// indexTaskChunk is how many candidate queries one JoinIndexedContext task
-// carries: small enough that a single uncertain graph's candidate list is
-// shared across workers, large enough to amortise channel traffic.
-const indexTaskChunk = 16
-
-// testPairHook, when non-nil, is called by every JoinContext and
-// JoinIndexedContext worker after processing a pair, with the worker's index.
-// Tests install it to assert that pair processing really fans out across the
-// configured workers, and to cancel the join deterministically mid-run.
-var testPairHook func(worker int)
+// Source returns the CandidateSource streaming only the pairs that survive
+// the index's prescreens against u, for use with JoinWith.
+func (idx *Index) Source(u []*ugraph.Graph) CandidateSource {
+	return &indexSource{idx: idx, u: u}
+}
 
 // JoinIndexedContext is JoinIndexed with cancellation, with the same
 // contract as JoinContext: on cancellation the accumulated Stats and
-// ctx.Err() are returned and the partial results are dropped.
-//
-// Surviving candidates are processed by opts.Workers workers, mirroring
-// JoinContext: the feed goroutine runs the prescreens and builds each
-// uncertain graph's filter signature once, then fans the candidate list out
-// as (g, chunk) tasks.
+// ctx.Err() are returned and the partial results are dropped. It is the same
+// pipeline engine as JoinContext with the index-backed candidate source
+// plugged in: the source runs the prescreens and builds each uncertain
+// graph's filter signature once, then fans the candidate list out in batches.
 func JoinIndexedContext(ctx context.Context, idx *Index, u []*ugraph.Graph, opts Options) ([]Pair, Stats, error) {
-	if err := opts.normalise(); err != nil {
-		return nil, Stats{}, err
-	}
-	jo := newJoinObs(&opts)
-	stopProgress := jo.startProgress(&opts, int64(idx.Len())*int64(len(u)))
-	defer stopProgress()
-	stopWatchdog := jo.startWatchdog(&opts)
-	defer stopWatchdog()
-
-	type task struct {
-		gi    int
-		g     *ugraph.Graph
-		gs    *filter.GSig
-		cands []int
-	}
-	tasks := make(chan task, 256)
-	var (
-		mu      sync.Mutex
-		results []Pair
-		total   Stats
-		wg      sync.WaitGroup
-	)
-
-	worker := func(id int) {
-		defer wg.Done()
-		local := rec{jo: jo}
-		var pairs []Pair
-		hook := testPairHook
-		for t := range tasks {
-			for _, qi := range t.cands {
-				if ctx.Err() != nil {
-					break
-				}
-				local.Pairs++
-				pi := pairIn{q: idx.d[qi], g: t.g, qs: idx.qsigs[qi], gs: t.gs, qi: qi, gi: t.gi}
-				jo.beatStart(id)
-				p, ok := joinPair(ctx, &pi, &opts, &local)
-				jo.beatEnd(id)
-				if ok {
-					pairs = append(pairs, p)
-					local.Results++
-				}
-				if hook != nil {
-					hook(id)
-				}
-				if jo.progress {
-					jo.pairsDone.Add(1)
-				}
-			}
-		}
-		mu.Lock()
-		results = append(results, pairs...)
-		total.add(&local.Stats)
-		mu.Unlock()
-	}
-
-	wg.Add(opts.Workers)
-	for i := 0; i < opts.Workers; i++ {
-		go worker(i)
-	}
-
-	var skipped int64
-	gLabels := make(map[string]bool)
-feed:
-	for gi, g := range u {
-		if ctx.Err() != nil {
-			break
-		}
-		cands := idx.candidates(g, opts.Tau, gLabels)
-		skipped += int64(idx.Len() - len(cands))
-		if jo.progress {
-			jo.pairsDone.Add(int64(idx.Len() - len(cands)))
-		}
-		if len(cands) == 0 {
-			continue
-		}
-		gs := filter.NewGSig(g)
-		for start := 0; start < len(cands); start += indexTaskChunk {
-			end := start + indexTaskChunk
-			if end > len(cands) {
-				end = len(cands)
-			}
-			select {
-			case tasks <- task{gi: gi, g: g, gs: gs, cands: cands[start:end]}:
-			case <-ctx.Done():
-				break feed
-			}
-		}
-	}
-	close(tasks)
-	wg.Wait()
-
-	total.Pairs += skipped
-	total.CSSPruned += skipped // prescreens are implied by the CSS stage
-	total.IndexSkipped = skipped
-	finishStats(&total, opts.Obs)
-	if err := ctx.Err(); err != nil {
-		total.Cancelled = true
-		return nil, total, err
-	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Q != results[j].Q {
-			return results[i].Q < results[j].Q
-		}
-		return results[i].G < results[j].G
-	})
-	return results, total, nil
+	return joinEngine(ctx, &indexSource{idx: idx, u: u}, opts)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"math/rand"
 	"testing"
 
 	"simjoin/internal/graph"
@@ -70,6 +72,139 @@ func TestIndexEmpty(t *testing.T) {
 	pairs, st, err := JoinIndexed(idx, []*ugraph.Graph{g}, Options{Tau: 1, Alpha: 0.5})
 	if err != nil || len(pairs) != 0 || st.Pairs != 0 {
 		t.Fatalf("empty indexed join: %v %v %v", pairs, st, err)
+	}
+}
+
+// wildcardHeavyWorkload builds queries where most vertices are SPARQL
+// variables (wildcards) — the worst case for the label screen, which must
+// lean entirely on its wildcard-absorption terms.
+func wildcardHeavyWorkload(seed int64, nd, nu int, wildFrac float64) ([]*graph.Graph, []*ugraph.Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"A", "B", "C"}
+	d := make([]*graph.Graph, nd)
+	for i := range d {
+		n := 2 + rng.Intn(3)
+		q := graph.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < wildFrac {
+				q.AddVertex("?x")
+			} else {
+				q.AddVertex(labels[rng.Intn(len(labels))])
+			}
+		}
+		for t := 0; t < n; t++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b && !q.HasEdge(a, b) {
+				q.MustAddEdge(a, b, "p")
+			}
+		}
+		d[i] = q
+	}
+	u := make([]*ugraph.Graph, nu)
+	for i := range u {
+		u[i] = randomUncertain(rng, 2+rng.Intn(3), rng.Intn(3), 2)
+	}
+	return d, u
+}
+
+// TestIndexLabelScreenWildcardQueries covers the screen's wildcard terms:
+// wildcard-heavy and all-wildcard queries must never be screened out when a
+// match is possible, so the index-backed source agrees with the cross-product
+// source through the same engine.
+func TestIndexLabelScreenWildcardQueries(t *testing.T) {
+	for _, wildFrac := range []float64{0.6, 1.0} {
+		d, u := wildcardHeavyWorkload(61, 10, 8, wildFrac)
+		idx := BuildIndex(d)
+		for _, tau := range []int{0, 1, 2} {
+			opts := Options{Tau: tau, Alpha: 0.5, Mode: ModeSimJ, Workers: 2}
+			want, _, err := JoinWith(context.Background(), NewCrossSource(d, u), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, st, err := JoinWith(context.Background(), idx.Source(u), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("wildFrac=%v tau=%d: indexed %d pairs, cross %d",
+					wildFrac, tau, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Q != want[i].Q || got[i].G != want[i].G {
+					t.Fatalf("wildFrac=%v tau=%d: pair %d differs", wildFrac, tau, i)
+				}
+			}
+			if st.Pairs != int64(len(d)*len(u)) {
+				t.Errorf("accounting: %d pairs, want %d", st.Pairs, len(d)*len(u))
+			}
+		}
+	}
+}
+
+// TestIndexLabelScreenAllWildcardQuery pins the degenerate case directly: a
+// query of only variables overlaps any graph on every vertex, so only the
+// size screen may reject it.
+func TestIndexLabelScreenAllWildcardQuery(t *testing.T) {
+	q := graph.New(3)
+	for i := 0; i < 3; i++ {
+		q.AddVertex("?v")
+	}
+	q.MustAddEdge(0, 1, "p")
+	q.MustAddEdge(1, 2, "p")
+	idx := BuildIndex([]*graph.Graph{q})
+
+	// Same size, fully disjoint concrete labels: label screen must admit.
+	g := ugraph.New(3)
+	for i := 0; i < 3; i++ {
+		g.AddVertex(ugraph.Label{Name: "Z", P: 1})
+	}
+	g.MustAddEdge(0, 1, "q")
+	g.MustAddEdge(1, 2, "q")
+	if c := idx.Candidates(g, 0); len(c) != 1 {
+		t.Fatalf("all-wildcard query screened out at tau=0: %v", c)
+	}
+
+	// The mirror case: an all-wildcard uncertain graph absorbs any query.
+	wild := ugraph.New(3)
+	for i := 0; i < 3; i++ {
+		wild.AddVertex(ugraph.Label{Name: "?w", P: 1})
+	}
+	wild.MustAddEdge(0, 1, "p")
+	wild.MustAddEdge(1, 2, "p")
+	concrete := graph.New(3)
+	concrete.AddVertex("X")
+	concrete.AddVertex("Y")
+	concrete.AddVertex("Z")
+	concrete.MustAddEdge(0, 1, "p")
+	concrete.MustAddEdge(1, 2, "p")
+	idx2 := BuildIndex([]*graph.Graph{concrete})
+	if c := idx2.Candidates(wild, 0); len(c) != 1 {
+		t.Fatalf("all-wildcard graph screened out at tau=0: %v", c)
+	}
+}
+
+// TestIndexScreenGenerousTauAdmitsAll checks the admit-everything boundary:
+// once tau reaches max graph size, neither prescreen may drop a single query,
+// whatever the label overlap.
+func TestIndexScreenGenerousTauAdmitsAll(t *testing.T) {
+	d, u := wildcardHeavyWorkload(67, 12, 6, 0.5)
+	maxSize := 0
+	for _, q := range d {
+		if q.Size() > maxSize {
+			maxSize = q.Size()
+		}
+	}
+	idx := BuildIndex(d)
+	for _, g := range u {
+		tau := maxSize
+		if g.Size() > tau {
+			tau = g.Size()
+		}
+		// tau >= size of both sides >= |V| of both sides: the size window
+		// spans the whole index and maxV - overlap <= maxV <= tau.
+		if c := idx.Candidates(g, tau); len(c) != idx.Len() {
+			t.Fatalf("tau=%d admitted %d of %d queries", tau, len(c), idx.Len())
+		}
 	}
 }
 

@@ -6,7 +6,6 @@ import (
 
 	"simjoin/internal/filter"
 	"simjoin/internal/ged"
-	"simjoin/internal/matching"
 	"simjoin/internal/obs"
 	"simjoin/internal/ugraph"
 )
@@ -137,15 +136,13 @@ type rec struct {
 	Stats
 	jo *joinObs
 
-	// bp backs the λV matchings of the CSS pruning stage; pv caches the
+	// fsc is the filter chain's scratch (the λV matching buffers and the
+	// per-pair group cache of the grouped bound); pv caches the
 	// world-invariant CSS constants of the pair under verification; ws holds
-	// the possible-world enumeration buffers; groupCache memoises per-group
-	// signatures and bounds for the ModeSimJOpt partition policy (reset per
-	// pair, keyed by the group graphs' identity).
-	bp         matching.Bipartite
-	pv         filter.PairVerifier
-	ws         ugraph.WorldScratch
-	groupCache map[*ugraph.Graph]*groupEval
+	// the possible-world enumeration buffers.
+	fsc filter.Scratch
+	pv  filter.PairVerifier
+	ws  ugraph.WorldScratch
 }
 
 // statsCounterSpec is the single source of truth tying every Stats counter
@@ -153,7 +150,8 @@ type rec struct {
 // StatsFromSnapshot reads through it, so the paper-facing Stats and the
 // registry can never disagree; a reflection test asserts the table covers
 // every counter field of Stats (the non-counter Cancelled flag and
-// Quarantined log are excluded — QuarantinedPairs carries their count).
+// Quarantined log are excluded — QuarantinedPairs carries their count — and
+// the PrunedBy map is published per bound through prunedByMetric).
 var statsCounterSpec = []struct {
 	name string
 	fld  func(*Stats) *int64
@@ -190,6 +188,12 @@ var statsDurationSpec = []struct {
 	{"simjoin_verify_time_nanoseconds_total", func(s *Stats) *time.Duration { return &s.VerifyTime }},
 }
 
+// prunedByMetric maps a bound's registry name to the counter carrying its
+// Stats.PrunedBy tally.
+func prunedByMetric(bound string) string {
+	return "simjoin_pruned_by_" + filter.MetricName(bound) + "_total"
+}
+
 // publishStats accumulates a finished join's Stats into the registry.
 // Counters are cumulative across joins sharing a registry; per-run numbers
 // come from diffing snapshots (obs.DiffCounters) or the returned Stats.
@@ -203,12 +207,17 @@ func publishStats(reg *obs.Registry, s *Stats) {
 	for _, c := range statsDurationSpec {
 		reg.Counter(c.name).Add(int64(*c.fld(s)))
 	}
+	for bound, n := range s.PrunedBy {
+		reg.Counter(prunedByMetric(bound)).Add(n)
+	}
 }
 
 // StatsFromSnapshot reconstructs a Stats from a registry snapshot through
 // the same name table publishStats writes, so snapshot-derived numbers and
 // the paper-facing summary agree by construction. Over a registry that
-// served several joins the result is their sum.
+// served several joins the result is their sum. PrunedBy is rebuilt by
+// scanning the registered bound names, so custom bounds outside the filter
+// registry round-trip through the registry only if registered.
 func StatsFromSnapshot(snap obs.Snapshot) Stats {
 	var s Stats
 	for _, c := range statsCounterSpec {
@@ -216,6 +225,14 @@ func StatsFromSnapshot(snap obs.Snapshot) Stats {
 	}
 	for _, c := range statsDurationSpec {
 		*c.fld(&s) = time.Duration(snap.Counters[c.name])
+	}
+	for _, bound := range filter.BoundNames() {
+		if n := snap.Counters[prunedByMetric(bound)]; n != 0 {
+			if s.PrunedBy == nil {
+				s.PrunedBy = make(map[string]int64)
+			}
+			s.PrunedBy[bound] = n
+		}
 	}
 	return s
 }

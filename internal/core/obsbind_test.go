@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"simjoin/internal/filter"
 	"simjoin/internal/obs"
 )
 
@@ -27,6 +28,13 @@ func fillStats(t *testing.T, s *Stats) {
 			f.SetBool(true)
 		case reflect.Slice:
 			f.Set(reflect.MakeSlice(f.Type(), 1, 1))
+		case reflect.Map:
+			// PrunedBy: one entry per registered bound name, distinct values.
+			m := reflect.MakeMap(f.Type())
+			for j, name := range filter.BoundNames() {
+				m.SetMapIndex(reflect.ValueOf(name), reflect.ValueOf(int64(1000+100*i+j)))
+			}
+			f.Set(m)
 		default:
 			t.Fatalf("Stats field %s has unhandled kind %s", v.Type().Field(i).Name, f.Kind())
 		}
@@ -75,6 +83,14 @@ func TestStatsAddCoversAllFields(t *testing.T) {
 			if f.Len() != 2 {
 				t.Errorf("after double add, log %s has %d entries, want 2", name, f.Len())
 			}
+		case reflect.Map:
+			iter := f.MapRange()
+			for iter.Next() {
+				want := 2 * src.PrunedBy[iter.Key().String()]
+				if got := iter.Value().Int(); got != want {
+					t.Errorf("after double add, %s[%s] = %d, want %d", name, iter.Key(), got, want)
+				}
+			}
 		}
 	}
 }
@@ -85,12 +101,13 @@ func TestStatsAddCoversAllFields(t *testing.T) {
 // added.
 func TestStatsMetricTableCoversAllFields(t *testing.T) {
 	// Count the counter-shaped fields; the Cancelled flag and Quarantined log
-	// are deliberately registry-exempt (QuarantinedPairs carries the count).
+	// are deliberately registry-exempt (QuarantinedPairs carries the count),
+	// and the PrunedBy map is published per bound through prunedByMetric.
 	numeric := 0
 	typ := reflect.TypeOf(Stats{})
 	for i := 0; i < typ.NumField(); i++ {
 		switch typ.Field(i).Name {
-		case "Cancelled", "Quarantined":
+		case "Cancelled", "Quarantined", "PrunedBy":
 		default:
 			numeric++
 			if typ.Field(i).Type.Kind() != reflect.Int64 {

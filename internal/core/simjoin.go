@@ -19,7 +19,6 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
-	"sync"
 	"time"
 
 	"simjoin/internal/fault"
@@ -116,6 +115,15 @@ type Options struct {
 	// result).
 	KeepMappings bool
 
+	// FilterChain, when non-empty, replaces the Mode-derived pruning stages
+	// with an explicit ordered bound chain (see filter.ParseChain and the
+	// filter registry): bounds run left to right, each may prune the pair,
+	// and survivors enter the verdict ladder unchanged. Mode and
+	// TightProbBound are ignored for pruning when a chain is set (they still
+	// pick the default chain when it is empty). Per-bound prune counts land
+	// in Stats.PrunedBy.
+	FilterChain []filter.Bound
+
 	// Obs, when non-nil, receives live metrics for the run: per-stage
 	// latency histograms, per-filter prune counters, GED engine metrics,
 	// and — on completion — the cumulative Stats counters (see
@@ -177,6 +185,40 @@ func (o *Options) normalise() error {
 	return nil
 }
 
+// chain resolves the pruning pipeline: Options.FilterChain verbatim when set,
+// otherwise the Mode's default stage order from the filter registry —
+// Algorithm 1 is [css, prob] (or [css, prob-tight] under TightProbBound),
+// Algorithm 2 is [css, group], and ModeCSSOnly is [css].
+func (o *Options) chain() ([]filter.Bound, error) {
+	if len(o.FilterChain) > 0 {
+		for i, b := range o.FilterChain {
+			if b == nil {
+				return nil, fmt.Errorf("core: FilterChain[%d] is nil", i)
+			}
+		}
+		return o.FilterChain, nil
+	}
+	switch o.Mode {
+	case ModeSimJ:
+		if o.TightProbBound {
+			return defaultChain("css", "prob-tight"), nil
+		}
+		return defaultChain("css", "prob"), nil
+	case ModeSimJOpt:
+		return defaultChain("css", "group"), nil
+	default: // ModeCSSOnly and unknown modes: structural pruning only
+		return defaultChain("css"), nil
+	}
+}
+
+func defaultChain(names ...string) []filter.Bound {
+	out := make([]filter.Bound, len(names))
+	for i, n := range names {
+		out[i] = filter.MustBound(n)
+	}
+	return out
+}
+
 // Pair is one join result: SPARQL query graph q = D[Q] matched uncertain
 // question graph g = U[G] with SimPτ(q,g) = SimP ≥ α.
 type Pair struct {
@@ -218,12 +260,18 @@ type Stats struct {
 	VerifyTime    time.Duration
 	GroupsBuilt   int64 // possible-world groups constructed (SimJ+opt)
 	GroupsPruned  int64 // groups removed by their CSS bound
-	EarlyAccepts  int64 // verifications stopped early at ≥ α
-	EarlyRejects  int64 // verifications stopped early at < α
-	IndexSkipped  int64 // pairs eliminated by JoinIndexed's prescreens
-	SampledPairs  int64 // pairs decided by the Monte Carlo sampling rung
-	ExactPairs    int64 // pairs decided by exact possible-world enumeration
-	ApproxPairs   int64 // pairs decided with approximate-bound assistance
+	// PrunedBy breaks the pruned pairs down by the filter-chain bound that
+	// eliminated each one, keyed by the bound's registry name; summed over
+	// the chain it equals CSSPruned + ProbPruned minus IndexSkipped (pairs
+	// the index prescreens removed never reach a bound). Nil when nothing
+	// was pruned by a bound.
+	PrunedBy     map[string]int64 `json:",omitempty"`
+	EarlyAccepts int64            // verifications stopped early at ≥ α
+	EarlyRejects int64            // verifications stopped early at < α
+	IndexSkipped int64            // pairs eliminated by JoinIndexed's prescreens
+	SampledPairs int64            // pairs decided by the Monte Carlo sampling rung
+	ExactPairs   int64            // pairs decided by exact possible-world enumeration
+	ApproxPairs  int64            // pairs decided with approximate-bound assistance
 	// BudgetFallbacks counts pairs that left the exact enumeration path
 	// (MaxWorlds blown, pre-screened as over budget, or deadline expired)
 	// and were handed to the ladder's fallback rungs.
@@ -270,6 +318,14 @@ func (s *Stats) add(o *Stats) {
 	s.VerifyTime += o.VerifyTime
 	s.GroupsBuilt += o.GroupsBuilt
 	s.GroupsPruned += o.GroupsPruned
+	if len(o.PrunedBy) > 0 {
+		if s.PrunedBy == nil {
+			s.PrunedBy = make(map[string]int64, len(o.PrunedBy))
+		}
+		for k, v := range o.PrunedBy {
+			s.PrunedBy[k] += v
+		}
+	}
 	s.EarlyAccepts += o.EarlyAccepts
 	s.EarlyRejects += o.EarlyRejects
 	s.IndexSkipped += o.IndexSkipped
@@ -293,92 +349,10 @@ func Join(d []*graph.Graph, u []*ugraph.Graph, opts Options) ([]Pair, Stats, err
 // JoinContext is Join with cancellation: when ctx is cancelled the workers
 // stop picking up new pairs, in-flight pairs finish, and ctx.Err() is
 // returned along with the Stats accumulated so far (results are dropped —
-// a partial join result would be silently incomplete).
+// a partial join result would be silently incomplete). It is a thin wrapper
+// over the pipeline engine (see engine.go) with the cross-product source.
 func JoinContext(ctx context.Context, d []*graph.Graph, u []*ugraph.Graph, opts Options) ([]Pair, Stats, error) {
-	if err := opts.normalise(); err != nil {
-		return nil, Stats{}, err
-	}
-	jo := newJoinObs(&opts)
-	stopProgress := jo.startProgress(&opts, int64(len(d))*int64(len(u)))
-	defer stopProgress()
-	stopWatchdog := jo.startWatchdog(&opts)
-	defer stopWatchdog()
-
-	// Precompute both sides' filter signatures once: every graph participates
-	// in |U| (resp. |D|) pairs, and the signatures carry everything the bounds
-	// would otherwise recompute per pair.
-	qsigs := filter.NewQSigs(d)
-	gsigs := filter.NewGSigs(u)
-
-	type task struct{ qi, gi int }
-	tasks := make(chan task, 256)
-	var (
-		mu      sync.Mutex
-		results []Pair
-		total   Stats
-		wg      sync.WaitGroup
-	)
-
-	worker := func(id int) {
-		defer wg.Done()
-		local := rec{jo: jo}
-		var pairs []Pair
-		hook := testPairHook
-		for t := range tasks {
-			if ctx.Err() != nil {
-				continue // cancelled: drain the channel without working
-			}
-			local.Pairs++
-			pi := pairIn{q: d[t.qi], g: u[t.gi], qs: qsigs[t.qi], gs: gsigs[t.gi], qi: t.qi, gi: t.gi}
-			jo.beatStart(id)
-			p, ok := joinPair(ctx, &pi, &opts, &local)
-			jo.beatEnd(id)
-			if ok {
-				pairs = append(pairs, p)
-				local.Results++
-			}
-			if hook != nil {
-				hook(id)
-			}
-			if jo.progress {
-				jo.pairsDone.Add(1)
-			}
-		}
-		mu.Lock()
-		results = append(results, pairs...)
-		total.add(&local.Stats)
-		mu.Unlock()
-	}
-
-	wg.Add(opts.Workers)
-	for i := 0; i < opts.Workers; i++ {
-		go worker(i)
-	}
-feed:
-	for qi := range d {
-		for gi := range u {
-			select {
-			case tasks <- task{qi, gi}:
-			case <-ctx.Done():
-				break feed
-			}
-		}
-	}
-	close(tasks)
-	wg.Wait()
-	finishStats(&total, opts.Obs)
-
-	if err := ctx.Err(); err != nil {
-		total.Cancelled = true
-		return nil, total, err
-	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Q != results[j].Q {
-			return results[i].Q < results[j].Q
-		}
-		return results[i].G < results[j].G
-	})
-	return results, total, nil
+	return joinEngine(ctx, newCrossSource(d, u), opts)
 }
 
 // finishStats orders the quarantine log deterministically and publishes the
@@ -405,7 +379,8 @@ type pairIn struct {
 	qi, gi int
 }
 
-// joinPair runs the filter-and-refine pipeline of Algorithm 1 on one pair.
+// joinPair runs the filter-and-refine pipeline of Algorithm 1 on one pair:
+// the configured bound chain, then — for survivors — the verdict ladder.
 //
 // Panics are contained here: a panic anywhere in the pair's pruning or
 // verification quarantines the pair (recorded with its stack in
@@ -413,7 +388,7 @@ type pairIn struct {
 // buffers are reset at the start of every pair, so reuse after a contained
 // panic is safe. When Options.PairDeadline is set, verification runs under a
 // pair-scoped context deadline.
-func joinPair(ctx context.Context, pi *pairIn, opts *Options, st *rec) (p Pair, ok bool) {
+func joinPair(ctx context.Context, pi *pairIn, opts *Options, chain []filter.Bound, st *rec) (p Pair, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			st.QuarantinedPairs++
@@ -429,13 +404,13 @@ func joinPair(ctx context.Context, pi *pairIn, opts *Options, st *rec) (p Pair, 
 	if fault.Enabled() {
 		// "core.pair" faults a whole pair; injected errors become panics so
 		// the quarantine path above is exercised end to end.
-		if err := fault.Hit("core.pair", pairKey(pi.qi, pi.gi)); err != nil {
+		if err := fault.HitPair("core.pair", fault.PairKey(pi.qi, pi.gi)); err != nil {
 			panic(err)
 		}
 	}
 
 	pruneStart := time.Now()
-	groups, pruned := prunephase(pi, opts, st)
+	groups, pruned := prunephase(pi, opts, chain, st)
 	pruneDur := time.Since(pruneStart)
 	st.PruneTime += pruneDur
 	st.jo.pruneSeconds.ObserveDuration(pruneDur)
@@ -463,140 +438,43 @@ func joinPair(ctx context.Context, pi *pairIn, opts *Options, st *rec) (p Pair, 
 	return p, ok
 }
 
-// pairKey renders the (qi, gi) indices as the failpoint key "qi/gi".
-func pairKey(qi, gi int) string {
-	return fmt.Sprintf("%d/%d", qi, gi)
-}
-
-// prunephase applies the configured filters. It returns the possible-world
-// groups to verify (nil means verify the whole graph as one group) and
-// whether the pair was pruned outright.
-func prunephase(pi *pairIn, opts *Options, st *rec) ([]ugraph.Group, bool) {
-	cssLB := filter.CSSLowerBoundUncertainSigScratch(&st.bp, pi.qs, pi.gs)
-	cssPruned := cssLB > opts.Tau
-	st.jo.filt.RecordCSS(cssPruned)
-	if cssPruned {
-		st.CSSPruned++
-		return nil, true
+// prunephase walks the pair through the bound chain in order. It returns the
+// possible-world groups to verify (nil means verify the whole graph as one
+// group; a kept group bound replaces them) and whether the pair was pruned
+// outright. Prunes are attributed per bound in Stats.PrunedBy and aggregated
+// into CSSPruned or ProbPruned by the bound's kind.
+func prunephase(pi *pairIn, opts *Options, chain []filter.Bound, st *rec) ([]ugraph.Group, bool) {
+	pc := filter.PairContext{
+		QS:         pi.qs,
+		GS:         pi.gs,
+		Tau:        opts.Tau,
+		Alpha:      opts.Alpha,
+		GroupCount: opts.GroupCount,
+		Scratch:    &st.fsc,
 	}
-	switch opts.Mode {
-	case ModeCSSOnly:
-		return nil, false
-	case ModeSimJ:
-		ub := 0.0
-		if opts.TightProbBound {
-			ub = filter.TotalProbabilityUpperBoundSig(pi.qs, pi.gs, opts.Tau)
-		} else {
-			ub = filter.SimilarityUpperBoundSig(pi.qs, pi.gs, opts.Tau)
+	var groups []ugraph.Group
+	for _, b := range chain {
+		out := b.Apply(&pc)
+		st.jo.filt.RecordBound(b.Name(), out)
+		st.GroupsBuilt += out.GroupsBuilt
+		st.GroupsPruned += out.GroupsCSSPruned
+		if out.Groups != nil {
+			groups = out.Groups
 		}
-		pruned := ub < opts.Alpha
-		st.jo.filt.RecordProb(opts.TightProbBound, pruned)
-		if pruned {
-			st.ProbPruned++
+		if out.Pruned {
+			if st.PrunedBy == nil {
+				st.PrunedBy = make(map[string]int64)
+			}
+			st.PrunedBy[b.Name()]++
+			if b.Kind() == filter.Structural {
+				st.CSSPruned++
+			} else {
+				st.ProbPruned++
+			}
 			return nil, true
 		}
-		return nil, false
-	case ModeSimJOpt:
-		st.resetGroupCache(pi, cssLB, opts.Tau)
-		groups := partitionForQuery(pi, opts.GroupCount, opts.Tau, st)
-		st.GroupsBuilt += int64(len(groups))
-		ubSum := 0.0
-		kept := groups[:0]
-		groupsCSSPruned := int64(0)
-		for _, gr := range groups {
-			ge := st.evalGroup(pi.qs, gr.G, opts.Tau)
-			if ge.cssLB > opts.Tau {
-				st.GroupsPruned++
-				groupsCSSPruned++
-				continue
-			}
-			ub := ge.simUB
-			if ub > gr.Mass {
-				ub = gr.Mass
-			}
-			ubSum += ub
-			kept = append(kept, gr)
-		}
-		pruned := ubSum < opts.Alpha
-		st.jo.filt.RecordGroupBound(pruned, groupsCSSPruned)
-		if pruned {
-			st.ProbPruned++
-			return nil, true
-		}
-		return kept, false
-	default:
-		return nil, false
 	}
-}
-
-// groupEval caches one possible-world group's signature and bounds during a
-// single pair's ModeSimJOpt pruning: the partition policy of §6.2 re-examines
-// every group each split round, which without the cache re-ran the O(V³)
-// λV matching and multiset scans O(k²) times per pair.
-type groupEval struct {
-	gs    *filter.GSig
-	cssLB int
-	simUB float64 // Theorem 4 bound; valid only when cssLB <= tau
-}
-
-// resetGroupCache clears the per-pair group cache and seeds it with the whole
-// graph's already-computed signature and CSS bound.
-func (st *rec) resetGroupCache(pi *pairIn, cssLB, tau int) {
-	if st.groupCache == nil {
-		st.groupCache = make(map[*ugraph.Graph]*groupEval)
-	}
-	clear(st.groupCache)
-	ge := &groupEval{gs: pi.gs, cssLB: cssLB}
-	if cssLB <= tau {
-		ge.simUB = filter.SimilarityUpperBoundSig(pi.qs, pi.gs, tau)
-	}
-	st.groupCache[pi.g] = ge
-}
-
-// evalGroup returns the cached evaluation of a group's graph, computing it on
-// first sight. Group graphs are immutable once created by Condition, so
-// caching by pointer identity is sound; the values are exactly what direct
-// recomputation would yield.
-func (st *rec) evalGroup(qs *filter.QSig, g *ugraph.Graph, tau int) *groupEval {
-	ge, ok := st.groupCache[g]
-	if !ok {
-		gs := filter.NewGSig(g)
-		ge = &groupEval{gs: gs, cssLB: filter.CSSLowerBoundUncertainSigScratch(&st.bp, qs, gs)}
-		if ge.cssLB <= tau {
-			ge.simUB = filter.SimilarityUpperBoundSig(qs, gs, tau)
-		}
-		st.groupCache[g] = ge
-	}
-	return ge
-}
-
-// partitionForQuery divides g's possible worlds into at most k groups using
-// the cost model of §6.2: at every round, split the group with the largest
-// probabilistic upper bound (the loosest contributor), i.e. minimise
-// Σ ub_SimP over non-pruned groups. Per-group bounds come from the worker's
-// group cache, so each group is evaluated once regardless of round count.
-func partitionForQuery(pi *pairIn, k, tau int, st *rec) []ugraph.Group {
-	policy := func(groups []ugraph.Group) int {
-		best, bestUB := -1, -1.0
-		for i, gr := range groups {
-			if gr.G.SplitVertex() < 0 {
-				continue
-			}
-			ge := st.evalGroup(pi.qs, gr.G, tau)
-			ub := 0.0
-			if ge.cssLB <= tau {
-				ub = ge.simUB
-				if ub > gr.Mass {
-					ub = gr.Mass
-				}
-			}
-			if ub > bestUB {
-				best, bestUB = i, ub
-			}
-		}
-		return best
-	}
-	return pi.g.PartitionWorlds(k, policy)
+	return groups, false
 }
 
 // exactOutcome reports how the exact enumeration rung ended.
@@ -712,9 +590,10 @@ func verifyExact(pairCtx, joinCtx context.Context, pi *pairIn, groups []ugraph.G
 		totalMass += gr.Mass
 	}
 	worldBudget := opts.MaxWorlds
-	faultKey := ""
-	if fault.Enabled() {
-		faultKey = pairKey(qi, gi)
+	faultArmed := fault.Enabled()
+	var faultKey uint64
+	if faultArmed {
+		faultKey = fault.PairKey(qi, gi)
 	}
 
 	simP := 0.0
@@ -756,10 +635,10 @@ func verifyExact(pairCtx, joinCtx context.Context, pi *pairIn, groups []ugraph.G
 				}
 				return false
 			}
-			if faultKey != "" {
+			if faultArmed {
 				// "core.verify.world" simulates a mid-enumeration budget
 				// cliff: any injection here aborts the rung as over budget.
-				if err := fault.Hit("core.verify.world", faultKey); err != nil {
+				if err := fault.HitPair("core.verify.world", faultKey); err != nil {
 					outcome = exactBudget
 					return false
 				}

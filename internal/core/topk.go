@@ -23,6 +23,10 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 	if err := opts.normalise(); err != nil {
 		return nil, Stats{}, err
 	}
+	chain, err := opts.chain()
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	if k < 1 {
 		k = 1
 	}
@@ -53,7 +57,7 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 				local.Pairs++
 				pi := pairIn{q: d[qi], g: u[gi], qs: qsigs[qi], gs: gsigs[gi], qi: qi, gi: gi}
 				jo.beatStart(id)
-				p, ok := joinPair(ctx, &pi, &opts, &local)
+				p, ok := joinPair(ctx, &pi, &opts, chain, &local)
 				jo.beatEnd(id)
 				if jo.progress {
 					jo.pairsDone.Add(1)

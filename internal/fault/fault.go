@@ -14,7 +14,7 @@
 //
 //	kind   panic | error | budget | delay (delay requires :duration)
 //	@key   fire only when the call site's key matches exactly (e.g. @3/7
-//	       for join pair q=3, g=2; most sites pass an empty key)
+//	       for join pair q=3, g=7; most sites pass an empty key)
 //	#count fire at most count times, then stay armed but inert
 //
 // Several specs are combined with commas:
@@ -91,6 +91,12 @@ type point struct {
 	key       string       // fire only on this key; "" fires on any
 	remaining atomic.Int64 // firings left; negative means unlimited
 	hits      atomic.Int64
+
+	// pairKey is key pre-parsed as a packed "qi/gi" join-pair key (see
+	// PairKey), so HitPair call sites match without formatting a string;
+	// hasPairKey reports whether key had that shape.
+	pairKey    uint64
+	hasPairKey bool
 }
 
 // registry holds the armed failpoints, copy-on-write: Hit loads the map
@@ -128,7 +134,39 @@ func Hit(name, key string) error {
 	if pt == nil || (pt.key != "" && pt.key != key) {
 		return nil
 	}
-	// Consume one firing unless unlimited.
+	return pt.fire()
+}
+
+// PairKey packs a join pair's (qi, gi) indices into the integer activation
+// key HitPair matches against: qi in the high 32 bits, gi in the low 32.
+// Specs written with the string form "@qi/gi" parse onto the same packing, so
+// the spec grammar is unchanged while hot-path call sites never format a
+// string.
+func PairKey(qi, gi int) uint64 {
+	return uint64(uint32(qi))<<32 | uint64(uint32(gi))
+}
+
+// HitPair is Hit for call sites keyed by a (qi, gi) join pair packed with
+// PairKey. A failpoint armed with a key that is not of the "qi/gi" form never
+// matches here.
+func HitPair(name string, key uint64) error {
+	m := registry.Load()
+	if m == nil {
+		return nil
+	}
+	pt := (*m)[name]
+	if pt == nil {
+		return nil
+	}
+	if pt.key != "" && (!pt.hasPairKey || pt.pairKey != key) {
+		return nil
+	}
+	return pt.fire()
+}
+
+// fire consumes one firing (unless unlimited) and applies the failpoint's
+// effect.
+func (pt *point) fire() error {
 	for {
 		r := pt.remaining.Load()
 		if r == 0 {
@@ -141,14 +179,14 @@ func Hit(name, key string) error {
 	pt.hits.Add(1)
 	switch pt.kind {
 	case KindPanic:
-		panic(Panic{Name: name})
+		panic(Panic{Name: pt.name})
 	case KindDelay:
 		time.Sleep(pt.delay)
 		return nil
 	case KindBudget:
-		return fmt.Errorf("%w (failpoint %s)", ErrBudget, name)
+		return fmt.Errorf("%w (failpoint %s)", ErrBudget, pt.name)
 	default:
-		return fmt.Errorf("%w (failpoint %s)", ErrInjected, name)
+		return fmt.Errorf("%w (failpoint %s)", ErrInjected, pt.name)
 	}
 }
 
@@ -294,6 +332,9 @@ func parseSpec(spec string) (*point, error) {
 			return fmt.Errorf("fault: spec %q has empty key", spec)
 		}
 		pt.key = v
+		if qi, gi, ok := parsePairKey(v); ok {
+			pt.pairKey, pt.hasPairKey = PairKey(qi, gi), true
+		}
 		return nil
 	}); !ok {
 		return nil, fmt.Errorf("fault: spec %q has invalid key", spec)
@@ -324,6 +365,21 @@ func parseSpec(spec string) (*point, error) {
 		return nil, fmt.Errorf("fault: kind %q takes no argument in spec %q", kind, spec)
 	}
 	return pt, nil
+}
+
+// parsePairKey recognises keys of the "qi/gi" form used by the join's
+// per-pair failpoints.
+func parsePairKey(key string) (qi, gi int, ok bool) {
+	a, b, found := strings.Cut(key, "/")
+	if !found {
+		return 0, 0, false
+	}
+	qi, err1 := strconv.Atoi(a)
+	gi, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil || qi < 0 || gi < 0 {
+		return 0, 0, false
+	}
+	return qi, gi, true
 }
 
 // cutSuffix splits rest at the last sep and feeds the suffix to parse; it

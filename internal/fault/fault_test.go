@@ -100,6 +100,50 @@ func TestKeyScoping(t *testing.T) {
 	}
 }
 
+func TestPairKeyPacking(t *testing.T) {
+	if k := PairKey(3, 7); k != 3<<32|7 {
+		t.Fatalf("PairKey(3,7) = %#x", k)
+	}
+	if PairKey(0, 0) != 0 || PairKey(1, 0) == PairKey(0, 1) {
+		t.Fatal("PairKey does not separate qi from gi")
+	}
+}
+
+func TestHitPairScoping(t *testing.T) {
+	// A "@qi/gi" spec matches only its packed pair.
+	arm(t, "p=error@3/7")
+	if err := HitPair("p", PairKey(3, 8)); err != nil {
+		t.Fatalf("wrong gi fired: %v", err)
+	}
+	if err := HitPair("p", PairKey(7, 3)); err != nil {
+		t.Fatalf("swapped pair fired: %v", err)
+	}
+	if err := HitPair("p", PairKey(3, 7)); err == nil {
+		t.Fatal("matching pair did not fire")
+	}
+
+	// A non-pair key never matches HitPair call sites.
+	arm(t, "p=error@somekey")
+	if err := HitPair("p", PairKey(3, 7)); err != nil {
+		t.Fatalf("string-keyed failpoint fired on a pair key: %v", err)
+	}
+
+	// A keyless failpoint fires on any pair.
+	arm(t, "p=error")
+	if err := HitPair("p", PairKey(9, 9)); err == nil {
+		t.Fatal("keyless failpoint did not fire")
+	}
+
+	// Both call forms share one firing budget.
+	arm(t, "p=error@3/7#1")
+	if err := Hit("p", "3/7"); err == nil {
+		t.Fatal("string form did not fire")
+	}
+	if err := HitPair("p", PairKey(3, 7)); err != nil {
+		t.Fatalf("budget not shared across call forms: %v", err)
+	}
+}
+
 func TestCountCap(t *testing.T) {
 	arm(t, "p=error#2")
 	fired := 0

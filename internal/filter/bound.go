@@ -1,0 +1,379 @@
+package filter
+
+// The pluggable filter chain.
+//
+// The paper's Algorithm 1/2 is a fixed bound order (CSS, then a probabilistic
+// upper bound), but "one size does not fit all": signature-based pruning only
+// pays off on some workloads, so the chain is data here, not code. Every
+// pruning bound the repo implements — the uncertain-graph bounds of
+// Theorems 3/4 and Algorithm 2, and the certain-graph baseline filters of
+// baselines.go — is wrapped as a Bound, named in a registry, and composed
+// into an ordered chain the join engine walks per pair.
+//
+// Certain-graph baselines are applied to an uncertain graph through its
+// relaxation (GSig.Relaxed): a certain graph whose vertex labels survive only
+// when unambiguous, every other vertex degrading to a wildcard. Wildcards
+// only ever add label matches, so for each of these bounds
+// lb(q, relaxed(g)) ≤ lb(q, w) ≤ ged(q, w) for every possible world w: a
+// relaxation-based prune lb > τ proves SimPτ(q,g) = 0 and is sound for any
+// α ∈ (0, 1].
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"simjoin/internal/graph"
+	"simjoin/internal/matching"
+	"simjoin/internal/ugraph"
+)
+
+// BoundKind classifies what a bound's prune decision proves, which is how the
+// join engine attributes the prune to its aggregate Stats counters.
+type BoundKind int
+
+const (
+	// Structural bounds lower-bound ged(q, w) for every possible world w and
+	// prune when the bound exceeds τ (SimPτ = 0).
+	Structural BoundKind = iota
+	// Probabilistic bounds upper-bound SimPτ(q, g) and prune when the bound
+	// falls below α.
+	Probabilistic
+)
+
+// String implements fmt.Stringer.
+func (k BoundKind) String() string {
+	switch k {
+	case Structural:
+		return "structural"
+	case Probabilistic:
+		return "probabilistic"
+	default:
+		return fmt.Sprintf("BoundKind(%d)", int(k))
+	}
+}
+
+// Scratch holds the reusable per-worker buffers a filter chain writes
+// through: the bipartite matching backing the λV computations and the
+// per-pair group cache of Algorithm 2's partition policy. The zero value is
+// ready to use; a Scratch must not be shared between goroutines.
+type Scratch struct {
+	// BP backs the λV matchings of the CSS bound and the per-group bounds.
+	BP matching.Bipartite
+
+	groupCache map[*ugraph.Graph]*groupEval
+}
+
+// PairContext is the per-pair state a chain of bounds shares: the two
+// precomputed signatures, the join thresholds, and the cross-bound carry
+// slots (the CSS lower bound, reused by the group bound's cache seed).
+type PairContext struct {
+	QS *QSig
+	GS *GSig
+
+	// Tau and Alpha are the join thresholds τ and α of Def. 7; GroupCount is
+	// the possible-world group budget GN of Algorithm 2.
+	Tau        int
+	Alpha      float64
+	GroupCount int
+
+	// Scratch must be non-nil; the engine provides one per worker.
+	Scratch *Scratch
+
+	// CSSLB carries the whole-pair CSS lower bound forward once a css stage
+	// has computed it, so later stages (the group bound's cache seed) reuse
+	// it instead of re-running the λV matching.
+	CSSLB    int
+	HasCSSLB bool
+}
+
+// cssLowerBound returns the pair's CSS lower bound, computing and caching it
+// in the context on first use.
+func (pc *PairContext) cssLowerBound() int {
+	if !pc.HasCSSLB {
+		pc.CSSLB = CSSLowerBoundUncertainSigScratch(&pc.Scratch.BP, pc.QS, pc.GS)
+		pc.HasCSSLB = true
+	}
+	return pc.CSSLB
+}
+
+// Outcome is one bound's verdict on one pair.
+type Outcome struct {
+	// Pruned eliminates the pair: structurally (lb > τ) or probabilistically
+	// (ub < α) depending on the bound's Kind.
+	Pruned bool
+	// Groups, when non-nil on a surviving pair, is the possible-world
+	// partition the verification stage should enumerate instead of the whole
+	// graph (the group bound's kept groups).
+	Groups []ugraph.Group
+	// GroupsBuilt and GroupsCSSPruned tally Algorithm 2's partition work:
+	// groups constructed, and groups removed by their own CSS bound.
+	GroupsBuilt     int64
+	GroupsCSSPruned int64
+}
+
+// Bound is one stage of the pruning pipeline. Apply must be safe for
+// concurrent use on distinct PairContexts (all per-pair state lives in the
+// context and its Scratch).
+type Bound interface {
+	// Name is the registry key, stable across releases (it names CLI flags,
+	// Stats.PrunedBy entries and metrics).
+	Name() string
+	Kind() BoundKind
+	Apply(*PairContext) Outcome
+}
+
+// ── Registry ────────────────────────────────────────────────────────────────
+
+var (
+	regMu      sync.RWMutex
+	boundReg   = make(map[string]Bound)
+	boundNames []string
+)
+
+// Register adds a bound to the registry under its Name. It panics on a
+// duplicate or empty name. Bounds registered after a join's Obs was created
+// still count in Stats.PrunedBy but get no live per-bound counters.
+func Register(b Bound) {
+	name := b.Name()
+	if name == "" {
+		panic("filter: Register with empty bound name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := boundReg[name]; dup {
+		panic(fmt.Sprintf("filter: bound %q registered twice", name))
+	}
+	boundReg[name] = b
+	boundNames = append(boundNames, name)
+	sort.Strings(boundNames)
+}
+
+// BoundByName looks a registered bound up.
+func BoundByName(name string) (Bound, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := boundReg[name]
+	return b, ok
+}
+
+// MustBound is BoundByName for names known to be registered; it panics
+// otherwise.
+func MustBound(name string) Bound {
+	b, ok := BoundByName(name)
+	if !ok {
+		panic(fmt.Sprintf("filter: unknown bound %q", name))
+	}
+	return b
+}
+
+// BoundNames returns the registered bound names, sorted.
+func BoundNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(boundNames))
+	copy(out, boundNames)
+	return out
+}
+
+// ParseChain resolves a comma-separated bound list ("count,css,prob") into an
+// ordered chain.
+func ParseChain(spec string) ([]Bound, error) {
+	var chain []Bound
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, ok := BoundByName(name)
+		if !ok {
+			return nil, fmt.Errorf("filter: unknown bound %q (known: %s)",
+				name, strings.Join(BoundNames(), ", "))
+		}
+		chain = append(chain, b)
+	}
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("filter: empty filter chain %q", spec)
+	}
+	return chain, nil
+}
+
+func init() {
+	Register(cssBound{})
+	Register(probBound{})
+	Register(probBound{tight: true})
+	Register(groupBound{})
+	Register(baselineBound{name: "lm", lb: func(q, g *graph.Graph, _ int) int { return LMLowerBound(q, g) }})
+	Register(baselineBound{name: "count", lb: func(q, g *graph.Graph, _ int) int { return CountLowerBound(q, g) }})
+	Register(baselineBound{name: "cstar", lb: func(q, g *graph.Graph, _ int) int { return CStarLowerBound(q, g) }})
+	Register(baselineBound{name: "path-gram", lb: func(q, g *graph.Graph, _ int) int { return PathGramLowerBound(q, g) }})
+	Register(baselineBound{name: "pars", lb: func(q, g *graph.Graph, _ int) int { return ParsLowerBound(q, g) }})
+	Register(baselineBound{name: "segos", lb: SegosLowerBound})
+}
+
+// ── Built-in bounds ─────────────────────────────────────────────────────────
+
+// cssBound is the structural CSS lower bound of Theorem 3, evaluated on the
+// uncertain graph directly (wildcard-aware λV matching). It records the
+// computed bound in the context for later stages.
+type cssBound struct{}
+
+func (cssBound) Name() string    { return "css" }
+func (cssBound) Kind() BoundKind { return Structural }
+
+func (cssBound) Apply(pc *PairContext) Outcome {
+	lb := CSSLowerBoundUncertainSigScratch(&pc.Scratch.BP, pc.QS, pc.GS)
+	pc.CSSLB, pc.HasCSSLB = lb, true
+	return Outcome{Pruned: lb > pc.Tau}
+}
+
+// probBound is the similarity-probability upper bound: Theorem 4's Markov
+// bound, or its law-of-total-probability refinement when tight ("prob-tight",
+// ablation A6).
+type probBound struct{ tight bool }
+
+func (b probBound) Name() string {
+	if b.tight {
+		return "prob-tight"
+	}
+	return "prob"
+}
+func (probBound) Kind() BoundKind { return Probabilistic }
+
+func (b probBound) Apply(pc *PairContext) Outcome {
+	var ub float64
+	if b.tight {
+		ub = TotalProbabilityUpperBoundSig(pc.QS, pc.GS, pc.Tau)
+	} else {
+		ub = SimilarityUpperBoundSig(pc.QS, pc.GS, pc.Tau)
+	}
+	return Outcome{Pruned: ub < pc.Alpha}
+}
+
+// groupBound is Algorithm 2's grouped probabilistic bound: partition the
+// possible worlds into at most GroupCount groups by the §6.2 cost model,
+// prune each group by its own CSS bound, and prune the pair when the summed
+// per-group upper bounds fall below α. Kept groups flow to verification
+// through Outcome.Groups.
+type groupBound struct{}
+
+func (groupBound) Name() string    { return "group" }
+func (groupBound) Kind() BoundKind { return Probabilistic }
+
+func (groupBound) Apply(pc *PairContext) Outcome {
+	sc := pc.Scratch
+	sc.resetGroupCache(pc)
+	groups := partitionForQuery(pc)
+	out := Outcome{GroupsBuilt: int64(len(groups))}
+	ubSum := 0.0
+	kept := groups[:0]
+	for _, gr := range groups {
+		ge := sc.evalGroup(pc.QS, gr.G, pc.Tau)
+		if ge.cssLB > pc.Tau {
+			out.GroupsCSSPruned++
+			continue
+		}
+		ub := ge.simUB
+		if ub > gr.Mass {
+			ub = gr.Mass
+		}
+		ubSum += ub
+		kept = append(kept, gr)
+	}
+	if ubSum < pc.Alpha {
+		out.Pruned = true
+		return out
+	}
+	out.Groups = kept
+	return out
+}
+
+// baselineBound adapts one of the certain-graph baseline filters (LM, count,
+// C-star, path-grams, Pars, SEGOS) to uncertain pairs via the relaxation
+// argument in the package comment above: lb(q, relaxed(g)) lower-bounds
+// ged(q, w) for every possible world w, so lb > τ proves SimPτ = 0.
+type baselineBound struct {
+	name string
+	lb   func(q, g *graph.Graph, tau int) int
+}
+
+func (b baselineBound) Name() string  { return b.name }
+func (baselineBound) Kind() BoundKind { return Structural }
+func (b baselineBound) Apply(pc *PairContext) Outcome {
+	return Outcome{Pruned: b.lb(pc.QS.G, pc.GS.Relaxed(), pc.Tau) > pc.Tau}
+}
+
+// ── Possible-world grouping (Algorithm 2 machinery) ─────────────────────────
+
+// groupEval caches one possible-world group's signature and bounds during a
+// single pair's grouped pruning: the partition policy of §6.2 re-examines
+// every group each split round, which without the cache re-ran the O(V³)
+// λV matching and multiset scans O(k²) times per pair.
+type groupEval struct {
+	gs    *GSig
+	cssLB int
+	simUB float64 // Theorem 4 bound; valid only when cssLB <= tau
+}
+
+// resetGroupCache clears the per-pair group cache and seeds it with the whole
+// graph's already-computed signature and CSS bound.
+func (sc *Scratch) resetGroupCache(pc *PairContext) {
+	if sc.groupCache == nil {
+		sc.groupCache = make(map[*ugraph.Graph]*groupEval)
+	}
+	clear(sc.groupCache)
+	ge := &groupEval{gs: pc.GS, cssLB: pc.cssLowerBound()}
+	if ge.cssLB <= pc.Tau {
+		ge.simUB = SimilarityUpperBoundSig(pc.QS, pc.GS, pc.Tau)
+	}
+	sc.groupCache[pc.GS.G] = ge
+}
+
+// evalGroup returns the cached evaluation of a group's graph, computing it on
+// first sight. Group graphs are immutable once created by Condition, so
+// caching by pointer identity is sound; the values are exactly what direct
+// recomputation would yield.
+func (sc *Scratch) evalGroup(qs *QSig, g *ugraph.Graph, tau int) *groupEval {
+	ge, ok := sc.groupCache[g]
+	if !ok {
+		gs := NewGSig(g)
+		ge = &groupEval{gs: gs, cssLB: CSSLowerBoundUncertainSigScratch(&sc.BP, qs, gs)}
+		if ge.cssLB <= tau {
+			ge.simUB = SimilarityUpperBoundSig(qs, gs, tau)
+		}
+		sc.groupCache[g] = ge
+	}
+	return ge
+}
+
+// partitionForQuery divides g's possible worlds into at most GroupCount
+// groups using the cost model of §6.2: at every round, split the group with
+// the largest probabilistic upper bound (the loosest contributor), i.e.
+// minimise Σ ub_SimP over non-pruned groups. Per-group bounds come from the
+// scratch's group cache, so each group is evaluated once regardless of round
+// count.
+func partitionForQuery(pc *PairContext) []ugraph.Group {
+	sc := pc.Scratch
+	policy := func(groups []ugraph.Group) int {
+		best, bestUB := -1, -1.0
+		for i, gr := range groups {
+			if gr.G.SplitVertex() < 0 {
+				continue
+			}
+			ge := sc.evalGroup(pc.QS, gr.G, pc.Tau)
+			ub := 0.0
+			if ge.cssLB <= pc.Tau {
+				ub = ge.simUB
+				if ub > gr.Mass {
+					ub = gr.Mass
+				}
+			}
+			if ub > bestUB {
+				best, bestUB = i, ub
+			}
+		}
+		return best
+	}
+	return pc.GS.G.PartitionWorlds(pc.GroupCount, policy)
+}

@@ -1,91 +1,90 @@
 package filter
 
 import (
+	"strings"
+
 	"simjoin/internal/obs"
 )
 
-// Obs bundles per-bound observability counters so each lower/upper bound's
+// Obs bundles per-bound observability counters so each filter-chain stage's
 // selectivity is visible individually instead of being lumped into the join
 // pipeline's aggregate CSSPruned/ProbPruned tallies. A nil *Obs discards all
 // records, so callers instrument unconditionally.
 //
-// Evaluated counts pairs a bound was computed for; Pruned counts the subset
-// it eliminated. Pruned/Evaluated is the bound's measured selectivity — the
-// quantity §6.2's cost model (and the filter comparisons of Fig. 15) reason
-// about.
+// Each registered bound gets an evaluated counter (pairs the bound was
+// computed for) and a pruned counter (the subset it eliminated);
+// pruned/evaluated is the bound's measured selectivity — the quantity §6.2's
+// cost model (and the filter comparisons of Fig. 15) reason about. The
+// counter names of the paper's own stages predate the registry and are kept
+// stable: filter_css_*, filter_prob_*, filter_prob_tight_* and
+// filter_group_bound_*; every other bound publishes as
+// filter_bound_<name>_*. filter_group_css_pruned_total counts individual
+// possible-world groups removed by their own CSS bound inside Algorithm 2.
 type Obs struct {
-	// CSS is the structural lower bound of Theorem 3 applied to whole pairs.
-	CSSEvaluated, CSSPruned *obs.Counter
-	// Prob is the Markov-inequality upper bound of Theorem 4.
-	ProbEvaluated, ProbPruned *obs.Counter
-	// Tight is the law-of-total-probability refinement (ablation A6).
-	TightEvaluated, TightPruned *obs.Counter
-	// Group is the summed per-group bound of Algorithm 2 (SimJ+opt).
-	GroupEvaluated, GroupPruned *obs.Counter
-	// GroupCSSPruned counts individual possible-world groups removed by
-	// their own CSS bound inside Algorithm 2.
-	GroupCSSPruned *obs.Counter
+	byBound map[string]boundCounters
+
+	groupCSSPruned *obs.Counter
 }
 
-// NewObs registers the per-filter counters on reg; nil reg yields nil (all
-// records discarded).
+type boundCounters struct {
+	evaluated, pruned *obs.Counter
+}
+
+// NewObs registers the per-bound counters on reg for every bound in the
+// registry at call time; nil reg yields nil (all records discarded). Bounds
+// registered later are not counted.
 func NewObs(reg *obs.Registry) *Obs {
 	if reg == nil {
 		return nil
 	}
-	return &Obs{
-		CSSEvaluated:   reg.Counter("filter_css_evaluated_total"),
-		CSSPruned:      reg.Counter("filter_css_pruned_total"),
-		ProbEvaluated:  reg.Counter("filter_prob_evaluated_total"),
-		ProbPruned:     reg.Counter("filter_prob_pruned_total"),
-		TightEvaluated: reg.Counter("filter_prob_tight_evaluated_total"),
-		TightPruned:    reg.Counter("filter_prob_tight_pruned_total"),
-		GroupEvaluated: reg.Counter("filter_group_bound_evaluated_total"),
-		GroupPruned:    reg.Counter("filter_group_bound_pruned_total"),
-		GroupCSSPruned: reg.Counter("filter_group_css_pruned_total"),
+	o := &Obs{
+		byBound:        make(map[string]boundCounters),
+		groupCSSPruned: reg.Counter("filter_group_css_pruned_total"),
 	}
-}
-
-// RecordCSS tallies one whole-pair CSS bound evaluation.
-func (f *Obs) RecordCSS(pruned bool) {
-	if f == nil {
-		return
-	}
-	f.CSSEvaluated.Inc()
-	if pruned {
-		f.CSSPruned.Inc()
-	}
-}
-
-// RecordProb tallies one probabilistic upper bound evaluation; tight selects
-// the total-probability refinement's counters.
-func (f *Obs) RecordProb(tight, pruned bool) {
-	if f == nil {
-		return
-	}
-	if tight {
-		f.TightEvaluated.Inc()
-		if pruned {
-			f.TightPruned.Inc()
+	for _, name := range BoundNames() {
+		o.byBound[name] = boundCounters{
+			evaluated: reg.Counter(boundCounterName(name, "evaluated")),
+			pruned:    reg.Counter(boundCounterName(name, "pruned")),
 		}
-		return
 	}
-	f.ProbEvaluated.Inc()
-	if pruned {
-		f.ProbPruned.Inc()
-	}
+	return o
 }
 
-// RecordGroupBound tallies one grouped upper bound evaluation (the ubSum
-// test of Algorithm 2) and how many individual groups the per-group CSS
-// bound removed along the way.
-func (f *Obs) RecordGroupBound(pruned bool, groupsCSSPruned int64) {
+// boundCounterName maps a bound name to its evaluated/pruned counter names,
+// preserving the pre-registry names of the paper's own stages.
+func boundCounterName(bound, what string) string {
+	switch bound {
+	case "css":
+		return "filter_css_" + what + "_total"
+	case "prob":
+		return "filter_prob_" + what + "_total"
+	case "prob-tight":
+		return "filter_prob_tight_" + what + "_total"
+	case "group":
+		return "filter_group_bound_" + what + "_total"
+	}
+	return "filter_bound_" + MetricName(bound) + "_" + what + "_total"
+}
+
+// MetricName sanitises a bound name for use inside a metric identifier
+// ("path-gram" → "path_gram").
+func MetricName(bound string) string {
+	return strings.ReplaceAll(bound, "-", "_")
+}
+
+// RecordBound tallies one bound evaluation and its outcome. Unregistered
+// bound names record only the group tallies.
+func (f *Obs) RecordBound(name string, out Outcome) {
 	if f == nil {
 		return
 	}
-	f.GroupEvaluated.Inc()
-	if pruned {
-		f.GroupPruned.Inc()
+	if c, ok := f.byBound[name]; ok {
+		c.evaluated.Inc()
+		if out.Pruned {
+			c.pruned.Inc()
+		}
 	}
-	f.GroupCSSPruned.Add(groupsCSSPruned)
+	if out.GroupsCSSPruned > 0 {
+		f.groupCSSPruned.Add(out.GroupsCSSPruned)
+	}
 }

@@ -13,6 +13,8 @@ package filter
 // counterparts (which remain as thin wrappers).
 
 import (
+	"sync"
+
 	"simjoin/internal/graph"
 	"simjoin/internal/matching"
 	"simjoin/internal/ugraph"
@@ -81,6 +83,36 @@ type GSig struct {
 	flat      []gsigLabel        // all (vertex, label) records in order
 	byLabel   map[string][]int32 // concrete label -> vertices carrying it
 	wildVerts []int32            // vertices with a wildcard candidate label
+
+	relaxedOnce sync.Once
+	relaxed     *graph.Graph
+}
+
+// Relaxed returns the certain relaxation of the uncertain graph: the same
+// structure, with a vertex keeping its label only when it has exactly one
+// candidate label and that label is concrete — every other vertex degrades to
+// the wildcard "?". Wildcards only ever add label matches, so for any
+// label-compatibility-based lower bound lb, lb(q, Relaxed()) ≤ lb(q, w) for
+// every possible world w: the relaxation lets certain-graph baseline filters
+// prune uncertain pairs soundly. Built lazily on first use and cached;
+// concurrency-safe.
+func (s *GSig) Relaxed() *graph.Graph {
+	s.relaxedOnce.Do(func() {
+		w := graph.New(s.NumV)
+		for v := 0; v < s.NumV; v++ {
+			ls := s.G.Labels(v)
+			if len(ls) == 1 && !graph.IsWildcard(ls[0].Name) {
+				w.AddVertex(ls[0].Name)
+			} else {
+				w.AddVertex("?")
+			}
+		}
+		for _, e := range s.G.Edges() {
+			w.MustAddEdge(e.From, e.To, e.Label)
+		}
+		s.relaxed = w
+	})
+	return s.relaxed
 }
 
 // NewGSig precomputes the signature of one uncertain graph.

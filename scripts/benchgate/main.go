@@ -1,0 +1,95 @@
+// Command benchgate compares a fresh scripts/bench.sh summary against the
+// committed baseline (BENCH_join.json) and exits non-zero when any
+// benchmark's ns/op regressed beyond the budget. CI runs it after
+// `make bench-join` so a pipeline change that slows the join hot path fails
+// loudly instead of silently rotting the baseline.
+//
+//	go run ./scripts/benchgate -baseline BENCH_join.json -current /tmp/bench.json -max-regress 25
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+func load(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]result
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return m, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_join.json", "committed baseline summary")
+	current := flag.String("current", "", "freshly measured summary to gate")
+	maxRegress := flag.Float64("max-regress", 25, "ns/op regression budget in percent")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err == nil {
+		var cur map[string]result
+		cur, err = load(*current)
+		if err == nil {
+			err = gate(base, cur, *maxRegress)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func gate(base, cur map[string]result, budget float64) error {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failed bool
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("MISSING %-24s not in current run\n", name)
+			failed = true
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			return fmt.Errorf("baseline %s has ns_per_op %v", name, b.NsPerOp)
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		status := "ok"
+		if delta > budget {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-9s %-24s %12.0f -> %12.0f ns/op (%+.1f%%, budget +%.0f%%)\n",
+			status, name, b.NsPerOp, c.NsPerOp, delta, budget)
+	}
+	if failed {
+		return fmt.Errorf("ns/op regression beyond %.0f%% (or missing benchmark)", budget)
+	}
+	return nil
+}

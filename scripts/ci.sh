@@ -17,8 +17,8 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== go test"
-go test ./...
+echo "== go test (shuffled)"
+go test -shuffle=on ./...
 
 echo "== go test -race (core, filter, ged, obs, fault)"
 go test -race ./internal/core ./internal/filter ./internal/ged ./internal/obs ./internal/fault
@@ -33,7 +33,10 @@ echo "== fuzz smoke (20s per target)"
 go test -run '^$' -fuzz '^FuzzParseQuery$' -fuzztime 20s ./internal/sparql
 go test -run '^$' -fuzz '^FuzzParseTriples$' -fuzztime 20s ./internal/rdf
 
-echo "== benchmark smoke (join benchmarks, 1 iteration)"
-go test -run '^$' -bench '^BenchmarkJoin(ER|IndexedER|TopK)$' -benchtime 1x -benchmem .
+echo "== benchmark regression gate (vs BENCH_join.json, +25% ns/op budget)"
+benchtmp=$(mktemp -d)
+trap 'rm -rf "$benchtmp"' EXIT
+OUT="$benchtmp/bench.json" COUNT=3 make bench-join >/dev/null
+go run ./scripts/benchgate -baseline BENCH_join.json -current "$benchtmp/bench.json" -max-regress 25
 
 echo "CI passed"
