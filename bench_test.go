@@ -370,6 +370,56 @@ func BenchmarkTreeEditDistance(b *testing.B) {
 	}
 }
 
+// BenchmarkFilterChainSig measures steady-state per-pair evaluation of the
+// signature-based filter chain (css, prob, prob-tight) with warmed memoized
+// sub-signatures and a reused scratch — the engine's hot path per candidate
+// pair. Expected: 0 allocs/op.
+func BenchmarkFilterChainSig(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 4
+	d, u := workload.ER(cfg)
+	qsigs := filter.NewQSigs(d)
+	gsigs := filter.NewGSigs(u)
+	chain := []filter.Bound{filter.MustBound("css"), filter.MustBound("prob"), filter.MustBound("prob-tight")}
+	var sc filter.Scratch
+	var pc filter.PairContext
+	eval := func(qs *filter.QSig, gs *filter.GSig) {
+		pc = filter.PairContext{QS: qs, GS: gs, Tau: 2, Alpha: 0.5, GroupCount: 10, Scratch: &sc}
+		for _, bd := range chain {
+			bd.Apply(&pc)
+		}
+	}
+	for _, qs := range qsigs { // warm the memoized per-condition sub-signatures
+		for _, gs := range gsigs {
+			eval(qs, gs)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval(qsigs[i%len(qsigs)], gsigs[(i/len(qsigs))%len(gsigs)])
+	}
+}
+
+// BenchmarkWorldLowerBound measures the per-possible-world CSS pre-check of
+// the verification stage: λV recomputed by integer label-id equality, the
+// world-invariant constants cached in the PairVerifier. Expected: 0 allocs/op.
+func BenchmarkWorldLowerBound(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 2
+	d, u := workload.ER(cfg)
+	qs := filter.NewQSig(d[0])
+	gs := filter.NewGSig(u[0])
+	w, _ := u[0].MostLikelyWorld()
+	var pv filter.PairVerifier
+	pv.Reset(qs, gs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pv.WorldLowerBound(w)
+	}
+}
+
 var sinkUG *ugraph.Graph
 
 func BenchmarkUncertainClone(b *testing.B) {

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -41,6 +43,8 @@ func main() {
 		statsJSON = flag.String("stats-json", "", "write the final Stats and metrics snapshot as JSON to this file")
 		traceOut  = flag.String("trace-out", "", "write recorded spans as Chrome trace_event JSON to this file")
 		progress  = flag.Duration("progress", 0, "log join progress at this interval (e.g. 2s; 0 disables)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof format) to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (go tool pprof format) to this file at exit")
 
 		pairDeadline = flag.Duration("pair-deadline", 0, "soft per-pair verification deadline; past it the pair degrades down the verdict ladder (0 disables)")
 		fallbackName = flag.String("fallback", "full", "budget-cliff policy: full (sample then approx bounds), sample, none (legacy skip)")
@@ -48,6 +52,36 @@ func main() {
 		failpoints   = flag.String("failpoints", "", "comma-separated fault injections, e.g. 'ged.compute=error#3,core.pair=delay:5ms' (also via "+fault.EnvVar+")")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simjoin:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "simjoin:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simjoin:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "simjoin:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	fb, err := core.ParseFallback(*fallbackName)
 	if err != nil {

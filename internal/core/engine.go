@@ -235,12 +235,12 @@ func (s *indexSource) Queries() ([]*graph.Graph, []*filter.QSig) { return s.idx.
 func (s *indexSource) TotalPairs() int64 { return int64(s.idx.Len()) * int64(len(s.u)) }
 
 func (s *indexSource) Feed(ctx context.Context, opts *Options, emit func(Batch) bool, skip func(int64)) {
-	gLabels := make(map[string]bool) // label-set scratch, reused across graphs
+	var gSet graph.LabelSet // label-set scratch, reused across graphs
 	for gi, g := range s.u {
 		if ctx.Err() != nil {
 			return
 		}
-		cands := s.idx.candidates(g, opts.Tau, gLabels)
+		cands := s.idx.candidates(g, opts.Tau, &gSet)
 		skip(int64(s.idx.Len() - len(cands)))
 		if len(cands) == 0 {
 			continue

@@ -59,24 +59,24 @@ func (idx *Index) Len() int { return len(idx.d) }
 // Candidates streams the indices of queries surviving both prescreens
 // against the uncertain graph g at threshold tau, in ascending order.
 func (idx *Index) Candidates(g *ugraph.Graph, tau int) []int {
-	return idx.candidates(g, tau, make(map[string]bool))
+	return idx.candidates(g, tau, new(graph.LabelSet))
 }
 
-// candidates is Candidates with a caller-owned label-set scratch map, cleared
-// on entry; the feed loop of JoinIndexedContext reuses one map across every
-// uncertain graph instead of allocating |U| of them.
-func (idx *Index) candidates(g *ugraph.Graph, tau int, gLabels map[string]bool) []int {
+// candidates is Candidates with a caller-owned label-set scratch bitset,
+// cleared on entry; the feed loop of JoinIndexedContext reuses one bitset
+// across every uncertain graph instead of allocating |U| of them.
+func (idx *Index) candidates(g *ugraph.Graph, tau int, gSet *graph.LabelSet) []int {
 	gSize := g.Size()
-	// Union label multiset of g (any candidate label can realise a match).
-	clear(gLabels)
+	// Union label set of g (any candidate label can realise a match).
+	gSet.Reset()
 	gWilds := 0
 	for v := 0; v < g.NumVertices(); v++ {
 		wild := false
-		for _, l := range g.Labels(v) {
-			if graph.IsWildcard(l.Name) {
+		for _, id := range g.LabelIDs(v) {
+			if id == graph.WildcardID {
 				wild = true
 			} else {
-				gLabels[l.Name] = true
+				gSet.Add(id)
 			}
 		}
 		if wild {
@@ -94,7 +94,7 @@ func (idx *Index) candidates(g *ugraph.Graph, tau int, gLabels map[string]bool) 
 	}
 	for size := lo; size <= hi; size++ {
 		for _, i := range idx.bySize[size] {
-			if idx.labelScreen(i, g, gLabels, gWilds, tau) {
+			if idx.labelScreen(i, g, gSet, gWilds, tau) {
 				out = append(out, i)
 			}
 		}
@@ -105,13 +105,17 @@ func (idx *Index) candidates(g *ugraph.Graph, tau int, gLabels map[string]bool) 
 
 // labelScreen applies the cheap λV overlap bound: if even the most generous
 // overlap estimate leaves more than τ unmatched vertices on the larger side,
-// the LM (and hence CSS) bound would prune the pair anyway.
-func (idx *Index) labelScreen(i int, g *ugraph.Graph, gLabels map[string]bool, gWilds, tau int) bool {
+// the LM (and hence CSS) bound would prune the pair anyway. Membership runs
+// on the dictionary-id bitsets: an O(words) Intersects probe skips the
+// per-label walk entirely for disjoint label sets.
+func (idx *Index) labelScreen(i int, g *ugraph.Graph, gSet *graph.LabelSet, gWilds, tau int) bool {
 	qs := idx.qsigs[i]
 	overlap := qs.VWilds // every wildcard q-vertex can match something
-	for l, c := range qs.VLabels {
-		if gLabels[l] {
-			overlap += c
+	if qs.VSet.Intersects(gSet) {
+		for _, lc := range qs.VLabels {
+			if gSet.Has(lc.ID) {
+				overlap += int(lc.N)
+			}
 		}
 	}
 	overlap += gWilds // wildcard g-vertices absorb leftover q-vertices

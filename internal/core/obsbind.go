@@ -143,6 +143,11 @@ type rec struct {
 	fsc filter.Scratch
 	pv  filter.PairVerifier
 	ws  ugraph.WorldScratch
+
+	// pctx is the per-worker PairContext, reused across pairs: building it
+	// fresh inside prunephase would heap-allocate one per pair (it escapes
+	// through the Bound interface call).
+	pctx filter.PairContext
 }
 
 // statsCounterSpec is the single source of truth tying every Stats counter

@@ -45,9 +45,11 @@ func sampleVerify(pairCtx, joinCtx context.Context, pi *pairIn, opts *Options, s
 	mass := pi.gs.Mass
 	rng := rand.New(rand.NewSource(int64(qi)*1_000_003 + int64(gi) + 42))
 
-	// Per-vertex cumulative distributions (normalised).
+	// Per-vertex cumulative distributions (normalised), with the candidate
+	// labels' dictionary ids alongside so sampled worlds skip interning.
 	type cdf struct {
 		labels []ugraph.Label
+		ids    []graph.LabelID
 		sum    float64
 	}
 	dists := make([]cdf, g.NumVertices())
@@ -57,15 +59,16 @@ func sampleVerify(pairCtx, joinCtx context.Context, pi *pairIn, opts *Options, s
 		for _, l := range ls {
 			s += l.P
 		}
-		dists[v] = cdf{labels: ls, sum: s}
+		dists[v] = cdf{labels: ls, ids: g.LabelIDs(v), sum: s}
 	}
 
 	w := graph.New(g.NumVertices())
 	for v := 0; v < g.NumVertices(); v++ {
-		w.AddVertex(dists[v].labels[0].Name)
+		w.AddVertexID(dists[v].labels[0].Name, dists[v].ids[0])
 	}
-	for _, e := range g.Edges() {
-		w.MustAddEdge(e.From, e.To, e.Label)
+	eids := g.EdgeLabelIDs()
+	for i, e := range g.Edges() {
+		w.MustAddEdgeID(e.From, e.To, e.Label, eids[i])
 	}
 
 	hits := 0
@@ -83,15 +86,15 @@ func sampleVerify(pairCtx, joinCtx context.Context, pi *pairIn, opts *Options, s
 		for v := 0; v < g.NumVertices(); v++ {
 			r := rng.Float64() * dists[v].sum
 			acc := 0.0
-			label := dists[v].labels[len(dists[v].labels)-1].Name
-			for _, l := range dists[v].labels {
+			k := len(dists[v].labels) - 1
+			for i, l := range dists[v].labels {
 				acc += l.P
 				if r < acc {
-					label = l.Name
+					k = i
 					break
 				}
 			}
-			w.SetVertexLabel(v, label)
+			w.SetVertexLabelID(v, dists[v].labels[k].Name, dists[v].ids[k])
 		}
 		st.WorldsChecked++
 		if st.pv.WorldLowerBound(w) > opts.Tau {

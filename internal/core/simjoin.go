@@ -444,7 +444,7 @@ func joinPair(ctx context.Context, pi *pairIn, opts *Options, chain []filter.Bou
 // outright. Prunes are attributed per bound in Stats.PrunedBy and aggregated
 // into CSSPruned or ProbPruned by the bound's kind.
 func prunephase(pi *pairIn, opts *Options, chain []filter.Bound, st *rec) ([]ugraph.Group, bool) {
-	pc := filter.PairContext{
+	st.pctx = filter.PairContext{
 		QS:         pi.qs,
 		GS:         pi.gs,
 		Tau:        opts.Tau,
@@ -452,9 +452,10 @@ func prunephase(pi *pairIn, opts *Options, chain []filter.Bound, st *rec) ([]ugr
 		GroupCount: opts.GroupCount,
 		Scratch:    &st.fsc,
 	}
+	pc := &st.pctx
 	var groups []ugraph.Group
 	for _, b := range chain {
-		out := b.Apply(&pc)
+		out := b.Apply(pc)
 		st.jo.filt.RecordBound(b.Name(), out)
 		st.GroupsBuilt += out.GroupsBuilt
 		st.GroupsPruned += out.GroupsCSSPruned

@@ -37,24 +37,26 @@ func CountLowerBound(q, g *graph.Graph) int {
 	return dv + de
 }
 
-// star is the c-star decomposition unit: a root label plus the sorted labels
-// of its neighbour vertices (direction and edge labels ignored, as in [29]).
+// star is the c-star decomposition unit: a root label plus the sorted label
+// ids of its neighbour vertices (direction and edge labels ignored, as in
+// [29]).
 type star struct {
-	root   string
-	leaves []string // neighbour vertex labels, sorted
+	root   graph.LabelID
+	leaves []graph.LabelID // neighbour vertex label ids, sorted
 }
 
 func stars(g *graph.Graph) []star {
 	out := make([]star, g.NumVertices())
 	for v := range out {
-		out[v].root = g.VertexLabel(v)
+		out[v].root = g.VertexLabelID(v)
 	}
 	for _, e := range g.Edges() {
-		out[e.From].leaves = append(out[e.From].leaves, g.VertexLabel(e.To))
-		out[e.To].leaves = append(out[e.To].leaves, g.VertexLabel(e.From))
+		out[e.From].leaves = append(out[e.From].leaves, g.VertexLabelID(e.To))
+		out[e.To].leaves = append(out[e.To].leaves, g.VertexLabelID(e.From))
 	}
 	for v := range out {
-		sort.Strings(out[v].leaves)
+		ls := out[v].leaves
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
 	}
 	return out
 }
@@ -63,7 +65,7 @@ func stars(g *graph.Graph) []star {
 // leaf-count and leaf-label differences.
 func starDistance(a, b star) int {
 	d := 0
-	if !graph.LabelsMatch(a.root, b.root) {
+	if !graph.IDsMatch(a.root, b.root) {
 		d++
 	}
 	d += abs(len(a.leaves) - len(b.leaves))
@@ -72,16 +74,16 @@ func starDistance(a, b star) int {
 }
 
 // sortedCommon counts the maximum number of matchable label pairs between
-// two sorted label slices with wildcard labels matching anything — an exact
+// two label-id slices with wildcard labels matching anything — an exact
 // (and therefore symmetric) bipartite matching on the tiny leaf lists.
-func sortedCommon(a, b []string) int {
+func sortedCommon(a, b []graph.LabelID) int {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
 	bp := matching.NewBipartite(len(a), len(b))
 	for i, la := range a {
 		for j, lb := range b {
-			if graph.LabelsMatch(la, lb) {
+			if graph.IDsMatch(la, lb) {
 				bp.AddEdge(i, j)
 			}
 		}
@@ -144,13 +146,13 @@ func starDistanceOrEmpty(a, b star, aReal, bReal bool) int {
 // the distance.
 func PathGramLowerBound(q, g *graph.Graph) int {
 	// Maximum matching between the two gram multisets under wildcard-aware
-	// componentwise compatibility.
+	// componentwise compatibility, decided on dictionary ids.
 	bp := matching.NewBipartite(q.NumEdges(), g.NumEdges())
 	for i, qe := range q.Edges() {
 		for j, ge := range g.Edges() {
-			if graph.LabelsMatch(qe.Label, ge.Label) &&
-				graph.LabelsMatch(q.VertexLabel(qe.From), g.VertexLabel(ge.From)) &&
-				graph.LabelsMatch(q.VertexLabel(qe.To), g.VertexLabel(ge.To)) {
+			if graph.IDsMatch(q.EdgeLabelID(i), g.EdgeLabelID(j)) &&
+				graph.IDsMatch(q.VertexLabelID(qe.From), g.VertexLabelID(ge.From)) &&
+				graph.IDsMatch(q.VertexLabelID(qe.To), g.VertexLabelID(ge.To)) {
 				bp.AddEdge(i, j)
 			}
 		}

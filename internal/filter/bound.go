@@ -244,7 +244,10 @@ func (probBound) Kind() BoundKind { return Probabilistic }
 func (b probBound) Apply(pc *PairContext) Outcome {
 	var ub float64
 	if b.tight {
-		ub = TotalProbabilityUpperBoundSig(pc.QS, pc.GS, pc.Tau)
+		// Reuses the worker's matching scratch and the pair's cached CSS
+		// lower bound; the conditioned sub-signatures are memoized on GS, so
+		// steady-state evaluation allocates nothing.
+		ub = totalProbabilityUB(&pc.Scratch.BP, pc.QS, pc.GS, pc.Tau, pc.cssLowerBound())
 	} else {
 		ub = SimilarityUpperBoundSig(pc.QS, pc.GS, pc.Tau)
 	}

@@ -22,12 +22,14 @@ import (
 
 // LambdaV returns λV(q, g): the maximum number of vertex pairs with common
 // labels between two certain graphs, computed as a maximum matching of the
-// vertex label compatibility graph. Wildcard labels match anything.
+// vertex label compatibility graph. Wildcard labels match anything;
+// compatibility is decided on dictionary ids.
 func LambdaV(a, b *graph.Graph) int {
 	bp := matching.NewBipartite(a.NumVertices(), b.NumVertices())
-	for u := 0; u < a.NumVertices(); u++ {
-		for v := 0; v < b.NumVertices(); v++ {
-			if graph.LabelsMatch(a.VertexLabel(u), b.VertexLabel(v)) {
+	aids, bids := a.VertexLabelIDs(), b.VertexLabelIDs()
+	for u, ua := range aids {
+		for v, vb := range bids {
+			if graph.IDsMatch(ua, vb) {
 				bp.AddEdge(u, v)
 			}
 		}
@@ -41,10 +43,10 @@ func LambdaV(a, b *graph.Graph) int {
 // q-vertex's label occurs among the g-vertex's candidate labels.
 func LambdaVUncertain(q *graph.Graph, g *ugraph.Graph) int {
 	bp := matching.NewBipartite(q.NumVertices(), g.NumVertices())
-	for u := 0; u < q.NumVertices(); u++ {
-		ql := q.VertexLabel(u)
+	qids := q.VertexLabelIDs()
+	for u, qid := range qids {
 		for v := 0; v < g.NumVertices(); v++ {
-			if vertexMatchesUncertain(ql, g.Labels(v)) {
+			if vertexMatchesUncertain(qid, g.LabelIDs(v)) {
 				bp.AddEdge(u, v)
 			}
 		}
@@ -52,9 +54,9 @@ func LambdaVUncertain(q *graph.Graph, g *ugraph.Graph) int {
 	return bp.MaxMatchingSize()
 }
 
-func vertexMatchesUncertain(qLabel string, candidates []ugraph.Label) bool {
-	for _, l := range candidates {
-		if graph.LabelsMatch(qLabel, l.Name) {
+func vertexMatchesUncertain(qid graph.LabelID, candidates []graph.LabelID) bool {
+	for _, id := range candidates {
+		if graph.IDsMatch(qid, id) {
 			return true
 		}
 	}
@@ -65,29 +67,39 @@ func vertexMatchesUncertain(qLabel string, candidates []ugraph.Label) bool {
 // labels, computed on the edge label multisets with wildcard edges matching
 // anything.
 func LambdaE(a, b *graph.Graph) int {
-	la, wa := a.EdgeLabelMultiset()
-	lb, wb := b.EdgeLabelMultiset()
-	return multisetCommon(la, wa, a.NumEdges(), lb, wb, b.NumEdges())
+	la, wa := a.EdgeLabelIDMultiset()
+	lb, wb := b.EdgeLabelIDMultiset()
+	return multisetCommonIDs(la, wa, a.NumEdges(), lb, wb, b.NumEdges())
 }
 
 // LambdaEUncertain is LambdaE against an uncertain graph; edge labels are
 // certain in the model, so only the representations differ.
 func LambdaEUncertain(q *graph.Graph, g *ugraph.Graph) int {
-	la, wa := q.EdgeLabelMultiset()
-	lb, wb := g.EdgeLabelMultiset()
-	return multisetCommon(la, wa, q.NumEdges(), lb, wb, g.NumEdges())
+	la, wa := q.EdgeLabelIDMultiset()
+	lb, wb := g.EdgeLabelIDMultiset()
+	return multisetCommonIDs(la, wa, q.NumEdges(), lb, wb, g.NumEdges())
 }
 
-// multisetCommon computes the maximum matching size between two label
+// multisetCommonIDs computes the maximum matching size between two label
 // multisets where wildcards pair with anything: the concrete-label multiset
-// intersection plus wildcard pairings, capped by both totals.
-func multisetCommon(la map[string]int, wa, totalA int, lb map[string]int, wb, totalB int) int {
+// intersection (a two-pointer merge over the sorted id vectors) plus
+// wildcard pairings, capped by both totals.
+func multisetCommonIDs(la []graph.LabelCount, wa, totalA int, lb []graph.LabelCount, wb, totalB int) int {
 	common := 0
-	for l, ca := range la {
-		if cb := lb[l]; cb < ca {
-			common += cb
-		} else {
-			common += ca
+	for i, j := 0, 0; i < len(la) && j < len(lb); {
+		switch {
+		case la[i].ID < lb[j].ID:
+			i++
+		case la[i].ID > lb[j].ID:
+			j++
+		default:
+			if la[i].N < lb[j].N {
+				common += int(la[i].N)
+			} else {
+				common += int(lb[j].N)
+			}
+			i++
+			j++
 		}
 	}
 	// Wildcards on either side can absorb any unmatched counterpart.

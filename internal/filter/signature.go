@@ -11,6 +11,11 @@ package filter
 // exactly once per graph; the *Sig bound variants below consume the cached
 // structures and return bit-identical values to their recomputing
 // counterparts (which remain as thin wrappers).
+//
+// All label state is dictionary-encoded (graph.LabelID): multisets are sorted
+// (id, count) vectors intersected by two-pointer merges, label membership is
+// a bitset probe, and the per-world λV matching compares int32s instead of
+// strings. Wildcards are graph.WildcardID throughout.
 
 import (
 	"sync"
@@ -25,13 +30,13 @@ import (
 type QSig struct {
 	G          *graph.Graph
 	NumV, NumE int
-	DegSeq     []int          // total degrees, non-increasing
-	VLabels    map[string]int // concrete vertex label multiset
-	VWilds     int            // wildcard vertex count (Wq of Theorem 4)
-	ELabels    map[string]int // concrete edge label multiset
-	EWilds     int            // wildcard edge count
-
-	vLabelSet map[string]bool // distinct concrete vertex labels
+	DegSeq     []int              // total degrees, non-increasing
+	VLabels    []graph.LabelCount // concrete vertex label multiset, sorted by id
+	VWilds     int                // wildcard vertex count (Wq of Theorem 4)
+	ELabels    []graph.LabelCount // concrete edge label multiset, sorted by id
+	EWilds     int                // wildcard edge count
+	VIDs       []graph.LabelID    // per-vertex label ids (do not modify)
+	VSet       graph.LabelSet     // distinct concrete vertex label ids
 }
 
 // NewQSig precomputes the signature of one certain graph.
@@ -41,12 +46,12 @@ func NewQSig(q *graph.Graph) *QSig {
 		NumV:   q.NumVertices(),
 		NumE:   q.NumEdges(),
 		DegSeq: q.DegreeSequence(),
+		VIDs:   q.VertexLabelIDs(),
 	}
-	s.VLabels, s.VWilds = q.VertexLabelMultiset()
-	s.ELabels, s.EWilds = q.EdgeLabelMultiset()
-	s.vLabelSet = make(map[string]bool, len(s.VLabels))
-	for l := range s.VLabels {
-		s.vLabelSet[l] = true
+	s.VLabels, s.VWilds = q.VertexLabelIDMultiset()
+	s.ELabels, s.EWilds = q.EdgeLabelIDMultiset()
+	for _, lc := range s.VLabels {
+		s.VSet.Add(lc.ID)
 	}
 	return s
 }
@@ -62,11 +67,19 @@ func NewQSigs(d []*graph.Graph) []*QSig {
 
 // gsigLabel is one (vertex, candidate label) record of a GSig, kept in the
 // exact order ExpectedCommonLabels iterates so the cached computation
-// accumulates floating-point sums identically.
+// accumulates floating-point sums identically. Wildcard candidates carry
+// graph.WildcardID.
 type gsigLabel struct {
-	name string
-	p    float64
-	wild bool
+	id graph.LabelID
+	p  float64
+}
+
+// condSig is one memoized conditioned sub-signature of the tight
+// probabilistic bound: the GSig of the graph conditioned on one candidate
+// label of the split vertex, with that condition's probability mass.
+type condSig struct {
+	gs   *GSig
+	mass float64
 }
 
 // GSig is the precomputed signature of an uncertain graph: the structures
@@ -75,17 +88,20 @@ type GSig struct {
 	G          *ugraph.Graph
 	NumV, NumE int
 	DegSeq     []int
-	ELabels    map[string]int
+	ELabels    []graph.LabelCount // concrete edge label multiset, sorted by id
 	EWilds     int
 	Mass       float64 // TotalMass
 	WorldsF    float64 // WorldCountFloat
 
-	flat      []gsigLabel        // all (vertex, label) records in order
-	byLabel   map[string][]int32 // concrete label -> vertices carrying it
-	wildVerts []int32            // vertices with a wildcard candidate label
+	flat      []gsigLabel               // all (vertex, label) records in order
+	byLabel   map[graph.LabelID][]int32 // concrete label id -> vertices carrying it
+	wildVerts []int32                   // vertices with a wildcard candidate label
 
 	relaxedOnce sync.Once
 	relaxed     *graph.Graph
+
+	condOnce sync.Once
+	conds    []condSig // nil when the graph has no split vertex
 }
 
 // Relaxed returns the certain relaxation of the uncertain graph: the same
@@ -102,17 +118,40 @@ func (s *GSig) Relaxed() *graph.Graph {
 		for v := 0; v < s.NumV; v++ {
 			ls := s.G.Labels(v)
 			if len(ls) == 1 && !graph.IsWildcard(ls[0].Name) {
-				w.AddVertex(ls[0].Name)
+				w.AddVertexID(ls[0].Name, s.G.LabelIDs(v)[0])
 			} else {
-				w.AddVertex("?")
+				w.AddVertexID("?", graph.WildcardID)
 			}
 		}
-		for _, e := range s.G.Edges() {
-			w.MustAddEdge(e.From, e.To, e.Label)
+		eids := s.G.EdgeLabelIDs()
+		for i, e := range s.G.Edges() {
+			w.MustAddEdgeID(e.From, e.To, e.Label, eids[i])
 		}
 		s.relaxed = w
 	})
 	return s.relaxed
+}
+
+// conditioned returns the memoized per-condition sub-signatures of the tight
+// probabilistic bound (one per candidate label of the split vertex), or nil
+// when the graph has no uncertain vertex to condition on. Conditioning
+// depends only on g, so the sub-signatures are built once per graph instead
+// of once per pair; concurrency-safe like Relaxed.
+func (s *GSig) conditioned() []condSig {
+	s.condOnce.Do(func() {
+		v := s.G.SplitVertex()
+		if v < 0 {
+			return
+		}
+		ls := s.G.Labels(v)
+		conds := make([]condSig, 0, len(ls))
+		for i := range ls {
+			cond, mass := s.G.Condition(v, []int{i})
+			conds = append(conds, condSig{gs: NewGSig(cond), mass: mass})
+		}
+		s.conds = conds
+	})
+	return s.conds
 }
 
 // NewGSig precomputes the signature of one uncertain graph.
@@ -124,18 +163,19 @@ func NewGSig(g *ugraph.Graph) *GSig {
 		DegSeq:  g.DegreeSequence(),
 		Mass:    g.TotalMass(),
 		WorldsF: g.WorldCountFloat(),
-		byLabel: make(map[string][]int32),
+		byLabel: make(map[graph.LabelID][]int32),
 	}
-	s.ELabels, s.EWilds = g.EdgeLabelMultiset()
+	s.ELabels, s.EWilds = g.EdgeLabelIDMultiset()
 	for v := 0; v < s.NumV; v++ {
+		ids := g.LabelIDs(v)
+		ls := g.Labels(v)
 		wild := false
-		for _, l := range g.Labels(v) {
-			isWild := graph.IsWildcard(l.Name)
-			s.flat = append(s.flat, gsigLabel{name: l.Name, p: l.P, wild: isWild})
-			if isWild {
+		for i, id := range ids {
+			s.flat = append(s.flat, gsigLabel{id: id, p: ls[i].P})
+			if id == graph.WildcardID {
 				wild = true
 			} else {
-				s.byLabel[l.Name] = append(s.byLabel[l.Name], int32(v))
+				s.byLabel[id] = append(s.byLabel[id], int32(v))
 			}
 		}
 		if wild {
@@ -163,20 +203,19 @@ func LambdaVUncertainSig(qs *QSig, gs *GSig) int {
 	return bp.MaxMatchingSize()
 }
 
-// addLambdaVEdges populates the Def. 10 vertex-label compatibility graph.
-// A g-vertex may be added twice for one q-vertex (once via its concrete
-// label, once via a wildcard candidate); duplicate edges do not change the
-// maximum matching size.
+// addLambdaVEdges populates the Def. 10 vertex-label compatibility graph by
+// integer id. A g-vertex may be added twice for one q-vertex (once via its
+// concrete label, once via a wildcard candidate); duplicate edges do not
+// change the maximum matching size.
 func addLambdaVEdges(bp *matching.Bipartite, qs *QSig, gs *GSig) {
-	for u := 0; u < qs.NumV; u++ {
-		ql := qs.G.VertexLabel(u)
-		if graph.IsWildcard(ql) {
+	for u, qid := range qs.VIDs {
+		if qid == graph.WildcardID {
 			for v := 0; v < gs.NumV; v++ {
 				bp.AddEdge(u, v)
 			}
 			continue
 		}
-		for _, v := range gs.byLabel[ql] {
+		for _, v := range gs.byLabel[qid] {
 			bp.AddEdge(u, int(v))
 		}
 		for _, v := range gs.wildVerts {
@@ -203,9 +242,10 @@ func CSSLowerBoundUncertainSigScratch(bp *matching.Bipartite, qs *QSig, gs *GSig
 	return lb
 }
 
-// LambdaEUncertainSig is LambdaEUncertain over precomputed signatures.
+// LambdaEUncertainSig is LambdaEUncertain over precomputed signatures: a
+// two-pointer merge of the sorted edge-label id vectors.
 func LambdaEUncertainSig(qs *QSig, gs *GSig) int {
-	return multisetCommon(qs.ELabels, qs.EWilds, qs.NumE, gs.ELabels, gs.EWilds, gs.NumE)
+	return multisetCommonIDs(qs.ELabels, qs.EWilds, qs.NumE, gs.ELabels, gs.EWilds, gs.NumE)
 }
 
 // CSSConstantSig is CSSConstant over precomputed signatures.
@@ -240,12 +280,13 @@ func CSSLowerBoundUncertainSig(qs *QSig, gs *GSig) int {
 
 // ExpectedCommonLabelsSig is ExpectedCommonLabels over precomputed
 // signatures. It iterates the cached (vertex, label) records in the same
-// order as the original, so the floating-point sum is bit-identical.
+// order as the original, so the floating-point sum is bit-identical; label
+// membership is a bitset probe on the query's concrete vertex labels.
 func ExpectedCommonLabelsSig(qs *QSig, gs *GSig) float64 {
 	ez := 0.0
 	for i := range gs.flat {
 		fl := &gs.flat[i]
-		if fl.wild || qs.vLabelSet[fl.name] {
+		if fl.id == graph.WildcardID || qs.VSet.Has(fl.id) {
 			ez += fl.p
 		}
 	}
@@ -284,26 +325,32 @@ func GroupUpperBoundSig(qs *QSig, gs *GSig, mass float64, tau int) float64 {
 }
 
 // TotalProbabilityUpperBoundSig is TotalProbabilityUpperBound over
-// precomputed signatures; the per-condition sub-signatures are built on the
-// fly (each condition is evaluated exactly once).
+// precomputed signatures; the per-condition sub-signatures are memoized on
+// gs, so repeated evaluations of the same graph build them once.
 func TotalProbabilityUpperBoundSig(qs *QSig, gs *GSig, tau int) float64 {
-	if CSSLowerBoundUncertainSig(qs, gs) > tau {
+	var bp matching.Bipartite
+	return totalProbabilityUB(&bp, qs, gs, tau, CSSLowerBoundUncertainSigScratch(&bp, qs, gs))
+}
+
+// totalProbabilityUB is the scratch-reusing core of the tight probabilistic
+// bound: cssLB must be the pair's CSS lower bound (Theorem 3).
+func totalProbabilityUB(bp *matching.Bipartite, qs *QSig, gs *GSig, tau, cssLB int) float64 {
+	if cssLB > tau {
 		return 0
 	}
-	v := gs.G.SplitVertex()
-	if v < 0 {
+	conds := gs.conditioned()
+	if conds == nil {
 		return SimilarityUpperBoundSig(qs, gs, tau)
 	}
 	ub := 0.0
-	for i := range gs.G.Labels(v) {
-		cond, mass := gs.G.Condition(v, []int{i})
-		cs := NewGSig(cond)
-		if CSSLowerBoundUncertainSig(qs, cs) > tau {
+	for i := range conds {
+		cs := conds[i].gs
+		if CSSLowerBoundUncertainSigScratch(bp, qs, cs) > tau {
 			continue
 		}
 		b := SimilarityUpperBoundSig(qs, cs, tau)
-		if b > mass {
-			b = mass
+		if b > conds[i].mass {
+			b = conds[i].mass
 		}
 		ub += b
 	}
@@ -352,15 +399,23 @@ func (pv *PairVerifier) Reset(qs *QSig, gs *GSig) {
 }
 
 // WorldLowerBound returns CSSLowerBound(q, w) for a possible world w of the
-// pair's uncertain graph, recomputing only the λV matching.
+// pair's uncertain graph, recomputing only the λV matching — by integer
+// equality against the world's precomputed label-id array, not string
+// comparison.
 func (pv *PairVerifier) WorldLowerBound(w *graph.Graph) int {
 	qs := pv.qs
 	bp := pv.bp
 	bp.Reset(qs.NumV, pv.gNumV)
-	for u := 0; u < qs.NumV; u++ {
-		ql := qs.G.VertexLabel(u)
-		for v := 0; v < pv.gNumV; v++ {
-			if graph.LabelsMatch(ql, w.VertexLabel(v)) {
+	wids := w.VertexLabelIDs()
+	for u, qid := range qs.VIDs {
+		if qid == graph.WildcardID {
+			for v := 0; v < pv.gNumV; v++ {
+				bp.AddEdge(u, v)
+			}
+			continue
+		}
+		for v, wid := range wids {
+			if wid == qid || wid == graph.WildcardID {
 				bp.AddEdge(u, v)
 			}
 		}

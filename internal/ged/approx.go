@@ -162,15 +162,19 @@ func bipartiteUpper(g1, g2 *graph.Graph) (int, Mapping) {
 	return c, mapping
 }
 
+// localStar keeps the centre's dictionary id for the wildcard-aware label
+// compare, but the neighbour descriptors stay strings: descriptor equality
+// is exact (not wildcard-aware), so distinct wildcard spellings must remain
+// distinct here.
 type localStar struct {
-	label string
+	id    graph.LabelID
 	neigh []string // sorted incident (direction-tagged) neighbour labels
 }
 
 func localStars(g *graph.Graph) []localStar {
 	out := make([]localStar, g.NumVertices())
 	for v := range out {
-		out[v].label = g.VertexLabel(v)
+		out[v].id = g.VertexLabelID(v)
 	}
 	for _, e := range g.Edges() {
 		out[e.From].neigh = append(out[e.From].neigh, ">"+e.Label+"/"+g.VertexLabel(e.To))
@@ -184,7 +188,7 @@ func localStars(g *graph.Graph) []localStar {
 
 func starCost(a, b localStar) int {
 	c := 0
-	if !graph.LabelsMatch(a.label, b.label) {
+	if !graph.IDsMatch(a.id, b.id) {
 		c++
 	}
 	// Multiset difference of neighbourhood descriptors.
@@ -224,7 +228,7 @@ func extendCost(a, b *graph.Graph, processed []int, mapping []int, u, v int) int
 	cost := 0
 	if v == Deleted {
 		cost++
-	} else if !graph.LabelsMatch(a.VertexLabel(u), b.VertexLabel(v)) {
+	} else if !graph.IDsMatch(a.VertexLabelID(u), b.VertexLabelID(v)) {
 		cost++
 	}
 	for _, p := range processed {
@@ -236,17 +240,17 @@ func extendCost(a, b *graph.Graph, processed []int, mapping []int, u, v int) int
 }
 
 func dirEdgeCost(a, b *graph.Graph, x, y, ix, iy int) int {
-	al, aOK := a.EdgeLabel(x, y)
+	ai, aOK := a.EdgeIndex(x, y)
 	if ix == Deleted || iy == Deleted {
 		if aOK {
 			return 1
 		}
 		return 0
 	}
-	bl, bOK := b.EdgeLabel(ix, iy)
+	bi, bOK := b.EdgeIndex(ix, iy)
 	switch {
 	case aOK && bOK:
-		if graph.LabelsMatch(al, bl) {
+		if graph.IDsMatch(a.EdgeLabelID(ai), b.EdgeLabelID(bi)) {
 			return 0
 		}
 		return 1

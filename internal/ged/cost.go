@@ -32,7 +32,7 @@ func MappingCost(g1, g2 *graph.Graph, m Mapping) (int, error) {
 			return 0, fmt.Errorf("ged: mapping not injective at image %d", v)
 		}
 		usedB[v] = true
-		if !graph.LabelsMatch(g1.VertexLabel(u), g2.VertexLabel(v)) {
+		if !graph.IDsMatch(g1.VertexLabelID(u), g2.VertexLabelID(v)) {
 			cost++
 		}
 	}
@@ -43,16 +43,16 @@ func MappingCost(g1, g2 *graph.Graph, m Mapping) (int, error) {
 		}
 	}
 	// Edge costs from g1's perspective.
-	for _, e := range g1.Edges() {
+	for i, e := range g1.Edges() {
 		fu, tv := m[e.From], m[e.To]
 		if fu == Deleted || tv == Deleted {
 			cost++ // edge deleted along with an endpoint
 			continue
 		}
-		bl, ok := g2.EdgeLabel(fu, tv)
+		bi, ok := g2.EdgeIndex(fu, tv)
 		if !ok {
 			cost++ // delete edge absent in g2
-		} else if !graph.LabelsMatch(e.Label, bl) {
+		} else if !graph.IDsMatch(g1.EdgeLabelID(i), g2.EdgeLabelID(bi)) {
 			cost++ // substitute edge label
 		}
 	}

@@ -120,10 +120,11 @@ type searcher struct {
 	swapped bool
 	opts    Options
 
-	// Interned labels: id 0 is reserved for wildcards. Vertex and edge
-	// labels share one id space; all labels of both graphs are interned
-	// upfront so the hot path never touches the map.
-	ids              map[string]int
+	// Locally interned labels: id 0 is reserved for wildcards. Vertex and
+	// edge labels share one dense id space so the heuristic's count slices
+	// stay small; the remap is keyed by the process-wide dictionary id
+	// (graph.LabelID), so building it hashes int32s, never strings.
+	ids              map[graph.LabelID]int
 	vLabelA, vLabelB []int
 	eLabA, eLabB     []int // per-edge label ids, parallel to Edges()
 	nLabels          int
@@ -131,8 +132,31 @@ type searcher struct {
 	// processedMask[k] is the bitmask of a-vertices in order[:k].
 	processedMask []uint64
 
-	// Heuristic multiset scratch, indexed by label id, zeroed per call.
+	// Dense adjacency matrices (edge index + 1, 0 = absent), flattened
+	// row-major over the ≤64-vertex graphs. They replace the per-pair
+	// EdgeIndex map lookups in the innermost search loop.
+	nA, nB     int
+	adjA, adjB []int32
+	aEdges     []graph.Edge
+	bEdges     []graph.Edge
+
+	// CSR incidence lists of b-edges per b-vertex (self-loops once); the
+	// successor heuristic walks only the edges touching the newly used
+	// b-vertex instead of rescanning the whole edge list.
+	bIncStart []int32
+	bIncEdge  []int32
+
+	// Heuristic multiset scratch, indexed by label id. prepareExpand fills
+	// these once per expanded state; successorHeuristic applies O(deg)
+	// deltas against them (temporarily mutating and restoring eCntB).
 	vCntA, vCntB, eCntA, eCntB []int32
+
+	// Base aggregates of the heuristic at (k+1, cur.used), computed once per
+	// expansion by prepareExpand. baseMinV/baseMinE are the wildcard-free
+	// Σ min(cntA, cntB) sums.
+	baseRemA, baseWildA, baseEA, baseEAWild int
+	baseRemB, baseWildB, baseEB, baseEBWild int
+	baseMinV, baseMinE                      int
 
 	// Chunk arenas for mapping slices and states.
 	mapChunks [][]int
@@ -146,7 +170,7 @@ type searcher struct {
 }
 
 var searcherPool = sync.Pool{
-	New: func() interface{} { return &searcher{ids: make(map[string]int)} },
+	New: func() interface{} { return &searcher{ids: make(map[graph.LabelID]int)} },
 }
 
 type state struct {
@@ -268,43 +292,92 @@ func growMasks(s []uint64, n int) []uint64 {
 	return make([]uint64, n)
 }
 
-// intern assigns dense ids to every vertex and edge label of both graphs
-// (wildcards collapse to id 0) and sizes the heuristic count slices.
+// intern assigns dense local ids to every vertex and edge label of both
+// graphs (wildcards collapse to id 0) and sizes the heuristic count slices.
+// The graphs' precomputed dictionary ids are the keys, so no string is
+// hashed or compared here.
 func (s *searcher) intern() {
 	ids := s.ids
 	clear(ids)
-	get := func(l string) int {
-		if graph.IsWildcard(l) {
+	get := func(gid graph.LabelID) int {
+		if gid == graph.WildcardID {
 			return 0
 		}
-		id, ok := ids[l]
+		id, ok := ids[gid]
 		if !ok {
 			id = len(ids) + 1
-			ids[l] = id
+			ids[gid] = id
 		}
 		return id
 	}
+	aV, bV := s.a.VertexLabelIDs(), s.b.VertexLabelIDs()
 	s.vLabelA = growInts(s.vLabelA, s.a.NumVertices())
 	for v := range s.vLabelA {
-		s.vLabelA[v] = get(s.a.VertexLabel(v))
+		s.vLabelA[v] = get(aV[v])
 	}
 	s.vLabelB = growInts(s.vLabelB, s.b.NumVertices())
 	for v := range s.vLabelB {
-		s.vLabelB[v] = get(s.b.VertexLabel(v))
+		s.vLabelB[v] = get(bV[v])
 	}
+	aE, bE := s.a.EdgeLabelIDs(), s.b.EdgeLabelIDs()
 	s.eLabA = growInts(s.eLabA, s.a.NumEdges())
-	for i, e := range s.a.Edges() {
-		s.eLabA[i] = get(e.Label)
+	for i := range s.eLabA {
+		s.eLabA[i] = get(aE[i])
 	}
 	s.eLabB = growInts(s.eLabB, s.b.NumEdges())
-	for i, e := range s.b.Edges() {
-		s.eLabB[i] = get(e.Label)
+	for i := range s.eLabB {
+		s.eLabB[i] = get(bE[i])
 	}
 	s.nLabels = len(ids) + 1
 	s.vCntA = growInt32s(s.vCntA, s.nLabels)
 	s.vCntB = growInt32s(s.vCntB, s.nLabels)
 	s.eCntA = growInt32s(s.eCntA, s.nLabels)
 	s.eCntB = growInt32s(s.eCntB, s.nLabels)
+
+	s.nA, s.nB = s.a.NumVertices(), s.b.NumVertices()
+	s.aEdges, s.bEdges = s.a.Edges(), s.b.Edges()
+	s.adjA = growInt32s(s.adjA, s.nA*s.nA)
+	clear(s.adjA)
+	for i, e := range s.aEdges {
+		s.adjA[e.From*s.nA+e.To] = int32(i + 1)
+	}
+	s.adjB = growInt32s(s.adjB, s.nB*s.nB)
+	clear(s.adjB)
+	for i, e := range s.bEdges {
+		s.adjB[e.From*s.nB+e.To] = int32(i + 1)
+	}
+
+	s.bIncStart = growInt32s(s.bIncStart, s.nB+1)
+	clear(s.bIncStart)
+	for _, e := range s.bEdges {
+		s.bIncStart[e.From]++
+		if e.To != e.From {
+			s.bIncStart[e.To]++
+		}
+	}
+	total := int32(0)
+	for v := 0; v < s.nB; v++ {
+		c := s.bIncStart[v]
+		s.bIncStart[v] = total
+		total += c
+	}
+	s.bIncStart[s.nB] = total
+	s.bIncEdge = growInt32s(s.bIncEdge, int(total))
+	// Fill with the starts themselves as cursors: after filling, each start
+	// has advanced to the next vertex's start, so one backward shift restores
+	// the offsets.
+	for i, e := range s.bEdges {
+		s.bIncEdge[s.bIncStart[e.From]] = int32(i)
+		s.bIncStart[e.From]++
+		if e.To != e.From {
+			s.bIncEdge[s.bIncStart[e.To]] = int32(i)
+			s.bIncStart[e.To]++
+		}
+	}
+	for v := s.nB; v > 0; v-- {
+		s.bIncStart[v] = s.bIncStart[v-1]
+	}
+	s.bIncStart[0] = 0
 }
 
 // computeOrder processes high-degree vertices first: they constrain the most
@@ -396,7 +469,10 @@ func (s *searcher) run() (Result, error) {
 			return Result{States: expanded}, ErrBudget
 		}
 		u := s.order[cur.k]
-		// Branch: map u to each unused b-vertex, or delete u.
+		// Branch: map u to each unused b-vertex, or delete u. All successors
+		// share the heuristic's (k+1, cur.used) base aggregates; push applies
+		// only the per-successor delta.
+		s.prepareExpand(cur)
 		for v := 0; v < n; v++ {
 			if cur.used&(1<<uint(v)) != 0 {
 				continue
@@ -414,14 +490,16 @@ func (s *searcher) run() (Result, error) {
 
 // push extends cur by assigning a-vertex u to b-vertex v (or Deleted) and
 // enqueues the successor unless it is already over threshold. The heuristic
-// is evaluated before touching the arenas so pruned successors cost nothing.
+// is evaluated before touching the arenas so pruned successors cost nothing;
+// it is the delta form over prepareExpand's base aggregates and equals
+// heuristic(cur.k+1, used) exactly.
 func (s *searcher) push(cur *state, u, v int) {
 	cost := cur.g + s.extensionCost(cur, u, v)
 	used := cur.used
 	if v != Deleted {
 		used |= 1 << uint(v)
 	}
-	f := cost + s.heuristic(cur.k+1, used)
+	f := cost + s.successorHeuristic(cur.used, v)
 	if s.opts.Threshold != NoThreshold && f > s.opts.Threshold {
 		return
 	}
@@ -440,8 +518,8 @@ func (s *searcher) extensionCost(cur *state, u, v int) int {
 	cost := 0
 	if v == Deleted {
 		cost++ // delete u
-	} else if !graph.LabelsMatch(s.a.VertexLabel(u), s.b.VertexLabel(v)) {
-		cost++ // substitute label
+	} else if la, lb := s.vLabelA[u], s.vLabelB[v]; la != lb && la != 0 && lb != 0 {
+		cost++ // substitute label (0 is the wildcard id: matches anything)
 	}
 	for k := 0; k < cur.k; k++ {
 		p := s.order[k]
@@ -453,23 +531,24 @@ func (s *searcher) extensionCost(cur *state, u, v int) int {
 }
 
 // edgePairCost compares the directed a-edge (x->y) with the directed b-edge
-// (ix->iy), where ix/iy may be Deleted.
+// (ix->iy), where ix/iy may be Deleted. Adjacency is probed through the dense
+// matrices (edge index + 1, 0 = absent) rather than the graphs' maps.
 func (s *searcher) edgePairCost(x, y, ix, iy int) int {
-	al, aOK := s.a.EdgeLabel(x, y)
+	ai := s.adjA[x*s.nA+y]
 	if ix == Deleted || iy == Deleted {
-		if aOK {
+		if ai != 0 {
 			return 1 // the a-edge must be deleted
 		}
 		return 0
 	}
-	bl, bOK := s.b.EdgeLabel(ix, iy)
+	bi := s.adjB[ix*s.nB+iy]
 	switch {
-	case aOK && bOK:
-		if graph.LabelsMatch(al, bl) {
+	case ai != 0 && bi != 0:
+		if la, lb := s.eLabA[ai-1], s.eLabB[bi-1]; la == lb || la == 0 || lb == 0 {
 			return 0
 		}
 		return 1 // substitute edge label
-	case aOK != bOK:
+	case (ai != 0) != (bi != 0):
 		return 1 // insert or delete one edge
 	default:
 		return 0
@@ -602,6 +681,161 @@ func (s *searcher) heuristic(k int, used uint64) int {
 		he = eB
 	}
 	he -= ecommon
+
+	return hv + he
+}
+
+// prepareExpand computes the heuristic's base aggregates shared by every
+// successor of cur: the a-side at depth cur.k+1 (identical for all branches)
+// and the b-side at cur.used (each branch removes at most one vertex and its
+// incident edges, applied as a delta by successorHeuristic). One O(V+E+L)
+// pass per expanded state replaces one per generated successor.
+func (s *searcher) prepareExpand(cur *state) {
+	k1 := cur.k + 1
+	used := cur.used
+	vCntA, vCntB := s.vCntA, s.vCntB
+	eCntA, eCntB := s.eCntA, s.eCntB
+	clear(vCntA)
+	clear(vCntB)
+	clear(eCntA)
+	clear(eCntB)
+
+	s.baseRemA = s.nA - k1
+	s.baseWildA = 0
+	for i := k1; i < len(s.order); i++ {
+		if id := s.vLabelA[s.order[i]]; id == 0 {
+			s.baseWildA++
+		} else {
+			vCntA[id]++
+		}
+	}
+	s.baseRemB, s.baseWildB = 0, 0
+	for v := 0; v < s.nB; v++ {
+		if used&(1<<uint(v)) != 0 {
+			continue
+		}
+		s.baseRemB++
+		if id := s.vLabelB[v]; id == 0 {
+			s.baseWildB++
+		} else {
+			vCntB[id]++
+		}
+	}
+
+	pm := s.processedMask[k1]
+	s.baseEA, s.baseEAWild = 0, 0
+	for i, e := range s.aEdges {
+		if pm&(1<<uint(e.From)) != 0 && pm&(1<<uint(e.To)) != 0 {
+			continue
+		}
+		s.baseEA++
+		if id := s.eLabA[i]; id == 0 {
+			s.baseEAWild++
+		} else {
+			eCntA[id]++
+		}
+	}
+	s.baseEB, s.baseEBWild = 0, 0
+	for i, e := range s.bEdges {
+		if used&(1<<uint(e.From)) != 0 && used&(1<<uint(e.To)) != 0 {
+			continue
+		}
+		s.baseEB++
+		if id := s.eLabB[i]; id == 0 {
+			s.baseEBWild++
+		} else {
+			eCntB[id]++
+		}
+	}
+
+	s.baseMinV, s.baseMinE = 0, 0
+	for id := 1; id < s.nLabels; id++ {
+		if ca, cb := vCntA[id], vCntB[id]; cb < ca {
+			s.baseMinV += int(cb)
+		} else {
+			s.baseMinV += int(ca)
+		}
+		if ca, cb := eCntA[id], eCntB[id]; cb < ca {
+			s.baseMinE += int(cb)
+		} else {
+			s.baseMinE += int(ca)
+		}
+	}
+}
+
+// successorHeuristic evaluates heuristic(k+1, used|v) from the base
+// aggregates: consuming b-vertex v removes its label from the unused-b
+// multiset and retires every incident b-edge whose other endpoint is already
+// used (or is v itself). eCntB is mutated during the walk and restored
+// before returning. Passing v == Deleted evaluates the base directly.
+func (s *searcher) successorHeuristic(used uint64, v int) int {
+	remB, wildB, minV := s.baseRemB, s.baseWildB, s.baseMinV
+	eB, eBWild, minE := s.baseEB, s.baseEBWild, s.baseMinE
+	var touched []int32
+	if v != Deleted {
+		remB--
+		if id := s.vLabelB[v]; id == 0 {
+			wildB--
+		} else if s.vCntB[id] <= s.vCntA[id] {
+			minV--
+		}
+		touched = s.bIncEdge[s.bIncStart[v]:s.bIncStart[v+1]]
+		for _, ei := range touched {
+			e := s.bEdges[ei]
+			other := e.From + e.To - v
+			if other != v && used&(1<<uint(other)) == 0 {
+				continue
+			}
+			eB--
+			id := s.eLabB[ei]
+			if id == 0 {
+				eBWild--
+				continue
+			}
+			if s.eCntB[id] <= s.eCntA[id] {
+				minE--
+			}
+			s.eCntB[id]--
+		}
+	}
+
+	common := s.baseWildA + wildB + minV
+	if common > s.baseRemA {
+		common = s.baseRemA
+	}
+	if common > remB {
+		common = remB
+	}
+	hv := s.baseRemA
+	if remB > hv {
+		hv = remB
+	}
+	hv -= common
+
+	ecommon := s.baseEAWild + eBWild + minE
+	if ecommon > s.baseEA {
+		ecommon = s.baseEA
+	}
+	if ecommon > eB {
+		ecommon = eB
+	}
+	he := s.baseEA
+	if eB > he {
+		he = eB
+	}
+	he -= ecommon
+
+	// Restore eCntB for the next sibling.
+	for _, ei := range touched {
+		e := s.bEdges[ei]
+		other := e.From + e.To - v
+		if other != v && used&(1<<uint(other)) == 0 {
+			continue
+		}
+		if id := s.eLabB[ei]; id != 0 {
+			s.eCntB[id]++
+		}
+	}
 
 	return hv + he
 }

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestWildcardReservation pins the dictionary's wildcard collapse: every
+// wildcard spelling interns to the reserved WildcardID, because LabelsMatch
+// treats any '?'-prefixed label as universal — the individual spelling never
+// influences a label comparison, so one id is enough (and makes IDsMatch a
+// two-comparison kernel).
+func TestWildcardReservation(t *testing.T) {
+	for _, w := range []string{"?", "?x", "?y", "?anything"} {
+		if id := InternLabel(w); id != WildcardID {
+			t.Errorf("InternLabel(%q) = %d, want WildcardID (%d)", w, id, WildcardID)
+		}
+	}
+	if name := LabelName(WildcardID); name != "?" {
+		t.Errorf("LabelName(WildcardID) = %q, want %q", name, "?")
+	}
+	if id := InternLabel("A"); id == WildcardID {
+		t.Error("concrete label interned to the reserved wildcard id")
+	}
+}
+
+// TestInternStable pins injectivity on concrete labels: equal strings get
+// equal ids, distinct strings distinct ids, and LabelName round-trips.
+func TestInternStable(t *testing.T) {
+	a1 := InternLabel("stable-A")
+	b := InternLabel("stable-B")
+	a2 := InternLabel("stable-A")
+	if a1 != a2 {
+		t.Errorf("InternLabel not stable: %d vs %d", a1, a2)
+	}
+	if a1 == b {
+		t.Errorf("distinct labels share id %d", a1)
+	}
+	if got := LabelName(a1); got != "stable-A" {
+		t.Errorf("LabelName(%d) = %q, want %q", a1, got, "stable-A")
+	}
+	if _, ok := LookupLabel("never-interned-label"); ok {
+		t.Error("LookupLabel found a label that was never interned")
+	}
+}
+
+// TestIDsMatchAgreslabelsMatch exhaustively checks that the id kernel agrees
+// with the string kernel over a mixed label set — including distinct wildcard
+// spellings, which share an id but must still match everything (and do, since
+// wildcards match everything by definition).
+func TestIDsMatchAgreesWithLabelsMatch(t *testing.T) {
+	labels := []string{"A", "B", "C", "?", "?x", "?y"}
+	for _, a := range labels {
+		for _, b := range labels {
+			got := IDsMatch(InternLabel(a), InternLabel(b))
+			want := LabelsMatch(a, b)
+			if got != want {
+				t.Errorf("IDsMatch(%q, %q) = %v, LabelsMatch = %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestConcurrentInterning hammers the dictionary from many goroutines with
+// overlapping label sets; every goroutine must observe the same id per label
+// (run under -race in CI).
+func TestConcurrentInterning(t *testing.T) {
+	const goroutines = 16
+	const labelsPer = 50
+	ids := make([][]LabelID, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]LabelID, labelsPer)
+			for i := 0; i < labelsPer; i++ {
+				// Overlapping across goroutines: i mod 10 shared, rest mixed.
+				ids[g][i] = InternLabel(fmt.Sprintf("conc-%d", i%10+g%3*10))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range ids[g] {
+			if ids[g][i%10] != ids[0][i%10] && g%3 == 0 {
+				t.Fatalf("goroutine %d saw id %d for label %d, goroutine 0 saw %d",
+					g, ids[g][i%10], i%10, ids[0][i%10])
+			}
+		}
+	}
+	// Sequential re-interning must agree with what the goroutines observed.
+	for i := 0; i < 10; i++ {
+		want := InternLabel(fmt.Sprintf("conc-%d", i))
+		if ids[0][i] != want {
+			t.Errorf("label conc-%d: concurrent id %d != sequential id %d", i, ids[0][i], want)
+		}
+	}
+}
+
+// TestUnseenLabelOneSide pins the cross-graph property the join relies on: a
+// label interned while building one graph compares correctly against a graph
+// that has never seen it — ids are process-wide, not per-graph.
+func TestUnseenLabelOneSide(t *testing.T) {
+	a := New(2)
+	a.AddVertex("only-in-a")
+	a.AddVertex("shared-lbl")
+	b := New(2)
+	b.AddVertex("only-in-b")
+	b.AddVertex("shared-lbl")
+
+	if IDsMatch(a.VertexLabelID(0), b.VertexLabelID(0)) {
+		t.Error("distinct concrete labels matched by id")
+	}
+	if !IDsMatch(a.VertexLabelID(1), b.VertexLabelID(1)) {
+		t.Error("shared concrete label failed to match by id")
+	}
+	// CountLabelIDs-backed multiset overlap: the unseen label contributes
+	// nothing to the intersection but still counts toward the totals.
+	am, aw := a.VertexLabelIDMultiset()
+	bm, bw := b.VertexLabelIDMultiset()
+	if aw != 0 || bw != 0 {
+		t.Fatalf("unexpected wildcards: %d, %d", aw, bw)
+	}
+	common := 0
+	for _, ac := range am {
+		for _, bc := range bm {
+			if ac.ID == bc.ID {
+				c := int(ac.N)
+				if int(bc.N) < c {
+					c = int(bc.N)
+				}
+				common += c
+			}
+		}
+	}
+	if common != 1 {
+		t.Errorf("id multiset overlap = %d, want 1 (the shared label)", common)
+	}
+}
+
+// TestLabelSet pins the concrete-label bitset used by the index's label
+// screen: wildcards are never added, membership and intersection follow the
+// id universe, and Reset clears without shrinking capacity.
+func TestLabelSet(t *testing.T) {
+	var s LabelSet
+	idA, idB := InternLabel("lset-A"), InternLabel("lset-B")
+	s.Add(idA)
+	if !s.Has(idA) || s.Has(idB) {
+		t.Fatalf("LabelSet membership wrong: Has(A)=%v Has(B)=%v", s.Has(idA), s.Has(idB))
+	}
+	var other LabelSet
+	other.Add(idB)
+	if s.Intersects(&other) {
+		t.Error("disjoint label sets reported intersecting")
+	}
+	other.Add(idA)
+	if !s.Intersects(&other) {
+		t.Error("overlapping label sets reported disjoint")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	s.Reset()
+	if s.Has(idA) || s.Len() != 0 {
+		t.Error("Reset did not clear the set")
+	}
+}

@@ -24,9 +24,16 @@ type Edge struct {
 
 // Graph is a directed labeled multigraph-free graph: at most one edge exists
 // per ordered vertex pair. The zero value is an empty graph ready to use.
+//
+// Alongside the label strings the graph keeps their dictionary ids
+// (labelIDs[v] == InternLabel(labels[v]), edgeIDs[i] ==
+// InternLabel(edges[i].Label)), so the integer kernels of packages filter,
+// ged and core never re-hash label strings.
 type Graph struct {
-	labels []string
-	edges  []Edge
+	labels   []string
+	labelIDs []LabelID
+	edges    []Edge
+	edgeIDs  []LabelID
 	// out[u][v] is the index into edges of the edge u->v, if present.
 	out []map[int]int
 }
@@ -34,8 +41,9 @@ type Graph struct {
 // New returns an empty graph with capacity hints for n vertices.
 func New(n int) *Graph {
 	return &Graph{
-		labels: make([]string, 0, n),
-		out:    make([]map[int]int, 0, n),
+		labels:   make([]string, 0, n),
+		labelIDs: make([]LabelID, 0, n),
+		out:      make([]map[int]int, 0, n),
 	}
 }
 
@@ -53,7 +61,15 @@ func LabelsMatch(a, b string) bool {
 
 // AddVertex appends a vertex with the given label and returns its index.
 func (g *Graph) AddVertex(label string) int {
+	return g.AddVertexID(label, InternLabel(label))
+}
+
+// AddVertexID is AddVertex for callers that already hold the label's
+// dictionary id (e.g. world enumeration), skipping the intern lookup. The id
+// must be InternLabel(label).
+func (g *Graph) AddVertexID(label string, id LabelID) int {
 	g.labels = append(g.labels, label)
+	g.labelIDs = append(g.labelIDs, id)
 	if len(g.out) < cap(g.out) {
 		// Reuse the slot (and any adjacency map a prior Reset left cleared
 		// there) instead of overwriting it with nil.
@@ -70,7 +86,9 @@ func (g *Graph) AddVertex(label string) int {
 // enumeration scratch buffers of package ugraph.
 func (g *Graph) Reset() {
 	g.labels = g.labels[:0]
+	g.labelIDs = g.labelIDs[:0]
 	g.edges = g.edges[:0]
+	g.edgeIDs = g.edgeIDs[:0]
 	for i := range g.out {
 		for k := range g.out[i] {
 			delete(g.out[i], k)
@@ -83,6 +101,12 @@ func (g *Graph) Reset() {
 // an error if either endpoint is out of range, if u == v, or if the edge
 // already exists.
 func (g *Graph) AddEdge(u, v int, label string) error {
+	return g.AddEdgeID(u, v, label, InternLabel(label))
+}
+
+// AddEdgeID is AddEdge for callers that already hold the label's dictionary
+// id, skipping the intern lookup. The id must be InternLabel(label).
+func (g *Graph) AddEdgeID(u, v int, label string, id LabelID) error {
 	if u < 0 || u >= len(g.labels) || v < 0 || v >= len(g.labels) {
 		return fmt.Errorf("graph: edge (%d,%d) endpoint out of range [0,%d)", u, v, len(g.labels))
 	}
@@ -97,6 +121,7 @@ func (g *Graph) AddEdge(u, v int, label string) error {
 	}
 	g.out[u][v] = len(g.edges)
 	g.edges = append(g.edges, Edge{From: u, To: v, Label: label})
+	g.edgeIDs = append(g.edgeIDs, id)
 	return nil
 }
 
@@ -104,6 +129,13 @@ func (g *Graph) AddEdge(u, v int, label string) error {
 // constructing fixed graphs in generators and tests.
 func (g *Graph) MustAddEdge(u, v int, label string) {
 	if err := g.AddEdge(u, v, label); err != nil {
+		panic(err)
+	}
+}
+
+// MustAddEdgeID is AddEdgeID that panics on error.
+func (g *Graph) MustAddEdgeID(u, v int, label string, id LabelID) {
+	if err := g.AddEdgeID(u, v, label, id); err != nil {
 		panic(err)
 	}
 }
@@ -121,7 +153,37 @@ func (g *Graph) Size() int { return len(g.labels) + len(g.edges) }
 func (g *Graph) VertexLabel(v int) string { return g.labels[v] }
 
 // SetVertexLabel replaces the label of vertex v.
-func (g *Graph) SetVertexLabel(v int, label string) { g.labels[v] = label }
+func (g *Graph) SetVertexLabel(v int, label string) {
+	g.labels[v] = label
+	g.labelIDs[v] = InternLabel(label)
+}
+
+// SetVertexLabelID is SetVertexLabel for callers that already hold the
+// label's dictionary id. The id must be InternLabel(label).
+func (g *Graph) SetVertexLabelID(v int, label string, id LabelID) {
+	g.labels[v] = label
+	g.labelIDs[v] = id
+}
+
+// VertexLabelID returns the dictionary id of vertex v's label.
+func (g *Graph) VertexLabelID(v int) LabelID { return g.labelIDs[v] }
+
+// VertexLabelIDs returns the per-vertex label ids (do not modify).
+func (g *Graph) VertexLabelIDs() []LabelID { return g.labelIDs }
+
+// EdgeLabelID returns the dictionary id of edge i's label.
+func (g *Graph) EdgeLabelID(i int) LabelID { return g.edgeIDs[i] }
+
+// EdgeLabelIDs returns the per-edge label ids, indexed like Edges (do not
+// modify).
+func (g *Graph) EdgeLabelIDs() []LabelID { return g.edgeIDs }
+
+// EdgeIndex returns the index into Edges of the directed edge u->v and
+// whether it exists.
+func (g *Graph) EdgeIndex(u, v int) (int, bool) {
+	i, ok := g.out[u][v]
+	return i, ok
+}
 
 // Edges returns the edge list. The returned slice must not be modified.
 func (g *Graph) Edges() []Edge { return g.edges }
@@ -218,11 +280,27 @@ func (g *Graph) EdgeLabelMultiset() (labels map[string]int, wildcards int) {
 	return labels, wildcards
 }
 
+// VertexLabelIDMultiset returns the sorted (id, count) vector of concrete
+// vertex labels plus the count of wildcard vertices — the integer counterpart
+// of VertexLabelMultiset.
+func (g *Graph) VertexLabelIDMultiset() (labels []LabelCount, wildcards int) {
+	return CountLabelIDs(append([]LabelID(nil), g.labelIDs...))
+}
+
+// EdgeLabelIDMultiset returns the sorted (id, count) vector of concrete edge
+// labels plus the count of wildcard edges — the integer counterpart of
+// EdgeLabelMultiset.
+func (g *Graph) EdgeLabelIDMultiset() (labels []LabelCount, wildcards int) {
+	return CountLabelIDs(append([]LabelID(nil), g.edgeIDs...))
+}
+
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := New(len(g.labels))
 	c.labels = append(c.labels, g.labels...)
+	c.labelIDs = append(c.labelIDs, g.labelIDs...)
 	c.edges = append(c.edges[:0], g.edges...)
+	c.edgeIDs = append(c.edgeIDs[:0], g.edgeIDs...)
 	c.out = make([]map[int]int, len(g.out))
 	for u, m := range g.out {
 		if m == nil {
@@ -261,6 +339,22 @@ func (g *Graph) Equal(h *Graph) bool {
 func (g *Graph) Validate() error {
 	if len(g.out) != len(g.labels) {
 		return fmt.Errorf("graph: adjacency length %d != vertex count %d", len(g.out), len(g.labels))
+	}
+	if len(g.labelIDs) != len(g.labels) {
+		return fmt.Errorf("graph: label id length %d != vertex count %d", len(g.labelIDs), len(g.labels))
+	}
+	if len(g.edgeIDs) != len(g.edges) {
+		return fmt.Errorf("graph: edge id length %d != edge count %d", len(g.edgeIDs), len(g.edges))
+	}
+	for v, l := range g.labels {
+		if g.labelIDs[v] != InternLabel(l) {
+			return fmt.Errorf("graph: vertex %d label id %d stale for label %q", v, g.labelIDs[v], l)
+		}
+	}
+	for i, e := range g.edges {
+		if g.edgeIDs[i] != InternLabel(e.Label) {
+			return fmt.Errorf("graph: edge %d label id %d stale for label %q", i, g.edgeIDs[i], e.Label)
+		}
 	}
 	seen := make(map[[2]int]bool, len(g.edges))
 	for i, e := range g.edges {

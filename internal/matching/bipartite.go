@@ -66,7 +66,7 @@ func (b *Bipartite) MaxMatching() (size int, matchL, matchR []int) {
 	b.matchL = grow(b.matchL, b.nLeft)
 	b.matchR = grow(b.matchR, b.nRight)
 	b.dist = grow(b.dist, b.nLeft)
-	b.queue = grow(b.queue, b.nLeft)[:0]
+	b.queue = grow(b.queue, b.nLeft)
 	matchL = b.matchL
 	matchR = b.matchR
 	for i := range matchL {
@@ -75,58 +75,57 @@ func (b *Bipartite) MaxMatching() (size int, matchL, matchR []int) {
 	for i := range matchR {
 		matchR[i] = -1
 	}
-	dist := b.dist
-	queue := b.queue
-
-	bfs := func() bool {
-		queue = queue[:0]
+	for b.bfs() {
 		for l := 0; l < b.nLeft; l++ {
-			if matchL[l] == -1 {
-				dist[l] = 0
-				queue = append(queue, l)
-			} else {
-				dist[l] = inf
-			}
-		}
-		found := false
-		for len(queue) > 0 {
-			l := queue[0]
-			queue = queue[1:]
-			for _, r := range b.adj[l] {
-				l2 := matchR[r]
-				if l2 == -1 {
-					found = true
-				} else if dist[l2] == inf {
-					dist[l2] = dist[l] + 1
-					queue = append(queue, l2)
-				}
-			}
-		}
-		return found
-	}
-
-	var dfs func(l int) bool
-	dfs = func(l int) bool {
-		for _, r := range b.adj[l] {
-			l2 := matchR[r]
-			if l2 == -1 || (dist[l2] == dist[l]+1 && dfs(l2)) {
-				matchL[l] = r
-				matchR[r] = l
-				return true
-			}
-		}
-		dist[l] = inf
-		return false
-	}
-
-	for bfs() {
-		for l := 0; l < b.nLeft; l++ {
-			if matchL[l] == -1 && dfs(l) {
+			if matchL[l] == -1 && b.augment(l) {
 				size++
 			}
 		}
 	}
 	return size, matchL, matchR
+}
+
+// bfs builds the layered graph for the next Hopcroft–Karp phase. The queue is
+// walked by head index (each left vertex enters at most once per phase, so
+// the preallocated nLeft-capacity buffer never grows).
+func (b *Bipartite) bfs() bool {
+	queue := b.queue[:0]
+	for l := 0; l < b.nLeft; l++ {
+		if b.matchL[l] == -1 {
+			b.dist[l] = 0
+			queue = append(queue, l)
+		} else {
+			b.dist[l] = inf
+		}
+	}
+	found := false
+	for head := 0; head < len(queue); head++ {
+		l := queue[head]
+		for _, r := range b.adj[l] {
+			l2 := b.matchR[r]
+			if l2 == -1 {
+				found = true
+			} else if b.dist[l2] == inf {
+				b.dist[l2] = b.dist[l] + 1
+				queue = append(queue, l2)
+			}
+		}
+	}
+	return found
+}
+
+// augment searches the layered graph for an augmenting path from l.
+func (b *Bipartite) augment(l int) bool {
+	for _, r := range b.adj[l] {
+		l2 := b.matchR[r]
+		if l2 == -1 || (b.dist[l2] == b.dist[l]+1 && b.augment(l2)) {
+			b.matchL[l] = r
+			b.matchR[r] = l
+			return true
+		}
+	}
+	b.dist[l] = inf
+	return false
 }
 
 // MaxMatchingSize is MaxMatching when only the cardinality is needed.

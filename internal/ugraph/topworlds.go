@@ -33,10 +33,10 @@ func (g *Graph) TopWorlds(m int, fn func(world *graph.Graph, p float64) bool) {
 		if len(g.vertices[v]) == 0 {
 			return // no worlds
 		}
-		w.AddVertex(g.vertices[v][0].Name)
+		w.AddVertexID(g.vertices[v][0].Name, g.ids[v][0])
 	}
-	for _, e := range g.edges {
-		w.MustAddEdge(e.From, e.To, e.Label)
+	for i, e := range g.edges {
+		w.MustAddEdgeID(e.From, e.To, e.Label, g.edgeIDs[i])
 	}
 
 	// Best-first search. Each node is a choice vector; the children of a
@@ -53,7 +53,8 @@ func (g *Graph) TopWorlds(m int, fn func(world *graph.Graph, p float64) bool) {
 	for len(h) > 0 && m > 0 {
 		node := heap.Pop(&h).(*topWorldNode)
 		for v := 0; v < n; v++ {
-			w.SetVertexLabel(v, g.vertices[v][node.choice[v]].Name)
+			c := node.choice[v]
+			w.SetVertexLabelID(v, g.vertices[v][c].Name, g.ids[v][c])
 		}
 		m--
 		if !fn(w, node.p) {

@@ -31,9 +31,15 @@ type Label struct {
 
 // Graph is an uncertain directed labeled graph. The zero value is an empty
 // graph ready to use.
+//
+// ids mirrors vertices (ids[v][i] == graph.InternLabel(vertices[v][i].Name))
+// and edgeIDs mirrors edges, so world materialisation and the filter kernels
+// work on dictionary ids without re-interning strings.
 type Graph struct {
 	vertices [][]Label
+	ids      [][]graph.LabelID
 	edges    []graph.Edge
+	edgeIDs  []graph.LabelID
 	out      []map[int]int
 }
 
@@ -63,28 +69,19 @@ func FromCertain(g *graph.Graph) *Graph {
 func (g *Graph) AddVertex(labels ...Label) int {
 	ls := append([]Label(nil), labels...)
 	sort.SliceStable(ls, func(i, j int) bool { return ls[i].P > ls[j].P })
+	ids := make([]graph.LabelID, len(ls))
+	for i, l := range ls {
+		ids[i] = graph.InternLabel(l.Name)
+	}
 	g.vertices = append(g.vertices, ls)
+	g.ids = append(g.ids, ids)
 	g.out = append(g.out, nil)
 	return len(g.vertices) - 1
 }
 
 // AddEdge inserts a directed certain-labeled edge.
 func (g *Graph) AddEdge(u, v int, label string) error {
-	if u < 0 || u >= len(g.vertices) || v < 0 || v >= len(g.vertices) {
-		return fmt.Errorf("ugraph: edge (%d,%d) endpoint out of range [0,%d)", u, v, len(g.vertices))
-	}
-	if u == v {
-		return fmt.Errorf("ugraph: self-loop on vertex %d not supported", u)
-	}
-	if _, dup := g.out[u][v]; dup {
-		return fmt.Errorf("ugraph: duplicate edge (%d,%d)", u, v)
-	}
-	if g.out[u] == nil {
-		g.out[u] = make(map[int]int)
-	}
-	g.out[u][v] = len(g.edges)
-	g.edges = append(g.edges, graph.Edge{From: u, To: v, Label: label})
-	return nil
+	return g.addEdgeID(u, v, label, graph.InternLabel(label))
 }
 
 // MustAddEdge is AddEdge that panics on error.
@@ -106,8 +103,16 @@ func (g *Graph) Size() int { return len(g.vertices) + len(g.edges) }
 // Labels returns the candidate labels of vertex v (do not modify).
 func (g *Graph) Labels(v int) []Label { return g.vertices[v] }
 
+// LabelIDs returns the dictionary ids of vertex v's candidate labels,
+// indexed like Labels (do not modify).
+func (g *Graph) LabelIDs(v int) []graph.LabelID { return g.ids[v] }
+
 // Edges returns the edge list (do not modify).
 func (g *Graph) Edges() []graph.Edge { return g.edges }
+
+// EdgeLabelIDs returns the per-edge label ids, indexed like Edges (do not
+// modify).
+func (g *Graph) EdgeLabelIDs() []graph.LabelID { return g.edgeIDs }
 
 // Degrees returns total (in+out) vertex degrees.
 func (g *Graph) Degrees() []int {
@@ -138,6 +143,13 @@ func (g *Graph) EdgeLabelMultiset() (labels map[string]int, wildcards int) {
 		}
 	}
 	return labels, wildcards
+}
+
+// EdgeLabelIDMultiset returns the sorted (id, count) vector of concrete edge
+// labels plus the count of wildcard edges — the integer counterpart of
+// EdgeLabelMultiset.
+func (g *Graph) EdgeLabelIDMultiset() (labels []graph.LabelCount, wildcards int) {
+	return graph.CountLabelIDs(append([]graph.LabelID(nil), g.edgeIDs...))
 }
 
 // UncertainVertices returns the indices of vertices with more than one
@@ -200,6 +212,22 @@ func (g *Graph) Validate() error {
 	if len(g.out) != len(g.vertices) {
 		return fmt.Errorf("ugraph: adjacency length %d != vertex count %d", len(g.out), len(g.vertices))
 	}
+	if len(g.ids) != len(g.vertices) {
+		return fmt.Errorf("ugraph: label id length %d != vertex count %d", len(g.ids), len(g.vertices))
+	}
+	if len(g.edgeIDs) != len(g.edges) {
+		return fmt.Errorf("ugraph: edge id length %d != edge count %d", len(g.edgeIDs), len(g.edges))
+	}
+	for v, ids := range g.ids {
+		if len(ids) != len(g.vertices[v]) {
+			return fmt.Errorf("ugraph: vertex %d has %d label ids for %d labels", v, len(ids), len(g.vertices[v]))
+		}
+		for i, id := range ids {
+			if id != graph.InternLabel(g.vertices[v][i].Name) {
+				return fmt.Errorf("ugraph: vertex %d label %q has stale id %d", v, g.vertices[v][i].Name, id)
+			}
+		}
+	}
 	for v, ls := range g.vertices {
 		if len(ls) == 0 {
 			return fmt.Errorf("ugraph: vertex %d has no labels", v)
@@ -237,14 +265,37 @@ func (g *Graph) Validate() error {
 // Clone returns a deep copy.
 func (g *Graph) Clone() *Graph {
 	c := New(len(g.vertices))
-	for _, ls := range g.vertices {
+	for v, ls := range g.vertices {
 		c.vertices = append(c.vertices, append([]Label(nil), ls...))
+		c.ids = append(c.ids, append([]graph.LabelID(nil), g.ids[v]...))
 		c.out = append(c.out, nil)
 	}
-	for _, e := range g.edges {
-		c.MustAddEdge(e.From, e.To, e.Label)
+	for i, e := range g.edges {
+		if err := c.addEdgeID(e.From, e.To, e.Label, g.edgeIDs[i]); err != nil {
+			panic(err)
+		}
 	}
 	return c
+}
+
+// addEdgeID is AddEdge with the label id already known.
+func (g *Graph) addEdgeID(u, v int, label string, id graph.LabelID) error {
+	if u < 0 || u >= len(g.vertices) || v < 0 || v >= len(g.vertices) {
+		return fmt.Errorf("ugraph: edge (%d,%d) endpoint out of range [0,%d)", u, v, len(g.vertices))
+	}
+	if u == v {
+		return fmt.Errorf("ugraph: self-loop on vertex %d not supported", u)
+	}
+	if _, dup := g.out[u][v]; dup {
+		return fmt.Errorf("ugraph: duplicate edge (%d,%d)", u, v)
+	}
+	if g.out[u] == nil {
+		g.out[u] = make(map[int]int)
+	}
+	g.out[u][v] = len(g.edges)
+	g.edges = append(g.edges, graph.Edge{From: u, To: v, Label: label})
+	g.edgeIDs = append(g.edgeIDs, id)
+	return nil
 }
 
 // Worlds enumerates every possible world in deterministic order, invoking fn
@@ -280,10 +331,10 @@ func (g *Graph) WorldsScratch(s *WorldScratch, fn func(world *graph.Graph, p flo
 	w := s.w
 	w.Reset()
 	for v := 0; v < n; v++ {
-		w.AddVertex(g.vertices[v][0].Name)
+		w.AddVertexID(g.vertices[v][0].Name, g.ids[v][0])
 	}
-	for _, e := range g.edges {
-		w.MustAddEdge(e.From, e.To, e.Label)
+	for i, e := range g.edges {
+		w.MustAddEdgeID(e.From, e.To, e.Label, g.edgeIDs[i])
 	}
 	if cap(s.choice) < n {
 		s.choice = make([]int, n)
@@ -295,8 +346,9 @@ func (g *Graph) WorldsScratch(s *WorldScratch, fn func(world *graph.Graph, p flo
 	for {
 		p := 1.0
 		for v := 0; v < n; v++ {
-			l := g.vertices[v][choice[v]]
-			w.SetVertexLabel(v, l.Name)
+			c := choice[v]
+			l := g.vertices[v][c]
+			w.SetVertexLabelID(v, l.Name, g.ids[v][c])
 			p *= l.P
 		}
 		if !fn(w, p) {
@@ -322,12 +374,12 @@ func (g *Graph) WorldsScratch(s *WorldScratch, fn func(world *graph.Graph, p flo
 func (g *Graph) MostLikelyWorld() (*graph.Graph, float64) {
 	w := graph.New(len(g.vertices))
 	p := 1.0
-	for _, ls := range g.vertices {
-		w.AddVertex(ls[0].Name)
+	for v, ls := range g.vertices {
+		w.AddVertexID(ls[0].Name, g.ids[v][0])
 		p *= ls[0].P
 	}
-	for _, e := range g.edges {
-		w.MustAddEdge(e.From, e.To, e.Label)
+	for i, e := range g.edges {
+		w.MustAddEdgeID(e.From, e.To, e.Label, g.edgeIDs[i])
 	}
 	return w, p
 }
@@ -336,15 +388,34 @@ func (g *Graph) MostLikelyWorld() (*graph.Graph, float64) {
 // subset of its label indices. Probabilities remain unnormalised, so the
 // possible worlds of the conditioned graph keep their original appearance
 // probabilities: they sum to the returned mass rather than 1.
+//
+// Conditioning only rewrites one vertex's candidate set, so the result
+// shares the edge list, adjacency maps and the other vertices' label slices
+// with g (full-capacity slicing makes stray appends copy). Neither graph may
+// be structurally modified afterwards — all in-repo producers of conditioned
+// graphs (possible-world grouping, the total-probability bound) treat them
+// as immutable; use Clone for an independent deep copy.
 func (g *Graph) Condition(v int, labelIdx []int) (*Graph, float64) {
-	c := g.Clone()
+	n := len(g.vertices)
+	c := &Graph{
+		vertices: make([][]Label, n),
+		ids:      make([][]graph.LabelID, n),
+		edges:    g.edges[:len(g.edges):len(g.edges)],
+		edgeIDs:  g.edgeIDs[:len(g.edgeIDs):len(g.edgeIDs)],
+		out:      g.out[:len(g.out):len(g.out)],
+	}
+	copy(c.vertices, g.vertices)
+	copy(c.ids, g.ids)
 	kept := make([]Label, 0, len(labelIdx))
+	keptIDs := make([]graph.LabelID, 0, len(labelIdx))
 	mass := 0.0
 	for _, i := range labelIdx {
 		kept = append(kept, g.vertices[v][i])
+		keptIDs = append(keptIDs, g.ids[v][i])
 		mass += g.vertices[v][i].P
 	}
 	c.vertices[v] = kept
+	c.ids[v] = keptIDs
 	return c, mass * g.TotalMass() / sumP(g.vertices[v])
 }
 

@@ -256,6 +256,7 @@ func TestCloneIndependence(t *testing.T) {
 	g := paperG2()
 	c := g.Clone()
 	c.vertices[0] = []Label{{Name: "Z", P: 1}}
+	c.ids[0] = []graph.LabelID{graph.InternLabel("Z")}
 	if g.Labels(0)[0].Name != "?x" {
 		t.Fatal("clone shares vertex storage")
 	}

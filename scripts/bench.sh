@@ -1,8 +1,10 @@
 #!/bin/sh
 # Benchmark the join hot paths and emit a machine-readable summary.
 #
-# Runs the BenchmarkJoin* suite (BenchmarkJoinER, BenchmarkJoinIndexedER,
-# BenchmarkJoinTopK) with -benchmem, averages the repetitions, and writes
+# Runs the join suite (BenchmarkJoinER, BenchmarkJoinIndexedER,
+# BenchmarkJoinTopK) plus the per-pair kernel micro-benchmarks
+# (BenchmarkFilterChainSig, BenchmarkWorldLowerBound) with -benchmem,
+# averages the repetitions, and writes
 # BENCH_join.json mapping each benchmark to {ns_per_op, allocs_per_op,
 # bytes_per_op, samples}. The raw `go test` output is echoed so regressions
 # are visible in logs too.
@@ -14,7 +16,7 @@
 set -eu
 
 COUNT="${COUNT:-5}"
-PATTERN="${PATTERN:-^BenchmarkJoin(ER|IndexedER|TopK)\$}"
+PATTERN="${PATTERN:-^Benchmark(Join(ER|IndexedER|TopK)|FilterChainSig|WorldLowerBound)\$}"
 OUT="${OUT:-BENCH_join.json}"
 
 raw=$(go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" .)

@@ -1,10 +1,11 @@
 // Command benchgate compares a fresh scripts/bench.sh summary against the
 // committed baseline (BENCH_join.json) and exits non-zero when any
-// benchmark's ns/op regressed beyond the budget. CI runs it after
-// `make bench-join` so a pipeline change that slows the join hot path fails
-// loudly instead of silently rotting the baseline.
+// benchmark's ns/op or allocs/op regressed beyond its budget. CI runs it
+// after `make bench-join` so a pipeline change that slows the join hot path
+// — or quietly starts allocating in a kernel pinned at zero — fails loudly
+// instead of silently rotting the baseline.
 //
-//	go run ./scripts/benchgate -baseline BENCH_join.json -current /tmp/bench.json -max-regress 25
+//	go run ./scripts/benchgate -baseline BENCH_join.json -current /tmp/bench.json -max-regress 25 -max-allocs-regress 10
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_join.json", "committed baseline summary")
 	current := flag.String("current", "", "freshly measured summary to gate")
 	maxRegress := flag.Float64("max-regress", 25, "ns/op regression budget in percent")
+	maxAllocs := flag.Float64("max-allocs-regress", 10, "allocs/op regression budget in percent (a zero-alloc baseline tolerates no allocation at all)")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
@@ -52,7 +54,7 @@ func main() {
 		var cur map[string]result
 		cur, err = load(*current)
 		if err == nil {
-			err = gate(base, cur, *maxRegress)
+			err = gate(base, cur, *maxRegress, *maxAllocs)
 		}
 	}
 	if err != nil {
@@ -61,7 +63,7 @@ func main() {
 	}
 }
 
-func gate(base, cur map[string]result, budget float64) error {
+func gate(base, cur map[string]result, budget, allocsBudget float64) error {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		names = append(names, name)
@@ -87,9 +89,25 @@ func gate(base, cur map[string]result, budget float64) error {
 		}
 		fmt.Printf("%-9s %-24s %12.0f -> %12.0f ns/op (%+.1f%%, budget +%.0f%%)\n",
 			status, name, b.NsPerOp, c.NsPerOp, delta, budget)
+
+		if !allocsOK(b.AllocsPerOp, c.AllocsPerOp, allocsBudget) {
+			failed = true
+			fmt.Printf("%-9s %-24s %12.0f -> %12.0f allocs/op (budget +%.0f%%)\n",
+				"REGRESSED", name, b.AllocsPerOp, c.AllocsPerOp, allocsBudget)
+		}
 	}
 	if failed {
-		return fmt.Errorf("ns/op regression beyond %.0f%% (or missing benchmark)", budget)
+		return fmt.Errorf("ns/op or allocs/op regression beyond budget (or missing benchmark)")
 	}
 	return nil
+}
+
+// allocsOK gates the allocation count. A zero-alloc baseline admits no
+// allocations at all (percentages are meaningless against zero); otherwise
+// the current count may exceed the baseline by at most the percentage budget.
+func allocsOK(base, cur, budget float64) bool {
+	if base == 0 {
+		return cur == 0
+	}
+	return (cur-base)/base*100 <= budget
 }

@@ -33,10 +33,14 @@ echo "== fuzz smoke (20s per target)"
 go test -run '^$' -fuzz '^FuzzParseQuery$' -fuzztime 20s ./internal/sparql
 go test -run '^$' -fuzz '^FuzzParseTriples$' -fuzztime 20s ./internal/rdf
 
-echo "== benchmark regression gate (vs BENCH_join.json, +25% ns/op budget)"
+echo "== benchmark regression gate (vs BENCH_join.json, +25% ns/op, +10% allocs/op)"
+# bench.sh covers the join drivers (BenchmarkJoinER/IndexedER/TopK) and the
+# per-pair kernel micro-benchmarks (BenchmarkFilterChainSig,
+# BenchmarkWorldLowerBound); the allocs gate keeps the zero-alloc kernels at
+# exactly zero.
 benchtmp=$(mktemp -d)
 trap 'rm -rf "$benchtmp"' EXIT
 OUT="$benchtmp/bench.json" COUNT=3 make bench-join >/dev/null
-go run ./scripts/benchgate -baseline BENCH_join.json -current "$benchtmp/bench.json" -max-regress 25
+go run ./scripts/benchgate -baseline BENCH_join.json -current "$benchtmp/bench.json" -max-regress 25 -max-allocs-regress 10
 
 echo "CI passed"
