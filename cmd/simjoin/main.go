@@ -42,6 +42,9 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run")
 		statsJSON = flag.String("stats-json", "", "write the final Stats and metrics snapshot as JSON to this file")
 		traceOut  = flag.String("trace-out", "", "write recorded spans as Chrome trace_event JSON to this file")
+		explain   = flag.Bool("explain", false, "print the join's cost model after the run: per-bound evals/prunes/selectivity/ns-per-eval with effective-cost ranks, and stage latency P50/P95/P99")
+		events    = flag.String("events", "", "write sampled pair-decision events as JSONL to this file ('-' for stdout)")
+		eventsN   = flag.Int("events-every", 100, "with -events, sample one pair in N (1 records every pair)")
 		progress  = flag.Duration("progress", 0, "log join progress at this interval (e.g. 2s; 0 disables)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof format) to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (go tool pprof format) to this file at exit")
@@ -127,10 +130,13 @@ func main() {
 	}
 
 	obsCfg := obsConfig{
-		debugAddr: *debugAddr,
-		statsJSON: *statsJSON,
-		traceOut:  *traceOut,
-		progress:  *progress,
+		debugAddr:   *debugAddr,
+		statsJSON:   *statsJSON,
+		traceOut:    *traceOut,
+		explain:     *explain,
+		events:      *events,
+		eventsEvery: *eventsN,
+		progress:    *progress,
 	}
 	robust := robustConfig{
 		fallback:     fb,
@@ -152,10 +158,13 @@ type robustConfig struct {
 
 // obsConfig bundles the observability flags.
 type obsConfig struct {
-	debugAddr string
-	statsJSON string
-	traceOut  string
-	progress  time.Duration
+	debugAddr   string
+	statsJSON   string
+	traceOut    string
+	explain     bool
+	events      string
+	eventsEvery int
+	progress    time.Duration
 }
 
 func run(wl string, tau int, alpha float64, modeName, filters string, gn int, scale experiments.Scale, show int, oc obsConfig, rc robustConfig) error {
@@ -174,9 +183,23 @@ func run(wl string, tau int, alpha float64, modeName, filters string, gn int, sc
 		reg *obs.Registry
 		tr  *obs.Tracer
 	)
-	if oc.debugAddr != "" || oc.statsJSON != "" {
+	if oc.debugAddr != "" || oc.statsJSON != "" || oc.explain {
 		reg = obs.New()
 		opts.Obs = reg
+	}
+	var eventsFile *os.File
+	if oc.events != "" {
+		w := os.Stdout
+		if oc.events != "-" {
+			f, err := os.Create(oc.events)
+			if err != nil {
+				return err
+			}
+			eventsFile = f
+			defer f.Close()
+			w = f
+		}
+		opts.Events = obs.NewEventLog(w, oc.eventsEvery)
 	}
 	if oc.debugAddr != "" || oc.traceOut != "" {
 		tr = obs.NewTracer(obs.DefaultTraceCapacity)
@@ -277,14 +300,22 @@ func run(wl string, tau int, alpha float64, modeName, filters string, gn int, sc
 	fmt.Printf("verdicts: exact=%d sampled=%d approx=%d undecided=%d (budget-fallbacks=%d deadline-hits=%d)\n",
 		st.ExactPairs, st.SampledPairs, st.ApproxPairs, st.SkippedPairs, st.BudgetFallbacks, st.DeadlineHits)
 	if len(st.PrunedBy) > 0 {
-		bounds := make([]string, 0, len(st.PrunedBy))
-		for b := range st.PrunedBy {
-			bounds = append(bounds, b)
-		}
-		sort.Strings(bounds)
 		fmt.Printf("pruned-by:")
-		for _, b := range bounds {
-			fmt.Printf(" %s=%d", b, st.PrunedBy[b])
+		if len(st.BoundProfile) > 0 {
+			// Deterministic chain order: the profile lists every bound at its
+			// chain position, including bounds that pruned nothing.
+			for _, bc := range st.BoundProfile {
+				fmt.Printf(" %s=%d", bc.Bound, bc.Prunes)
+			}
+		} else {
+			bounds := make([]string, 0, len(st.PrunedBy))
+			for b := range st.PrunedBy {
+				bounds = append(bounds, b)
+			}
+			sort.Strings(bounds)
+			for _, b := range bounds {
+				fmt.Printf(" %s=%d", b, st.PrunedBy[b])
+			}
 		}
 		fmt.Println()
 	}
@@ -292,6 +323,22 @@ func run(wl string, tau int, alpha float64, modeName, filters string, gn int, sc
 		fmt.Printf("quarantined: %d pairs\n", st.QuarantinedPairs)
 		for _, q := range st.Quarantined {
 			fmt.Printf("  pair (%d,%d): %s\n", q.Q, q.G, q.Reason)
+		}
+	}
+	if oc.explain {
+		fmt.Println()
+		core.WriteExplain(os.Stdout, &st, reg.Snapshot())
+	}
+	if opts.Events != nil {
+		if err := opts.Events.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "event log: sink error: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "event log: %d/%d pairs sampled, %d events emitted, %d dropped\n",
+			opts.Events.Sampled(), st.Pairs, opts.Events.Emitted(), opts.Events.Dropped())
+		if eventsFile != nil {
+			if err := eventsFile.Sync(); err != nil {
+				return err
+			}
 		}
 	}
 	if oc.statsJSON != "" {

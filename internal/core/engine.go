@@ -15,6 +15,7 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"time"
 
 	"simjoin/internal/filter"
 	"simjoin/internal/graph"
@@ -103,7 +104,7 @@ func joinEngine(ctx context.Context, src CandidateSource, opts Options) ([]Pair,
 
 	worker := func(id int) {
 		defer wg.Done()
-		local := rec{jo: jo}
+		local := newRec(jo, &opts, chain)
 		var pairs []Pair
 		hook := testPairHook
 		for b := range tasks {
@@ -128,6 +129,7 @@ func joinEngine(ctx context.Context, src CandidateSource, opts Options) ([]Pair,
 				}
 			}
 		}
+		local.finish(chain)
 		mu.Lock()
 		results = append(results, pairs...)
 		total.add(&local.Stats)
@@ -139,16 +141,28 @@ func joinEngine(ctx context.Context, src CandidateSource, opts Options) ([]Pair,
 		go worker(i)
 	}
 
+	emit := func(b Batch) bool {
+		select {
+		case tasks <- b:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	if jo.sourceSeconds != nil {
+		// Candidate-generation latency: the time the source spends producing
+		// each batch, excluding the time emit blocks on a full task channel.
+		inner := emit
+		last := time.Now()
+		emit = func(b Batch) bool {
+			jo.sourceSeconds.ObserveDuration(time.Since(last))
+			ok := inner(b)
+			last = time.Now()
+			return ok
+		}
+	}
 	var skipped int64
-	src.Feed(ctx, &opts,
-		func(b Batch) bool {
-			select {
-			case tasks <- b:
-				return true
-			case <-ctx.Done():
-				return false
-			}
-		},
+	src.Feed(ctx, &opts, emit,
 		func(n int64) {
 			skipped += n
 			if jo.progress {
@@ -161,7 +175,7 @@ func joinEngine(ctx context.Context, src CandidateSource, opts Options) ([]Pair,
 	total.Pairs += skipped
 	total.CSSPruned += skipped // prescreens are implied by the CSS stage
 	total.IndexSkipped = skipped
-	finishStats(&total, opts.Obs)
+	finishStats(&total, jo)
 	if err := ctx.Err(); err != nil {
 		total.Cancelled = true
 		return nil, total, err

@@ -21,10 +21,20 @@ type joinObs struct {
 	tr   *obs.Tracer
 	filt *filter.Obs
 	gedM *ged.Metrics
+	ev   *obs.EventLog
+
+	// profile gates per-bound wall-clock timing (time.Now around every bound
+	// evaluation): on whenever metrics or the event log want the numbers, off
+	// — along with its overhead — when observability is fully disabled.
+	profile bool
 
 	pruneSeconds  *obs.Histogram
 	verifySeconds *obs.Histogram
+	sourceSeconds *obs.Histogram
 	worldsPerPair *obs.Histogram
+	// verifyRung splits verify latency per verdict-ladder rung, indexed by
+	// Verdict (VerdictNone unused).
+	verifyRung [5]*obs.Histogram
 
 	// progress gates the live atomics below; they are only maintained when a
 	// Logger and ProgressEvery are configured.
@@ -43,6 +53,8 @@ func newJoinObs(o *Options) *joinObs {
 	jo := &joinObs{
 		reg:      o.Obs,
 		tr:       o.Tracer,
+		ev:       o.Events,
+		profile:  o.Obs != nil || o.Events != nil,
 		progress: o.Logger != nil && o.ProgressEvery > 0,
 	}
 	if o.Obs != nil {
@@ -50,10 +62,22 @@ func newJoinObs(o *Options) *joinObs {
 		jo.gedM = ged.NewMetrics(o.Obs)
 		jo.pruneSeconds = o.Obs.Histogram("simjoin_prune_seconds", obs.DurationBuckets)
 		jo.verifySeconds = o.Obs.Histogram("simjoin_verify_seconds", obs.DurationBuckets)
+		jo.sourceSeconds = o.Obs.Histogram("simjoin_source_seconds", obs.DurationBuckets)
 		jo.worldsPerPair = o.Obs.Histogram("simjoin_worlds_per_pair", obs.CountBuckets)
+		for v := VerdictExact; v <= VerdictUndecided; v++ {
+			jo.verifyRung[v] = o.Obs.Histogram(verifyRungMetric(v), obs.DurationBuckets)
+		}
 		jo.watchdogStalls = o.Obs.Counter("simjoin_watchdog_stalls_total")
 	}
 	return jo
+}
+
+// syncAux publishes the auxiliary instruments' tallies into the registry at
+// join end: the tracer's dropped-span count and the event log's
+// emitted/dropped counts. Nil-safe throughout.
+func (jo *joinObs) syncAux() {
+	jo.tr.SyncDroppedCounter(jo.reg)
+	jo.ev.SyncCounters(jo.reg)
 }
 
 // beatStart marks worker id as having started a pair; beatEnd clears it.
@@ -148,6 +172,19 @@ type rec struct {
 	// fresh inside prunephase would heap-allocate one per pair (it escapes
 	// through the Bound interface call).
 	pctx filter.PairContext
+
+	// prof is the worker's per-chain-position profile shard (see profile.go),
+	// folded into Stats.BoundProfile by finish(); indexed like the chain.
+	prof []boundShard
+
+	// eb is the worker's event buffer (nil when no event log is configured);
+	// ev is the reusable sampled-pair record, evSampled marks the pair in
+	// flight as sampled, and evVerdict carries the verdict-ladder rung that
+	// decided it (also indexes the verifyRung histograms).
+	eb        *obs.EventBuffer
+	ev        obs.PairEvent
+	evSampled bool
+	evVerdict Verdict
 }
 
 // statsCounterSpec is the single source of truth tying every Stats counter
@@ -170,6 +207,7 @@ var statsCounterSpec = []struct {
 	{"simjoin_worlds_checked_total", func(s *Stats) *int64 { return &s.WorldsChecked }},
 	{"simjoin_ged_calls_total", func(s *Stats) *int64 { return &s.GEDCalls }},
 	{"simjoin_ged_budget_hits_total", func(s *Stats) *int64 { return &s.GEDBudgetHits }},
+	{"simjoin_ged_states_expanded_total", func(s *Stats) *int64 { return &s.GEDStatesExpanded }},
 	{"simjoin_groups_built_total", func(s *Stats) *int64 { return &s.GroupsBuilt }},
 	{"simjoin_groups_pruned_total", func(s *Stats) *int64 { return &s.GroupsPruned }},
 	{"simjoin_early_accepts_total", func(s *Stats) *int64 { return &s.EarlyAccepts }},
@@ -215,6 +253,7 @@ func publishStats(reg *obs.Registry, s *Stats) {
 	for bound, n := range s.PrunedBy {
 		reg.Counter(prunedByMetric(bound)).Add(n)
 	}
+	publishBoundProfile(reg, s.BoundProfile)
 }
 
 // StatsFromSnapshot reconstructs a Stats from a registry snapshot through
@@ -239,5 +278,6 @@ func StatsFromSnapshot(snap obs.Snapshot) Stats {
 			s.PrunedBy[bound] = n
 		}
 	}
+	s.BoundProfile = boundProfileFromSnapshot(snap)
 	return s
 }

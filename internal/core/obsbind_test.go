@@ -27,7 +27,17 @@ func fillStats(t *testing.T, s *Stats) {
 		case reflect.Bool:
 			f.SetBool(true)
 		case reflect.Slice:
-			f.Set(reflect.MakeSlice(f.Type(), 1, 1))
+			if v.Type().Field(i).Name == "BoundProfile" {
+				// The profile merges by (position, bound), so the fill must be
+				// a real entry (empty bound names do not round-trip through
+				// the labelled counters).
+				f.Set(reflect.ValueOf([]BoundCost{{
+					Pos: 0, Bound: "css",
+					Evals: int64(100*i + 1), Prunes: int64(100*i + 2), Nanos: int64(100*i + 3),
+				}}))
+			} else {
+				f.Set(reflect.MakeSlice(f.Type(), 1, 1))
+			}
 		case reflect.Map:
 			// PrunedBy: one entry per registered bound name, distinct values.
 			m := reflect.MakeMap(f.Type())
@@ -80,7 +90,15 @@ func TestStatsAddCoversAllFields(t *testing.T) {
 				t.Errorf("after double add, flag %s lost", name)
 			}
 		case reflect.Slice:
-			if f.Len() != 2 {
+			if name == "BoundProfile" {
+				// Profiles merge by (position, bound): double add keeps one
+				// entry with doubled tallies.
+				bp := dst.BoundProfile
+				if len(bp) != 1 || bp[0].Evals != 2*src.BoundProfile[0].Evals ||
+					bp[0].Prunes != 2*src.BoundProfile[0].Prunes || bp[0].Nanos != 2*src.BoundProfile[0].Nanos {
+					t.Errorf("after double add, BoundProfile = %+v, want one entry with doubled tallies of %+v", bp, src.BoundProfile[0])
+				}
+			} else if f.Len() != 2 {
 				t.Errorf("after double add, log %s has %d entries, want 2", name, f.Len())
 			}
 		case reflect.Map:
@@ -102,12 +120,13 @@ func TestStatsAddCoversAllFields(t *testing.T) {
 func TestStatsMetricTableCoversAllFields(t *testing.T) {
 	// Count the counter-shaped fields; the Cancelled flag and Quarantined log
 	// are deliberately registry-exempt (QuarantinedPairs carries the count),
-	// and the PrunedBy map is published per bound through prunedByMetric.
+	// the PrunedBy map is published per bound through prunedByMetric, and
+	// BoundProfile per (bound, position) through publishBoundProfile.
 	numeric := 0
 	typ := reflect.TypeOf(Stats{})
 	for i := 0; i < typ.NumField(); i++ {
 		switch typ.Field(i).Name {
-		case "Cancelled", "Quarantined", "PrunedBy":
+		case "Cancelled", "Quarantined", "PrunedBy", "BoundProfile":
 		default:
 			numeric++
 			if typ.Field(i).Type.Kind() != reflect.Int64 {

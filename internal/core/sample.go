@@ -102,6 +102,7 @@ func sampleVerify(pairCtx, joinCtx context.Context, pi *pairIn, opts *Options, s
 		}
 		st.GEDCalls++
 		res, err := ged.Compute(q, w, ged.Options{Threshold: opts.Tau, MaxStates: opts.VerifyMaxStates, Metrics: st.jo.gedM})
+		st.GEDStatesExpanded += int64(res.States)
 		if err != nil {
 			st.GEDBudgetHits++
 			continue

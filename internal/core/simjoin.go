@@ -132,6 +132,12 @@ type Options struct {
 	// Tracer, when non-nil, records prune/verify spans per pair into its
 	// ring buffer (exportable as a Chrome trace).
 	Tracer *obs.Tracer
+	// Events, when non-nil, receives the sampled pair-decision event log: one
+	// JSONL record per sampled pair carrying the pair ids, every bound's
+	// outcome and duration, the verdict-ladder path, and the pair's work
+	// counters (see obs.NewEventLog and DESIGN.md §12). Setting Events also
+	// enables per-bound timing even when Obs is nil.
+	Events *obs.EventLog
 	// Logger and ProgressEvery enable the periodic progress reporter: every
 	// ProgressEvery, Logger receives pairs done/total, candidate ratio and
 	// ETA. Both must be set for reports to be emitted.
@@ -256,22 +262,32 @@ type Stats struct {
 	WorldsChecked int64
 	GEDCalls      int64 // exact GED verifications run
 	GEDBudgetHits int64 // GED calls aborted by VerifyMaxStates
-	PruneTime     time.Duration
-	VerifyTime    time.Duration
-	GroupsBuilt   int64 // possible-world groups constructed (SimJ+opt)
-	GroupsPruned  int64 // groups removed by their CSS bound
+	// GEDStatesExpanded sums the A* search states expanded across all exact
+	// GED calls, including aborted ones — the join's verification effort in
+	// engine units, independent of wall clock.
+	GEDStatesExpanded int64
+	PruneTime         time.Duration
+	VerifyTime        time.Duration
+	GroupsBuilt       int64 // possible-world groups constructed (SimJ+opt)
+	GroupsPruned      int64 // groups removed by their CSS bound
 	// PrunedBy breaks the pruned pairs down by the filter-chain bound that
 	// eliminated each one, keyed by the bound's registry name; summed over
 	// the chain it equals CSSPruned + ProbPruned minus IndexSkipped (pairs
 	// the index prescreens removed never reach a bound). Nil when nothing
 	// was pruned by a bound.
-	PrunedBy     map[string]int64 `json:",omitempty"`
-	EarlyAccepts int64            // verifications stopped early at ≥ α
-	EarlyRejects int64            // verifications stopped early at < α
-	IndexSkipped int64            // pairs eliminated by JoinIndexed's prescreens
-	SampledPairs int64            // pairs decided by the Monte Carlo sampling rung
-	ExactPairs   int64            // pairs decided by exact possible-world enumeration
-	ApproxPairs  int64            // pairs decided with approximate-bound assistance
+	PrunedBy map[string]int64 `json:",omitempty"`
+	// BoundProfile is the per-bound cost/selectivity profile in chain order:
+	// one entry per chain position with the bound's evaluation count, prune
+	// count and (when profiling timing was on) accumulated evaluation
+	// nanoseconds. See BoundCost and WriteExplain (profile.go). Nil when the
+	// join ran no bounds.
+	BoundProfile []BoundCost `json:",omitempty"`
+	EarlyAccepts int64       // verifications stopped early at ≥ α
+	EarlyRejects int64       // verifications stopped early at < α
+	IndexSkipped int64       // pairs eliminated by JoinIndexed's prescreens
+	SampledPairs int64       // pairs decided by the Monte Carlo sampling rung
+	ExactPairs   int64       // pairs decided by exact possible-world enumeration
+	ApproxPairs  int64       // pairs decided with approximate-bound assistance
 	// BudgetFallbacks counts pairs that left the exact enumeration path
 	// (MaxWorlds blown, pre-screened as over budget, or deadline expired)
 	// and were handed to the ladder's fallback rungs.
@@ -314,6 +330,7 @@ func (s *Stats) add(o *Stats) {
 	s.WorldsChecked += o.WorldsChecked
 	s.GEDCalls += o.GEDCalls
 	s.GEDBudgetHits += o.GEDBudgetHits
+	s.GEDStatesExpanded += o.GEDStatesExpanded
 	s.PruneTime += o.PruneTime
 	s.VerifyTime += o.VerifyTime
 	s.GroupsBuilt += o.GroupsBuilt
@@ -325,6 +342,9 @@ func (s *Stats) add(o *Stats) {
 		for k, v := range o.PrunedBy {
 			s.PrunedBy[k] += v
 		}
+	}
+	if len(o.BoundProfile) > 0 {
+		s.BoundProfile = mergeBoundProfile(s.BoundProfile, o.BoundProfile)
 	}
 	s.EarlyAccepts += o.EarlyAccepts
 	s.EarlyRejects += o.EarlyRejects
@@ -355,17 +375,19 @@ func JoinContext(ctx context.Context, d []*graph.Graph, u []*ugraph.Graph, opts 
 	return joinEngine(ctx, newCrossSource(d, u), opts)
 }
 
-// finishStats orders the quarantine log deterministically and publishes the
-// run's counters to the registry; every join driver calls it once after its
-// workers drain.
-func finishStats(total *Stats, reg *obs.Registry) {
+// finishStats orders the quarantine log deterministically, publishes the
+// run's counters to the registry, and syncs the auxiliary instruments
+// (tracer drop count, event-log tallies); every join driver calls it once
+// after its workers drain.
+func finishStats(total *Stats, jo *joinObs) {
 	sort.Slice(total.Quarantined, func(i, j int) bool {
 		if total.Quarantined[i].Q != total.Quarantined[j].Q {
 			return total.Quarantined[i].Q < total.Quarantined[j].Q
 		}
 		return total.Quarantined[i].G < total.Quarantined[j].G
 	})
-	publishStats(reg, total)
+	publishStats(jo.reg, total)
+	jo.syncAux()
 }
 
 // pairIn bundles one (q, g) pair with its precomputed filter signatures and
@@ -409,13 +431,27 @@ func joinPair(ctx context.Context, pi *pairIn, opts *Options, chain []filter.Bou
 		}
 	}
 
+	// Sampling is decided before any work so the event can cover the whole
+	// decision path; baselines turn the worker-cumulative counters into
+	// per-pair deltas at emission time.
+	st.evSampled = st.jo.ev.Sample()
+	var baseWorlds, baseGEDCalls, baseGEDStates int64
+	if st.evSampled {
+		st.ev.Bounds = st.ev.Bounds[:0]
+		baseWorlds, baseGEDCalls, baseGEDStates = st.WorldsChecked, st.GEDCalls, st.GEDStatesExpanded
+	}
+
 	pruneStart := time.Now()
-	groups, pruned := prunephase(pi, opts, chain, st)
+	groups, prunedBy := prunephase(pi, opts, chain, st)
 	pruneDur := time.Since(pruneStart)
 	st.PruneTime += pruneDur
 	st.jo.pruneSeconds.ObserveDuration(pruneDur)
 	st.jo.tr.Record("prune", pruneStart, pruneDur)
-	if pruned {
+	if prunedBy != "" {
+		if st.evSampled {
+			st.emitEvent(pi, Pair{}, false, "pruned", prunedBy,
+				baseWorlds, baseGEDCalls, baseGEDStates, int64(pruneDur), 0)
+		}
 		return Pair{}, false
 	}
 	st.Candidates++
@@ -430,20 +466,49 @@ func joinPair(ctx context.Context, pi *pairIn, opts *Options, chain []filter.Bou
 		defer cancel()
 	}
 	verifyStart := time.Now()
+	st.evVerdict = VerdictUndecided
 	p, ok = verify(pairCtx, ctx, pi, groups, opts, st)
 	verifyDur := time.Since(verifyStart)
 	st.VerifyTime += verifyDur
 	st.jo.verifySeconds.ObserveDuration(verifyDur)
+	st.jo.verifyRung[st.evVerdict].ObserveDuration(verifyDur)
 	st.jo.tr.Record("verify", verifyStart, verifyDur)
+	if st.evSampled {
+		st.emitEvent(pi, p, ok, st.evVerdict.String(), "",
+			baseWorlds, baseGEDCalls, baseGEDStates, int64(pruneDur), int64(verifyDur))
+	}
 	return p, ok
+}
+
+// emitEvent fills the worker's reusable PairEvent from the pair's deltas and
+// hands it to the event buffer. The Bounds slice was populated in-place by
+// prunephase; everything else is computed here so the hot path carries no
+// event bookkeeping for unsampled pairs.
+func (st *rec) emitEvent(pi *pairIn, p Pair, ok bool, verdict, prunedBy string,
+	baseWorlds, baseGEDCalls, baseGEDStates, pruneNs, verifyNs int64) {
+	ev := &st.ev
+	ev.Q, ev.G = pi.qi, pi.gi
+	ev.Verdict = verdict
+	ev.PrunedBy = prunedBy
+	ev.Result = ok
+	ev.SimP = p.SimP
+	ev.Worlds = st.WorldsChecked - baseWorlds
+	ev.GEDCalls = st.GEDCalls - baseGEDCalls
+	ev.GEDStates = st.GEDStatesExpanded - baseGEDStates
+	ev.PruneNs = pruneNs
+	ev.VerifyNs = verifyNs
+	ev.TotalNs = pruneNs + verifyNs
+	st.eb.Emit(ev)
 }
 
 // prunephase walks the pair through the bound chain in order. It returns the
 // possible-world groups to verify (nil means verify the whole graph as one
-// group; a kept group bound replaces them) and whether the pair was pruned
-// outright. Prunes are attributed per bound in Stats.PrunedBy and aggregated
-// into CSSPruned or ProbPruned by the bound's kind.
-func prunephase(pi *pairIn, opts *Options, chain []filter.Bound, st *rec) ([]ugraph.Group, bool) {
+// group; a kept group bound replaces them) and the name of the bound that
+// pruned the pair ("" when the pair survived). Prunes are attributed per
+// bound in Stats.PrunedBy and aggregated into CSSPruned or ProbPruned by the
+// bound's kind; every evaluation lands in the worker's profile shard, with
+// per-bound wall time when profiling is on.
+func prunephase(pi *pairIn, opts *Options, chain []filter.Bound, st *rec) ([]ugraph.Group, string) {
 	st.pctx = filter.PairContext{
 		QS:         pi.qs,
 		GS:         pi.gs,
@@ -453,10 +518,31 @@ func prunephase(pi *pairIn, opts *Options, chain []filter.Bound, st *rec) ([]ugr
 		Scratch:    &st.fsc,
 	}
 	pc := &st.pctx
+	profiled := st.jo.profile
 	var groups []ugraph.Group
-	for _, b := range chain {
-		out := b.Apply(pc)
-		st.jo.filt.RecordBound(b.Name(), out)
+	for i, b := range chain {
+		var out filter.Outcome
+		if profiled {
+			t0 := time.Now()
+			out = b.Apply(pc)
+			d := time.Since(t0)
+			st.jo.filt.RecordBoundTimed(b.Name(), out, d)
+			if i < len(st.prof) {
+				st.prof[i].nanos += int64(d)
+			}
+			if st.evSampled {
+				st.ev.Bounds = append(st.ev.Bounds, obs.BoundObs{Bound: b.Name(), Ns: int64(d), Pruned: out.Pruned})
+			}
+		} else {
+			out = b.Apply(pc)
+			st.jo.filt.RecordBound(b.Name(), out)
+		}
+		if i < len(st.prof) {
+			st.prof[i].evals++
+			if out.Pruned {
+				st.prof[i].prunes++
+			}
+		}
 		st.GroupsBuilt += out.GroupsBuilt
 		st.GroupsPruned += out.GroupsCSSPruned
 		if out.Groups != nil {
@@ -472,10 +558,10 @@ func prunephase(pi *pairIn, opts *Options, chain []filter.Bound, st *rec) ([]ugr
 			} else {
 				st.ProbPruned++
 			}
-			return nil, true
+			return nil, b.Name()
 		}
 	}
-	return groups, false
+	return groups, ""
 }
 
 // exactOutcome reports how the exact enumeration rung ended.
@@ -526,6 +612,7 @@ func verify(pairCtx, joinCtx context.Context, pi *pairIn, groups []ugraph.Group,
 				st.ExactPairs++
 				p.Verdict = VerdictExact
 			}
+			st.evVerdict = p.Verdict
 			return p, ok
 		case exactCancelled:
 			st.SkippedPairs++
@@ -547,6 +634,7 @@ func verify(pairCtx, joinCtx context.Context, pi *pairIn, groups []ugraph.Group,
 		case sampleDecided:
 			st.SampledPairs++
 			p.Verdict = VerdictSampled
+			st.evVerdict = VerdictSampled
 			return p, ok
 		case sampleCancelled:
 			st.SkippedPairs++
@@ -561,6 +649,7 @@ func verify(pairCtx, joinCtx context.Context, pi *pairIn, groups []ugraph.Group,
 		// after a deadline hit: better a late certified bound than no verdict.
 		if p, ok, decided := approxVerify(pi, opts, st); decided {
 			st.ApproxPairs++
+			st.evVerdict = VerdictApproxBound
 			return p, ok
 		}
 	}
@@ -648,6 +737,7 @@ func verifyExact(pairCtx, joinCtx context.Context, pi *pairIn, groups []ugraph.G
 			if st.pv.WorldLowerBound(w) <= opts.Tau {
 				st.GEDCalls++
 				res, err := ged.Compute(q, w, ged.Options{Threshold: opts.Tau, MaxStates: opts.VerifyMaxStates, Metrics: st.jo.gedM})
+				st.GEDStatesExpanded += int64(res.States)
 				switch {
 				case err != nil:
 					st.GEDBudgetHits++

@@ -50,7 +50,7 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 	tasks := make(chan int, 64)
 	worker := func(id int) {
 		defer wg.Done()
-		local := rec{jo: jo}
+		local := newRec(jo, &opts, chain)
 		for gi := range tasks {
 			var best []Pair
 			for qi := range d {
@@ -72,6 +72,7 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 			perQuestion[gi] = best
 			mu.Unlock()
 		}
+		local.finish(chain)
 		mu.Lock()
 		total.add(&local.Stats)
 		mu.Unlock()
@@ -86,7 +87,7 @@ func JoinTopK(d []*graph.Graph, u []*ugraph.Graph, opts Options, k int) ([][]Pai
 	}
 	close(tasks)
 	wg.Wait()
-	finishStats(&total, opts.Obs)
+	finishStats(&total, jo)
 	return perQuestion, total, nil
 }
 

@@ -2,6 +2,7 @@ package filter
 
 import (
 	"strings"
+	"time"
 
 	"simjoin/internal/obs"
 )
@@ -28,6 +29,10 @@ type Obs struct {
 
 type boundCounters struct {
 	evaluated, pruned *obs.Counter
+	// nanos accumulates the bound's evaluation wall time (RecordBoundTimed);
+	// nanos/evaluated is the bound's measured cost-per-eval, the other half
+	// of the effective-cost ordering the cost model consumes.
+	nanos *obs.Counter
 }
 
 // NewObs registers the per-bound counters on reg for every bound in the
@@ -45,6 +50,7 @@ func NewObs(reg *obs.Registry) *Obs {
 		o.byBound[name] = boundCounters{
 			evaluated: reg.Counter(boundCounterName(name, "evaluated")),
 			pruned:    reg.Counter(boundCounterName(name, "pruned")),
+			nanos:     reg.Counter(boundCounterName(name, "eval_nanoseconds")),
 		}
 	}
 	return o
@@ -80,6 +86,27 @@ func (f *Obs) RecordBound(name string, out Outcome) {
 	}
 	if c, ok := f.byBound[name]; ok {
 		c.evaluated.Inc()
+		if out.Pruned {
+			c.pruned.Inc()
+		}
+	}
+	if out.GroupsCSSPruned > 0 {
+		f.groupCSSPruned.Add(out.GroupsCSSPruned)
+	}
+}
+
+// RecordBoundTimed is RecordBound plus cost accounting: d, the bound's
+// evaluation wall time, is accumulated into its *_eval_nanoseconds_total
+// counter. The join engine uses this variant whenever profiling is on, so
+// live scrapes see per-bound cost next to per-bound selectivity mid-run.
+// Allocation-free; nil-safe.
+func (f *Obs) RecordBoundTimed(name string, out Outcome, d time.Duration) {
+	if f == nil {
+		return
+	}
+	if c, ok := f.byBound[name]; ok {
+		c.evaluated.Inc()
+		c.nanos.Add(int64(d))
 		if out.Pruned {
 			c.pruned.Inc()
 		}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestEventLogSamplingCadence(t *testing.T) {
+	l := NewEventLog(io.Discard, 3)
+	var hits []int
+	for i := 0; i < 10; i++ {
+		if l.Sample() {
+			hits = append(hits, i)
+		}
+	}
+	if want := []int{0, 3, 6, 9}; len(hits) != len(want) {
+		t.Fatalf("every=3 sampled at %v, want %v", hits, want)
+	} else {
+		for i := range want {
+			if hits[i] != want[i] {
+				t.Fatalf("every=3 sampled at %v, want %v", hits, want)
+			}
+		}
+	}
+	if got := l.Sampled(); got != 10 {
+		t.Fatalf("Sampled() = %d, want 10", got)
+	}
+
+	var nilLog *EventLog
+	if nilLog.Sample() {
+		t.Fatal("nil EventLog sampled")
+	}
+	if nilLog.NewBuffer() != nil {
+		t.Fatal("nil EventLog returned a buffer")
+	}
+}
+
+func TestEventLogEmitRoundTrip(t *testing.T) {
+	var sink bytes.Buffer
+	l := NewEventLog(&sink, 1)
+	b := l.NewBuffer()
+	ev := PairEvent{
+		Q: 3, G: 7,
+		Bounds: []BoundObs{
+			{Bound: "css", Ns: 120, Pruned: false},
+			{Bound: "group", Ns: 450, Pruned: true},
+		},
+		Verdict:  "pruned",
+		PrunedBy: "group",
+		Worlds:   0, GEDCalls: 0, GEDStates: 0,
+		PruneNs: 570, VerifyNs: 0, TotalNs: 570,
+	}
+	b.Emit(&ev)
+	ev2 := PairEvent{
+		Q: 1, G: 2, Verdict: "exact", Result: true, SimP: 0.75,
+		Worlds: 8, GEDCalls: 4, GEDStates: 321,
+		PruneNs: 100, VerifyNs: 9000, TotalNs: 9100,
+	}
+	b.Emit(&ev2)
+	b.Flush()
+
+	if got := l.Emitted(); got != 2 {
+		t.Fatalf("Emitted() = %d, want 2", got)
+	}
+	sc := bufio.NewScanner(&sink)
+	var lines []map[string]interface{}
+	for sc.Scan() {
+		var m map[string]interface{}
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	if lines[0]["verdict"] != "pruned" || lines[0]["pruned_by"] != "group" {
+		t.Errorf("pruned event = %v", lines[0])
+	}
+	bounds, ok := lines[0]["bounds"].([]interface{})
+	if !ok || len(bounds) != 2 {
+		t.Fatalf("pruned event bounds = %v, want 2 entries", lines[0]["bounds"])
+	}
+	last := bounds[1].(map[string]interface{})
+	if last["b"] != "group" || last["pruned"] != true {
+		t.Errorf("bounds[1] = %v", last)
+	}
+	if lines[1]["result"] != true || lines[1]["simp"].(float64) != 0.75 {
+		t.Errorf("accepted event = %v", lines[1])
+	}
+	if lines[1]["ged_states"].(float64) != 321 {
+		t.Errorf("ged_states = %v, want 321", lines[1]["ged_states"])
+	}
+}
+
+// TestEventLogEmitZeroAlloc pins the hot path: encoding a sampled event into
+// a warmed buffer (including its opportunistic flushes to the sink) must not
+// allocate.
+func TestEventLogEmitZeroAlloc(t *testing.T) {
+	l := NewEventLog(io.Discard, 1)
+	b := l.NewBuffer()
+	ev := PairEvent{
+		Q: 12, G: 34,
+		Bounds:  []BoundObs{{Bound: "css", Ns: 210}, {Bound: "prob", Ns: 320}, {Bound: "group", Ns: 640, Pruned: true}},
+		Verdict: "pruned", PrunedBy: "group",
+		PruneNs: 1170, TotalNs: 1170,
+	}
+	// Warm until the buffer has been through at least one full flush cycle so
+	// its capacity is settled.
+	for i := 0; i < 2000; i++ {
+		b.Emit(&ev)
+	}
+	if got := testing.AllocsPerRun(1000, func() { b.Emit(&ev) }); got != 0 {
+		t.Fatalf("steady-state Emit allocated %v allocs/op, want 0", got)
+	}
+}
+
+type failWriter struct{ err error }
+
+func (w *failWriter) Write(p []byte) (int, error) { return 0, w.err }
+
+func TestEventLogDropsOnSinkError(t *testing.T) {
+	wantErr := errors.New("sink gone")
+	l := NewEventLog(&failWriter{err: wantErr}, 1)
+	b := l.NewBuffer()
+	ev := PairEvent{Q: 1, G: 1, Verdict: "exact"}
+	b.Emit(&ev)
+	b.Flush()
+	b.Emit(&ev)
+	b.Flush()
+	if got := l.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+	if got := l.Emitted(); got != 0 {
+		t.Fatalf("Emitted() = %d, want 0", got)
+	}
+	if !errors.Is(l.Err(), wantErr) {
+		t.Fatalf("Err() = %v, want %v", l.Err(), wantErr)
+	}
+}
+
+func TestEventLogSyncCounters(t *testing.T) {
+	l := NewEventLog(io.Discard, 1)
+	b := l.NewBuffer()
+	ev := PairEvent{Q: 1, G: 1, Verdict: "exact"}
+	for i := 0; i < 5; i++ {
+		b.Emit(&ev)
+	}
+	b.Flush()
+	reg := New()
+	l.SyncCounters(reg)
+	if got := reg.Snapshot().Counters["obs_events_emitted_total"]; got != 5 {
+		t.Fatalf("after first sync, obs_events_emitted_total = %d, want 5", got)
+	}
+	b.Emit(&ev)
+	b.Flush()
+	l.SyncCounters(reg)
+	if got := reg.Snapshot().Counters["obs_events_emitted_total"]; got != 6 {
+		t.Fatalf("after second sync, obs_events_emitted_total = %d, want 6 (delta publication)", got)
+	}
+	// No drops: the dropped counter must not even be registered.
+	if _, ok := reg.Snapshot().Counters["obs_events_dropped_total"]; ok {
+		t.Fatal("obs_events_dropped_total registered with zero drops")
+	}
+	l.SyncCounters(nil) // nil-safety
+	(*EventLog)(nil).SyncCounters(reg)
+}
+
+func TestAppendJSONStringEscapes(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{`plain`, `"plain"`},
+		{`quote"back\slash`, `"quote\"back\\slash"`},
+		{"tab\tnewline\n", `"tab\tnewline\n"`},
+		{"ctrl\x01", `"ctrl\u0001"`},
+	} {
+		if got := string(appendJSONString(nil, tc.in)); got != tc.want {
+			t.Errorf("appendJSONString(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+		var v string
+		if err := json.Unmarshal(appendJSONString(nil, tc.in), &v); err != nil || v != tc.in {
+			t.Errorf("appendJSONString(%q) does not round-trip: %v (%v)", tc.in, v, err)
+		}
+	}
+}
+
+func TestParseNameInvertsName(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		base   string
+		labels map[string]string
+	}{
+		{"plain_total", "plain_total", nil},
+		{Name("simjoin_bound_evals_total", "bound", "css", "pos", "0"),
+			"simjoin_bound_evals_total", map[string]string{"bound": "css", "pos": "0"}},
+		{Name("m", "k", `va"lue`), "m", map[string]string{"k": `va"lue`}},
+	} {
+		base, labels := ParseName(tc.name)
+		if base != tc.base {
+			t.Errorf("ParseName(%q) base = %q, want %q", tc.name, base, tc.base)
+		}
+		if len(labels) != len(tc.labels) {
+			t.Errorf("ParseName(%q) labels = %v, want %v", tc.name, labels, tc.labels)
+			continue
+		}
+		for k, v := range tc.labels {
+			if labels[k] != v {
+				t.Errorf("ParseName(%q) labels[%q] = %q, want %q", tc.name, k, labels[k], v)
+			}
+		}
+	}
+}
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("q_test", []float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	snap := reg.Snapshot().Histograms["q_test"]
+	if p50 := snap.Quantile(0.5); p50 < 1 || p50 > 2 {
+		t.Errorf("P50 = %v, want within (1,2]", p50)
+	}
+	if p99 := snap.Quantile(0.99); p99 < 1 || p99 > 2 {
+		t.Errorf("P99 = %v, want within (1,2]", p99)
+	}
+
+	// Observations past the last finite bound saturate there.
+	h2 := reg.Histogram("q_test_inf", []float64{1})
+	h2.Observe(100)
+	snap2 := reg.Snapshot().Histograms["q_test_inf"]
+	if p50 := snap2.Quantile(0.5); p50 != 1 {
+		t.Errorf("+Inf-bucket quantile = %v, want saturation at 1", p50)
+	}
+
+	var empty HistSnapshot
+	if q := empty.Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty histogram quantile = %v, want NaN", q)
+	}
+}

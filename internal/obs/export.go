@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Snapshot is a point-in-time copy of every instrument in a registry,
@@ -37,6 +38,95 @@ func formatBound(b float64) string {
 		return "+Inf"
 	}
 	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func parseBound(le string) float64 {
+	if le == "+Inf" {
+		return math.Inf(1)
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observations from
+// the cumulative bucket counts, interpolating linearly inside the bucket
+// that crosses the target rank (the Prometheus histogram_quantile
+// estimator). Observations in the +Inf bucket are reported as the last
+// finite upper bound — the estimate saturates rather than invents values.
+// Returns NaN for an empty histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	prevCum := int64(0)
+	lower := 0.0
+	for _, b := range s.Buckets {
+		upper := parseBound(b.Le)
+		if float64(b.Count) >= rank && b.Count > prevCum {
+			if math.IsInf(upper, 1) {
+				return lower // saturate at the last finite bound
+			}
+			frac := (rank - float64(prevCum)) / float64(b.Count-prevCum)
+			return lower + (upper-lower)*frac
+		}
+		prevCum = b.Count
+		if !math.IsInf(upper, 1) && !math.IsNaN(upper) {
+			lower = upper
+		}
+	}
+	return lower
+}
+
+// ParseName is the inverse of Name: it splits a possibly labelled metric
+// name into its base name and label map (nil when the name is plain). Label
+// values are unescaped.
+func ParseName(name string) (string, map[string]string) {
+	base, body := splitName(name)
+	if body == "" {
+		return base, nil
+	}
+	labels := make(map[string]string)
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+			break // malformed; return what parsed so far
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		var sb strings.Builder
+		i := 0
+		for i < len(rest) && rest[i] != '"' {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					sb.WriteByte(rest[i])
+				}
+			} else {
+				sb.WriteByte(rest[i])
+			}
+			i++
+		}
+		labels[key] = sb.String()
+		if i+1 < len(rest) && rest[i+1] == ',' {
+			body = rest[i+2:]
+		} else {
+			body = ""
+		}
+	}
+	return base, labels
 }
 
 func (h *Histogram) snapshot() HistSnapshot {

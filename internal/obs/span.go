@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"sync"
@@ -25,6 +26,9 @@ type Span struct {
 type Tracer struct {
 	seq     atomic.Uint64
 	dropped atomic.Int64
+	// publishedDropped is the SyncDroppedCounter watermark: how much of
+	// dropped has already been added to a registry counter.
+	publishedDropped atomic.Int64
 
 	mu   sync.Mutex
 	ring []Span
@@ -80,6 +84,24 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped.Load()
 }
 
+// SyncDroppedCounter publishes the tracer's cumulative drop count into reg
+// as the obs_spans_dropped_total counter, adding only the delta since the
+// previous sync so a registry shared across runs stays monotone. Nil-safe on
+// both sides.
+func (t *Tracer) SyncDroppedCounter(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	d := t.dropped.Load()
+	if d == 0 && t.publishedDropped.Load() == 0 {
+		return
+	}
+	prev := t.publishedDropped.Swap(d)
+	if d > prev {
+		reg.Counter("obs_spans_dropped_total").Add(d - prev)
+	}
+}
+
 // Spans returns the retained spans in chronological (recording) order.
 func (t *Tracer) Spans() []Span {
 	if t == nil {
@@ -95,20 +117,24 @@ func (t *Tracer) Spans() []Span {
 	return out
 }
 
-// traceEvent is one Chrome trace_event entry ("X" = complete event).
+// traceEvent is one Chrome trace_event entry ("X" = complete event,
+// "i" = instant event).
 type traceEvent struct {
-	Name string                 `json:"name"`
-	Ph   string                 `json:"ph"`
-	Ts   int64                  `json:"ts"`  // microseconds
-	Dur  int64                  `json:"dur"` // microseconds
-	Pid  int                    `json:"pid"`
-	Tid  int                    `json:"tid"`
-	Args map[string]interface{} `json:"args,omitempty"`
+	Name  string                 `json:"name"`
+	Ph    string                 `json:"ph"`
+	Ts    int64                  `json:"ts"`  // microseconds
+	Dur   int64                  `json:"dur"` // microseconds
+	Pid   int                    `json:"pid"`
+	Tid   int                    `json:"tid"`
+	Scope string                 `json:"s,omitempty"` // instant-event scope
+	Args  map[string]interface{} `json:"args,omitempty"`
 }
 
 // WriteChromeTrace exports the retained spans as a Chrome trace_event JSON
 // array (load it at chrome://tracing or https://ui.perfetto.dev). Timestamps
-// are relative to the earliest retained span.
+// are relative to the earliest retained span. When the ring buffer wrapped
+// and spans were lost, a global instant event at t=0 warns that the trace is
+// incomplete (and by how many spans) instead of losing them silently.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Spans()
 	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
@@ -116,7 +142,17 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if len(spans) > 0 {
 		epoch = spans[0].Start
 	}
-	events := make([]traceEvent, 0, len(spans))
+	events := make([]traceEvent, 0, len(spans)+1)
+	if n := t.Dropped(); n > 0 {
+		events = append(events, traceEvent{
+			Name:  fmt.Sprintf("WARNING: %d spans dropped (trace ring wrapped; raise the tracer capacity)", n),
+			Ph:    "i",
+			Pid:   1,
+			Tid:   1,
+			Scope: "g",
+			Args:  map[string]interface{}{"dropped_spans": n, "ring_capacity": len(t.ring)},
+		})
+	}
 	for _, s := range spans {
 		ev := traceEvent{
 			Name: s.Name,

@@ -5,9 +5,12 @@
 # BenchmarkJoinTopK) plus the per-pair kernel micro-benchmarks
 # (BenchmarkFilterChainSig, BenchmarkWorldLowerBound) with -benchmem,
 # averages the repetitions, and writes
-# BENCH_join.json mapping each benchmark to {ns_per_op, allocs_per_op,
-# bytes_per_op, samples}. The raw `go test` output is echoed so regressions
-# are visible in logs too.
+# BENCH_join.json in the v2 schema: {"benchmarks": {name: {ns_per_op,
+# allocs_per_op, bytes_per_op, samples}}}. The raw `go test` output is echoed
+# so regressions are visible in logs too.
+#
+# Note: refreshing the baseline this way drops its prune_rates section; re-bake
+# it with `go run ./scripts/benchgate -update-prune -stats <stats.json>`.
 #
 # Environment overrides:
 #   COUNT   repetitions per benchmark (default 5)
@@ -34,7 +37,7 @@ echo "$raw" | awk -v out="$OUT" '
 	n[name]++
 }
 END {
-	printf "{\n" > out
+	printf "{\n  \"benchmarks\": {\n" > out
 	count = 0
 	for (name in n) count++
 	i = 0
@@ -47,11 +50,11 @@ END {
 	}
 	for (a = 0; a < i; a++) {
 		name = keys[a]
-		printf "  \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f, \"samples\": %d}%s\n", \
+		printf "    \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f, \"samples\": %d}%s\n", \
 			name, ns[name] / n[name], bytes[name] / n[name], allocs[name] / n[name], n[name], \
 			(a < i - 1) ? "," : "" > out
 	}
-	printf "}\n" > out
+	printf "  }\n}\n" > out
 }
 '
 echo "wrote $OUT"

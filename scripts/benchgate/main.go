@@ -5,13 +5,27 @@
 // — or quietly starts allocating in a kernel pinned at zero — fails loudly
 // instead of silently rotting the baseline.
 //
-//	go run ./scripts/benchgate -baseline BENCH_join.json -current /tmp/bench.json -max-regress 25 -max-allocs-regress 10
+// The baseline's v2 schema additionally carries per-bound prune rates
+// measured on the deterministic CI workload; passing -stats (a
+// `simjoin -stats-json` document from the same workload) gates prune-rate
+// drift too, so a bounds change that silently weakens pruning fails the same
+// way a slowdown does. Legacy v1 baselines (a plain benchmark map) still
+// load.
+//
+//	go run ./scripts/benchgate -baseline BENCH_join.json -current /tmp/bench.json \
+//	    -max-regress 25 -max-allocs-regress 10 -stats /tmp/stats.json -max-prune-drift 5
+//
+// After intentionally changing the filter chain's behaviour, re-bake the
+// baseline's prune rates with:
+//
+//	go run ./scripts/benchgate -baseline BENCH_join.json -stats /tmp/stats.json -update-prune
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 )
@@ -23,19 +37,68 @@ type result struct {
 	Samples     int     `json:"samples"`
 }
 
-func load(path string) (map[string]result, error) {
+// baselineDoc is the v2 baseline schema: benchmarks plus the prune rates of
+// the deterministic CI join. The v1 schema was the bare benchmarks map.
+type baselineDoc struct {
+	Benchmarks map[string]result  `json:"benchmarks"`
+	PruneRates map[string]float64 `json:"prune_rates,omitempty"`
+}
+
+// load reads a summary in either schema: v2 (object with a "benchmarks" key)
+// is tried first, then v1 (plain name → result map).
+func load(path string) (*baselineDoc, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var m map[string]result
-	if err := json.Unmarshal(data, &m); err != nil {
+	var v2 baselineDoc
+	if err := json.Unmarshal(data, &v2); err == nil && len(v2.Benchmarks) > 0 {
+		return &v2, nil
+	}
+	var v1 map[string]result
+	if err := json.Unmarshal(data, &v1); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(m) == 0 {
+	if len(v1) == 0 {
 		return nil, fmt.Errorf("%s: no benchmarks", path)
 	}
-	return m, nil
+	return &baselineDoc{Benchmarks: v1}, nil
+}
+
+// statsDoc is the slice of a `simjoin -stats-json` document benchgate needs:
+// the per-bound profile of the join's filter chain.
+type statsDoc struct {
+	Stats struct {
+		BoundProfile []struct {
+			Pos    int    `json:"pos"`
+			Bound  string `json:"bound"`
+			Evals  int64  `json:"evals"`
+			Prunes int64  `json:"prunes"`
+		} `json:"BoundProfile"`
+	} `json:"stats"`
+}
+
+// pruneRates extracts bound@pos → prune-rate from a stats document.
+func pruneRates(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc statsDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Stats.BoundProfile) == 0 {
+		return nil, fmt.Errorf("%s: no BoundProfile (run simjoin with -stats-json)", path)
+	}
+	rates := make(map[string]float64, len(doc.Stats.BoundProfile))
+	for _, bc := range doc.Stats.BoundProfile {
+		if bc.Evals == 0 {
+			continue
+		}
+		rates[fmt.Sprintf("%s@%d", bc.Bound, bc.Pos)] = float64(bc.Prunes) / float64(bc.Evals)
+	}
+	return rates, nil
 }
 
 func main() {
@@ -43,24 +106,63 @@ func main() {
 	current := flag.String("current", "", "freshly measured summary to gate")
 	maxRegress := flag.Float64("max-regress", 25, "ns/op regression budget in percent")
 	maxAllocs := flag.Float64("max-allocs-regress", 10, "allocs/op regression budget in percent (a zero-alloc baseline tolerates no allocation at all)")
+	stats := flag.String("stats", "", "simjoin -stats-json document from the deterministic CI workload; gates per-bound prune-rate drift against the baseline's prune_rates")
+	maxPrune := flag.Float64("max-prune-drift", 5, "prune-rate drift budget in percentage points")
+	updatePrune := flag.Bool("update-prune", false, "rewrite the baseline with the prune rates measured in -stats (v2 schema) and exit")
 	flag.Parse()
-	if *current == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
-		os.Exit(2)
-	}
 
-	base, err := load(*baseline)
-	if err == nil {
-		var cur map[string]result
-		cur, err = load(*current)
-		if err == nil {
-			err = gate(base, cur, *maxRegress, *maxAllocs)
-		}
-	}
-	if err != nil {
+	if err := run(*baseline, *current, *stats, *maxRegress, *maxAllocs, *maxPrune, *updatePrune); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
+}
+
+func run(baselinePath, currentPath, statsPath string, maxRegress, maxAllocs, maxPrune float64, updatePrune bool) error {
+	base, err := load(baselinePath)
+	if err != nil {
+		return err
+	}
+
+	if updatePrune {
+		if statsPath == "" {
+			return fmt.Errorf("-update-prune requires -stats")
+		}
+		rates, err := pruneRates(statsPath)
+		if err != nil {
+			return err
+		}
+		base.PruneRates = rates
+		if err := writeBaseline(baselinePath, base); err != nil {
+			return err
+		}
+		fmt.Printf("baked %d prune rates into %s\n", len(rates), baselinePath)
+		return nil
+	}
+
+	if currentPath == "" {
+		return fmt.Errorf("-current is required")
+	}
+	cur, err := load(currentPath)
+	if err != nil {
+		return err
+	}
+	if err := gate(base.Benchmarks, cur.Benchmarks, maxRegress, maxAllocs); err != nil {
+		return err
+	}
+	if statsPath != "" {
+		if err := gatePrune(base.PruneRates, statsPath, maxPrune); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeBaseline(path string, doc *baselineDoc) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func gate(base, cur map[string]result, budget, allocsBudget float64) error {
@@ -98,6 +200,50 @@ func gate(base, cur map[string]result, budget, allocsBudget float64) error {
 	}
 	if failed {
 		return fmt.Errorf("ns/op or allocs/op regression beyond budget (or missing benchmark)")
+	}
+	return nil
+}
+
+// gatePrune compares the measured per-bound prune rates against the
+// baseline's. Rates are deterministic on the seeded CI workload, so drift
+// means the filter chain's pruning behaviour actually changed.
+func gatePrune(base map[string]float64, statsPath string, budget float64) error {
+	if len(base) == 0 {
+		return fmt.Errorf("baseline has no prune_rates; bake them with -update-prune -stats %s", statsPath)
+	}
+	cur, err := pruneRates(statsPath)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var failed bool
+	for _, k := range keys {
+		c, ok := cur[k]
+		if !ok {
+			fmt.Printf("MISSING %-24s bound not evaluated in current run\n", k)
+			failed = true
+			continue
+		}
+		drift := (c - base[k]) * 100
+		status := "ok"
+		if math.Abs(drift) > budget {
+			status = "DRIFTED"
+			failed = true
+		}
+		fmt.Printf("%-9s %-24s %12.4f -> %12.4f prune rate (%+.2fpp, budget ±%.0fpp)\n",
+			status, k, base[k], c, drift, budget)
+	}
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			fmt.Printf("NEW       %-24s prune rate %.4f not in baseline (re-bake with -update-prune)\n", k, cur[k])
+		}
+	}
+	if failed {
+		return fmt.Errorf("prune-rate drift beyond ±%vpp (or missing bound)", budget)
 	}
 	return nil
 }

@@ -29,18 +29,34 @@ echo "== fault injection (failpoints armed end-to-end)"
 SIMJOIN_FAILPOINTS='ged.compute=error#5,core.pair=panic#1' \
 	go run ./cmd/simjoin -workload er -scale 0.3 -tau 1 -alpha 0.5 -mode simj >/dev/null
 
+echo "== observability artifacts (explain report, event log, trace, metrics)"
+# Run the deterministic CI workload fully instrumented and archive what it
+# emits: the -explain cost model, the sampled pair-decision event log, the
+# Chrome trace, and the metrics snapshot. The snapshot doubles as the input
+# to the prune-rate drift gate below; the workload is seeded, so its prune
+# rates are exactly reproducible.
+ART="${CI_ARTIFACTS:-ci-artifacts}"
+mkdir -p "$ART"
+go run ./cmd/simjoin -workload er -scale 0.5 -tau 1 -alpha 0.5 -mode opt \
+	-explain -events "$ART/events.jsonl" -events-every 10 \
+	-stats-json "$ART/stats.json" -trace-out "$ART/trace.json" > "$ART/join-explain.txt"
+grep -q 'effective-cost order' "$ART/join-explain.txt"
+test -s "$ART/events.jsonl"
+
 echo "== fuzz smoke (20s per target)"
 go test -run '^$' -fuzz '^FuzzParseQuery$' -fuzztime 20s ./internal/sparql
 go test -run '^$' -fuzz '^FuzzParseTriples$' -fuzztime 20s ./internal/rdf
 
-echo "== benchmark regression gate (vs BENCH_join.json, +25% ns/op, +10% allocs/op)"
+echo "== benchmark regression gate (vs BENCH_join.json, +25% ns/op, +10% allocs/op, ±5pp prune rate)"
 # bench.sh covers the join drivers (BenchmarkJoinER/IndexedER/TopK) and the
 # per-pair kernel micro-benchmarks (BenchmarkFilterChainSig,
 # BenchmarkWorldLowerBound); the allocs gate keeps the zero-alloc kernels at
-# exactly zero.
+# exactly zero. -stats replays the metrics snapshot archived above to pin the
+# filter chain's per-bound prune rates against the baseline's prune_rates.
 benchtmp=$(mktemp -d)
 trap 'rm -rf "$benchtmp"' EXIT
 OUT="$benchtmp/bench.json" COUNT=3 make bench-join >/dev/null
-go run ./scripts/benchgate -baseline BENCH_join.json -current "$benchtmp/bench.json" -max-regress 25 -max-allocs-regress 10
+go run ./scripts/benchgate -baseline BENCH_join.json -current "$benchtmp/bench.json" \
+	-max-regress 25 -max-allocs-regress 10 -stats "$ART/stats.json" -max-prune-drift 5
 
 echo "CI passed"
