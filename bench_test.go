@@ -342,6 +342,83 @@ func BenchmarkJoinIndexedER(b *testing.B) {
 	}
 }
 
+// BenchmarkJoinERBlock is BenchmarkJoinER with the block-screening stage on:
+// the uncertain side packed into SoA blocks and every query screened against
+// whole blocks before any per-pair bound runs.
+func BenchmarkJoinERBlock(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 15
+	d, u := workload.ER(cfg)
+	opts := core.DefaultOptions()
+	opts.Tau = 2
+	opts.Alpha = 0.5
+	opts.BlockSize = filter.DefaultBlockSize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Join(d, u, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJoinIndexedERBlock is BenchmarkJoinIndexedER with block screening
+// replacing the index's per-graph prescreen scan.
+func BenchmarkJoinIndexedERBlock(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 15
+	d, u := workload.ER(cfg)
+	idx := core.BuildIndex(d)
+	opts := core.DefaultOptions()
+	opts.Tau = 2
+	opts.Alpha = 0.5
+	opts.BlockSize = filter.DefaultBlockSize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.JoinIndexed(idx, u, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJoinERScreen and its Block twin isolate the screening-bound
+// regime: a 240×240 ER join at tau=0, alpha=0.9 in CSS-only mode prunes
+// essentially every one of its 57.6k pairs, so wall-clock is dominated by the
+// cost of *deciding* pairs rather than verifying survivors. The scalar path
+// pays the per-pair chain for each pair; the block path answers whole
+// 256-graph blocks with the word-parallel SoA kernels first.
+func BenchmarkJoinERScreen(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 240
+	d, u := workload.ER(cfg)
+	opts := core.DefaultOptions()
+	opts.Tau = 0
+	opts.Alpha = 0.9
+	opts.Mode = core.ModeCSSOnly
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Join(d, u, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinERScreenBlock(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 240
+	d, u := workload.ER(cfg)
+	opts := core.DefaultOptions()
+	opts.Tau = 0
+	opts.Alpha = 0.9
+	opts.Mode = core.ModeCSSOnly
+	opts.BlockSize = filter.DefaultBlockSize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Join(d, u, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkJoinTopK(b *testing.B) {
 	cfg := workload.DefaultSyntheticConfig()
 	cfg.Count = 12
@@ -399,6 +476,34 @@ func BenchmarkFilterChainSig(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eval(qsigs[i%len(qsigs)], gsigs[(i/len(qsigs))%len(gsigs)])
 	}
+}
+
+// BenchmarkBlockScreen measures the SoA block kernel itself: one query
+// signature screened against blocks of 256 uncertain graphs (size, label
+// overlap and mass screens with a survivor bitmap), i.e. the per-pair cost of
+// the block stage. Expected: 0 allocs/op.
+func BenchmarkBlockScreen(b *testing.B) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 512 // two full blocks on the uncertain side
+	d, u := workload.ER(cfg)
+	qsigs := filter.NewQSigs(d[:8])
+	set := filter.NewGBlockSet(u, filter.DefaultBlockSize)
+	var sc filter.BlockScratch
+	screen := func() {
+		for _, qs := range qsigs {
+			for bi := 0; bi < set.NumBlocks(); bi++ {
+				set.Block(bi).Screen(qs, 2, 0.5, &sc)
+			}
+		}
+	}
+	screen() // warm the scratch
+	pairs := int64(len(qsigs)) * int64(len(u))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		screen()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*pairs), "ns/pair")
 }
 
 // BenchmarkWorldLowerBound measures the per-possible-world CSS pre-check of

@@ -36,6 +36,7 @@ func main() {
 		mode      = flag.String("mode", "opt", "pruning mode: css|simj|opt")
 		filters   = flag.String("filters", "", "comma-separated filter chain overriding the mode's default bound order, e.g. 'count,css,prob' (bounds: "+strings.Join(filter.BoundNames(), ", ")+")")
 		gn        = flag.Int("gn", 10, "possible-world group count (opt mode)")
+		blockSize = flag.Int("block-size", 0, "screen whole blocks of this many uncertain graphs with the SoA bit kernels before any per-pair bound (0 = scalar path)")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		show      = flag.Int("show", 5, "matched pairs to print")
 		dump      = flag.String("dump", "", "save the generated QA workload to this directory and exit")
@@ -143,7 +144,7 @@ func main() {
 		pairDeadline: *pairDeadline,
 		watchdog:     *watchdog,
 	}
-	if err := run(*wl, *tau, *alpha, *mode, *filters, *gn, experiments.Scale(*scale), *show, obsCfg, robust); err != nil {
+	if err := run(*wl, *tau, *alpha, *mode, *filters, *gn, *blockSize, experiments.Scale(*scale), *show, obsCfg, robust); err != nil {
 		fmt.Fprintln(os.Stderr, "simjoin:", err)
 		os.Exit(1)
 	}
@@ -167,11 +168,12 @@ type obsConfig struct {
 	progress    time.Duration
 }
 
-func run(wl string, tau int, alpha float64, modeName, filters string, gn int, scale experiments.Scale, show int, oc obsConfig, rc robustConfig) error {
+func run(wl string, tau int, alpha float64, modeName, filters string, gn, blockSize int, scale experiments.Scale, show int, oc obsConfig, rc robustConfig) error {
 	opts := core.DefaultOptions()
 	opts.Tau = tau
 	opts.Alpha = alpha
 	opts.GroupCount = gn
+	opts.BlockSize = blockSize
 	opts.Fallback = rc.fallback
 	opts.PairDeadline = rc.pairDeadline
 	opts.Watchdog = rc.watchdog
@@ -287,6 +289,11 @@ func run(wl string, tau int, alpha float64, modeName, filters string, gn int, sc
 		return fmt.Errorf("unknown workload %q", wl)
 	}
 
+	if blockSize > 0 {
+		// The block screen runs ahead of every per-pair bound; show it at the
+		// head of the stage order.
+		chainDesc = fmt.Sprintf("block(%d),%s", blockSize, chainDesc)
+	}
 	fmt.Printf("joining |D|=%d certain graphs with |U|=%d uncertain graphs (tau=%d alpha=%v mode=%s filters=%s)\n",
 		len(d), len(u), opts.Tau, opts.Alpha, opts.Mode, chainDesc)
 	start := time.Now()

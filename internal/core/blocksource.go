@@ -1,0 +1,165 @@
+package core
+
+// The block-screening candidate source.
+//
+// blockSource wraps the cross-product and index-backed sources with the SoA
+// block kernels of filter.GBlockSet: the uncertain side is packed once into
+// blocks of Options.BlockSize graphs, every query signature is screened
+// against whole blocks (size, label-overlap and probability-mass screens —
+// see filter/block.go), and only the surviving pairs are batched into the
+// per-pair filter chain. Every screen is sound for Def. 7, so the engine's
+// accepted/rejected pair sets are bit-identical to the scalar path; the
+// screens also subsume the index prescreens, which is why wrapping the
+// index-backed source drops the per-graph candidate scan instead of running
+// it twice (Stats.IndexSkipped is 0 on the block path — the prunes are
+// attributed to the "block" stage instead).
+
+import (
+	"context"
+	"math/bits"
+	"time"
+
+	"simjoin/internal/filter"
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// blockStageName keys the block screen's prunes in Stats.PrunedBy and labels
+// its BoundProfile entry and simjoin_bound_* counters; blockStagePos is its
+// profile position — before the chain's position 0, since the screen runs
+// ahead of every per-pair bound.
+const (
+	blockStageName = "block"
+	blockStagePos  = -1
+)
+
+// blockProf accumulates the block stage's cost/selectivity profile; Feed
+// runs single-goroutine, so plain fields suffice.
+type blockProf struct {
+	evals      int64 // pairs screened: |D| × |U|
+	pruned     int64 // pairs eliminated by any block screen
+	massPruned int64 // of pruned, pairs the mass screen eliminated
+	nanos      int64 // wall time inside Screen (when profiling is on)
+}
+
+// blockSource is the block-screening CandidateSource. It owns the full cross
+// product (TotalPairs = |D|·|U|) and reports every screened-out pair through
+// skip, so the engine's Pairs accounting matches the scalar sources.
+type blockSource struct {
+	d     []*graph.Graph
+	qsigs []*filter.QSig
+	u     []*ugraph.Graph
+	gsig  func(gi int) *filter.GSig // per-graph signature, shared or lazy
+	set   *filter.GBlockSet
+	prof  blockProf
+}
+
+// newBlockSource wraps a known source type with block screening, or returns
+// nil when the source is not recognised (custom JoinWith sources keep their
+// own feeding logic — the engine then stays on the scalar path). The wrapped
+// source's signature caches are reused: the cross source's eagerly built
+// GSigs directly, the index source's lazily, built only for graphs with at
+// least one block survivor.
+func newBlockSource(src CandidateSource, blockSize int) *blockSource {
+	switch s := src.(type) {
+	case *crossSource:
+		return &blockSource{
+			d:     s.d,
+			qsigs: s.qsigs,
+			u:     s.u,
+			gsig:  func(gi int) *filter.GSig { return s.gsigs[gi] },
+			set:   filter.NewGBlockSet(s.u, blockSize),
+		}
+	case *indexSource:
+		lazy := make([]*filter.GSig, len(s.u))
+		return &blockSource{
+			d:     s.idx.d,
+			qsigs: s.idx.qsigs,
+			u:     s.u,
+			gsig: func(gi int) *filter.GSig {
+				if lazy[gi] == nil {
+					lazy[gi] = filter.NewGSig(s.u[gi])
+				}
+				return lazy[gi]
+			},
+			set: filter.NewGBlockSet(s.u, blockSize),
+		}
+	default:
+		return nil
+	}
+}
+
+func (s *blockSource) Queries() ([]*graph.Graph, []*filter.QSig) { return s.d, s.qsigs }
+
+func (s *blockSource) TotalPairs() int64 { return int64(len(s.d)) * int64(len(s.u)) }
+
+// Feed screens every (query, block) combination and emits the survivors in
+// the engine's usual shape: per uncertain graph, ascending query indices,
+// chunked into sourceChunk-sized batches. Screening one block against all
+// queries before moving on keeps the block's SoA slices hot in cache.
+func (s *blockSource) Feed(ctx context.Context, opts *Options, emit func(Batch) bool, skip func(int64)) {
+	// Per-bound timing follows the engine's profiling gate (joinObs.profile):
+	// two clock reads per (query, block) — amortised over up to BlockSize
+	// pairs — and none when observability is fully off.
+	profiled := opts.Obs != nil || opts.Events != nil
+	var sc filter.BlockScratch
+	for bi := 0; bi < s.set.NumBlocks(); bi++ {
+		blk := s.set.Block(bi)
+		n := blk.Len()
+		// Survivor query lists, one per graph in the block. Allocated fresh
+		// per block: emitted batches alias these slices and workers read them
+		// after Feed has moved on, so the backing arrays must not be reused.
+		lists := make([][]int, n)
+		// The block's tallies fold into the profile only when the block
+		// completes, in the same step as skip(): a cancellation mid-block
+		// drops the partial block from both, keeping the engine's
+		// skipped-vs-profile attribution arithmetic consistent.
+		var bp blockProf
+		for qi := range s.qsigs {
+			if ctx.Err() != nil {
+				return
+			}
+			var t0 time.Time
+			if profiled {
+				t0 = time.Now()
+			}
+			surv, massPruned := blk.Screen(s.qsigs[qi], opts.Tau, opts.Alpha, &sc)
+			if profiled {
+				bp.nanos += int64(time.Since(t0))
+			}
+			bp.evals += int64(n)
+			bp.massPruned += int64(massPruned)
+			bp.pruned += int64(n - surv)
+			if surv == 0 {
+				continue
+			}
+			for w, word := range sc.Bitmap {
+				for ; word != 0; word &= word - 1 {
+					i := w<<6 + bits.TrailingZeros64(word)
+					lists[i] = append(lists[i], qi)
+				}
+			}
+		}
+		s.prof.evals += bp.evals
+		s.prof.pruned += bp.pruned
+		s.prof.massPruned += bp.massPruned
+		s.prof.nanos += bp.nanos
+		skip(bp.pruned)
+		for i, qis := range lists {
+			if len(qis) == 0 {
+				continue
+			}
+			gi := blk.Base() + i
+			gs := s.gsig(gi)
+			for start := 0; start < len(qis); start += sourceChunk {
+				end := start + sourceChunk
+				if end > len(qis) {
+					end = len(qis)
+				}
+				if !emit(Batch{GI: gi, G: s.u[gi], GS: gs, QIs: qis[start:end]}) {
+					return
+				}
+			}
+		}
+	}
+}

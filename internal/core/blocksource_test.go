@@ -1,0 +1,326 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"simjoin/internal/filter"
+	"simjoin/internal/graph"
+	"simjoin/internal/obs"
+	"simjoin/internal/ugraph"
+)
+
+// Tests of the block-screening candidate source: the block path must return
+// bit-identical join results to the scalar path on every source, partition
+// its pairs exactly once across the block stage and the per-pair chain, and
+// expose the stage in the profile/metrics surfaces without double counting.
+
+// subNormalWorkload is smallWorkload with, half the time, incomplete vertex
+// label distributions (TotalMass < 1), so the block mass screen actually
+// fires; the scalar path rejects those pairs in verification (SimP ≤ mass).
+func subNormalWorkload(seed int64, nd, nu int) ([]*graph.Graph, []*ugraph.Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	d := make([]*graph.Graph, nd)
+	for i := range d {
+		d[i] = randomCertain(rng, 2+rng.Intn(4), rng.Intn(5))
+	}
+	names := []string{"A", "B", "C", "D"}
+	u := make([]*ugraph.Graph, nu)
+	for i := range u {
+		n := 2 + rng.Intn(3)
+		g := ugraph.New(n)
+		for v := 0; v < n; v++ {
+			scale := 1.0
+			if rng.Intn(2) == 0 {
+				scale = 0.3 + 0.6*rng.Float64()
+			}
+			k := 1 + rng.Intn(2)
+			perm := rng.Perm(len(names))[:k]
+			var ls []ugraph.Label
+			rest := scale
+			for j, pi := range perm {
+				p := rest
+				if j < k-1 {
+					p = rest * (0.3 + 0.4*rng.Float64())
+				}
+				ls = append(ls, ugraph.Label{Name: names[pi], P: p})
+				rest -= p
+			}
+			g.AddVertex(ls...)
+		}
+		for t := 0; t < 9 && g.NumEdges() < rng.Intn(4); t++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				_ = g.AddEdge(a, b, "p")
+			}
+		}
+		u[i] = g
+	}
+	return d, u
+}
+
+// assertSamePairs requires two result sets to be bit-identical, including
+// the SimP and Distance of every pair.
+func assertSamePairs(t *testing.T, ctxt string, got, want []Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: block path %d pairs, scalar %d", ctxt, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Q != want[i].Q || got[i].G != want[i].G {
+			t.Fatalf("%s pair %d: (%d,%d) vs (%d,%d)", ctxt, i, got[i].Q, got[i].G, want[i].Q, want[i].G)
+		}
+		if got[i].SimP != want[i].SimP {
+			t.Fatalf("%s pair %d: SimP %v != %v", ctxt, i, got[i].SimP, want[i].SimP)
+		}
+		if got[i].Distance != want[i].Distance {
+			t.Fatalf("%s pair %d: distance %d != %d", ctxt, i, got[i].Distance, want[i].Distance)
+		}
+	}
+}
+
+// TestJoinBlockEquivalenceProperty drives random workloads — including
+// sub-normalised ones that trip the mass screen — through the scalar and
+// block paths of both Join and JoinIndexed, across modes and block widths,
+// and requires bit-identical results plus exact pair partitioning.
+func TestJoinBlockEquivalenceProperty(t *testing.T) {
+	modes := []Mode{ModeCSSOnly, ModeSimJ, ModeSimJOpt}
+	blockSizes := []int{1, 7, 64}
+	for seed := int64(200); seed < 205; seed++ {
+		d, u := smallWorkload(seed, 10, 9)
+		if seed%2 == 0 {
+			d, u = subNormalWorkload(seed, 10, 9)
+		}
+		idx := BuildIndex(d)
+		for mi, mode := range modes {
+			opts := Options{
+				Tau:        1 + int(seed%2),
+				Alpha:      0.4,
+				Mode:       mode,
+				GroupCount: 4,
+				Workers:    3,
+			}
+			want, ws, err := Join(d, u, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantIdx, _, err := JoinIndexed(idx, u, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSamePairs(t, "sanity", wantIdx, want)
+
+			bopts := opts
+			bopts.BlockSize = blockSizes[(int(seed)+mi)%len(blockSizes)]
+			got, bs, err := Join(d, u, bopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSamePairs(t, "cross", got, want)
+			gotIdx, bis, err := JoinIndexed(idx, u, bopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSamePairs(t, "indexed", gotIdx, want)
+
+			for name, st := range map[string]*Stats{"cross": &bs, "indexed": &bis} {
+				if st.Pairs != ws.Pairs || st.Results != ws.Results {
+					t.Fatalf("seed=%d mode=%v %s: pairs/results %d/%d vs scalar %d/%d",
+						seed, mode, name, st.Pairs, st.Results, ws.Pairs, ws.Results)
+				}
+				if st.CSSPruned+st.ProbPruned+st.Candidates != st.Pairs {
+					t.Fatalf("seed=%d mode=%v %s: accounting %+v", seed, mode, name, st)
+				}
+				if st.IndexSkipped != 0 {
+					t.Fatalf("seed=%d mode=%v %s: IndexSkipped = %d on the block path, want 0",
+						seed, mode, name, st.IndexSkipped)
+				}
+				// The block screen never admits pairs the scalar chain prunes
+				// structurally for free, so candidates cannot grow.
+				if st.Candidates > ws.Candidates {
+					t.Fatalf("seed=%d mode=%v %s: block candidates %d > scalar %d",
+						seed, mode, name, st.Candidates, ws.Candidates)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockStatsNoDoubleCount is the block-path counterpart of
+// TestBoundProfileMatchesStats: a pair pruned at the block stage must be
+// counted exactly once — in PrunedBy["block"] and the position −1 profile
+// entry — and never re-enter a chain bound's evals or prune tallies; the
+// registry round-trips the whole surface.
+func TestBlockStatsNoDoubleCount(t *testing.T) {
+	d, u := subNormalWorkload(11, 10, 10)
+	opts := DefaultOptions()
+	opts.Mode = ModeSimJ
+	opts.Alpha = 0.5
+	opts.Workers = 4
+	opts.BlockSize = 4
+	opts.Obs = obs.New()
+	_, st, err := Join(d, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chain := []string{"block", "css", "prob"}
+	if len(st.BoundProfile) != len(chain) {
+		t.Fatalf("profile has %d entries, want %d: %+v", len(st.BoundProfile), len(chain), st.BoundProfile)
+	}
+	blk := st.BoundProfile[0]
+	if blk.Pos != blockStagePos || blk.Bound != blockStageName {
+		t.Fatalf("profile[0] = (%d, %s), want (%d, %s)", blk.Pos, blk.Bound, blockStagePos, blockStageName)
+	}
+	if blk.Evals != st.Pairs {
+		t.Errorf("block evals = %d, want every pair (%d)", blk.Evals, st.Pairs)
+	}
+	if st.IndexSkipped != 0 {
+		t.Errorf("IndexSkipped = %d on the block path, want 0", st.IndexSkipped)
+	}
+	if blk.Prunes == 0 {
+		t.Fatalf("block stage pruned nothing; workload cannot exercise double counting: %+v", st)
+	}
+
+	var prunes int64
+	passed := st.Pairs
+	for i, bc := range st.BoundProfile {
+		if bc.Bound != chain[i] {
+			t.Errorf("profile[%d] = %s, want %s", i, bc.Bound, chain[i])
+		}
+		if i > 0 && bc.Pos != i-1 {
+			t.Errorf("profile[%d] (%s) pos = %d, want %d", i, bc.Bound, bc.Pos, i-1)
+		}
+		if bc.Evals != passed {
+			t.Errorf("%s evals = %d, want %d (pairs passing the previous stages)", bc.Bound, bc.Evals, passed)
+		}
+		if got := st.PrunedBy[bc.Bound]; bc.Prunes != got {
+			t.Errorf("%s prunes = %d, PrunedBy = %d", bc.Bound, bc.Prunes, got)
+		}
+		prunes += bc.Prunes
+		passed -= bc.Prunes
+	}
+	if want := st.CSSPruned + st.ProbPruned - st.IndexSkipped; prunes != want {
+		t.Errorf("stage prunes sum to %d, want CSSPruned+ProbPruned-IndexSkipped = %d", prunes, want)
+	}
+	if passed != st.Candidates {
+		t.Errorf("%d pairs pass every stage, Stats.Candidates = %d", passed, st.Candidates)
+	}
+
+	// Mass-screen prunes are probabilistic; with the sub-normalised workload
+	// at α=0.5 some must have fired, and they must not also appear under a
+	// chain bound (the chain's prob prunes + block mass prunes partition
+	// ProbPruned exactly).
+	if st.ProbPruned < 1 {
+		t.Errorf("sub-normalised workload produced no probabilistic prunes: %+v", st)
+	}
+	if probChain := st.PrunedBy["prob"]; probChain > st.ProbPruned {
+		t.Errorf("chain prob prunes %d exceed ProbPruned %d", probChain, st.ProbPruned)
+	}
+
+	// The registry carries the same stage profile and PrunedBy map, block
+	// stage included, and StatsFromSnapshot rebuilds both bit-for-bit.
+	from := StatsFromSnapshot(opts.Obs.Snapshot())
+	if len(from.BoundProfile) != len(st.BoundProfile) {
+		t.Fatalf("snapshot profile %+v, stats profile %+v", from.BoundProfile, st.BoundProfile)
+	}
+	for i := range from.BoundProfile {
+		if from.BoundProfile[i] != st.BoundProfile[i] {
+			t.Errorf("snapshot profile[%d] = %+v, stats %+v", i, from.BoundProfile[i], st.BoundProfile[i])
+		}
+	}
+	if from.PrunedBy[blockStageName] != st.PrunedBy[blockStageName] {
+		t.Errorf("snapshot PrunedBy[block] = %d, stats %d",
+			from.PrunedBy[blockStageName], st.PrunedBy[blockStageName])
+	}
+}
+
+// opaqueSource hides a CandidateSource's concrete type from the engine's
+// block wrapper, standing in for custom JoinWith sources.
+type opaqueSource struct{ CandidateSource }
+
+// TestBlockSizeUnknownSourceFallsBack pins the JoinWith contract: a custom
+// source the block wrapper does not recognise runs on the scalar path even
+// with BlockSize set — same results, no block stage in the profile.
+func TestBlockSizeUnknownSourceFallsBack(t *testing.T) {
+	d, u := smallWorkload(5, 8, 8)
+	opts := DefaultOptions()
+	opts.Alpha = 0.5
+	opts.BlockSize = 16
+	want, _, err := Join(d, u, Options{Tau: opts.Tau, Alpha: 0.5, Mode: opts.Mode, GroupCount: opts.GroupCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := JoinWith(context.Background(), opaqueSource{NewCrossSource(d, u)}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePairs(t, "opaque", got, want)
+	if _, ok := st.PrunedBy[blockStageName]; ok {
+		t.Fatalf("opaque source still ran the block stage: %+v", st.PrunedBy)
+	}
+	for _, bc := range st.BoundProfile {
+		if bc.Bound == blockStageName {
+			t.Fatalf("opaque source has a block profile entry: %+v", st.BoundProfile)
+		}
+	}
+}
+
+// TestBlockSizeValidation pins Options.normalise's rejection of negative
+// block sizes.
+func TestBlockSizeValidation(t *testing.T) {
+	d, u := smallWorkload(6, 2, 2)
+	opts := DefaultOptions()
+	opts.BlockSize = -1
+	if _, _, err := Join(d, u, opts); err == nil {
+		t.Fatal("negative BlockSize accepted")
+	}
+}
+
+// TestBlockScreenSubsumesIndexPrescreens pins the screen-equivalence claim
+// the attribution rests on: on a mass-complete workload, the pairs the block
+// stage prunes are exactly the index prescreens' skips plus pairs the
+// per-pair chain would have pruned anyway — so block-path candidates never
+// exceed the indexed scalar path's.
+func TestBlockScreenSubsumesIndexPrescreens(t *testing.T) {
+	d, u := smallWorkload(8, 12, 10)
+	idx := BuildIndex(d)
+	opts := DefaultOptions()
+	opts.Alpha = 0.5
+	opts.Workers = 2
+	_, scalar, err := JoinIndexed(idx, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bopts := opts
+	bopts.BlockSize = 8
+	_, blocked, err := JoinIndexed(idx, u, bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.PrunedBy[blockStageName] < scalar.IndexSkipped {
+		t.Errorf("block stage pruned %d pairs, fewer than the %d index prescreen skips it replaces",
+			blocked.PrunedBy[blockStageName], scalar.IndexSkipped)
+	}
+	if blocked.Candidates > scalar.Candidates {
+		t.Errorf("block path candidates %d > indexed scalar %d", blocked.Candidates, scalar.Candidates)
+	}
+	// filter.GBlockSet invariants while we are here: full blocks at the
+	// requested width, a short tail, bases covering the set exactly.
+	set := filter.NewGBlockSet(u, 4)
+	covered := 0
+	for i := 0; i < set.NumBlocks(); i++ {
+		b := set.Block(i)
+		if b.Base() != covered {
+			t.Fatalf("block %d base = %d, want %d", i, b.Base(), covered)
+		}
+		covered += b.Len()
+		if b.Len() > 4 || b.Len() == 0 {
+			t.Fatalf("block %d has %d graphs with width 4", i, b.Len())
+		}
+	}
+	if covered != len(u) {
+		t.Fatalf("blocks cover %d graphs, want %d", covered, len(u))
+	}
+}

@@ -87,6 +87,13 @@ func joinEngine(ctx context.Context, src CandidateSource, opts Options) ([]Pair,
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	var blk *blockSource
+	if opts.BlockSize > 0 {
+		if b := newBlockSource(src, opts.BlockSize); b != nil {
+			src = b
+			blk = b
+		}
+	}
 	jo := newJoinObs(&opts)
 	stopProgress := jo.startProgress(&opts, src.TotalPairs())
 	defer stopProgress()
@@ -173,8 +180,32 @@ func joinEngine(ctx context.Context, src CandidateSource, opts Options) ([]Pair,
 	wg.Wait()
 
 	total.Pairs += skipped
-	total.CSSPruned += skipped // prescreens are implied by the CSS stage
-	total.IndexSkipped = skipped
+	if blk != nil {
+		// On the block path every skipped pair was eliminated by the block
+		// screen (the screens subsume the index prescreens, so IndexSkipped
+		// is 0): mass-screen prunes are probabilistic, the rest structural.
+		// Block-pruned pairs never reach joinPair, so they appear exactly
+		// once — here — and never in a chain bound's PrunedBy or event log.
+		total.CSSPruned += skipped - blk.prof.massPruned
+		total.ProbPruned += blk.prof.massPruned
+		total.IndexSkipped = skipped - blk.prof.pruned
+		if blk.prof.pruned > 0 {
+			if total.PrunedBy == nil {
+				total.PrunedBy = make(map[string]int64)
+			}
+			total.PrunedBy[blockStageName] += blk.prof.pruned
+		}
+		total.BoundProfile = mergeBoundProfile(total.BoundProfile, []BoundCost{{
+			Pos:    blockStagePos,
+			Bound:  blockStageName,
+			Evals:  blk.prof.evals,
+			Prunes: blk.prof.pruned,
+			Nanos:  blk.prof.nanos,
+		}})
+	} else {
+		total.CSSPruned += skipped // prescreens are implied by the CSS stage
+		total.IndexSkipped = skipped
+	}
 	finishStats(&total, jo)
 	if err := ctx.Err(); err != nil {
 		total.Cancelled = true

@@ -270,7 +270,9 @@ func StatsFromSnapshot(snap obs.Snapshot) Stats {
 	for _, c := range statsDurationSpec {
 		*c.fld(&s) = time.Duration(snap.Counters[c.name])
 	}
-	for _, bound := range filter.BoundNames() {
+	// The block-screening stage is not a registry bound but publishes through
+	// the same pruned-by family; scan it alongside the registered names.
+	for _, bound := range append(filter.BoundNames(), blockStageName) {
 		if n := snap.Counters[prunedByMetric(bound)]; n != 0 {
 			if s.PrunedBy == nil {
 				s.PrunedBy = make(map[string]int64)

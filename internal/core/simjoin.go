@@ -115,6 +115,18 @@ type Options struct {
 	// result).
 	KeepMappings bool
 
+	// BlockSize, when positive, enables the block-screening stage: the
+	// uncertain side is packed into structure-of-arrays blocks of this many
+	// graphs (filter.GBlockSet) and every query is screened against whole
+	// blocks — size, label-overlap and probability-mass screens, all sound
+	// for Def. 7 — before any per-pair bound runs. Join results are
+	// bit-identical to the scalar path; block prunes land in
+	// Stats.PrunedBy["block"] and a position −1 BoundProfile entry. 0 (the
+	// default) keeps the scalar path; the stage applies to Join and
+	// JoinIndexed (JoinWith only for their source types — custom sources and
+	// JoinTopK keep their own feeding logic).
+	BlockSize int
+
 	// FilterChain, when non-empty, replaces the Mode-derived pruning stages
 	// with an explicit ordered bound chain (see filter.ParseChain and the
 	// filter registry): bounds run left to right, each may prune the pair,
@@ -160,6 +172,9 @@ func DefaultOptions() Options {
 func (o *Options) normalise() error {
 	if o.Tau < 0 {
 		return fmt.Errorf("core: negative tau %d", o.Tau)
+	}
+	if o.BlockSize < 0 {
+		return fmt.Errorf("core: negative block size %d", o.BlockSize)
 	}
 	if o.Alpha <= 0 || o.Alpha > 1 {
 		return fmt.Errorf("core: alpha %v outside (0,1]", o.Alpha)
@@ -270,24 +285,31 @@ type Stats struct {
 	VerifyTime        time.Duration
 	GroupsBuilt       int64 // possible-world groups constructed (SimJ+opt)
 	GroupsPruned      int64 // groups removed by their CSS bound
-	// PrunedBy breaks the pruned pairs down by the filter-chain bound that
-	// eliminated each one, keyed by the bound's registry name; summed over
-	// the chain it equals CSSPruned + ProbPruned minus IndexSkipped (pairs
-	// the index prescreens removed never reach a bound). Nil when nothing
-	// was pruned by a bound.
+	// PrunedBy breaks the pruned pairs down by the stage that eliminated
+	// each one: the filter-chain bounds under their registry names, plus the
+	// block-screening stage under "block" when Options.BlockSize is set.
+	// Summed over the stages it equals CSSPruned + ProbPruned minus
+	// IndexSkipped (pairs the index prescreens removed never reach a
+	// stage); a pair pruned at the block stage is never re-evaluated per
+	// pair, so it is counted exactly once. Nil when nothing was pruned.
 	PrunedBy map[string]int64 `json:",omitempty"`
 	// BoundProfile is the per-bound cost/selectivity profile in chain order:
 	// one entry per chain position with the bound's evaluation count, prune
 	// count and (when profiling timing was on) accumulated evaluation
-	// nanoseconds. See BoundCost and WriteExplain (profile.go). Nil when the
-	// join ran no bounds.
+	// nanoseconds; when Options.BlockSize is set, an extra entry at position
+	// −1 profiles the block-screening stage ahead of the chain. See
+	// BoundCost and WriteExplain (profile.go). Nil when the join ran no
+	// bounds.
 	BoundProfile []BoundCost `json:",omitempty"`
 	EarlyAccepts int64       // verifications stopped early at ≥ α
 	EarlyRejects int64       // verifications stopped early at < α
-	IndexSkipped int64       // pairs eliminated by JoinIndexed's prescreens
-	SampledPairs int64       // pairs decided by the Monte Carlo sampling rung
-	ExactPairs   int64       // pairs decided by exact possible-world enumeration
-	ApproxPairs  int64       // pairs decided with approximate-bound assistance
+	// IndexSkipped counts pairs eliminated by JoinIndexed's prescreens; 0 on
+	// the block path (Options.BlockSize > 0), whose screens subsume the
+	// prescreens and attribute their prunes to PrunedBy["block"] instead.
+	IndexSkipped int64
+	SampledPairs int64 // pairs decided by the Monte Carlo sampling rung
+	ExactPairs   int64 // pairs decided by exact possible-world enumeration
+	ApproxPairs  int64 // pairs decided with approximate-bound assistance
 	// BudgetFallbacks counts pairs that left the exact enumeration path
 	// (MaxWorlds blown, pre-screened as over budget, or deadline expired)
 	// and were handed to the ladder's fallback rungs.

@@ -1,0 +1,258 @@
+package filter
+
+// Block-screening kernels: structure-of-arrays signature blocks.
+//
+// The per-pair chain (signature.go) already compares integers, but it still
+// walks one pair at a time: every evaluation pointer-chases into a different
+// GSig, and the loop/dispatch overhead of the Bound interface is paid per
+// pair even when a cheap prescreen would have rejected the pair outright.
+// GBlockSet packs the resident (uncertain) side's screening summaries for
+// blocks of ~256 graphs into contiguous parallel slices — sizes, vertex
+// counts, wildcard-vertex counts, probability masses, and the graphs' union
+// concrete-label bitsets in word-major order — so one QSig can be screened
+// against a whole block with tight branch-light loops over sequential memory
+// and a survivor bitmap combined with math/bits word operations.
+//
+// The three screens are exactly the prescreens the index-backed source
+// applies (core.Index), plus the probability-mass screen:
+//
+//  1. Size screen — ged(q,g) ≥ ||size(q)| − |size(g)|| holds for every
+//     possible world of g (worlds share g's vertex count, edges and edge
+//     labels — only vertex labels vary), so |size(q)−size(g)| > τ proves
+//     SimPτ(q,g) = 0.
+//  2. Label screen — the λV multiset-overlap upper bound of the LM/CSS
+//     filters: if even the most generous vertex-label overlap estimate
+//     leaves more than τ unmatched vertices on the larger side, no world
+//     can be within τ.
+//  3. Mass screen — SimPτ(q,g) ≤ TotalMass(g) (the predicate sums world
+//     probabilities), so TotalMass(g) < α proves the pair fails Def. 7.
+//
+// All three are sound for Def. 7 regardless of the configured filter chain,
+// so feeding only block survivors into the per-pair pipeline leaves the
+// join's accepted/rejected pair sets bit-identical to the scalar path.
+// Screen allocates nothing in steady state (scratch grows once and is
+// reused), keeping the CI-enforced zero-alloc discipline of the pair loop.
+
+import (
+	"math/bits"
+
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// DefaultBlockSize is the block width NewGBlockSet uses when the requested
+// size is not positive: big enough to amortise per-block bookkeeping, small
+// enough that a block's hot slices stay cache-resident.
+const DefaultBlockSize = 256
+
+// GBlock is one block of uncertain graphs' screening summaries, stored as a
+// structure of arrays indexed by the graph's offset within the block.
+type GBlock struct {
+	base  int // index of the block's first graph in the source set
+	n     int // graphs in this block
+	words int // label-bitset words per graph
+
+	size  []int32   // |V| + |E| (identical in every possible world)
+	numV  []int32   // |V|
+	wildV []int32   // vertices carrying a wildcard candidate label
+	mass  []float64 // TotalMass: the graph's total probability mass
+
+	// labels is the word-major union concrete-label bitset matrix:
+	// labels[w*n+i] is word w of graph i's label set, so the per-label probe
+	// of the screen kernel streams one contiguous row per dictionary word.
+	labels []uint64
+}
+
+// Len returns the number of graphs in the block.
+func (b *GBlock) Len() int { return b.n }
+
+// Base returns the source-set index of the block's first graph.
+func (b *GBlock) Base() int { return b.base }
+
+// GBlockSet is the blocked SoA layout of one uncertain-graph set.
+type GBlockSet struct {
+	blocks []GBlock
+	width  int
+}
+
+// NumBlocks returns the number of blocks.
+func (s *GBlockSet) NumBlocks() int { return len(s.blocks) }
+
+// Block returns the i-th block.
+func (s *GBlockSet) Block(i int) *GBlock { return &s.blocks[i] }
+
+// BlockSize returns the block width the set was built with (the last block
+// may be shorter).
+func (s *GBlockSet) BlockSize() int { return s.width }
+
+// NewGBlockSet packs the screening summaries of u into blocks of blockSize
+// graphs (DefaultBlockSize when blockSize ≤ 0). Building costs one pass over
+// every graph's candidate labels — the same work core.Index pays per joined
+// graph — and is done once per join.
+func NewGBlockSet(u []*ugraph.Graph, blockSize int) *GBlockSet {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	s := &GBlockSet{width: blockSize}
+	for base := 0; base < len(u); base += blockSize {
+		end := base + blockSize
+		if end > len(u) {
+			end = len(u)
+		}
+		s.blocks = append(s.blocks, packBlock(u, base, end))
+	}
+	return s
+}
+
+// packBlock summarises u[base:end] into one SoA block.
+func packBlock(u []*ugraph.Graph, base, end int) GBlock {
+	n := end - base
+	b := GBlock{
+		base:  base,
+		n:     n,
+		size:  make([]int32, n),
+		numV:  make([]int32, n),
+		wildV: make([]int32, n),
+		mass:  make([]float64, n),
+	}
+	sets := make([]graph.LabelSet, n)
+	for i := 0; i < n; i++ {
+		g := u[base+i]
+		b.size[i] = int32(g.Size())
+		b.numV[i] = int32(g.NumVertices())
+		b.mass[i] = g.TotalMass()
+		set := &sets[i]
+		wilds := int32(0)
+		for v := 0; v < g.NumVertices(); v++ {
+			wild := false
+			for _, id := range g.LabelIDs(v) {
+				if id == graph.WildcardID {
+					wild = true
+				} else {
+					set.Add(id)
+				}
+			}
+			if wild {
+				wilds++
+			}
+		}
+		b.wildV[i] = wilds
+		if w := len(set.Words()); w > b.words {
+			b.words = w
+		}
+	}
+	b.labels = make([]uint64, b.words*n)
+	for i := 0; i < n; i++ {
+		for w, word := range sets[i].Words() {
+			b.labels[w*n+i] = word
+		}
+	}
+	return b
+}
+
+// BlockScratch holds the reusable buffers of Screen. The zero value is ready
+// to use; buffers grow to the largest block screened and are then reused, so
+// steady-state screening allocates nothing.
+type BlockScratch struct {
+	// Bitmap is the survivor bitmap of the most recent Screen call: bit i set
+	// means graph Base()+i survived every screen. Valid until the next call.
+	Bitmap []uint64
+
+	ovl []int32 // per-graph vertex-label overlap accumulator
+}
+
+// Screen evaluates one query signature against the whole block and writes
+// the survivor bitmap into sc.Bitmap. It returns the number of surviving
+// graphs and, of the pruned ones, how many the probabilistic mass screen
+// eliminated (the rest are structural: size or label screen). A pair is
+// pruned here only if the scalar pipeline — bounds plus verification — would
+// reject it too, so survivors are exactly the pairs worth per-pair work.
+func (b *GBlock) Screen(qs *QSig, tau int, alpha float64, sc *BlockScratch) (survivors, massPruned int) {
+	n := b.n
+	nw := (n + 63) >> 6
+	if cap(sc.Bitmap) < nw {
+		sc.Bitmap = make([]uint64, nw)
+	}
+	sc.Bitmap = sc.Bitmap[:nw]
+	if cap(sc.ovl) < n {
+		sc.ovl = make([]int32, n)
+	}
+	sc.ovl = sc.ovl[:n]
+
+	qSize := int32(qs.NumV + qs.NumE)
+	qNumV := int32(qs.NumV)
+	qWilds := int32(qs.VWilds)
+	tau32 := int32(tau)
+
+	// Pass 1 — size and mass screens over the contiguous summary slices,
+	// seeding the overlap accumulators for pass 2. Mass prunes are counted
+	// only when the size screen passes: a pair dead twice is attributed to
+	// the cheaper structural screen.
+	alive := uint64(0)
+	for w := 0; w < nw; w++ {
+		sc.Bitmap[w] = 0
+	}
+	for i := 0; i < n; i++ {
+		sc.ovl[i] = qWilds + b.wildV[i]
+		d := b.size[i] - qSize
+		if d < 0 {
+			d = -d
+		}
+		if d > tau32 {
+			continue
+		}
+		if b.mass[i] < alpha {
+			massPruned++
+			continue
+		}
+		sc.Bitmap[i>>6] |= 1 << (uint(i) & 63)
+	}
+	for _, w := range sc.Bitmap {
+		alive |= w
+	}
+	if alive == 0 {
+		// The whole block died on the scalar summaries: skip the label matrix
+		// entirely — no per-pair state was ever touched.
+		return 0, massPruned
+	}
+
+	// Pass 2 — accumulate the λV overlap upper bound: for each concrete query
+	// label, stream the label's word-major row and add the label's query-side
+	// multiplicity to every graph whose set contains it, branchlessly.
+	for _, lc := range qs.VLabels {
+		w := int(lc.ID) >> 6
+		if w >= b.words {
+			continue // no graph in the block carries this label
+		}
+		bit := uint(lc.ID) & 63
+		cnt := lc.N
+		row := b.labels[w*n : (w+1)*n]
+		ovl := sc.ovl
+		for i, word := range row {
+			ovl[i] += int32((word>>bit)&1) * cnt
+		}
+	}
+
+	// Pass 3 — apply the label screen to the remaining survivors, walking set
+	// bits with math/bits and counting the result word-parallel.
+	for w := 0; w < nw; w++ {
+		wd := sc.Bitmap[w]
+		for m := wd; m != 0; m &= m - 1 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			maxV := qNumV
+			if b.numV[i] > maxV {
+				maxV = b.numV[i]
+			}
+			ovl := sc.ovl[i]
+			if ovl > maxV {
+				ovl = maxV
+			}
+			if maxV-ovl > tau32 {
+				wd &^= 1 << (uint(i) & 63)
+			}
+		}
+		sc.Bitmap[w] = wd
+		survivors += bits.OnesCount64(wd)
+	}
+	return survivors, massPruned
+}

@@ -1,0 +1,199 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// This file pins the SoA block-screening kernel (block.go) to a scalar
+// reference: for random workloads, block widths and thresholds, the survivor
+// bitmap Screen emits must be bit-identical to evaluating the three scalar
+// screens — size window, λV label-overlap upper bound (the exact decision of
+// core.Index.labelScreen), and the probability-mass screen — one pair at a
+// time, and the massPruned tally must match the reference's attribution
+// (mass prunes are only counted when the size screen passes).
+
+// refBlockDecision is the scalar reference for one (q, g) pair: alive
+// reports block-screen survival, byMass that the pair died on the mass
+// screen specifically.
+func refBlockDecision(qs *QSig, g *ugraph.Graph, tau int, alpha float64) (alive, byMass bool) {
+	d := g.Size() - (qs.NumV + qs.NumE)
+	if d < 0 {
+		d = -d
+	}
+	if d > tau {
+		return false, false
+	}
+	if g.TotalMass() < alpha {
+		return false, true
+	}
+	var gSet graph.LabelSet
+	gWilds := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		wild := false
+		for _, id := range g.LabelIDs(v) {
+			if id == graph.WildcardID {
+				wild = true
+			} else {
+				gSet.Add(id)
+			}
+		}
+		if wild {
+			gWilds++
+		}
+	}
+	overlap := qs.VWilds
+	for _, lc := range qs.VLabels {
+		if gSet.Has(lc.ID) {
+			overlap += int(lc.N)
+		}
+	}
+	overlap += gWilds
+	maxV := qs.NumV
+	if g.NumVertices() > maxV {
+		maxV = g.NumVertices()
+	}
+	if overlap > maxV {
+		overlap = maxV
+	}
+	return maxV-overlap <= tau, false
+}
+
+// equivUncertainMass is equivUncertain with, half the time, the vertex label
+// distributions scaled down so TotalMass < 1 — exercising the mass screen,
+// which a fully normalised workload never trips.
+func equivUncertainMass(rng *rand.Rand, n, e, maxLabels int) *ugraph.Graph {
+	names := []string{"A", "B", "C", "D", "E", "?x", "?y"}
+	g := ugraph.New(n)
+	for i := 0; i < n; i++ {
+		k := 1 + rng.Intn(maxLabels)
+		perm := rng.Perm(len(names))[:k]
+		var ls []ugraph.Label
+		rest := 1.0
+		if rng.Intn(2) == 0 {
+			rest = 0.3 + 0.7*rng.Float64() // incomplete distribution
+		}
+		for j, pi := range perm {
+			p := rest
+			if j < k-1 {
+				p = rest * (0.3 + 0.4*rng.Float64())
+			}
+			ls = append(ls, ugraph.Label{Name: names[pi], P: p})
+			rest -= p
+		}
+		g.AddVertex(ls...)
+	}
+	elabels := []string{"p", "q", "?e"}
+	for t := 0; t < e*3 && g.NumEdges() < e; t++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		_ = g.AddEdge(u, v, elabels[rng.Intn(len(elabels))])
+	}
+	return g
+}
+
+func TestBlockScreenMatchesScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	blockSizes := []int{1, 3, 64, 256}
+	for it := 0; it < 60; it++ {
+		nd, nu := 1+rng.Intn(12), 1+rng.Intn(80)
+		d := make([]*graph.Graph, nd)
+		for i := range d {
+			d[i] = equivCertain(rng, 2+rng.Intn(6), rng.Intn(10))
+		}
+		u := make([]*ugraph.Graph, nu)
+		for i := range u {
+			u[i] = equivUncertainMass(rng, 2+rng.Intn(6), rng.Intn(8), 3)
+		}
+		qsigs := NewQSigs(d)
+		tau := rng.Intn(4)
+		alpha := 0.2 + 0.8*rng.Float64()
+		bs := blockSizes[it%len(blockSizes)]
+
+		set := NewGBlockSet(u, bs)
+		var sc BlockScratch
+		for qi, qs := range qsigs {
+			for bi := 0; bi < set.NumBlocks(); bi++ {
+				blk := set.Block(bi)
+				surv, massPruned := blk.Screen(qs, tau, alpha, &sc)
+				wantSurv, wantMass := 0, 0
+				for i := 0; i < blk.Len(); i++ {
+					alive, byMass := refBlockDecision(qs, u[blk.Base()+i], tau, alpha)
+					if byMass {
+						wantMass++
+					}
+					got := sc.Bitmap[i>>6]&(1<<(uint(i)&63)) != 0
+					if got != alive {
+						t.Fatalf("iteration %d q=%d block=%d size=%d g=%d: kernel alive=%v, scalar reference=%v (tau=%d alpha=%v)",
+							it, qi, bi, bs, blk.Base()+i, got, alive, tau, alpha)
+					}
+					if alive {
+						wantSurv++
+					}
+				}
+				if surv != wantSurv || massPruned != wantMass {
+					t.Fatalf("iteration %d q=%d block=%d size=%d: Screen=(%d survivors, %d mass), reference=(%d, %d)",
+						it, qi, bi, bs, surv, massPruned, wantSurv, wantMass)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockScreenBitmapBounds pins the bitmap contract: bits beyond Len()
+// stay zero (blockSource iterates raw words and must never see ghost
+// survivors in a short final block).
+func TestBlockScreenBitmapBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	d := equivCertain(rng, 4, 4)
+	u := make([]*ugraph.Graph, 70) // 64 + a short tail block at width 64
+	for i := range u {
+		u[i] = equivUncertainMass(rng, 4, 4, 2)
+	}
+	qs := NewQSig(d)
+	set := NewGBlockSet(u, 64)
+	var sc BlockScratch
+	for bi := 0; bi < set.NumBlocks(); bi++ {
+		blk := set.Block(bi)
+		blk.Screen(qs, 10, 0.01, &sc) // generous thresholds: everything survives
+		for i := blk.Len(); i < len(sc.Bitmap)*64; i++ {
+			if sc.Bitmap[i>>6]&(1<<(uint(i)&63)) != 0 {
+				t.Fatalf("block %d: ghost survivor bit %d beyond Len()=%d", bi, i, blk.Len())
+			}
+		}
+	}
+}
+
+// TestBlockScreenZeroAlloc pins the steady-state allocation behaviour of the
+// block kernel: after the scratch has grown to the workload's largest block,
+// screening allocates nothing.
+func TestBlockScreenZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	d := make([]*graph.Graph, 6)
+	for i := range d {
+		d[i] = equivCertain(rng, 2+rng.Intn(6), rng.Intn(10))
+	}
+	u := make([]*ugraph.Graph, 100)
+	for i := range u {
+		u[i] = equivUncertainMass(rng, 2+rng.Intn(6), rng.Intn(8), 3)
+	}
+	qsigs := NewQSigs(d)
+	set := NewGBlockSet(u, 64)
+	var sc BlockScratch
+	screenAll := func() {
+		for _, qs := range qsigs {
+			for bi := 0; bi < set.NumBlocks(); bi++ {
+				set.Block(bi).Screen(qs, 2, 0.5, &sc)
+			}
+		}
+	}
+	screenAll() // warm the scratch
+	if n := testing.AllocsPerRun(50, screenAll); n != 0 {
+		t.Fatalf("GBlock.Screen allocated %v times per sweep in steady state, want 0", n)
+	}
+}

@@ -180,6 +180,13 @@ func (s *LabelSet) Intersects(t *LabelSet) bool {
 	return false
 }
 
+// Words exposes the set's backing bit words (word w covers ids 64w..64w+63)
+// for bulk packing into word-major layouts (filter.GBlock). The slice aliases
+// the set's storage: callers must treat it as read-only.
+func (s *LabelSet) Words() []uint64 {
+	return s.words
+}
+
 // Len returns the number of ids in the set.
 func (s *LabelSet) Len() int {
 	n := 0

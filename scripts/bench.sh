@@ -2,8 +2,10 @@
 # Benchmark the join hot paths and emit a machine-readable summary.
 #
 # Runs the join suite (BenchmarkJoinER, BenchmarkJoinIndexedER,
-# BenchmarkJoinTopK) plus the per-pair kernel micro-benchmarks
-# (BenchmarkFilterChainSig, BenchmarkWorldLowerBound) with -benchmem,
+# BenchmarkJoinTopK, the screening-bound BenchmarkJoinERScreen, and their
+# block-screened *Block variants) plus the per-pair kernel micro-benchmarks
+# (BenchmarkFilterChainSig, BenchmarkWorldLowerBound, BenchmarkBlockScreen)
+# with -benchmem,
 # averages the repetitions, and writes
 # BENCH_join.json in the v2 schema: {"benchmarks": {name: {ns_per_op,
 # allocs_per_op, bytes_per_op, samples}}}. The raw `go test` output is echoed
@@ -14,12 +16,12 @@
 #
 # Environment overrides:
 #   COUNT   repetitions per benchmark (default 5)
-#   PATTERN benchmark regexp (default '^BenchmarkJoin(ER|IndexedER|TopK)$')
+#   PATTERN benchmark regexp (default covers the join + kernel suite above)
 #   OUT     output JSON path (default BENCH_join.json)
 set -eu
 
 COUNT="${COUNT:-5}"
-PATTERN="${PATTERN:-^Benchmark(Join(ER|IndexedER|TopK)|FilterChainSig|WorldLowerBound)\$}"
+PATTERN="${PATTERN:-^Benchmark(Join(ER|IndexedER|TopK|ERScreen)(Block)?|FilterChainSig|WorldLowerBound|BlockScreen)\$}"
 OUT="${OUT:-BENCH_join.json}"
 
 raw=$(go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" .)

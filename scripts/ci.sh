@@ -20,14 +20,18 @@ go build ./...
 echo "== go test (shuffled)"
 go test -shuffle=on ./...
 
-echo "== go test -race (core, filter, ged, obs, fault)"
-go test -race ./internal/core ./internal/filter ./internal/ged ./internal/obs ./internal/fault
+echo "== go test -race, shuffled (core, filter, ged, obs, fault)"
+go test -race -shuffle=on ./internal/core ./internal/filter ./internal/ged ./internal/obs ./internal/fault
 
 echo "== fault injection (failpoints armed end-to-end)"
 # Arm failpoints through the environment and run a small join: the pipeline
 # must complete, quarantine the panicking pair, and report it — not crash.
 SIMJOIN_FAILPOINTS='ged.compute=error#5,core.pair=panic#1' \
 	go run ./cmd/simjoin -workload er -scale 0.3 -tau 1 -alpha 0.5 -mode simj >/dev/null
+# Same failpoints through the block-screened path: survivors of the SoA block
+# kernels must flow into the identical quarantine/recovery machinery.
+SIMJOIN_FAILPOINTS='ged.compute=error#5,core.pair=panic#1' \
+	go run ./cmd/simjoin -workload er -scale 0.3 -tau 1 -alpha 0.5 -mode simj -block-size 256 >/dev/null
 
 echo "== observability artifacts (explain report, event log, trace, metrics)"
 # Run the deterministic CI workload fully instrumented and archive what it
@@ -42,15 +46,22 @@ go run ./cmd/simjoin -workload er -scale 0.5 -tau 1 -alpha 0.5 -mode opt \
 	-stats-json "$ART/stats.json" -trace-out "$ART/trace.json" > "$ART/join-explain.txt"
 grep -q 'effective-cost order' "$ART/join-explain.txt"
 test -s "$ART/events.jsonl"
+# The same workload through the block-screened path (kept out of stats.json so
+# the benchgate prune-rate baseline stays pinned to the scalar chain): the
+# explain report must rank the block stage at chain position -1.
+go run ./cmd/simjoin -workload er -scale 0.5 -tau 1 -alpha 0.5 -mode opt \
+	-block-size 256 -explain > "$ART/join-explain-block.txt"
+grep -Eq '^[[:space:]]*-1[[:space:]]+block' "$ART/join-explain-block.txt"
 
 echo "== fuzz smoke (20s per target)"
 go test -run '^$' -fuzz '^FuzzParseQuery$' -fuzztime 20s ./internal/sparql
 go test -run '^$' -fuzz '^FuzzParseTriples$' -fuzztime 20s ./internal/rdf
 
 echo "== benchmark regression gate (vs BENCH_join.json, +25% ns/op, +10% allocs/op, ±5pp prune rate)"
-# bench.sh covers the join drivers (BenchmarkJoinER/IndexedER/TopK) and the
-# per-pair kernel micro-benchmarks (BenchmarkFilterChainSig,
-# BenchmarkWorldLowerBound); the allocs gate keeps the zero-alloc kernels at
+# bench.sh covers the join drivers (BenchmarkJoinER/IndexedER/TopK plus the
+# block-screened JoinERBlock/JoinIndexedERBlock variants) and the per-pair
+# kernel micro-benchmarks (BenchmarkFilterChainSig, BenchmarkWorldLowerBound,
+# BenchmarkBlockScreen); the allocs gate keeps the zero-alloc kernels at
 # exactly zero. -stats replays the metrics snapshot archived above to pin the
 # filter chain's per-bound prune rates against the baseline's prune_rates.
 benchtmp=$(mktemp -d)
