@@ -14,13 +14,15 @@ test:
 # pooled/scratch-reusing filter and GED kernels they call, and the
 # observability instruments they write through.
 race:
-	$(GO) test -race ./internal/core ./internal/filter ./internal/ged ./internal/obs ./internal/fault
+	$(GO) test -race ./internal/core ./internal/filter ./internal/ged ./internal/obs ./internal/fault ./internal/server
 
 # Coverage-guided smoke on each fuzz target (seed corpora live under
 # internal/*/testdata/fuzz; crashers found in CI land there too).
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime 20s ./internal/sparql
 	$(GO) test -run '^$$' -fuzz '^FuzzParseTriples$$' -fuzztime 20s ./internal/rdf
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeJoinRequest$$' -fuzztime 20s ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeAskRequest$$' -fuzztime 20s ./internal/server
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,104 @@
+// Command loadgen drives a running simjoind with many concurrent askers and
+// optionally gates on the chaos-soak acceptance criteria: exact request
+// accounting, exercised shed/degrade paths, bounded client P99, and zero
+// uncounted panics. It is the out-of-process half of the chaos harness
+// (ci.sh boots simjoind with SIMJOIN_FAILPOINTS armed, then runs this).
+//
+//	loadgen -url http://127.0.0.1:8080 -n 2000 -workers 64 \
+//	        -gate-shed -gate-degrade -gate-p99 5s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"simjoin/internal/server/loadtest"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://127.0.0.1:8080", "simjoind base URL")
+		n       = flag.Int("n", 1000, "total requests")
+		workers = flag.Int("workers", 16, "concurrent askers")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		seed    = flag.Int64("seed", 1, "payload selection seed")
+		askFrac = flag.Float64("ask", 0, "fraction of requests sent to /ask (QA workloads)")
+
+		gateShed    = flag.Bool("gate-shed", false, "fail unless the server shed at least one request")
+		gateDegrade = flag.Bool("gate-degrade", false, "fail unless at least one request ran degraded (sampled/approx)")
+		gateP99     = flag.Duration("gate-p99", 0, "fail if client P99 exceeds this (0 = no latency gate)")
+		jsonOut     = flag.String("json", "", "write the client result as JSON to this file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	ctx := context.Background()
+	res, err := loadtest.Run(ctx, loadtest.Config{
+		BaseURL:  *url,
+		Workers:  *workers,
+		Requests: *n,
+		Timeout:  *timeout,
+		Seed:     *seed,
+		Ask:      *askFrac,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests in %v: ok=%d shed=%d errors=%d p50=%v p99=%v\n",
+		res.Sent, res.Elapsed.Round(time.Millisecond), res.OK(), res.Shed(), res.Errors, res.P50, res.P99)
+
+	metrics, err := loadtest.FetchMetrics(ctx, *url)
+	if err != nil {
+		fatal(fmt.Errorf("fetching server metrics: %w", err))
+	}
+	tiers := metrics.TierCounts("join")
+	fmt.Fprintf(os.Stderr, "loadgen: server tiers=%v panics=%d retries=%d breaker_trips=%d\n",
+		tiers,
+		metrics.Counters["server_panics_total"],
+		metrics.Counters["server_retries_total"],
+		metrics.Counters["server_breaker_trips_total"])
+
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		doc := struct {
+			Client  *loadtest.Result `json:"client"`
+			Tiers   map[string]int64 `json:"tiers"`
+			Panics  int64            `json:"panics"`
+			Retries int64            `json:"retries"`
+		}{res, tiers, metrics.Counters["server_panics_total"], metrics.Counters["server_retries_total"]}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	}
+
+	failed := false
+	for _, g := range loadtest.GateResult(res, metrics, "join", *gateShed, *gateDegrade, *gateP99) {
+		if g.Err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: GATE FAIL %s: %v\n", g.Name, g.Err)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "loadgen: gate ok: %s\n", g.Name)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -8,14 +8,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"simjoin/internal/core"
@@ -144,7 +147,13 @@ func main() {
 		pairDeadline: *pairDeadline,
 		watchdog:     *watchdog,
 	}
-	if err := run(*wl, *tau, *alpha, *mode, *filters, *gn, *blockSize, experiments.Scale(*scale), *show, obsCfg, robust); err != nil {
+	// SIGINT/SIGTERM cancel the join context: workers stop at the next
+	// pair boundary and run() still flushes -events/-trace-out/-stats-json
+	// so an interrupted run leaves usable artifacts behind. A second signal
+	// kills the process the default way (stop() restores default handling).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *wl, *tau, *alpha, *mode, *filters, *gn, *blockSize, experiments.Scale(*scale), *show, obsCfg, robust); err != nil {
 		fmt.Fprintln(os.Stderr, "simjoin:", err)
 		os.Exit(1)
 	}
@@ -168,7 +177,7 @@ type obsConfig struct {
 	progress    time.Duration
 }
 
-func run(wl string, tau int, alpha float64, modeName, filters string, gn, blockSize int, scale experiments.Scale, show int, oc obsConfig, rc robustConfig) error {
+func run(ctx context.Context, wl string, tau int, alpha float64, modeName, filters string, gn, blockSize int, scale experiments.Scale, show int, oc obsConfig, rc robustConfig) error {
 	opts := core.DefaultOptions()
 	opts.Tau = tau
 	opts.Alpha = alpha
@@ -297,8 +306,16 @@ func run(wl string, tau int, alpha float64, modeName, filters string, gn, blockS
 	fmt.Printf("joining |D|=%d certain graphs with |U|=%d uncertain graphs (tau=%d alpha=%v mode=%s filters=%s)\n",
 		len(d), len(u), opts.Tau, opts.Alpha, opts.Mode, chainDesc)
 	start := time.Now()
-	pairs, st, err := core.Join(d, u, opts)
+	pairs, st, err := core.JoinContext(ctx, d, u, opts)
 	if err != nil {
+		// An interrupted run still flushes its artifacts — the partial
+		// event log, trace and stats are exactly what a post-mortem needs.
+		if st.Cancelled {
+			fmt.Fprintf(os.Stderr, "simjoin: interrupted after %d pairs; flushing artifacts\n", st.Pairs)
+			if ferr := flushArtifacts(oc, &st, reg, tr, opts.Events, eventsFile); ferr != nil {
+				fmt.Fprintln(os.Stderr, "simjoin:", ferr)
+			}
+		}
 		return err
 	}
 	fmt.Printf("pairs: %d in %v\n", len(pairs), time.Since(start).Round(time.Millisecond))
@@ -336,12 +353,29 @@ func run(wl string, tau int, alpha float64, modeName, filters string, gn, blockS
 		fmt.Println()
 		core.WriteExplain(os.Stdout, &st, reg.Snapshot())
 	}
-	if opts.Events != nil {
-		if err := opts.Events.Err(); err != nil {
+	if err := flushArtifacts(oc, &st, reg, tr, opts.Events, eventsFile); err != nil {
+		return err
+	}
+	for i, pr := range pairs {
+		if i >= show {
+			fmt.Printf("... and %d more\n", len(pairs)-show)
+			break
+		}
+		fmt.Printf("[%d] SimP=%.3f ged=%d  %s\n", i+1, pr.SimP, pr.Distance, describe(pr))
+	}
+	return nil
+}
+
+// flushArtifacts writes every requested artifact — the event log tail, the
+// stats snapshot, and the Chrome trace. It runs on both the success path
+// and the interrupted path, so partial runs still leave evidence behind.
+func flushArtifacts(oc obsConfig, st *core.Stats, reg *obs.Registry, tr *obs.Tracer, events *obs.EventLog, eventsFile *os.File) error {
+	if events != nil {
+		if err := events.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "event log: sink error: %v\n", err)
 		}
 		fmt.Fprintf(os.Stderr, "event log: %d/%d pairs sampled, %d events emitted, %d dropped\n",
-			opts.Events.Sampled(), st.Pairs, opts.Events.Emitted(), opts.Events.Dropped())
+			events.Sampled(), st.Pairs, events.Emitted(), events.Dropped())
 		if eventsFile != nil {
 			if err := eventsFile.Sync(); err != nil {
 				return err
@@ -349,7 +383,7 @@ func run(wl string, tau int, alpha float64, modeName, filters string, gn, blockS
 		}
 	}
 	if oc.statsJSON != "" {
-		if err := writeStatsJSON(oc.statsJSON, &st, reg); err != nil {
+		if err := writeStatsJSON(oc.statsJSON, st, reg); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote stats snapshot to %s\n", oc.statsJSON)
@@ -359,13 +393,6 @@ func run(wl string, tau int, alpha float64, modeName, filters string, gn, blockS
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s\n", oc.traceOut)
-	}
-	for i, pr := range pairs {
-		if i >= show {
-			fmt.Printf("... and %d more\n", len(pairs)-show)
-			break
-		}
-		fmt.Printf("[%d] SimP=%.3f ged=%d  %s\n", i+1, pr.SimP, pr.Distance, describe(pr))
 	}
 	return nil
 }

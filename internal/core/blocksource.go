@@ -84,6 +84,17 @@ func newBlockSource(src CandidateSource, blockSize int) *blockSource {
 			},
 			set: filter.NewGBlockSet(s.u, blockSize),
 		}
+	case *streamSource:
+		// Streaming arrivals reuse the Resident's cached block set: the
+		// resident side is packed once per (process, block size), not per
+		// request.
+		return &blockSource{
+			d:     s.d,
+			qsigs: s.qsigs,
+			u:     s.res.u,
+			gsig:  func(gi int) *filter.GSig { return s.res.gsigs[gi] },
+			set:   s.res.blockSet(blockSize),
+		}
 	default:
 		return nil
 	}
@@ -104,6 +115,12 @@ func (s *blockSource) Feed(ctx context.Context, opts *Options, emit func(Batch) 
 	profiled := opts.Obs != nil || opts.Events != nil
 	var sc filter.BlockScratch
 	for bi := 0; bi < s.set.NumBlocks(); bi++ {
+		// Deadline check between blocks (on top of the per-query check
+		// below): a request whose context expired must not burn a sweep over
+		// the remaining resident blocks before noticing.
+		if ctx.Err() != nil {
+			return
+		}
 		blk := s.set.Block(bi)
 		n := blk.Len()
 		// Survivor query lists, one per graph in the block. Allocated fresh

@@ -324,3 +324,90 @@ func TestBlockScreenSubsumesIndexPrescreens(t *testing.T) {
 		t.Fatalf("blocks cover %d graphs, want %d", covered, len(u))
 	}
 }
+
+// TestBlockSourceHonorsCancellation pins the deadline behaviour of the block
+// sweep: an expired context must stop the screening loop between blocks (and
+// between queries within a block) instead of burning a full resident sweep,
+// and the partial block in flight at cancellation must be dropped from both
+// the skip accounting and the stage profile.
+func TestBlockSourceHonorsCancellation(t *testing.T) {
+	d, u := smallWorkload(37, 24, 40)
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		src := newBlockSource(newCrossSource(d, u), 8)
+		if src == nil {
+			t.Fatal("newBlockSource returned nil for the cross source")
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		emits := 0
+		var skips int64
+		opts := DefaultOptions()
+		if err := opts.normalise(); err != nil {
+			t.Fatal(err)
+		}
+		src.Feed(ctx, &opts, func(Batch) bool { emits++; return true },
+			func(n int64) { skips += n })
+		if emits != 0 || skips != 0 {
+			t.Fatalf("pre-cancelled Feed emitted %d batches, skipped %d pairs; want 0/0", emits, skips)
+		}
+		if src.prof.evals != 0 {
+			t.Fatalf("pre-cancelled Feed profiled %d evals; want 0", src.prof.evals)
+		}
+	})
+
+	t.Run("mid-sweep", func(t *testing.T) {
+		src := newBlockSource(newCrossSource(d, u), 4)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		emits := 0
+		var skips int64
+		opts := DefaultOptions()
+		opts.Alpha = 0.5
+		if err := opts.normalise(); err != nil {
+			t.Fatal(err)
+		}
+		src.Feed(ctx, &opts, func(Batch) bool {
+			emits++
+			cancel() // request expires while the engine is consuming
+			return true
+		}, func(n int64) { skips += n })
+		total := int64(len(d)) * int64(len(u))
+		if skips+src.prof.pruned > total {
+			t.Fatalf("cancelled Feed over-accounted: skips=%d pruned=%d total=%d", skips, src.prof.pruned, total)
+		}
+		if skips != src.prof.pruned {
+			t.Fatalf("skip/profile attribution diverged under cancellation: skips=%d profile=%d", skips, src.prof.pruned)
+		}
+		if src.prof.evals >= total {
+			t.Fatalf("cancelled Feed screened all %d pairs; cancellation did not stop the sweep", total)
+		}
+	})
+
+	t.Run("join-end-to-end", func(t *testing.T) {
+		opts := DefaultOptions()
+		opts.Alpha = 0.5
+		opts.Workers = 2
+		opts.BlockSize = 4
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		fired := false
+		testPairHook = func(int) {
+			if !fired {
+				fired = true
+				cancel()
+			}
+		}
+		defer func() { testPairHook = nil }()
+		pairs, st, err := JoinContext(ctx, d, u, opts)
+		if err == nil {
+			t.Fatal("cancelled block join returned nil error")
+		}
+		if pairs != nil {
+			t.Fatalf("cancelled block join returned %d pairs", len(pairs))
+		}
+		if !st.Cancelled {
+			t.Fatal("Stats.Cancelled not set")
+		}
+	})
+}

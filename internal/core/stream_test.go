@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"testing"
+
+	"simjoin/internal/graph"
+)
+
+// Tests of the streaming-arrivals source: per-request delta joins against a
+// Resident must return exactly the pairs the batch drivers return, on the
+// scalar and block paths, including when many requests share one Resident
+// concurrently.
+
+// streamJoinAll joins every query of d one at a time against res (one
+// JoinWith per query, as the resident service does per request) and returns
+// the union re-indexed to d's query indices, sorted like Join's output.
+func streamJoinAll(t *testing.T, res *Resident, d []*graph.Graph, opts Options) []Pair {
+	t.Helper()
+	var all []Pair
+	for qi := range d {
+		pairs, st, err := JoinWith(context.Background(), NewStreamSource(res, d[qi:qi+1]), opts)
+		if err != nil {
+			t.Fatalf("stream join for query %d: %v", qi, err)
+		}
+		if want := int64(res.Len()); st.Pairs != want {
+			t.Fatalf("query %d: Pairs = %d, want %d", qi, st.Pairs, want)
+		}
+		for _, p := range pairs {
+			p.Q = qi
+			all = append(all, p)
+		}
+	}
+	sortPairsQG(all)
+	return all
+}
+
+func sortPairsQG(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Q != ps[j].Q {
+			return ps[i].Q < ps[j].Q
+		}
+		return ps[i].G < ps[j].G
+	})
+}
+
+func TestStreamSourceMatchesJoin(t *testing.T) {
+	d, u := smallWorkload(23, 12, 10)
+	res := NewResident(u)
+	opts := DefaultOptions()
+	opts.Alpha = 0.5
+	opts.Workers = 2
+
+	want, _, err := Join(d, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bs := range []int{0, 4} {
+		o := opts
+		o.BlockSize = bs
+		got := streamJoinAll(t, res, d, o)
+		assertSamePairs(t, "stream vs batch", got, want)
+	}
+}
+
+func TestStreamSourceConcurrentRequests(t *testing.T) {
+	d, u := smallWorkload(29, 16, 12)
+	res := NewResident(u)
+	opts := DefaultOptions()
+	opts.Alpha = 0.5
+	opts.Workers = 2
+	opts.BlockSize = 4 // shared cached GBlockSet across requests
+
+	want, _, err := Join(d, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu  sync.Mutex
+		all []Pair
+		wg  sync.WaitGroup
+	)
+	for qi := range d {
+		wg.Add(1)
+		go func(qi int) {
+			defer wg.Done()
+			pairs, _, err := JoinWith(context.Background(), NewStreamSource(res, d[qi:qi+1]), opts)
+			if err != nil {
+				t.Errorf("concurrent stream join %d: %v", qi, err)
+				return
+			}
+			mu.Lock()
+			for _, p := range pairs {
+				p.Q = qi
+				all = append(all, p)
+			}
+			mu.Unlock()
+		}(qi)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	sortPairsQG(all)
+	assertSamePairs(t, "concurrent streams vs batch", all, want)
+}
+
+func TestStreamSourceCancellation(t *testing.T) {
+	d, u := smallWorkload(31, 4, 20)
+	res := NewResident(u)
+	opts := DefaultOptions()
+	opts.Alpha = 0.5
+	opts.Workers = 1
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pairs, st, err := JoinWith(ctx, NewStreamSource(res, d[:1]), opts)
+	if err == nil {
+		t.Fatal("cancelled stream join returned nil error")
+	}
+	if pairs != nil {
+		t.Fatalf("cancelled stream join returned %d pairs", len(pairs))
+	}
+	if !st.Cancelled {
+		t.Fatal("Stats.Cancelled not set on cancelled stream join")
+	}
+}

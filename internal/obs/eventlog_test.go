@@ -7,7 +7,9 @@ import (
 	"errors"
 	"io"
 	"math"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestEventLogSamplingCadence(t *testing.T) {
@@ -240,5 +242,130 @@ func TestHistSnapshotQuantile(t *testing.T) {
 	var empty HistSnapshot
 	if q := empty.Quantile(0.5); !math.IsNaN(q) {
 		t.Errorf("empty histogram quantile = %v, want NaN", q)
+	}
+}
+
+// slowWriter delays every Write, keeping the sink lock held long enough that
+// concurrent workers' TryLock flushes fail and buffers grow toward their cap.
+type slowWriter struct {
+	delay time.Duration
+	buf   bytes.Buffer
+}
+
+func (w *slowWriter) Write(p []byte) (int, error) {
+	time.Sleep(w.delay)
+	return w.buf.Write(p)
+}
+
+// TestEventLogConcurrentWritersExactAccounting pins the event log's flush
+// contract under concurrent writers (run it under -race): with W workers
+// each emitting a unique (q, g) stream through its own EventBuffer into one
+// contended sink,
+//
+//	emitted + dropped == total emits,   and
+//	lines written == emitted,           with no (q, g) appearing twice.
+//
+// Together these say drop-counting is exact and TryLock contention can never
+// double-emit or silently lose a record.
+func TestEventLogConcurrentWritersExactAccounting(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 4000
+	)
+	sink := &slowWriter{delay: 50 * time.Microsecond}
+	l := NewEventLog(sink, 1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b := l.NewBuffer()
+			ev := PairEvent{Verdict: "exact"}
+			for i := 0; i < perWorker; i++ {
+				ev.Q, ev.G = w, i
+				b.Emit(&ev)
+			}
+			b.Flush()
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(workers * perWorker)
+	emitted, dropped := l.Emitted(), l.Dropped()
+	if emitted+dropped != total {
+		t.Fatalf("emitted %d + dropped %d = %d, want %d", emitted, dropped, emitted+dropped, total)
+	}
+
+	seen := make(map[[2]int]bool, emitted)
+	var lines int64
+	sc := bufio.NewScanner(bytes.NewReader(sink.buf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var rec struct {
+			Q int `json:"q"`
+			G int `json:"g"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", lines, err)
+		}
+		key := [2]int{rec.Q, rec.G}
+		if seen[key] {
+			t.Fatalf("event (%d,%d) emitted twice", rec.Q, rec.G)
+		}
+		seen[key] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != emitted {
+		t.Fatalf("sink holds %d lines but Emitted() = %d", lines, emitted)
+	}
+	t.Logf("concurrent flush: %d emitted, %d dropped of %d", emitted, dropped, total)
+}
+
+// TestEventLogDropsExactlyPendingUnderContention forces the drop path
+// deterministically: the test holds the sink lock so every opportunistic
+// flush fails, and a buffer pushed past its cap must drop exactly its
+// pending count — no more (later events still flow) and no fewer.
+func TestEventLogDropsExactlyPendingUnderContention(t *testing.T) {
+	var sink bytes.Buffer
+	l := NewEventLog(&sink, 1)
+	b := l.NewBuffer()
+
+	// Measure how many events fit before the cap by encoding one.
+	probe := appendEvent(nil, &PairEvent{Q: 1, G: 1, Verdict: "exact"})
+	perEvent := len(probe)
+
+	l.mu.Lock() // every tryFlush now fails
+	n := 0
+	for emitted := 0; emitted <= eventMaxBuffer+2*eventFlushBytes; emitted += perEvent {
+		b.Emit(&PairEvent{Q: 0, G: n, Verdict: "exact"})
+		n++
+	}
+	l.mu.Unlock()
+
+	dropped := l.Dropped()
+	if dropped == 0 {
+		t.Fatalf("no drops after %d events (%d bytes) against a held sink lock", n, n*perEvent)
+	}
+	if l.Emitted() != 0 {
+		t.Fatalf("%d events emitted while the sink lock was held", l.Emitted())
+	}
+
+	// The buffer recovered: later events flush normally and the identity
+	// emitted + dropped == total still holds exactly.
+	const tail = 100
+	for i := 0; i < tail; i++ {
+		b.Emit(&PairEvent{Q: 1, G: i, Verdict: "exact"})
+	}
+	b.Flush()
+	if got := l.Emitted() + l.Dropped(); got != int64(n+tail) {
+		t.Fatalf("emitted %d + dropped %d = %d, want %d", l.Emitted(), l.Dropped(), got, n+tail)
+	}
+	lines := int64(bytes.Count(sink.Bytes(), []byte("\n")))
+	if lines != l.Emitted() {
+		t.Fatalf("sink holds %d lines but Emitted() = %d", lines, l.Emitted())
 	}
 }

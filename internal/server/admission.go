@@ -1,0 +1,85 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"simjoin/internal/obs"
+)
+
+// Admission control: a fixed pool of execution slots fronted by a bounded
+// wait queue. A request either takes a free slot immediately, waits in the
+// queue (its context still ticking), or — when the queue is full — is shed
+// with 429/Retry-After. Queue occupancy at admission time is the service's
+// pressure signal: the degrade tiers (tierFor) map it onto the verdict
+// ladder so saturation costs answer certainty before it costs availability.
+
+// errShed reports that the admission queue was full.
+var errShed = errors.New("server: admission queue full")
+
+type admitter struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   chan struct{} // capacity maxQueue; len() is the live queue depth
+
+	inflight *obs.Gauge
+	depth    *obs.Gauge
+}
+
+func newAdmitter(maxInFlight, maxQueue int, reg *obs.Registry) *admitter {
+	return &admitter{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+		queued:   make(chan struct{}, maxQueue),
+		inflight: reg.Gauge("server_inflight"),
+		depth:    reg.Gauge("server_queue_depth"),
+	}
+}
+
+// acquire admits one request. It returns the release function and the queue
+// pressure in [0, 1] observed at admission, or an error: errShed when the
+// queue was full, ctx.Err() when the caller's deadline expired while queued.
+func (a *admitter) acquire(ctx context.Context) (release func(), pressure float64, err error) {
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return a.release, a.pressure(), nil
+	default:
+	}
+	// No free slot: join the bounded queue, or shed.
+	select {
+	case a.queued <- struct{}{}:
+	default:
+		return nil, 1, errShed
+	}
+	a.depth.Add(1)
+	p := a.pressure()
+	defer func() {
+		<-a.queued
+		a.depth.Add(-1)
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return a.release, p, nil
+	case <-ctx.Done():
+		return nil, p, ctx.Err()
+	}
+}
+
+func (a *admitter) release() {
+	<-a.slots
+	a.inflight.Add(-1)
+}
+
+// pressure is the queue occupancy fraction at this instant.
+func (a *admitter) pressure() float64 {
+	if a.maxQueue == 0 {
+		return 0
+	}
+	return float64(len(a.queued)) / float64(a.maxQueue)
+}
+
+// Inflight and Queued report the live gauges (for /healthz).
+func (a *admitter) Inflight() int { return len(a.slots) }
+func (a *admitter) Queued() int   { return len(a.queued) }

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"simjoin/internal/obs"
+)
+
+// Circuit breaker against verification storms. A workload shift (PAPERS.md's
+// "One Size Does Not Fit All": pruning effectiveness is workload-dependent)
+// can push many pairs into heavy verification at once; the symptoms are a
+// rising request-latency P99 and pairs landing in quarantine. The breaker
+// watches a rolling window of request outcomes and, when either signal
+// crosses its threshold, forces the service into approx-only mode (the
+// cheapest certified rung of the verdict ladder) until probe requests pass
+// at full fidelity again.
+
+// BreakerConfig tunes the circuit breaker. The zero value disables it.
+type BreakerConfig struct {
+	// Window is the number of recent requests the trip signals are computed
+	// over; 0 disables the breaker.
+	Window int
+	// QuarantineRate trips the breaker when the fraction of windowed
+	// requests that quarantined at least one pair reaches it (> 0).
+	QuarantineRate float64
+	// LatencyP99 trips the breaker when the window's P99 request latency
+	// reaches it (> 0).
+	LatencyP99 time.Duration
+	// Cooldown is how long the breaker stays open before probing.
+	Cooldown time.Duration
+	// Probes is how many consecutive healthy full-fidelity requests close a
+	// half-open breaker.
+	Probes int
+}
+
+func (c *BreakerConfig) normalise() {
+	if c.Window <= 0 {
+		return // disabled
+	}
+	if c.QuarantineRate <= 0 && c.LatencyP99 <= 0 {
+		c.QuarantineRate = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.Probes <= 0 {
+		c.Probes = 3
+	}
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+type outcome struct {
+	latency     time.Duration
+	quarantined bool
+}
+
+type breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    breakerState
+	ring     []outcome
+	idx, n   int
+	openedAt time.Time
+	probesOK int
+
+	trips      *obs.Counter
+	stateGauge *obs.Gauge
+}
+
+func newBreaker(cfg BreakerConfig, reg *obs.Registry) *breaker {
+	cfg.normalise()
+	b := &breaker{
+		cfg:        cfg,
+		trips:      reg.Counter("server_breaker_trips_total"),
+		stateGauge: reg.Gauge("server_breaker_state"),
+	}
+	if cfg.Window > 0 {
+		b.ring = make([]outcome, cfg.Window)
+	}
+	return b
+}
+
+// allowFull reports whether requests may run at full fidelity. While the
+// breaker is open it returns false — the server forces the approx tier —
+// flipping to half-open (probing) once the cooldown has elapsed.
+func (b *breaker) allowFull(now time.Time) bool {
+	if b == nil || b.cfg.Window <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.setState(breakerHalfOpen)
+			b.probesOK = 0
+			return true // probe at full fidelity
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// record feeds one finished request's outcome into the window and applies
+// the state machine.
+func (b *breaker) record(now time.Time, latency time.Duration, quarantined bool) {
+	if b == nil || b.cfg.Window <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ring[b.idx] = outcome{latency: latency, quarantined: quarantined}
+	b.idx = (b.idx + 1) % len(b.ring)
+	if b.n < len(b.ring) {
+		b.n++
+	}
+	healthy := !quarantined && (b.cfg.LatencyP99 <= 0 || latency < b.cfg.LatencyP99)
+	switch b.state {
+	case breakerHalfOpen:
+		if !healthy {
+			b.trip(now)
+			return
+		}
+		b.probesOK++
+		if b.probesOK >= b.cfg.Probes {
+			b.setState(breakerClosed)
+			b.reset()
+		}
+	case breakerClosed:
+		if b.n == len(b.ring) && b.unhealthyWindow() {
+			b.trip(now)
+		}
+	}
+}
+
+// unhealthyWindow evaluates the trip signals over the full window; callers
+// hold b.mu.
+func (b *breaker) unhealthyWindow() bool {
+	if b.cfg.QuarantineRate > 0 {
+		q := 0
+		for _, o := range b.ring[:b.n] {
+			if o.quarantined {
+				q++
+			}
+		}
+		if float64(q)/float64(b.n) >= b.cfg.QuarantineRate {
+			return true
+		}
+	}
+	if b.cfg.LatencyP99 > 0 {
+		lats := make([]time.Duration, b.n)
+		for i, o := range b.ring[:b.n] {
+			lats[i] = o.latency
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		if lats[(b.n-1)*99/100] >= b.cfg.LatencyP99 {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *breaker) trip(now time.Time) {
+	b.setState(breakerOpen)
+	b.openedAt = now
+	b.trips.Inc()
+	b.reset()
+}
+
+func (b *breaker) reset() {
+	b.idx, b.n = 0, 0
+	b.probesOK = 0
+}
+
+func (b *breaker) setState(s breakerState) {
+	b.state = s
+	b.stateGauge.Set(float64(s))
+}
+
+// State reports the current state (for /healthz).
+func (b *breaker) State() breakerState {
+	if b == nil || b.cfg.Window <= 0 {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// Fuzz targets for the request decoders: whatever bytes arrive, the decoders
+// must neither panic nor accept a graph that violates the configured limits.
+// ci.sh runs these briefly on every push (fuzz smoke); longer runs grow the
+// corpus under testdata/fuzz/.
+
+func FuzzDecodeJoinRequest(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"query": "SELECT ?x WHERE { ?x type Film . }"}`,
+		`{"graph": {"vertices": ["L0","L1"], "edges": [{"from":0,"to":1,"label":"e"}]}}`,
+		`{"graph": {"vertices": ["L0"]}, "tau": 2, "alpha": 0.5, "limit": 10}`,
+		`{"query": "SELECT", "graph": {"vertices": ["a"]}}`,
+		`{"graph": {"vertices": [], "edges": []}}`,
+		`{"graph": {"vertices": ["a","b"], "edges": [{"from":-1,"to":1,"label":"e"}]}}`,
+		`{"graph": {"vertices": ["` + strings.Repeat("x", 300) + `"]}}`,
+		`{"tau": 99999999999999999999}`,
+		`[1,2,3]`,
+		"{\"query\": \"\u0000\"}",
+		"{\"query\": \"SELECT ?x WHERE { ?x \xff\xfe ?y }\"}",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	lim := DefaultLimits()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, qg, err := DecodeJoinRequest(body, lim)
+		if err != nil {
+			if req != nil || qg != nil {
+				t.Fatal("non-nil result alongside error")
+			}
+			return
+		}
+		if req == nil || qg == nil {
+			t.Fatal("nil result without error")
+		}
+		if qg.NumVertices() == 0 || qg.NumVertices() > lim.MaxVertices {
+			t.Fatalf("accepted graph with %d vertices", qg.NumVertices())
+		}
+		if qg.NumEdges() > lim.MaxEdges {
+			t.Fatalf("accepted graph with %d edges", qg.NumEdges())
+		}
+		for v := 0; v < qg.NumVertices(); v++ {
+			l := qg.VertexLabel(v)
+			if len(l) > lim.MaxLabelLen || !utf8.ValidString(l) {
+				t.Fatalf("accepted hostile vertex label %q", l)
+			}
+		}
+		if req.Tau != nil && (*req.Tau < 0 || *req.Tau > lim.MaxTau) {
+			t.Fatalf("accepted tau %d", *req.Tau)
+		}
+		if req.Alpha != nil && (*req.Alpha <= 0 || *req.Alpha > 1) {
+			t.Fatalf("accepted alpha %v", *req.Alpha)
+		}
+	})
+}
+
+func FuzzDecodeAskRequest(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"question": "who directed the film"}`,
+		`{"question": ""}`,
+		`{"question": "` + strings.Repeat("q", 20000) + `"}`,
+		`{"question": "line\nbreaks\tand tabs are fine"}`,
+		"{\"question\": \"\x01\"}",
+		`"just a string"`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	lim := DefaultLimits()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeAskRequest(body, lim)
+		if err != nil {
+			return
+		}
+		q := req.Question
+		if q == "" || len(q) > lim.MaxQueryLen || !utf8.ValidString(q) {
+			t.Fatalf("accepted hostile question %q", q)
+		}
+		for i := 0; i < len(q); i++ {
+			if c := q[i]; c < 0x20 && c != '\n' && c != '\t' {
+				t.Fatalf("accepted control byte 0x%02x", c)
+			}
+		}
+	})
+}

@@ -1,0 +1,285 @@
+// Package loadtest drives a running simjoind over real sockets: many
+// concurrent askers replaying /sample payloads against /join, collecting
+// client-side status and latency distributions, and gating on the server's
+// own accounting (fetched from /metrics.json). cmd/loadgen is its CLI;
+// ci.sh uses both as the out-of-process half of the chaos soak, with
+// SIMJOIN_FAILPOINTS armed in the server process.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Workers is the number of concurrent askers (default 16).
+	Workers int
+	// Requests is the total request count across workers (default 1000).
+	Requests int
+	// Timeout bounds each HTTP request (default 10s).
+	Timeout time.Duration
+	// Seed makes payload selection reproducible.
+	Seed int64
+	// Ask, in [0, 1], is the fraction of requests sent to /ask instead of
+	// /join (only useful against a QA workload; default 0).
+	Ask float64
+	// Questions are the /ask payloads drawn at random when Ask > 0.
+	Questions []string
+}
+
+func (c *Config) normalise() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("loadtest: BaseURL required")
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Requests <= 0 {
+		c.Requests = 1000
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Ask > 0 && len(c.Questions) == 0 {
+		c.Questions = []string{"which entity is this"}
+	}
+	return nil
+}
+
+// Result aggregates one run.
+type Result struct {
+	Sent     int           `json:"sent"`
+	ByCode   map[int]int   `json:"byCode"`
+	Errors   int           `json:"errors"` // transport-level failures
+	P50, P99 time.Duration `json:"-"`
+	P50MS    float64       `json:"p50Ms"`
+	P99MS    float64       `json:"p99Ms"`
+	Elapsed  time.Duration `json:"-"`
+}
+
+// OK reports how many requests got HTTP 200.
+func (r *Result) OK() int { return r.ByCode[http.StatusOK] }
+
+// Shed reports how many requests the server shed with 429.
+func (r *Result) Shed() int { return r.ByCode[http.StatusTooManyRequests] }
+
+// Run fires cfg.Requests requests from cfg.Workers concurrent askers.
+// Payloads come from GET /sample (refreshed per worker, rotated per
+// request). Transport errors are tolerated and tallied — a chaos run may
+// kill connections — but a completely unreachable server fails fast.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.normalise(); err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+
+	samples, err := fetchSamples(ctx, client, cfg.BaseURL, 8)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		mu        sync.Mutex
+		res       = &Result{ByCode: map[int]int{}}
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	perWorker := cfg.Requests / cfg.Workers
+	extra := cfg.Requests % cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		n := perWorker
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for i := 0; i < n; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				path, body := "/join", samples[rng.Intn(len(samples))]
+				if cfg.Ask > 0 && rng.Float64() < cfg.Ask {
+					path = "/ask"
+					q := cfg.Questions[rng.Intn(len(cfg.Questions))]
+					body, _ = json.Marshal(map[string]string{"question": q})
+				}
+				t0 := time.Now()
+				code, err := post(ctx, client, cfg.BaseURL+path, body)
+				lat := time.Since(t0)
+				mu.Lock()
+				res.Sent++
+				if err != nil {
+					res.Errors++
+				} else {
+					res.ByCode[code]++
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50 = latencies[(len(latencies)-1)*50/100]
+		res.P99 = latencies[(len(latencies)-1)*99/100]
+		res.P50MS = float64(res.P50.Microseconds()) / 1e3
+		res.P99MS = float64(res.P99.Microseconds()) / 1e3
+	}
+	return res, nil
+}
+
+func fetchSamples(ctx context.Context, client *http.Client, base string, n int) ([][]byte, error) {
+	var samples [][]byte
+	for i := 0; i < n; i++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/sample", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: fetching /sample: %w", err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("loadtest: /sample returned %d: %s", resp.StatusCode, body)
+		}
+		samples = append(samples, body)
+	}
+	return samples, nil
+}
+
+func post(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// Metrics is the subset of the server's /metrics.json snapshot the gates
+// read.
+type Metrics struct {
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+// FetchMetrics reads the server's instrument snapshot.
+func FetchMetrics(ctx context.Context, baseURL string) (*Metrics, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(baseURL, "/")+"/metrics.json", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadtest: /metrics.json returned %d", resp.StatusCode)
+	}
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// TierCounts sums the endpoint×tier request counters for endpoint.
+func (m *Metrics) TierCounts(endpoint string) map[string]int64 {
+	out := map[string]int64{}
+	// Names follow obs.Name's Prometheus syntax with keys sorted:
+	// server_requests_total{endpoint="join",tier="exact"}.
+	prefix := `server_requests_total{endpoint="` + endpoint + `",tier="`
+	for name, v := range m.Counters {
+		if strings.HasPrefix(name, prefix) {
+			tier := strings.TrimSuffix(strings.TrimPrefix(name, prefix), `"}`)
+			out[tier] += v
+		}
+	}
+	return out
+}
+
+// Gate is one named pass/fail condition evaluated after a run.
+type Gate struct {
+	Name string
+	Err  error
+}
+
+// GateResult evaluates the chaos-soak acceptance gates against a client
+// Result and a server Metrics snapshot:
+//
+//	zero handler panics escaped containment uncounted, every request landed
+//	in exactly one tier counter, the shed and degraded tiers actually
+//	exercised (when required), and client P99 stayed under maxP99.
+func GateResult(res *Result, m *Metrics, endpoint string, requireShed, requireDegrade bool, maxP99 time.Duration) []Gate {
+	var gates []Gate
+	add := func(name string, err error) { gates = append(gates, Gate{Name: name, Err: err}) }
+
+	tiers := m.TierCounts(endpoint)
+	var sum int64
+	for _, v := range tiers {
+		sum += v
+	}
+	answered := int64(res.OK())
+	if got := tiers["exact"] + tiers["sampled"] + tiers["approx"]; got != answered {
+		add("accounting", fmt.Errorf("answered tiers sum %d, client saw %d OK", got, answered))
+	} else if sum < answered {
+		add("accounting", fmt.Errorf("tier sum %d below answered %d", sum, answered))
+	} else {
+		add("accounting", nil)
+	}
+
+	if res.Errors > 0 {
+		add("transport", fmt.Errorf("%d transport errors", res.Errors))
+	} else {
+		add("transport", nil)
+	}
+
+	if requireShed && tiers["shed"] == 0 {
+		add("shed", fmt.Errorf("no requests shed; the overload path never ran"))
+	} else {
+		add("shed", nil)
+	}
+	if requireDegrade && tiers["sampled"]+tiers["approx"] == 0 {
+		add("degrade", fmt.Errorf("no requests degraded; the pressure tiers never ran"))
+	} else {
+		add("degrade", nil)
+	}
+
+	if maxP99 > 0 && res.P99 > maxP99 {
+		add("p99", fmt.Errorf("client P99 %v exceeds %v", res.P99, maxP99))
+	} else {
+		add("p99", nil)
+	}
+	return gates
+}

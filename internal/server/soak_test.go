@@ -1,0 +1,160 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"simjoin/internal/fault"
+	"simjoin/internal/obs"
+)
+
+// TestChaosSoak is the in-process chaos harness: many concurrent askers
+// hammer the handler while failpoints inject panics, transient errors and
+// delays at every layer (server retry loop, per-pair engine quarantine, GED
+// degradation). It pins the overload envelope's contract:
+//
+//   - zero unrecovered panics — the test process survives and every panic
+//     is tallied;
+//   - exact accounting — every request lands in exactly one of the
+//     {exact, sampled, approx, shed} tier counters;
+//   - bounded tail latency — client-observed P99 stays within the request
+//     deadline plus scheduling slack;
+//   - clean drain — after the storm, Drain returns with nothing in flight.
+//
+// ci.sh runs the same scenario out-of-process (real sockets, SIGTERM)
+// via cmd/simjoind + cmd/loadgen.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	if err := fault.EnableAll(
+		"server.join=error#40,core.pair=panic#30,ged.compute=error#60,core.verify.world=delay:200us#200",
+	); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+
+	s, d := newTestServer(t, func(c *Config) {
+		c.MaxInFlight = 8
+		c.MaxQueue = 16
+		c.RequestTimeout = 2 * time.Second
+		c.RetryMax = 2
+		c.RetryBackoff = time.Millisecond
+		c.Breaker = BreakerConfig{
+			Window:         64,
+			QuarantineRate: 0.3,
+			Cooldown:       50 * time.Millisecond,
+			Probes:         3,
+		}
+	})
+	h := s.Handler()
+
+	const (
+		workers  = 60
+		perAsker = 20
+		total    = workers * perAsker // 1200 ≥ the 1000-request acceptance floor
+	)
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		byCode    = map[int]int{}
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perAsker; i++ {
+				spec := graphSpecOf(d[rng.Intn(len(d))])
+				start := time.Now()
+				rec := postJSON(t, h, "/join", JoinRequest{Graph: spec})
+				lat := time.Since(start)
+				if rec.Code == http.StatusTooManyRequests && rec.Header().Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				byCode[rec.Code]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every status must come from the envelope's vocabulary.
+	for code := range byCode {
+		switch code {
+		case http.StatusOK, http.StatusTooManyRequests,
+			http.StatusInternalServerError, http.StatusGatewayTimeout:
+		default:
+			t.Fatalf("unexpected status %d (%d times)", code, byCode[code])
+		}
+	}
+	if byCode[http.StatusOK] == 0 {
+		t.Fatal("no request succeeded under chaos")
+	}
+
+	// Exact accounting: the four tier counters partition the requests.
+	snap := s.cfg.Obs.Snapshot()
+	tiers := map[string]int64{}
+	var sum int64
+	for _, tt := range []string{"exact", "sampled", "approx", "shed"} {
+		n := snap.Counters[obs.Name("server_requests_total", "endpoint", "join", "tier", tt)]
+		tiers[tt] = n
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("tier counters %v sum to %d, want %d", tiers, sum, total)
+	}
+	if rejected := snap.Counters[obs.Name("server_rejected_total", "endpoint", "join")]; rejected != 0 {
+		t.Fatalf("valid requests counted as rejected: %d", rejected)
+	}
+	if int64(byCode[http.StatusOK]) != tiers["exact"]+tiers["sampled"]+tiers["approx"] {
+		t.Fatalf("answered tiers %v disagree with %d OK responses", tiers, byCode[http.StatusOK])
+	}
+
+	// The chaos actually fired, and the retry path absorbed some of it.
+	for _, name := range []string{"server.join", "core.pair", "ged.compute"} {
+		if fault.Hits(name) == 0 {
+			t.Errorf("failpoint %s never fired", name)
+		}
+	}
+	if snap.Counters["server_retries_total"] == 0 {
+		t.Error("no retries recorded despite transient injected errors")
+	}
+
+	// Bounded tail: client P99 within the deadline plus generous scheduling
+	// slack (the deadline itself is the envelope's promise; the slack covers
+	// -race and CI scheduling noise).
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[(len(latencies)-1)*99/100]
+	if limit := s.cfg.RequestTimeout + time.Second; p99 > limit {
+		t.Fatalf("client P99 %v exceeds %v", p99, limit)
+	}
+
+	// Clean drain: nothing in flight, nothing queued, and afterwards new
+	// requests are shed.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("drain after soak: %v", err)
+	}
+	if s.adm.Inflight() != 0 || s.adm.Queued() != 0 {
+		t.Fatalf("drain left inflight=%d queued=%d", s.adm.Inflight(), s.adm.Queued())
+	}
+	if rec := postJSON(t, h, "/join", JoinRequest{Graph: graphSpecOf(d[0])}); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("post-drain request got %d, want 429", rec.Code)
+	}
+
+	t.Logf("soak: codes=%v tiers=%v p99=%v panics=%d retries=%d breaker_trips=%d",
+		byCode, tiers, p99,
+		snap.Counters["server_panics_total"],
+		snap.Counters["server_retries_total"],
+		snap.Counters["server_breaker_trips_total"])
+}

@@ -20,8 +20,8 @@ go build ./...
 echo "== go test (shuffled)"
 go test -shuffle=on ./...
 
-echo "== go test -race, shuffled (core, filter, ged, obs, fault)"
-go test -race -shuffle=on ./internal/core ./internal/filter ./internal/ged ./internal/obs ./internal/fault
+echo "== go test -race, shuffled (core, filter, ged, obs, fault, server)"
+go test -race -shuffle=on ./internal/core ./internal/filter ./internal/ged ./internal/obs ./internal/fault ./internal/server
 
 echo "== fault injection (failpoints armed end-to-end)"
 # Arm failpoints through the environment and run a small join: the pipeline
@@ -53,9 +53,43 @@ go run ./cmd/simjoin -workload er -scale 0.5 -tau 1 -alpha 0.5 -mode opt \
 	-block-size 256 -explain > "$ART/join-explain-block.txt"
 grep -Eq '^[[:space:]]*-1[[:space:]]+block' "$ART/join-explain-block.txt"
 
+echo "== chaos soak (simjoind + loadgen, failpoints armed, race-built)"
+# Out-of-process half of the chaos harness (the in-process half is
+# TestChaosSoak under -race above): boot a race-built resident service with
+# panics/errors injected at every layer, drive it with concurrent askers
+# sized to force shedding and degradation, gate on the envelope's contract
+# (exact tier accounting, zero transport errors, shed>0, degraded>0, client
+# P99 bounded), then SIGTERM and require a clean drain with the stats
+# artifact flushed.
+soaktmp=$(mktemp -d)
+go build -race -o "$soaktmp/simjoind" ./cmd/simjoind
+go build -o "$soaktmp/loadgen" ./cmd/loadgen
+SIMJOIN_FAILPOINTS='server.join=error#40,core.pair=panic#20,ged.compute=error#60' \
+	"$soaktmp/simjoind" -workload er -tau 2 -alpha 0.5 \
+	-addr 127.0.0.1:0 -addr-file "$soaktmp/addr.txt" \
+	-max-inflight 4 -max-queue 8 -request-timeout 5s -breaker-window 64 \
+	-stats-json "$ART/soak-stats.json" 2> "$ART/soak-server.log" &
+soakpid=$!
+for _ in $(seq 1 100); do
+	[ -s "$soaktmp/addr.txt" ] && break
+	sleep 0.1
+done
+test -s "$soaktmp/addr.txt"
+"$soaktmp/loadgen" -url "http://$(cat "$soaktmp/addr.txt")" \
+	-n "${SOAK_REQUESTS:-1500}" -workers 48 -timeout 15s \
+	-gate-shed -gate-degrade -gate-p99 8s -json "$ART/soak-client.json"
+kill -TERM "$soakpid"
+wait "$soakpid"
+# The flushed snapshot must record a clean drain and zero uncounted panics.
+grep -q '"cleanDrain": true' "$ART/soak-stats.json"
+grep -q '"server_panics_total": 0' "$ART/soak-stats.json"
+rm -rf "$soaktmp"
+
 echo "== fuzz smoke (20s per target)"
 go test -run '^$' -fuzz '^FuzzParseQuery$' -fuzztime 20s ./internal/sparql
 go test -run '^$' -fuzz '^FuzzParseTriples$' -fuzztime 20s ./internal/rdf
+go test -run '^$' -fuzz '^FuzzDecodeJoinRequest$' -fuzztime 20s ./internal/server
+go test -run '^$' -fuzz '^FuzzDecodeAskRequest$' -fuzztime 20s ./internal/server
 
 echo "== benchmark regression gate (vs BENCH_join.json, +25% ns/op, +10% allocs/op, ±5pp prune rate)"
 # bench.sh covers the join drivers (BenchmarkJoinER/IndexedER/TopK plus the
