@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fuzz ci bench bench-join clean
+.PHONY: all build test race vet fmt fuzz ci bench bench-join bench-shard clean
 
 all: build
 
@@ -44,6 +44,11 @@ bench:
 # machine-readable BENCH_join.json (see scripts/bench.sh for knobs).
 bench-join:
 	./scripts/bench.sh
+
+# Sharded vs single-engine join benchmarks, emitted as BENCH_shard.json
+# (set SHARD_MILESTONE to also measure the milestone workload fraction).
+bench-shard:
+	./scripts/bench_shard.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,112 @@
+package simjoin
+
+// Benchmarks for the sharded, signature-banded join (DESIGN.md §15): the
+// single-engine indexed path against the per-shard pipelines with their
+// cross-band dedup merge stage, on the template workload both paths return
+// identical results for. scripts/bench_shard.sh runs these and writes
+// BENCH_shard.json; scripts/benchgate gates the trajectory.
+//
+// BenchmarkShardMilestone is the 10^6 x 10^5 trajectory point. The full
+// workload is far beyond a routine CI budget on one core, so the bench is
+// env-gated: SHARD_MILESTONE selects the milestone fraction (e.g. 0.01 for
+// 10^4 x 10^3, 1 for the full run) and the bench skips when it is unset.
+// Throughput is additionally reported as pairs/s so runs at different
+// fractions stay comparable.
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+
+	"simjoin/internal/core"
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+	"simjoin/internal/workload"
+)
+
+// shardBenchOptions is the shared join configuration: one worker (the
+// speedup must come from banded candidate generation, not parallelism).
+func shardBenchOptions() core.Options {
+	opts := core.DefaultOptions()
+	opts.Tau = 1
+	opts.Alpha = 0.5
+	opts.Mode = core.ModeSimJ
+	opts.Workers = 1
+	opts.KeepMappings = false
+	return opts
+}
+
+// runShardBench times one configuration, reporting pairs/s alongside ns/op.
+func runShardBench(b *testing.B, d []*graph.Graph, u []*ugraph.Graph, opts core.Options) {
+	b.Helper()
+	totalPairs := int64(len(d)) * int64(len(u))
+	var results int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if opts.Shards > 1 {
+			var pairs []core.Pair
+			pairs, _, _, err = core.ShardedJoinStats(context.Background(), d, u, opts)
+			results = len(pairs)
+		} else {
+			idx := core.BuildIndex(d)
+			var pairs []core.Pair
+			pairs, _, err = core.JoinIndexed(idx, u, opts)
+			results = len(pairs)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(totalPairs)*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+	b.ReportMetric(float64(results), "results")
+}
+
+// BenchmarkShardedJoin compares the single indexed engine against the
+// sharded pipelines on the smoke-scale template workload (10^3 x 10^2).
+func BenchmarkShardedJoin(b *testing.B) {
+	d, u := workload.Scaled(workload.SmokeScaledConfig())
+	for _, bc := range []struct {
+		name          string
+		shards, block int
+	}{
+		{"single", 0, 0},
+		{"shards=2", 2, 0},
+		{"shards=8", 8, 0},
+		{"shards=8,block", 8, 64},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := shardBenchOptions()
+			opts.Shards = bc.shards
+			opts.Bands = 4
+			opts.BlockSize = bc.block
+			runShardBench(b, d, u, opts)
+		})
+	}
+}
+
+// BenchmarkShardMilestone is the trajectory bench behind BENCH_shard.json:
+// the milestone template workload at the fraction named by SHARD_MILESTONE.
+func BenchmarkShardMilestone(b *testing.B) {
+	frac := os.Getenv("SHARD_MILESTONE")
+	if frac == "" {
+		b.Skip("set SHARD_MILESTONE to a milestone fraction (e.g. 0.01, or 1 for the full 10^6 x 10^5 run)")
+	}
+	f, err := strconv.ParseFloat(frac, 64)
+	if err != nil || f <= 0 || f > 1 {
+		b.Fatalf("SHARD_MILESTONE=%q: want a fraction in (0, 1]", frac)
+	}
+	cfg := workload.MilestoneScaledConfig().WithScale(f)
+	d, u := workload.Scaled(cfg)
+	b.Logf("milestone fraction %v: |D|=%d |U|=%d", f, len(d), len(u))
+	b.Run("single", func(b *testing.B) {
+		runShardBench(b, d, u, shardBenchOptions())
+	})
+	b.Run("sharded=8", func(b *testing.B) {
+		opts := shardBenchOptions()
+		opts.Shards = 8
+		opts.Bands = 4
+		runShardBench(b, d, u, opts)
+	})
+}

@@ -40,6 +40,8 @@ func main() {
 		filters   = flag.String("filters", "", "comma-separated filter chain overriding the mode's default bound order, e.g. 'count,css,prob' (bounds: "+strings.Join(filter.BoundNames(), ", ")+")")
 		gn        = flag.Int("gn", 10, "possible-world group count (opt mode)")
 		blockSize = flag.Int("block-size", 0, "screen whole blocks of this many uncertain graphs with the SoA bit kernels before any per-pair bound (0 = scalar path)")
+		shards    = flag.Int("shards", 0, "partition both workload sides into this many banded shards, each its own join pipeline with a dedup merge stage (0/1 = single engine)")
+		bands     = flag.Int("bands", 4, "signature bands per shard key (with -shards; more bands smooth shard imbalance)")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		show      = flag.Int("show", 5, "matched pairs to print")
 		dump      = flag.String("dump", "", "save the generated QA workload to this directory and exit")
@@ -153,7 +155,7 @@ func main() {
 	// kills the process the default way (stop() restores default handling).
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *wl, *tau, *alpha, *mode, *filters, *gn, *blockSize, experiments.Scale(*scale), *show, obsCfg, robust); err != nil {
+	if err := run(ctx, *wl, *tau, *alpha, *mode, *filters, *gn, *blockSize, *shards, *bands, experiments.Scale(*scale), *show, obsCfg, robust); err != nil {
 		fmt.Fprintln(os.Stderr, "simjoin:", err)
 		os.Exit(1)
 	}
@@ -177,12 +179,14 @@ type obsConfig struct {
 	progress    time.Duration
 }
 
-func run(ctx context.Context, wl string, tau int, alpha float64, modeName, filters string, gn, blockSize int, scale experiments.Scale, show int, oc obsConfig, rc robustConfig) error {
+func run(ctx context.Context, wl string, tau int, alpha float64, modeName, filters string, gn, blockSize, shards, bands int, scale experiments.Scale, show int, oc obsConfig, rc robustConfig) error {
 	opts := core.DefaultOptions()
 	opts.Tau = tau
 	opts.Alpha = alpha
 	opts.GroupCount = gn
 	opts.BlockSize = blockSize
+	opts.Shards = shards
+	opts.Bands = bands
 	opts.Fallback = rc.fallback
 	opts.PairDeadline = rc.pairDeadline
 	opts.Watchdog = rc.watchdog
@@ -303,10 +307,26 @@ func run(ctx context.Context, wl string, tau int, alpha float64, modeName, filte
 		// head of the stage order.
 		chainDesc = fmt.Sprintf("block(%d),%s", blockSize, chainDesc)
 	}
+	if shards > 1 {
+		// Banded candidate generation runs ahead of everything else.
+		chainDesc = fmt.Sprintf("shard(%dx%d),%s", shards, bands, chainDesc)
+	}
 	fmt.Printf("joining |D|=%d certain graphs with |U|=%d uncertain graphs (tau=%d alpha=%v mode=%s filters=%s)\n",
 		len(d), len(u), opts.Tau, opts.Alpha, opts.Mode, chainDesc)
 	start := time.Now()
-	pairs, st, err := core.JoinContext(ctx, d, u, opts)
+	var (
+		pairs []core.Pair
+		st    core.Stats
+		per   []core.Stats
+		err   error
+	)
+	if shards > 1 {
+		// The sharded entry point also surfaces the per-shard stats the
+		// merge-stage balance table in -explain reports.
+		pairs, st, per, err = core.ShardedJoinStats(ctx, d, u, opts)
+	} else {
+		pairs, st, err = core.JoinContext(ctx, d, u, opts)
+	}
 	if err != nil {
 		// An interrupted run still flushes its artifacts — the partial
 		// event log, trace and stats are exactly what a post-mortem needs.
@@ -352,6 +372,10 @@ func run(ctx context.Context, wl string, tau int, alpha float64, modeName, filte
 	if oc.explain {
 		fmt.Println()
 		core.WriteExplain(os.Stdout, &st, reg.Snapshot())
+		if len(per) > 0 {
+			fmt.Println()
+			core.WriteShardTable(os.Stdout, per)
+		}
 	}
 	if err := flushArtifacts(oc, &st, reg, tr, opts.Events, eventsFile); err != nil {
 		return err

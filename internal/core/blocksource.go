@@ -102,6 +102,31 @@ func newBlockSource(src CandidateSource, blockSize int) *blockSource {
 
 func (s *blockSource) Queries() ([]*graph.Graph, []*filter.QSig) { return s.d, s.qsigs }
 
+// finishSource implements sourceFinisher. On the block path every skipped
+// pair was eliminated by the block screen (the screens subsume the index
+// prescreens, so IndexSkipped gains 0): mass-screen prunes are probabilistic,
+// the rest structural. Block-pruned pairs never reach joinPair, so they
+// appear exactly once — here — and never in a chain bound's PrunedBy or
+// event log.
+func (s *blockSource) finishSource(total *Stats, skipped int64) {
+	total.CSSPruned += skipped - s.prof.massPruned
+	total.ProbPruned += s.prof.massPruned
+	total.IndexSkipped += skipped - s.prof.pruned
+	if s.prof.pruned > 0 {
+		if total.PrunedBy == nil {
+			total.PrunedBy = make(map[string]int64)
+		}
+		total.PrunedBy[blockStageName] += s.prof.pruned
+	}
+	total.BoundProfile = mergeBoundProfile(total.BoundProfile, []BoundCost{{
+		Pos:    blockStagePos,
+		Bound:  blockStageName,
+		Evals:  s.prof.evals,
+		Prunes: s.prof.pruned,
+		Nanos:  s.prof.nanos,
+	}})
+}
+
 func (s *blockSource) TotalPairs() int64 { return int64(len(s.d)) * int64(len(s.u)) }
 
 // Feed screens every (query, block) combination and emits the survivors in

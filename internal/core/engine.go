@@ -69,6 +69,16 @@ func NewCrossSource(d []*graph.Graph, u []*ugraph.Graph) CandidateSource {
 	return newCrossSource(d, u)
 }
 
+// sourceFinisher lets a CandidateSource own the Stats attribution of the
+// pairs it skipped: after the workers drain, the engine hands the source the
+// run's Stats and the total skip count, and the source books them under the
+// right counters (the block stage splits structural from mass prunes, the
+// sharded source adds its band telemetry). Sources without the interface get
+// the default index-prescreen attribution.
+type sourceFinisher interface {
+	finishSource(total *Stats, skipped int64)
+}
+
 // testPairHook, when non-nil, is called by every engine worker after
 // processing a pair, with the worker's index. Tests install it to assert that
 // pair processing really fans out across the configured workers, and to
@@ -87,11 +97,9 @@ func joinEngine(ctx context.Context, src CandidateSource, opts Options) ([]Pair,
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	var blk *blockSource
 	if opts.BlockSize > 0 {
 		if b := newBlockSource(src, opts.BlockSize); b != nil {
 			src = b
-			blk = b
 		}
 	}
 	jo := newJoinObs(&opts)
@@ -180,31 +188,11 @@ func joinEngine(ctx context.Context, src CandidateSource, opts Options) ([]Pair,
 	wg.Wait()
 
 	total.Pairs += skipped
-	if blk != nil {
-		// On the block path every skipped pair was eliminated by the block
-		// screen (the screens subsume the index prescreens, so IndexSkipped
-		// is 0): mass-screen prunes are probabilistic, the rest structural.
-		// Block-pruned pairs never reach joinPair, so they appear exactly
-		// once — here — and never in a chain bound's PrunedBy or event log.
-		total.CSSPruned += skipped - blk.prof.massPruned
-		total.ProbPruned += blk.prof.massPruned
-		total.IndexSkipped = skipped - blk.prof.pruned
-		if blk.prof.pruned > 0 {
-			if total.PrunedBy == nil {
-				total.PrunedBy = make(map[string]int64)
-			}
-			total.PrunedBy[blockStageName] += blk.prof.pruned
-		}
-		total.BoundProfile = mergeBoundProfile(total.BoundProfile, []BoundCost{{
-			Pos:    blockStagePos,
-			Bound:  blockStageName,
-			Evals:  blk.prof.evals,
-			Prunes: blk.prof.pruned,
-			Nanos:  blk.prof.nanos,
-		}})
+	if f, ok := src.(sourceFinisher); ok {
+		f.finishSource(&total, skipped)
 	} else {
 		total.CSSPruned += skipped // prescreens are implied by the CSS stage
-		total.IndexSkipped = skipped
+		total.IndexSkipped += skipped
 	}
 	finishStats(&total, jo)
 	if err := ctx.Err(); err != nil {

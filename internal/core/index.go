@@ -67,22 +67,9 @@ func (idx *Index) Candidates(g *ugraph.Graph, tau int) []int {
 // across every uncertain graph instead of allocating |U| of them.
 func (idx *Index) candidates(g *ugraph.Graph, tau int, gSet *graph.LabelSet) []int {
 	gSize := g.Size()
-	// Union label set of g (any candidate label can realise a match).
-	gSet.Reset()
-	gWilds := 0
-	for v := 0; v < g.NumVertices(); v++ {
-		wild := false
-		for _, id := range g.LabelIDs(v) {
-			if id == graph.WildcardID {
-				wild = true
-			} else {
-				gSet.Add(id)
-			}
-		}
-		if wild {
-			gWilds++
-		}
-	}
+	// Union label set of g (any candidate label can realise a match), via the
+	// same kernel the shard planner uses.
+	gWilds := filter.UnionConcreteLabels(g, gSet)
 
 	var out []int
 	lo, hi := gSize-tau, gSize+tau
@@ -105,28 +92,11 @@ func (idx *Index) candidates(g *ugraph.Graph, tau int, gSet *graph.LabelSet) []i
 
 // labelScreen applies the cheap λV overlap bound: if even the most generous
 // overlap estimate leaves more than τ unmatched vertices on the larger side,
-// the LM (and hence CSS) bound would prune the pair anyway. Membership runs
-// on the dictionary-id bitsets: an O(words) Intersects probe skips the
-// per-label walk entirely for disjoint label sets.
+// the LM (and hence CSS) bound would prune the pair anyway. The arithmetic
+// lives in filter.LabelOverlapScreen, shared with the sharded candidate
+// generator so the two paths cannot drift apart.
 func (idx *Index) labelScreen(i int, g *ugraph.Graph, gSet *graph.LabelSet, gWilds, tau int) bool {
-	qs := idx.qsigs[i]
-	overlap := qs.VWilds // every wildcard q-vertex can match something
-	if qs.VSet.Intersects(gSet) {
-		for _, lc := range qs.VLabels {
-			if gSet.Has(lc.ID) {
-				overlap += int(lc.N)
-			}
-		}
-	}
-	overlap += gWilds // wildcard g-vertices absorb leftover q-vertices
-	maxV := qs.NumV
-	if g.NumVertices() > maxV {
-		maxV = g.NumVertices()
-	}
-	if overlap > maxV {
-		overlap = maxV
-	}
-	return maxV-overlap <= tau
+	return filter.LabelOverlapScreen(idx.qsigs[i], gSet, gWilds, g.NumVertices(), tau)
 }
 
 // JoinIndexed is Join using a prebuilt index over D. It returns exactly the
@@ -149,5 +119,13 @@ func (idx *Index) Source(u []*ugraph.Graph) CandidateSource {
 // plugged in: the source runs the prescreens and builds each uncertain
 // graph's filter signature once, then fans the candidate list out in batches.
 func JoinIndexedContext(ctx context.Context, idx *Index, u []*ugraph.Graph, opts Options) ([]Pair, Stats, error) {
+	if opts.Shards > 1 {
+		// The sharded generator applies the same prescreens the index does
+		// (both finish with filter.LabelOverlapScreen), so routing here keeps
+		// JoinIndexed's results and Stats bit-identical at any shard count.
+		// The index's query signatures are reused for the shard plan.
+		pairs, st, _, err := shardedJoin(ctx, idx.qsigs, idx.d, u, opts)
+		return pairs, st, err
+	}
 	return joinEngine(ctx, &indexSource{idx: idx, u: u}, opts)
 }

@@ -213,6 +213,8 @@ var statsCounterSpec = []struct {
 	{"simjoin_early_accepts_total", func(s *Stats) *int64 { return &s.EarlyAccepts }},
 	{"simjoin_early_rejects_total", func(s *Stats) *int64 { return &s.EarlyRejects }},
 	{"simjoin_index_skipped_total", func(s *Stats) *int64 { return &s.IndexSkipped }},
+	{"simjoin_band_probes_total", func(s *Stats) *int64 { return &s.BandProbes }},
+	{"simjoin_band_dupes_total", func(s *Stats) *int64 { return &s.BandDupes }},
 	{"simjoin_sampled_pairs_total", func(s *Stats) *int64 { return &s.SampledPairs }},
 	{"simjoin_exact_pairs_total", func(s *Stats) *int64 { return &s.ExactPairs }},
 	{"simjoin_approx_pairs_total", func(s *Stats) *int64 { return &s.ApproxPairs }},

@@ -275,6 +275,26 @@ func WriteBoundTable(w io.Writer, prof []BoundCost) {
 	fmt.Fprintf(w, "effective-cost order (cheapest pruning first): %s\n", EffectiveCostOrder(prof))
 }
 
+// WriteShardTable renders the merge stage's per-shard balance view from the
+// per-shard Stats of a sharded join (ShardedJoinStats): each shard's pair
+// share, candidates, results and band-dedup telemetry, plus the imbalance
+// factor (max/mean of per-shard pairs — the "one size does not fit all"
+// number to watch when tuning -shards).
+func WriteShardTable(w io.Writer, per []Stats) {
+	if len(per) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "per-shard balance (merge stage):")
+	fmt.Fprintf(w, "  %-6s %12s %12s %12s %12s %12s\n",
+		"shard", "pairs", "candidates", "results", "band-probes", "band-dupes")
+	for s := range per {
+		fmt.Fprintf(w, "  %-6d %12d %12d %12d %12d %12d\n",
+			s, per[s].Pairs, per[s].Candidates, per[s].Results,
+			per[s].BandProbes, per[s].BandDupes)
+	}
+	fmt.Fprintf(w, "shard imbalance (max/mean pairs): %.3f\n", ShardImbalance(per))
+}
+
 // effectiveCostRanks assigns each profile entry its 1-based rank under
 // ascending effective cost (ties broken by chain position).
 func effectiveCostRanks(prof []BoundCost) []int {

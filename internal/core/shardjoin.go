@@ -1,0 +1,379 @@
+package core
+
+// The sharded join driver.
+//
+// When Options.Shards > 1 both workload sides are partitioned by banded
+// MinHash signatures over their concrete-label sets (internal/shard) and the
+// join runs as Shards independent pipeline engines — one ShardedSource each,
+// with its own worker pool — followed by a merge stage folding the per-shard
+// results and Stats. Shard s owns the diagonal partition cells
+// {(a, b) : (a + b) mod Shards = s}: every (query-partition,
+// uncertain-partition) cell belongs to exactly one shard, so every pair is
+// generated exactly once and the merged Stats partition the cross product
+// exactly like the unsharded run.
+//
+// Inside a cell the candidate generator is shard.Plan.Candidates — the
+// band-probe + SoA residual sweep whose survivors are bit-identical to
+// core.Index's prescreens — so the sharded join returns exactly JoinIndexed's
+// pairs and Stats at any shard count. With Options.BlockSize set, each
+// uncertain partition is packed into its own filter.GBlockSet and the cells
+// run block screening instead, matching the unsharded block path pair for
+// pair (the block screens are per-graph, independent of block composition).
+
+import (
+	"context"
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"simjoin/internal/filter"
+	"simjoin/internal/graph"
+	"simjoin/internal/obs"
+	"simjoin/internal/shard"
+	"simjoin/internal/ugraph"
+)
+
+// ShardedSource is one shard's CandidateSource: it feeds the pairs of the
+// shard's diagonal cells, prescreened by the plan's banded candidate kernel
+// (or, in block mode, by per-partition block screens). Sources of one join
+// share the plan, the signature caches and the block sets; each owns its
+// mutable scratch, so every source must be fed by its own engine.
+type ShardedSource struct {
+	plan    *shard.Plan
+	shardID int
+	d       []*graph.Graph
+	qsigs   []*filter.QSig
+	u       []*ugraph.Graph
+	gsigs   []*filter.GSig
+	// ublocks, non-nil in block mode, holds one GBlockSet per uncertain
+	// partition (indexed like plan.UParts; nil entries for empty partitions).
+	ublocks []*filter.GBlockSet
+
+	sc            shard.Scratch
+	probes, dupes int64
+	prof          blockProf // block-mode screening profile
+}
+
+// NewShardedSources partitions (d, u) into a shard plan and returns one
+// CandidateSource per shard for use with JoinWith; blockSize > 0 packs each
+// uncertain partition into SoA blocks and switches the sources to block
+// screening. ShardedJoinStats is the assembled driver over these sources.
+func NewShardedSources(d []*graph.Graph, u []*ugraph.Graph, shards, bands, blockSize int) []*ShardedSource {
+	return buildShardedSources(nil, d, u, shards, bands, blockSize)
+}
+
+// buildShardedSources is NewShardedSources reusing prebuilt query signatures
+// when the caller (an Index-routed join) already has them; qsigs may be nil.
+func buildShardedSources(qsigs []*filter.QSig, d []*graph.Graph, u []*ugraph.Graph, shards, bands, blockSize int) []*ShardedSource {
+	if qsigs == nil {
+		qsigs = filter.NewQSigs(d)
+	}
+	pl := shard.Build(qsigs, u, shards, bands)
+	gsigs := filter.NewGSigs(u)
+	var ublocks []*filter.GBlockSet
+	if blockSize > 0 {
+		ublocks = make([]*filter.GBlockSet, pl.Shards)
+		for b, part := range pl.UParts {
+			if len(part) == 0 {
+				continue
+			}
+			sub := make([]*ugraph.Graph, len(part))
+			for i, gi := range part {
+				sub[i] = u[gi]
+			}
+			ublocks[b] = filter.NewGBlockSet(sub, blockSize)
+		}
+	}
+	srcs := make([]*ShardedSource, pl.Shards)
+	for s := range srcs {
+		srcs[s] = &ShardedSource{
+			plan:    pl,
+			shardID: s,
+			d:       d,
+			qsigs:   qsigs,
+			u:       u,
+			gsigs:   gsigs,
+			ublocks: ublocks,
+		}
+	}
+	return srcs
+}
+
+func (s *ShardedSource) Queries() ([]*graph.Graph, []*filter.QSig) { return s.d, s.qsigs }
+
+// cell returns the query partition paired with uncertain partition b on this
+// shard: the diagonal a = (shardID − b) mod Shards.
+func (s *ShardedSource) cell(b int) int {
+	a := s.shardID - b
+	if a < 0 {
+		a += s.plan.Shards
+	}
+	return a
+}
+
+// TotalPairs is the shard's share of the cross product: the sum of its
+// diagonal cells' areas. Summed over all shards it is |D| × |U|.
+func (s *ShardedSource) TotalPairs() int64 {
+	var n int64
+	for b := range s.plan.UParts {
+		n += int64(len(s.plan.UParts[b])) * int64(s.plan.Parts[s.cell(b)].Len())
+	}
+	return n
+}
+
+func (s *ShardedSource) Feed(ctx context.Context, opts *Options, emit func(Batch) bool, skip func(int64)) {
+	if s.ublocks != nil {
+		s.feedBlocks(ctx, opts, emit, skip)
+		return
+	}
+	for b := range s.plan.UParts {
+		a := s.cell(b)
+		pt := s.plan.Parts[a]
+		if pt.Len() == 0 {
+			continue
+		}
+		for _, gi32 := range s.plan.UParts[b] {
+			if ctx.Err() != nil {
+				return
+			}
+			gi := int(gi32)
+			cands, probes, dupes := s.plan.Candidates(a, gi, opts.Tau, &s.sc)
+			s.probes += probes
+			s.dupes += dupes
+			skip(int64(pt.Len() - len(cands)))
+			if len(cands) == 0 {
+				continue
+			}
+			// Fresh per graph: batches alias the slice and workers read it
+			// after Feed has reused the plan's candidate scratch.
+			qis := make([]int, len(cands))
+			for i, id := range cands {
+				qis[i] = int(id)
+			}
+			for start := 0; start < len(qis); start += sourceChunk {
+				end := start + sourceChunk
+				if end > len(qis) {
+					end = len(qis)
+				}
+				if !emit(Batch{GI: gi, G: s.u[gi], GS: s.gsigs[gi], QIs: qis[start:end]}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// feedBlocks is the block-mode feed: per diagonal cell, the uncertain
+// partition's blocks are screened against the cell's queries exactly like
+// blockSource.Feed, with block-local graph indices translated back through
+// the partition's id list. Block screening decisions are per-graph — a
+// graph's screen outcome is independent of which block holds it — so the
+// emitted pair set and the per-pair attribution match the unsharded block
+// path.
+func (s *ShardedSource) feedBlocks(ctx context.Context, opts *Options, emit func(Batch) bool, skip func(int64)) {
+	profiled := opts.Obs != nil || opts.Events != nil
+	var sc filter.BlockScratch
+	for b := range s.plan.UParts {
+		set := s.ublocks[b]
+		pt := s.plan.Parts[s.cell(b)]
+		if set == nil || pt.Len() == 0 {
+			continue
+		}
+		for bi := 0; bi < set.NumBlocks(); bi++ {
+			if ctx.Err() != nil {
+				return
+			}
+			blk := set.Block(bi)
+			n := blk.Len()
+			lists := make([][]int, n) // aliased by emitted batches: fresh per block
+			var bp blockProf
+			for _, qid := range pt.IDs {
+				if ctx.Err() != nil {
+					return
+				}
+				qi := int(qid)
+				var t0 time.Time
+				if profiled {
+					t0 = time.Now()
+				}
+				surv, massPruned := blk.Screen(s.qsigs[qi], opts.Tau, opts.Alpha, &sc)
+				if profiled {
+					bp.nanos += int64(time.Since(t0))
+				}
+				bp.evals += int64(n)
+				bp.massPruned += int64(massPruned)
+				bp.pruned += int64(n - surv)
+				if surv == 0 {
+					continue
+				}
+				for w, word := range sc.Bitmap {
+					for ; word != 0; word &= word - 1 {
+						i := w<<6 + bits.TrailingZeros64(word)
+						lists[i] = append(lists[i], qi)
+					}
+				}
+			}
+			s.prof.evals += bp.evals
+			s.prof.pruned += bp.pruned
+			s.prof.massPruned += bp.massPruned
+			s.prof.nanos += bp.nanos
+			skip(bp.pruned)
+			for i, qis := range lists {
+				if len(qis) == 0 {
+					continue
+				}
+				gi := int(s.plan.UParts[b][blk.Base()+i])
+				gs := s.gsigs[gi]
+				for start := 0; start < len(qis); start += sourceChunk {
+					end := start + sourceChunk
+					if end > len(qis) {
+						end = len(qis)
+					}
+					if !emit(Batch{GI: gi, G: s.u[gi], GS: gs, QIs: qis[start:end]}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// finishSource implements sourceFinisher with the shard's attribution: band
+// telemetry always; then either the index-prescreen attribution (scalar
+// candidate generation is exactly the index's screens) or the block stage's
+// structural/mass split, matching blockSource.finishSource.
+func (s *ShardedSource) finishSource(total *Stats, skipped int64) {
+	total.BandProbes += s.probes
+	total.BandDupes += s.dupes
+	if s.ublocks == nil {
+		total.CSSPruned += skipped
+		total.IndexSkipped += skipped
+		return
+	}
+	total.CSSPruned += skipped - s.prof.massPruned
+	total.ProbPruned += s.prof.massPruned
+	total.IndexSkipped += skipped - s.prof.pruned
+	if s.prof.pruned > 0 {
+		if total.PrunedBy == nil {
+			total.PrunedBy = make(map[string]int64)
+		}
+		total.PrunedBy[blockStageName] += s.prof.pruned
+	}
+	total.BoundProfile = mergeBoundProfile(total.BoundProfile, []BoundCost{{
+		Pos:    blockStagePos,
+		Bound:  blockStageName,
+		Evals:  s.prof.evals,
+		Prunes: s.prof.pruned,
+		Nanos:  s.prof.nanos,
+	}})
+}
+
+// ShardedJoinStats is JoinContext with sharding forced on, additionally
+// returning each shard's Stats (indexed by shard id) for imbalance
+// diagnostics — WriteShardTable renders them. Shards ≤ 1 still runs the
+// sharded driver with one shard.
+func ShardedJoinStats(ctx context.Context, d []*graph.Graph, u []*ugraph.Graph, opts Options) ([]Pair, Stats, []Stats, error) {
+	return shardedJoin(ctx, nil, d, u, opts)
+}
+
+// shardedJoin is the merge-stage driver: it builds the shard plan, runs one
+// pipeline engine per shard concurrently, folds the per-shard Stats with
+// Stats.Merge, re-sorts the concatenated results by (Q, G), and publishes the
+// per-shard observability (labeled pair counters and the imbalance gauge).
+func shardedJoin(ctx context.Context, qsigs []*filter.QSig, d []*graph.Graph, u []*ugraph.Graph, opts Options) ([]Pair, Stats, []Stats, error) {
+	if err := opts.normalise(); err != nil {
+		return nil, Stats{}, nil, err
+	}
+	if _, err := opts.chain(); err != nil { // fail before spawning engines
+		return nil, Stats{}, nil, err
+	}
+	srcs := buildShardedSources(qsigs, d, u, opts.Shards, opts.Bands, opts.BlockSize)
+
+	// Each shard runs the standard engine on a slice of the worker budget
+	// (at least one): the per-shard engines publish their own Stats into
+	// Options.Obs (registry counters are cumulative, so the shard
+	// contributions sum to the merged totals), and the shared progress total
+	// would be wrong per shard, so sub-runs keep the watchdog but drop the
+	// progress reporter.
+	sub := opts
+	sub.Shards, sub.Bands = 0, 0
+	sub.ProgressEvery = 0
+	if sub.Workers = opts.Workers / len(srcs); sub.Workers < 1 {
+		sub.Workers = 1
+	}
+
+	results := make([][]Pair, len(srcs))
+	per := make([]Stats, len(srcs))
+	errs := make([]error, len(srcs))
+	var wg sync.WaitGroup
+	for i, src := range srcs {
+		wg.Add(1)
+		go func(i int, src *ShardedSource) {
+			defer wg.Done()
+			results[i], per[i], errs[i] = joinEngine(ctx, src, sub)
+		}(i, src)
+	}
+	wg.Wait()
+
+	var total Stats
+	var pairs []Pair
+	for i := range per {
+		total.Merge(&per[i])
+		pairs = append(pairs, results[i]...)
+	}
+	publishShardObs(opts.Obs, per)
+	for _, err := range errs {
+		if err != nil {
+			return nil, total, per, err
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Q != pairs[j].Q {
+			return pairs[i].Q < pairs[j].Q
+		}
+		return pairs[i].G < pairs[j].G
+	})
+	return pairs, total, per, nil
+}
+
+// publishShardObs records the merge stage's per-shard view: one labeled pair
+// counter per shard and the shard-imbalance gauge (max over mean of per-shard
+// pair counts; 1.0 is a perfectly balanced plan).
+func publishShardObs(reg *obs.Registry, per []Stats) {
+	if reg == nil || len(per) == 0 {
+		return
+	}
+	var sum, max int64
+	for s := range per {
+		n := per[s].Pairs
+		reg.Counter(obs.Name("simjoin_shard_pairs_total", "shard", strconv.Itoa(s))).Add(n)
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if mean := float64(sum) / float64(len(per)); mean > 0 {
+		reg.Gauge("simjoin_shard_imbalance").Set(float64(max) / mean)
+	}
+}
+
+// ShardImbalance is the merge stage's balance diagnostic over per-shard
+// Stats: max over mean of the per-shard pair counts (1.0 = perfectly even).
+func ShardImbalance(per []Stats) float64 {
+	if len(per) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for s := range per {
+		if per[s].Pairs > max {
+			max = per[s].Pairs
+		}
+		sum += per[s].Pairs
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(per)) / float64(sum)
+}

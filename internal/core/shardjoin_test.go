@@ -1,0 +1,449 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"simjoin/internal/fault"
+	"simjoin/internal/graph"
+	"simjoin/internal/obs"
+	"simjoin/internal/ugraph"
+)
+
+// Tests of the sharded join driver: at any shard count the sharded pipeline
+// must return byte-identical result sets to the unsharded JoinIndexed path,
+// the merged per-shard Stats must partition the cross product exactly like
+// the unsharded run, cross-band candidate duplicates must be generated
+// exactly once, and faults must stay contained to the shard (and pair) that
+// hit them.
+
+// normShardStats strips the fields that legitimately differ between the
+// sharded and unsharded pipelines — wall-clock accumulators and the sharded
+// generator's band telemetry — leaving every pair-partition counter, the
+// PrunedBy map and the (de-timed) bound profile for exact comparison.
+func normShardStats(s Stats) Stats {
+	s.PruneTime, s.VerifyTime = 0, 0
+	s.BandProbes, s.BandDupes = 0, 0
+	if s.BoundProfile != nil {
+		prof := make([]BoundCost, len(s.BoundProfile))
+		copy(prof, s.BoundProfile)
+		for i := range prof {
+			prof[i].Nanos = 0
+		}
+		s.BoundProfile = prof
+	}
+	if len(s.PrunedBy) == 0 {
+		s.PrunedBy = nil
+	}
+	if len(s.Quarantined) == 0 {
+		s.Quarantined = nil
+	}
+	return s
+}
+
+// TestShardedJoinEquivalenceProperty is the hard requirement of the sharded
+// refactor: across shard counts, band counts and both feed modes (scalar and
+// block), results are bit-identical to the unsharded JoinIndexed run and the
+// merged Stats agree counter for counter (timing excluded). Run under -race
+// -shuffle=on this also exercises the per-shard engines' concurrency.
+func TestShardedJoinEquivalenceProperty(t *testing.T) {
+	for seed := int64(300); seed < 303; seed++ {
+		d, u := smallWorkload(seed, 14, 12)
+		if seed%2 == 0 {
+			d, u = subNormalWorkload(seed, 14, 12)
+		}
+		idx := BuildIndex(d)
+		opts := Options{
+			Tau:        1 + int(seed%2),
+			Alpha:      0.4,
+			Mode:       ModeSimJOpt,
+			GroupCount: 4,
+			Workers:    3,
+		}
+		want, ws, err := JoinIndexed(idx, u, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantN := normShardStats(ws)
+		for _, shards := range []int{1, 2, 8} {
+			for _, blockSize := range []int{0, 64} {
+				sopts := opts
+				sopts.Shards = shards
+				sopts.BlockSize = blockSize
+				got, st, per, err := ShardedJoinStats(context.Background(), d, u, sopts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctxt := fmt.Sprintf("seed=%d shards=%d block=%d", seed, shards, blockSize)
+				assertSamePairs(t, ctxt, got, want)
+				if len(per) != shards {
+					t.Fatalf("%s: %d per-shard stats", ctxt, len(per))
+				}
+				// The block path attributes prescreen prunes to the block stage
+				// instead of IndexSkipped, exactly like the unsharded block
+				// path; compare against that baseline instead.
+				base := wantN
+				if blockSize > 0 {
+					bopts := opts
+					bopts.BlockSize = blockSize
+					_, bws, err := JoinIndexed(idx, u, bopts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					base = normShardStats(bws)
+				}
+				if gotN := normShardStats(st); !reflect.DeepEqual(gotN, base) {
+					t.Fatalf("%s: merged stats diverged\n got %+v\nwant %+v", ctxt, gotN, base)
+				}
+				// The per-shard stats partition the merged totals exactly.
+				var refold Stats
+				for i := range per {
+					refold.Merge(&per[i])
+				}
+				if !reflect.DeepEqual(normShardStats(refold), normShardStats(st)) {
+					t.Fatalf("%s: per-shard stats do not refold to the merged stats", ctxt)
+				}
+				if shards > 1 && blockSize == 0 && st.BandProbes == 0 {
+					t.Fatalf("%s: sharded scalar run recorded no band probes", ctxt)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedJoinDegeneratesAtOneShard pins the -shards 1 contract: both the
+// routing in JoinContext/JoinIndexedContext (Shards ≤ 1 never enters the
+// sharded driver) and the one-shard sharded driver itself return byte-
+// identical results and partition-identical stats to the single-engine path.
+func TestShardedJoinDegeneratesAtOneShard(t *testing.T) {
+	d, u := smallWorkload(42, 10, 9)
+	idx := BuildIndex(d)
+	opts := DefaultOptions()
+	opts.Alpha = 0.5
+	opts.Workers = 2
+	want, ws, err := JoinIndexed(idx, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	one := opts
+	one.Shards = 1
+	got, st, err := JoinIndexed(idx, u, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePairs(t, "shards=1 routing", got, want)
+	if !reflect.DeepEqual(normShardStats(st), normShardStats(ws)) {
+		t.Fatalf("shards=1 stats diverged: %+v vs %+v", st, ws)
+	}
+
+	got, st, per, err := ShardedJoinStats(context.Background(), d, u, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePairs(t, "one-shard driver", got, want)
+	if len(per) != 1 {
+		t.Fatalf("one-shard driver returned %d shard stats", len(per))
+	}
+	if !reflect.DeepEqual(normShardStats(st), normShardStats(ws)) {
+		t.Fatalf("one-shard driver stats diverged: %+v vs %+v", st, ws)
+	}
+}
+
+// TestShardedJoinMoreShardsThanWorkload pins the degenerate end: far more
+// shards than graphs on either side must neither panic nor skew the stats —
+// empty partitions contribute empty shard runs and the merged accounting
+// still partitions the cross product exactly.
+func TestShardedJoinMoreShardsThanWorkload(t *testing.T) {
+	d, u := smallWorkload(7, 6, 5)
+	idx := BuildIndex(d)
+	opts := DefaultOptions()
+	opts.Alpha = 0.5
+	opts.Workers = 2
+	want, ws, err := JoinIndexed(idx, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sopts := opts
+	sopts.Shards = 97
+	got, st, per, err := ShardedJoinStats(context.Background(), d, u, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePairs(t, "shards=97", got, want)
+	if len(per) != 97 {
+		t.Fatalf("got %d shard stats, want 97", len(per))
+	}
+	if st.Pairs != int64(len(d))*int64(len(u)) {
+		t.Fatalf("merged Pairs = %d, want %d", st.Pairs, len(d)*len(u))
+	}
+	if !reflect.DeepEqual(normShardStats(st), normShardStats(ws)) {
+		t.Fatalf("merged stats diverged: %+v vs %+v", st, ws)
+	}
+	empty := 0
+	for i := range per {
+		if per[i].Pairs == 0 {
+			empty++
+		}
+	}
+	if empty == 0 {
+		t.Fatal("97 shards over a 6x5 workload left no shard empty")
+	}
+	if im := ShardImbalance(per); im <= 1 {
+		t.Fatalf("imbalance = %v over mostly-empty shards, want > 1", im)
+	}
+}
+
+// TestStatsMergeOrderIndependent pins the satellite contract on the exported
+// Stats.Merge: folding per-shard stats in any order — including stats with
+// quarantine records, PrunedBy maps and bound profiles — yields the same
+// aggregate, with a deterministic representation (sorted quarantine log,
+// position-sorted profile).
+func TestStatsMergeOrderIndependent(t *testing.T) {
+	d, u := smallWorkload(19, 12, 10)
+	sopts := DefaultOptions()
+	sopts.Alpha = 0.5
+	sopts.Workers = 2
+	sopts.Shards = 8
+	_, _, per, err := ShardedJoinStats(context.Background(), d, u, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic extras exercise the fields a clean join leaves empty.
+	per = append(per,
+		Stats{Pairs: 3, QuarantinedPairs: 2, PrunedBy: map[string]int64{"css": 2},
+			Quarantined: []QuarantineRecord{{Q: 9, G: 1}, {Q: 2, G: 5}}},
+		Stats{Pairs: 1, QuarantinedPairs: 1, PrunedBy: map[string]int64{"prob": 1},
+			Quarantined: []QuarantineRecord{{Q: 2, G: 4}}, Cancelled: true},
+	)
+	var want Stats
+	for i := range per {
+		want.Merge(&per[i])
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(len(per))
+		var got Stats
+		for _, i := range perm {
+			got.Merge(&per[i])
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("fold order %v diverged:\n got %+v\nwant %+v", perm, got, want)
+		}
+	}
+	for i := 1; i < len(want.Quarantined); i++ {
+		a, b := want.Quarantined[i-1], want.Quarantined[i]
+		if a.Q > b.Q || (a.Q == b.Q && a.G > b.G) {
+			t.Fatalf("merged quarantine log not sorted: %+v", want.Quarantined)
+		}
+	}
+	if !want.Cancelled {
+		t.Fatal("Cancelled flag lost in merge")
+	}
+}
+
+// collidingWorkload builds nd queries and nu uncertain graphs sharing one
+// label set {x, y}: every band key collides for every pair, the worst case
+// for the cross-band merge-dedup stage.
+func collidingWorkload(nd, nu int) ([]*graph.Graph, []*ugraph.Graph) {
+	d := make([]*graph.Graph, nd)
+	for i := range d {
+		g := graph.New(3)
+		g.AddVertex("x")
+		g.AddVertex("y")
+		g.AddVertex("x")
+		g.MustAddEdge(0, 1, "e")
+		if i%2 == 0 {
+			g.MustAddEdge(1, 2, "e")
+		}
+		d[i] = g
+	}
+	u := make([]*ugraph.Graph, nu)
+	for j := range u {
+		g := ugraph.New(3)
+		g.AddVertex(ugraph.Label{Name: "x", P: 1})
+		g.AddVertex(ugraph.Label{Name: "y", P: 0.7}, ugraph.Label{Name: "x", P: 0.3})
+		g.AddVertex(ugraph.Label{Name: "y", P: 1})
+		g.MustAddEdge(0, 1, "e")
+		if j%2 == 0 {
+			g.MustAddEdge(1, 2, "e")
+		}
+		u[j] = g
+	}
+	return d, u
+}
+
+// TestShardedCrossBandDedup crafts a workload where every pair collides in
+// every band and checks the merge-dedup invariants end to end: the probe and
+// duplicate counts are exactly predictable, every candidate pair is verified
+// exactly once (no duplicate results, candidate partition intact), and the
+// result set still matches the unsharded path.
+func TestShardedCrossBandDedup(t *testing.T) {
+	d, u := collidingWorkload(12, 6)
+	idx := BuildIndex(d)
+	opts := DefaultOptions()
+	opts.Tau = 2
+	opts.Alpha = 0.3
+	opts.Workers = 2
+	want, _, err := JoinIndexed(idx, u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bands = 4
+	sopts := opts
+	sopts.Shards = 3
+	sopts.Bands = bands
+	got, st, _, err := ShardedJoinStats(context.Background(), d, u, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePairs(t, "all-bands-collide", got, want)
+	seen := make(map[[2]int]bool)
+	for _, p := range got {
+		k := [2]int{p.Q, p.G}
+		if seen[k] {
+			t.Fatalf("pair (%d,%d) reported twice", p.Q, p.G)
+		}
+		seen[k] = true
+	}
+	// Identical label sets put every query in one partition and every graph's
+	// band keys into every bucket: bands probes per (pair), all but the first
+	// suppressed as duplicates.
+	if wantProbes := int64(bands * len(d) * len(u)); st.BandProbes != wantProbes {
+		t.Fatalf("BandProbes = %d, want %d", st.BandProbes, wantProbes)
+	}
+	if wantDupes := int64((bands - 1) * len(d) * len(u)); st.BandDupes != wantDupes {
+		t.Fatalf("BandDupes = %d, want %d", st.BandDupes, wantDupes)
+	}
+	if st.Candidates != st.ExactPairs+st.SampledPairs+st.ApproxPairs+st.SkippedPairs {
+		t.Fatalf("candidate partition broken: %+v", st)
+	}
+	if st.CSSPruned+st.ProbPruned+st.Candidates != st.Pairs {
+		t.Fatalf("pair partition broken: %+v", st)
+	}
+	if st.QuarantinedPairs != 0 {
+		t.Fatalf("clean run quarantined %d pairs", st.QuarantinedPairs)
+	}
+}
+
+// TestShardedFaultContainment arms the per-pair failpoint inside a sharded
+// join: the panic must stay contained to the pair (and hence to the shard
+// processing it) — the join completes, exactly the injected pair is
+// quarantined, and every other result matches the fault-free baseline.
+func TestShardedFaultContainment(t *testing.T) {
+	d, u := smallWorkload(23, 10, 9)
+	opts := DefaultOptions()
+	opts.Alpha = 0.4
+	opts.Workers = 2
+	opts.Shards = 4
+	base, _, err := Join(d, u, Options{Tau: opts.Tau, Alpha: opts.Alpha, Mode: opts.Mode,
+		GroupCount: opts.GroupCount, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 {
+		t.Fatal("workload produced no results to inject against")
+	}
+	target := base[0]
+
+	defer fault.Reset()
+	if err := fault.Enable(fmt.Sprintf("core.pair=panic@%d/%d", target.Q, target.G)); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := Join(d, u, opts)
+	if err != nil {
+		t.Fatalf("sharded join failed under injection: %v", err)
+	}
+	if st.QuarantinedPairs != 1 || len(st.Quarantined) != 1 {
+		t.Fatalf("quarantine count: %+v", st.Quarantined)
+	}
+	if q := st.Quarantined[0]; q.Q != target.Q || q.G != target.G {
+		t.Fatalf("quarantined (%d,%d), injected (%d,%d)", q.Q, q.G, target.Q, target.G)
+	}
+	for _, p := range got {
+		if p.Q == target.Q && p.G == target.G {
+			t.Fatal("injected pair still in the results")
+		}
+	}
+	if len(got) != len(base)-1 {
+		t.Fatalf("got %d results under injection, want %d", len(got), len(base)-1)
+	}
+}
+
+// TestShardedResidentMatchesResident pins the resident seam: a sharded
+// resident's routed feed returns byte-identical delta-join results and stats
+// to the unsharded resident, and publishes its per-shard routing counters.
+func TestShardedResidentMatchesResident(t *testing.T) {
+	d, u := smallWorkload(31, 5, 20)
+	opts := DefaultOptions()
+	opts.Alpha = 0.5
+	opts.Workers = 2
+
+	plain := NewResident(u)
+	want, ws, err := JoinWith(context.Background(), NewStreamSource(plain, d), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sharded := NewShardedResident(u, 4, 4)
+	if sharded.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", sharded.Shards())
+	}
+	reg := obs.New()
+	sopts := opts
+	sopts.Obs = reg
+	got, st, err := JoinWith(context.Background(), NewStreamSource(sharded, d), sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePairs(t, "sharded resident", got, want)
+	if !reflect.DeepEqual(normShardStats(st), normShardStats(ws)) {
+		t.Fatalf("sharded resident stats diverged:\n got %+v\nwant %+v", st, ws)
+	}
+
+	var routed int64
+	for name, v := range reg.Snapshot().Counters {
+		if base, _ := obs.ParseName(name); base == "simjoin_shard_pairs_total" {
+			routed += v
+		}
+	}
+	if wantPairs := int64(len(d)) * int64(len(u)); routed != wantPairs {
+		t.Fatalf("routed shard counters sum to %d, want %d", routed, wantPairs)
+	}
+
+	// Block mode on the sharded resident keeps the cached whole-side block
+	// set; results must stay identical.
+	bopts := opts
+	bopts.BlockSize = 8
+	gotB, _, err := JoinWith(context.Background(), NewStreamSource(sharded, d), bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePairs(t, "sharded resident block", gotB, want)
+}
+
+// TestShardedOptionsValidation pins normalise's handling of the new knobs.
+func TestShardedOptionsValidation(t *testing.T) {
+	d, u := smallWorkload(6, 2, 2)
+	opts := DefaultOptions()
+	opts.Shards = -1
+	if _, _, err := Join(d, u, opts); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+	opts = DefaultOptions()
+	opts.Bands = -2
+	if _, _, err := Join(d, u, opts); err == nil {
+		t.Fatal("negative Bands accepted")
+	}
+	opts = DefaultOptions()
+	opts.Shards = 2
+	if err := opts.normalise(); err != nil {
+		t.Fatal(err)
+	}
+	if opts.Bands != 4 {
+		t.Fatalf("Bands defaulted to %d with Shards=2, want 4", opts.Bands)
+	}
+}

@@ -127,6 +127,21 @@ type Options struct {
 	// JoinTopK keep their own feeding logic).
 	BlockSize int
 
+	// Shards, when > 1, partitions both workload sides by banded MinHash
+	// signatures over their concrete-label sets and runs one independent join
+	// pipeline per shard (internal/shard, DESIGN.md §15): shard s owns the
+	// diagonal partition cells {(a, b) : (a + b) mod Shards = s}, so every
+	// pair is generated by exactly one shard, and a merge stage folds the
+	// per-shard results and Stats. The sharded candidate generator applies
+	// the index prescreens (exactly — both paths share
+	// filter.LabelOverlapScreen), so results and Stats are bit-identical to
+	// JoinIndexed at any shard count. 0 and 1 keep the single-engine path.
+	Shards int
+	// Bands is the number of MinHash bands used for shard routing and for the
+	// in-shard collision tables; 0 defaults to 4 when Shards > 1. More bands
+	// spread ownership more evenly at the cost of extra probes per pair.
+	Bands int
+
 	// FilterChain, when non-empty, replaces the Mode-derived pruning stages
 	// with an explicit ordered bound chain (see filter.ParseChain and the
 	// filter registry): bounds run left to right, each may prune the pair,
@@ -178,6 +193,15 @@ func (o *Options) normalise() error {
 	}
 	if o.Alpha <= 0 || o.Alpha > 1 {
 		return fmt.Errorf("core: alpha %v outside (0,1]", o.Alpha)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("core: negative shards %d", o.Shards)
+	}
+	if o.Bands < 0 {
+		return fmt.Errorf("core: negative bands %d", o.Bands)
+	}
+	if o.Shards > 1 && o.Bands == 0 {
+		o.Bands = 4
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -307,6 +331,15 @@ type Stats struct {
 	// the block path (Options.BlockSize > 0), whose screens subsume the
 	// prescreens and attribute their prunes to PrunedBy["block"] instead.
 	IndexSkipped int64
+	// BandProbes counts band-table bucket entries the sharded candidate
+	// generator inspected, and BandDupes the cross-band duplicates its merge
+	// stage suppressed (a pair colliding in k bands is screened once and
+	// counted k−1 times here). Both are 0 on unsharded runs and on the
+	// sharded block path, which screens whole blocks instead of probing band
+	// tables. Neither participates in the pair-partition identities — they
+	// are pure candidate-generation telemetry.
+	BandProbes   int64
+	BandDupes    int64
 	SampledPairs int64 // pairs decided by the Monte Carlo sampling rung
 	ExactPairs   int64 // pairs decided by exact possible-world enumeration
 	ApproxPairs  int64 // pairs decided with approximate-bound assistance
@@ -371,6 +404,8 @@ func (s *Stats) add(o *Stats) {
 	s.EarlyAccepts += o.EarlyAccepts
 	s.EarlyRejects += o.EarlyRejects
 	s.IndexSkipped += o.IndexSkipped
+	s.BandProbes += o.BandProbes
+	s.BandDupes += o.BandDupes
 	s.SampledPairs += o.SampledPairs
 	s.ExactPairs += o.ExactPairs
 	s.ApproxPairs += o.ApproxPairs
@@ -379,6 +414,22 @@ func (s *Stats) add(o *Stats) {
 	s.QuarantinedPairs += o.QuarantinedPairs
 	s.Cancelled = s.Cancelled || o.Cancelled
 	s.Quarantined = append(s.Quarantined, o.Quarantined...)
+}
+
+// Merge folds another join's (typically one shard's) Stats into s. Merge is
+// associative and commutative up to representation: counters are summed, the
+// PrunedBy maps added key-wise, BoundProfile entries folded by (position,
+// bound), the Cancelled flags ORed, and the quarantine log concatenated and
+// re-sorted by (Q, G) — so folding per-shard Stats in any order yields the
+// same aggregate.
+func (s *Stats) Merge(o *Stats) {
+	s.add(o)
+	sort.Slice(s.Quarantined, func(i, j int) bool {
+		if s.Quarantined[i].Q != s.Quarantined[j].Q {
+			return s.Quarantined[i].Q < s.Quarantined[j].Q
+		}
+		return s.Quarantined[i].G < s.Quarantined[j].G
+	})
 }
 
 // Join performs the similarity join of Def. 7 between the certain graphs D
@@ -394,6 +445,10 @@ func Join(d []*graph.Graph, u []*ugraph.Graph, opts Options) ([]Pair, Stats, err
 // a partial join result would be silently incomplete). It is a thin wrapper
 // over the pipeline engine (see engine.go) with the cross-product source.
 func JoinContext(ctx context.Context, d []*graph.Graph, u []*ugraph.Graph, opts Options) ([]Pair, Stats, error) {
+	if opts.Shards > 1 {
+		pairs, st, _, err := shardedJoin(ctx, nil, d, u, opts)
+		return pairs, st, err
+	}
 	return joinEngine(ctx, newCrossSource(d, u), opts)
 }
 

@@ -18,10 +18,13 @@ package core
 
 import (
 	"context"
+	"strconv"
 	"sync"
 
 	"simjoin/internal/filter"
 	"simjoin/internal/graph"
+	"simjoin/internal/obs"
+	"simjoin/internal/shard"
 	"simjoin/internal/ugraph"
 )
 
@@ -31,6 +34,13 @@ type Resident struct {
 	u     []*ugraph.Graph
 	gsigs []*filter.GSig
 
+	// route, when non-nil (NewShardedResident), partitions the resident side
+	// by banded label signatures: route[s] lists the graph indices shard s
+	// owns, and stream joins feed their delta shard by shard so each arriving
+	// query's pairs against one shard's graphs stay contiguous (per-shard
+	// routing counters are published when the join carries a registry).
+	route [][]int32
+
 	mu     sync.Mutex
 	blocks map[int]*filter.GBlockSet // packed SoA blocks, cached per block size
 }
@@ -39,6 +49,28 @@ type Resident struct {
 // uncertain graph, shared by every subsequent stream join.
 func NewResident(u []*ugraph.Graph) *Resident {
 	return &Resident{u: u, gsigs: filter.NewGSigs(u)}
+}
+
+// NewShardedResident is NewResident with banded shard routing precomputed
+// once (shard.UPartitions): delta joins walk the resident side in shard
+// order, attributing each routed pair block to its owning shard. Results and
+// Stats are identical to an unsharded Resident — routing only reorders the
+// feed, and the engine sorts results by (Q, G). The cached block sets
+// (Options.BlockSize on the stream path) still pack the whole resident side;
+// the block screens are per-graph, so sharded routing would not change their
+// outcome. shards < 1 and bands < 1 are clamped to 1.
+func NewShardedResident(u []*ugraph.Graph, shards, bands int) *Resident {
+	r := NewResident(u)
+	r.route = shard.UPartitions(u, shards, bands)
+	return r
+}
+
+// Shards returns the number of routing shards (1 for an unsharded Resident).
+func (r *Resident) Shards() int {
+	if r.route == nil {
+		return 1
+	}
+	return len(r.route)
 }
 
 // Len returns the number of resident uncertain graphs.
@@ -94,19 +126,50 @@ func (s *streamSource) TotalPairs() int64 {
 	return int64(len(s.d)) * int64(len(s.res.u))
 }
 
-func (s *streamSource) Feed(ctx context.Context, _ *Options, emit func(Batch) bool, _ func(int64)) {
+func (s *streamSource) Feed(ctx context.Context, opts *Options, emit func(Batch) bool, _ func(int64)) {
+	if s.res.route != nil {
+		s.feedRouted(ctx, opts, emit)
+		return
+	}
 	for gi, g := range s.res.u {
 		if ctx.Err() != nil {
 			return
 		}
-		for start := 0; start < len(s.qis); start += sourceChunk {
-			end := start + sourceChunk
-			if end > len(s.qis) {
-				end = len(s.qis)
+		if !s.emitGraph(ctx, gi, g, emit) {
+			return
+		}
+	}
+}
+
+// feedRouted walks the resident side shard by shard (NewShardedResident's
+// routing), publishing each shard's routed pair count so a resident service's
+// delta joins surface the same per-shard view as the batch driver.
+func (s *streamSource) feedRouted(ctx context.Context, opts *Options, emit func(Batch) bool) {
+	for sh, part := range s.res.route {
+		for _, gi := range part {
+			if ctx.Err() != nil {
+				return
 			}
-			if !emit(Batch{GI: gi, G: g, GS: s.res.gsigs[gi], QIs: s.qis[start:end]}) {
+			if !s.emitGraph(ctx, int(gi), s.res.u[gi], emit) {
 				return
 			}
 		}
+		if opts.Obs != nil {
+			opts.Obs.Counter(obs.Name("simjoin_shard_pairs_total", "shard", strconv.Itoa(sh))).
+				Add(int64(len(part)) * int64(len(s.d)))
+		}
 	}
+}
+
+func (s *streamSource) emitGraph(ctx context.Context, gi int, g *ugraph.Graph, emit func(Batch) bool) bool {
+	for start := 0; start < len(s.qis); start += sourceChunk {
+		end := start + sourceChunk
+		if end > len(s.qis) {
+			end = len(s.qis)
+		}
+		if !emit(Batch{GI: gi, G: g, GS: s.res.gsigs[gi], QIs: s.qis[start:end]}) {
+			return false
+		}
+	}
+	return true
 }

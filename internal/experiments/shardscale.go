@@ -1,0 +1,78 @@
+package experiments
+
+// The sharded-join scaling experiment: the milestone workload (DESIGN.md §15)
+// joined once by the single-engine indexed path and once by the sharded
+// pipeline, with result equality cross-checked. The default -scale runs a
+// heavily shrunk milestone so CI can afford it; -scale 1 is the full
+// 10^6 x 10^5 measurement behind BENCH_shard.json.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"simjoin/internal/core"
+	"simjoin/internal/metrics"
+	"simjoin/internal/workload"
+)
+
+// shardScaleFraction shrinks the milestone workload for the default
+// experiment run: 10^3 queries x 10^2 uncertain graphs at -scale 1e-3 (the
+// cmd/experiments default), finishing in seconds on one core.
+const shardScaleFraction = 1e-3
+
+// ShardScale compares the single-engine indexed join against the sharded
+// pipeline on the scaled template workload, at shard counts 2 and 8. Rows
+// report wall clock (including index/plan construction), the pair and result
+// counts, and the merge stage's shard imbalance; a result-set mismatch
+// between any two rows is an error, not a row.
+func ShardScale(scale Scale) (*metrics.Table, error) {
+	f := float64(scale)
+	if f <= 0 {
+		f = 1
+	}
+	cfg := workload.MilestoneScaledConfig().WithScale(f * shardScaleFraction)
+	d, u := workload.Scaled(cfg)
+
+	opts := DefaultJoinOptions()
+	opts.Workers = 1
+	opts.KeepMappings = false
+	// The template workload's uncertain vertices hold the true label at
+	// confidence 2/3, so exact-copy pairs land near SimP 0.74; alpha 0.5
+	// keeps them in the result set (0.9 would return nothing).
+	opts.Tau = 1
+	opts.Alpha = 0.5
+
+	t := metrics.NewTable("join", "wallClock", "pairs", "results", "imbalance")
+
+	start := time.Now()
+	idx := core.BuildIndex(d)
+	basePairs, baseStats, err := core.JoinIndexed(idx, u, opts)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("single engine", time.Since(start).Round(time.Microsecond),
+		baseStats.Pairs, len(basePairs), "-")
+
+	for _, shards := range []int{2, 8} {
+		sopts := opts
+		sopts.Shards = shards
+		sopts.Bands = 4
+		start = time.Now()
+		pairs, stats, per, err := core.ShardedJoinStats(context.Background(), d, u, sopts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("sharded x%d", shards), time.Since(start).Round(time.Microsecond),
+			stats.Pairs, len(pairs), fmt.Sprintf("%.3f", core.ShardImbalance(per)))
+		if len(pairs) != len(basePairs) {
+			return nil, fmt.Errorf("sharded x%d returned %d results, single engine %d",
+				shards, len(pairs), len(basePairs))
+		}
+		if stats.Pairs != baseStats.Pairs {
+			return nil, fmt.Errorf("sharded x%d evaluated %d pairs, single engine %d",
+				shards, stats.Pairs, baseStats.Pairs)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,128 @@
+package filter
+
+// MinHash-style banding over the concrete-label bitsets.
+//
+// The sharded join (internal/shard, DESIGN.md §15) partitions both workload
+// sides by their concrete vertex-label sets: each side's signature bitset
+// (QSig.VSet, or the union candidate-label set of an uncertain graph) is
+// hashed into a small number of band keys — band b's key is the minimum of a
+// per-band hash over the set's label ids — and the fold of all band keys
+// picks the owning shard. Graphs with identical label sets land on identical
+// keys in every band, so template-mates colocate; graphs sharing only some
+// labels still collide in individual bands, which the in-shard band tables
+// exploit for candidate probing.
+//
+// The kernels here are pure functions of the label-id set, so query and
+// uncertain signatures band identically and a shard plan can be rebuilt from
+// either side alone (the resident service partitions only the uncertain
+// side).
+
+import (
+	"math/bits"
+
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// EmptyBandKey is the band key of a signature with no concrete labels (every
+// vertex wildcarded): the minimum over the empty set. All-wildcard graphs
+// share it in every band, so they land in one bucket and one shard.
+const EmptyBandKey = ^uint64(0)
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// bandSeed derives the hash seed of band b; distinct bands must hash the same
+// label id to unrelated values or every band would elect the same minimum.
+func bandSeed(b int) uint64 {
+	return mix64(uint64(b+1) * 0x9e3779b97f4a7c15)
+}
+
+// AppendBandKeys appends the `bands` MinHash band keys of the concrete-label
+// set to dst and returns the extended slice. Key b is min over the set's
+// label ids of mix64(id ^ seed_b); an empty set yields EmptyBandKey in every
+// band.
+func AppendBandKeys(dst []uint64, set *graph.LabelSet, bands int) []uint64 {
+	words := set.Words()
+	for b := 0; b < bands; b++ {
+		seed := bandSeed(b)
+		key := uint64(EmptyBandKey)
+		for wi, w := range words {
+			for ; w != 0; w &= w - 1 {
+				id := uint64(wi)<<6 + uint64(bits.TrailingZeros64(w))
+				if h := mix64(id ^ seed); h < key {
+					key = h
+				}
+			}
+		}
+		dst = append(dst, key)
+	}
+	return dst
+}
+
+// BandOwner folds a signature's band keys into its owning shard in
+// [0, shards). Identical key vectors always fold to the same owner.
+func BandOwner(keys []uint64, shards int) int {
+	h := uint64(0x517cc1b727220a95)
+	for _, k := range keys {
+		h = mix64(h ^ k)
+	}
+	return int(h % uint64(shards))
+}
+
+// UnionConcreteLabels fills set (cleared on entry) with the union of g's
+// concrete candidate vertex labels and returns the number of vertices that
+// carry a wildcard candidate — the same per-graph summary core.Index computes
+// for its prescreens, shared here so the shard planner cannot drift from it.
+func UnionConcreteLabels(g *ugraph.Graph, set *graph.LabelSet) (wilds int) {
+	set.Reset()
+	for v := 0; v < g.NumVertices(); v++ {
+		wild := false
+		for _, id := range g.LabelIDs(v) {
+			if id == graph.WildcardID {
+				wild = true
+			} else {
+				set.Add(id)
+			}
+		}
+		if wild {
+			wilds++
+		}
+	}
+	return wilds
+}
+
+// LabelOverlapScreen applies the λV multiset-overlap prescreen shared by the
+// index-backed and sharded candidate generators: a generous upper bound on
+// the vertex-label overlap of q and g, pruning the pair when even that bound
+// leaves more than τ unmatched vertices on the larger side (the LM filter —
+// and hence the CSS bound — would prune it anyway, so the screen is sound for
+// Def. 7). gSet is the union of g's concrete candidate labels, gWilds the
+// number of g-vertices with a wildcard candidate, gNumV its vertex count.
+// Returns true when the pair survives.
+func LabelOverlapScreen(qs *QSig, gSet *graph.LabelSet, gWilds, gNumV, tau int) bool {
+	overlap := qs.VWilds // every wildcard q-vertex can match something
+	if qs.VSet.Intersects(gSet) {
+		for _, lc := range qs.VLabels {
+			if gSet.Has(lc.ID) {
+				overlap += int(lc.N)
+			}
+		}
+	}
+	overlap += gWilds // wildcard g-vertices absorb leftover q-vertices
+	maxV := qs.NumV
+	if gNumV > maxV {
+		maxV = gNumV
+	}
+	if overlap > maxV {
+		overlap = maxV
+	}
+	return maxV-overlap <= tau
+}

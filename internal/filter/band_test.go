@@ -1,0 +1,146 @@
+package filter
+
+import (
+	"testing"
+
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+func labelSetOf(ids ...graph.LabelID) *graph.LabelSet {
+	var s graph.LabelSet
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return &s
+}
+
+func TestBandKeysDeterministicAndSetDependent(t *testing.T) {
+	a := labelSetOf(3, 17, 200)
+	b := labelSetOf(3, 17, 200)
+	c := labelSetOf(3, 17, 201)
+
+	ka := AppendBandKeys(nil, a, 6)
+	kb := AppendBandKeys(nil, b, 6)
+	kc := AppendBandKeys(nil, c, 6)
+	if len(ka) != 6 {
+		t.Fatalf("got %d keys, want 6", len(ka))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("band %d: identical sets hashed differently: %x vs %x", i, ka[i], kb[i])
+		}
+	}
+	same := true
+	for i := range ka {
+		if ka[i] != kc[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different sets produced identical key vectors %x", ka)
+	}
+	// Bands must use distinct hash functions: a multi-label set electing the
+	// same minimum in every band would defeat banding.
+	distinct := map[uint64]bool{}
+	for _, k := range ka {
+		distinct[k] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all %d bands elected the same key %x", len(ka), ka[0])
+	}
+}
+
+func TestBandKeysEmptySetSentinel(t *testing.T) {
+	var empty graph.LabelSet
+	keys := AppendBandKeys(nil, &empty, 4)
+	for b, k := range keys {
+		if k != EmptyBandKey {
+			t.Fatalf("band %d of empty set = %x, want EmptyBandKey", b, k)
+		}
+	}
+}
+
+func TestBandKeysMinOverSubsets(t *testing.T) {
+	// The key of a union is the min of the parts' keys — the MinHash property
+	// the in-shard band tables rely on for collision probing.
+	a := labelSetOf(1, 2, 3)
+	b := labelSetOf(40, 41)
+	u := labelSetOf(1, 2, 3, 40, 41)
+	ka := AppendBandKeys(nil, a, 8)
+	kb := AppendBandKeys(nil, b, 8)
+	ku := AppendBandKeys(nil, u, 8)
+	for i := range ku {
+		want := ka[i]
+		if kb[i] < want {
+			want = kb[i]
+		}
+		if ku[i] != want {
+			t.Fatalf("band %d: union key %x, want min(%x,%x)", i, ku[i], ka[i], kb[i])
+		}
+	}
+}
+
+func TestBandOwnerRangeAndDeterminism(t *testing.T) {
+	for shards := 1; shards <= 9; shards++ {
+		seen := map[int]bool{}
+		for id := graph.LabelID(1); id < 200; id++ {
+			keys := AppendBandKeys(nil, labelSetOf(id), 4)
+			o := BandOwner(keys, shards)
+			if o < 0 || o >= shards {
+				t.Fatalf("owner %d out of range [0,%d)", o, shards)
+			}
+			if o != BandOwner(keys, shards) {
+				t.Fatalf("owner not deterministic")
+			}
+			seen[o] = true
+		}
+		if shards > 1 && len(seen) < 2 {
+			t.Fatalf("shards=%d: 199 distinct singleton sets all owned by one shard", shards)
+		}
+	}
+}
+
+func TestUnionConcreteLabelsMatchesManualScan(t *testing.T) {
+	u := ugraph.New(3)
+	u.AddVertex(ugraph.Label{Name: "a", P: 0.6}, ugraph.Label{Name: "b", P: 0.4})
+	u.AddVertex(ugraph.Label{Name: "?x", P: 0.7}, ugraph.Label{Name: "c", P: 0.3})
+	u.AddVertex(ugraph.Label{Name: "a", P: 1})
+	var set graph.LabelSet
+	wilds := UnionConcreteLabels(u, &set)
+	if wilds != 1 {
+		t.Fatalf("wilds = %d, want 1", wilds)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if !set.Has(graph.InternLabel(name)) {
+			t.Fatalf("union set missing %q", name)
+		}
+	}
+	if set.Len() != 3 {
+		t.Fatalf("union set has %d labels, want 3", set.Len())
+	}
+}
+
+func TestLabelOverlapScreenMatchesDefinition(t *testing.T) {
+	// q has labels {a, a, b}; g's union set {a, c} with one wildcard vertex.
+	q := graph.New(3)
+	q.AddVertex("a")
+	q.AddVertex("a")
+	q.AddVertex("b")
+	qs := NewQSig(q)
+	gSet := labelSetOf(graph.InternLabel("a"), graph.InternLabel("c"))
+
+	// overlap = 2 (both "a" vertices) + 1 wildcard g-vertex = 3 = maxV: the
+	// pair survives any tau >= 0.
+	if !LabelOverlapScreen(qs, gSet, 1, 3, 0) {
+		t.Fatalf("pair with full generous overlap pruned at tau=0")
+	}
+	// Without the wildcard vertex, overlap = 2, maxV = 3: pruned at tau=0,
+	// kept at tau=1.
+	if LabelOverlapScreen(qs, gSet, 0, 3, 0) {
+		t.Fatalf("deficit-1 pair survived tau=0")
+	}
+	if !LabelOverlapScreen(qs, gSet, 0, 3, 1) {
+		t.Fatalf("deficit-1 pair pruned at tau=1")
+	}
+}

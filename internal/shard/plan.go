@@ -1,0 +1,332 @@
+// Package shard partitions both sides of the similarity join by banded
+// MinHash signatures over the concrete-label bitsets (DESIGN.md §15).
+//
+// A Plan splits the query workload D into S disjoint partitions and the
+// uncertain workload U into S disjoint partitions, both by the fold of their
+// band keys (filter.AppendBandKeys / filter.BandOwner). Shard s of the
+// sharded join owns the diagonal cells {(a, b) : (a + b) mod S == s}, so
+// every (q, g) pair belongs to exactly one shard and the merged shard stats
+// partition the full cross product exactly.
+//
+// Each query partition is packed once into a structure-of-arrays screening
+// kernel — the query-side analogue of filter.GBlockSet: global ids sorted by
+// graph size (contiguous size runs make the ±τ window a single position
+// range), per-position vertex counts and distinct-label counts, and
+// word-major label-bitset rows streamed by the candidate sweep. On top of the
+// sweep sit per-band hash tables: an uncertain graph first probes its band
+// keys, and colliding queries are screened immediately (cross-band
+// duplicates are suppressed by an epoch-stamped seen array — the merge-dedup
+// stage), then the residual sweep covers the rest of the size window. Both
+// paths finish with the exact filter.LabelOverlapScreen, so a partition's
+// candidate set is bit-identical to core.Index's restricted to the
+// partition.
+package shard
+
+import (
+	"math/bits"
+	"sort"
+
+	"simjoin/internal/filter"
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// Plan is the immutable sharding of one (D, U) workload pair: safe for
+// concurrent use by all per-shard pipelines once built.
+type Plan struct {
+	Shards int
+	Bands  int
+
+	// QOwner and UOwner map global indices to owning partitions.
+	QOwner []int32
+	UOwner []int32
+	// Parts are the packed query-side partitions; UParts the uncertain-side
+	// partition id lists, ascending.
+	Parts  []*Partition
+	UParts [][]int32
+
+	qsigs []*filter.QSig
+	gmeta []gmeta
+}
+
+// gmeta is the per-uncertain-graph screening summary, computed once at plan
+// build so the per-cell candidate sweeps never touch the graph itself.
+type gmeta struct {
+	size  int32
+	numV  int32
+	wilds int32
+	set   graph.LabelSet
+	nz    []int32 // indices of set's nonzero words, for the sparse sweep
+	keys  []uint64
+}
+
+// Partition is one packed query-side shard partition.
+type Partition struct {
+	// IDs are the member queries' global indices, sorted by (size, id).
+	IDs []int32
+
+	sizes []int32  // graph size (|V|+|E|) per position
+	numV  []int32  // vertex count per position
+	dq    []int32  // distinct concrete vertex labels per position
+	width int      // label-row words per position
+	rows  []uint64 // word-major label bitsets: rows[w*len(IDs)+p]
+
+	runVal []int32 // distinct sizes, ascending
+	runOff []int32 // position offsets per run; len(runVal)+1 entries
+
+	bands []map[uint64][]int32 // band -> key -> member positions
+}
+
+// Len returns the number of queries in the partition.
+func (pt *Partition) Len() int { return len(pt.IDs) }
+
+// Build plans a sharded join: queries are described by their prebuilt
+// signatures (qsigs[i].VSet is the banding input), the uncertain side by the
+// graphs themselves. shards and bands must be >= 1.
+func Build(qsigs []*filter.QSig, u []*ugraph.Graph, shards, bands int) *Plan {
+	if shards < 1 {
+		shards = 1
+	}
+	if bands < 1 {
+		bands = 1
+	}
+	pl := &Plan{
+		Shards: shards,
+		Bands:  bands,
+		QOwner: make([]int32, len(qsigs)),
+		UOwner: make([]int32, len(u)),
+		Parts:  make([]*Partition, shards),
+		UParts: make([][]int32, shards),
+		qsigs:  qsigs,
+		gmeta:  make([]gmeta, len(u)),
+	}
+
+	// Query side: band every signature, assign owners, collect member lists.
+	qkeys := make([]uint64, 0, len(qsigs)*bands)
+	members := make([][]int32, shards)
+	for i, qs := range qsigs {
+		qkeys = filter.AppendBandKeys(qkeys, &qs.VSet, bands)
+		o := filter.BandOwner(qkeys[i*bands:(i+1)*bands], shards)
+		pl.QOwner[i] = int32(o)
+		members[o] = append(members[o], int32(i))
+	}
+	for a := 0; a < shards; a++ {
+		pl.Parts[a] = pl.packPartition(members[a], qkeys)
+	}
+
+	// Uncertain side: per-graph screening meta plus owner assignment.
+	for gi, g := range u {
+		gm := &pl.gmeta[gi]
+		gm.size = int32(g.Size())
+		gm.numV = int32(g.NumVertices())
+		gm.wilds = int32(filter.UnionConcreteLabels(g, &gm.set))
+		for wi, w := range gm.set.Words() {
+			if w != 0 {
+				gm.nz = append(gm.nz, int32(wi))
+			}
+		}
+		gm.keys = filter.AppendBandKeys(make([]uint64, 0, bands), &gm.set, bands)
+		o := filter.BandOwner(gm.keys, shards)
+		pl.UOwner[gi] = int32(o)
+		pl.UParts[o] = append(pl.UParts[o], int32(gi))
+	}
+	return pl
+}
+
+// packPartition sorts the member queries by (size, id) and lays out the SoA
+// screening arrays, size runs and band tables.
+func (pl *Plan) packPartition(ids []int32, qkeys []uint64) *Partition {
+	sort.Slice(ids, func(i, j int) bool {
+		si := pl.qsigs[ids[i]].NumV + pl.qsigs[ids[i]].NumE
+		sj := pl.qsigs[ids[j]].NumV + pl.qsigs[ids[j]].NumE
+		if si != sj {
+			return si < sj
+		}
+		return ids[i] < ids[j]
+	})
+	n := len(ids)
+	pt := &Partition{
+		IDs:   ids,
+		sizes: make([]int32, n),
+		numV:  make([]int32, n),
+		dq:    make([]int32, n),
+		bands: make([]map[uint64][]int32, pl.Bands),
+	}
+	for b := range pt.bands {
+		pt.bands[b] = make(map[uint64][]int32)
+	}
+	for p, id := range ids {
+		qs := pl.qsigs[id]
+		pt.sizes[p] = int32(qs.NumV + qs.NumE)
+		pt.numV[p] = int32(qs.NumV)
+		pt.dq[p] = int32(qs.VSet.Len())
+		if w := len(qs.VSet.Words()); w > pt.width {
+			pt.width = w
+		}
+		for b := 0; b < pl.Bands; b++ {
+			key := qkeys[int(id)*pl.Bands+b]
+			pt.bands[b][key] = append(pt.bands[b][key], int32(p))
+		}
+	}
+	// Word-major label rows: the sweep streams one contiguous row per nonzero
+	// word of the probe graph's set instead of strided per-query bitsets.
+	pt.rows = make([]uint64, pt.width*n)
+	for p, id := range ids {
+		for wi, w := range pl.qsigs[id].VSet.Words() {
+			pt.rows[wi*n+p] = w
+		}
+	}
+	// Size runs: positions are size-sorted, so each distinct size is one
+	// contiguous run and a ±τ window is a single position range.
+	for p := 0; p < n; p++ {
+		if p == 0 || pt.sizes[p] != pt.sizes[p-1] {
+			pt.runVal = append(pt.runVal, pt.sizes[p])
+			pt.runOff = append(pt.runOff, int32(p))
+		}
+	}
+	pt.runOff = append(pt.runOff, int32(n))
+	return pt
+}
+
+// Scratch holds the reusable per-feed state of the candidate sweep: the
+// epoch-stamped seen array deduplicating cross-band collisions, the overlap
+// accumulator, and the candidate buffer. One Scratch serves any number of
+// sequential Candidates calls across partitions; it is not safe for
+// concurrent use.
+type Scratch struct {
+	stamps []int32
+	epoch  int32
+	acc    []int32
+	cands  []int32
+}
+
+func (sc *Scratch) ensure(n int) {
+	if len(sc.stamps) < n {
+		sc.stamps = make([]int32, n)
+		sc.acc = make([]int32, n)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 1<<31-1 {
+		for i := range sc.stamps {
+			sc.stamps[i] = 0
+		}
+		sc.epoch = 1
+	}
+}
+
+// Candidates computes the queries of partition a surviving the size and
+// label prescreens against uncertain graph gi at threshold tau — exactly the
+// set core.Index.Candidates would return restricted to the partition. The
+// returned slice holds global query indices and is valid until the next call
+// with the same Scratch. probes counts band-bucket entries inspected and
+// dupes the cross-band duplicates the epoch stamps suppressed.
+func (pl *Plan) Candidates(a, gi, tau int, sc *Scratch) (cands []int32, probes, dupes int64) {
+	pt := pl.Parts[a]
+	n := len(pt.IDs)
+	if n == 0 {
+		return nil, 0, 0
+	}
+	sc.ensure(n)
+	gm := &pl.gmeta[gi]
+	lo, hi := gm.size-int32(tau), gm.size+int32(tau)
+	out := sc.cands[:0]
+
+	// Band probe: queries colliding with g in any band are decided now, with
+	// the exact screen; the stamps keep a pair colliding in k bands from
+	// being screened (and fed) more than once.
+	for b, key := range gm.keys {
+		for _, p := range pt.bands[b][key] {
+			probes++
+			if sc.stamps[p] == sc.epoch {
+				dupes++
+				continue
+			}
+			sc.stamps[p] = sc.epoch
+			if pt.sizes[p] < lo || pt.sizes[p] > hi {
+				continue
+			}
+			if filter.LabelOverlapScreen(pl.qsigs[pt.IDs[p]], &gm.set, int(gm.wilds), int(gm.numV), tau) {
+				out = append(out, pt.IDs[p])
+			}
+		}
+	}
+
+	// Residual sweep over the size window. Per run, the word-major rows are
+	// streamed once per nonzero word of g's set, accumulating di = |labels(q)
+	// ∩ labels(g)| (distinct). overlapUB = |V(q)| − (dq − di) + gWilds is a
+	// sound upper bound on the exact screen's overlap estimate: each of the
+	// (dq − di) distinct q-labels absent from g's set contributes at least
+	// one unmatched vertex. UB survivors get the exact screen, so the
+	// candidate set cannot drift from the scalar path.
+	gWords := gm.set.Words()
+	r0 := sort.Search(len(pt.runVal), func(r int) bool { return pt.runVal[r] >= lo })
+	for r := r0; r < len(pt.runVal) && pt.runVal[r] <= hi; r++ {
+		p0, p1 := int(pt.runOff[r]), int(pt.runOff[r+1])
+		acc := sc.acc[:p1-p0]
+		first := true
+		for _, wi := range gm.nz {
+			if int(wi) >= pt.width {
+				continue // no query in this partition carries these labels
+			}
+			row := pt.rows[int(wi)*n:]
+			gw := gWords[wi]
+			if first {
+				for p := p0; p < p1; p++ {
+					acc[p-p0] = int32(bits.OnesCount64(row[p] & gw))
+				}
+				first = false
+			} else {
+				for p := p0; p < p1; p++ {
+					acc[p-p0] += int32(bits.OnesCount64(row[p] & gw))
+				}
+			}
+		}
+		if first {
+			for i := range acc {
+				acc[i] = 0
+			}
+		}
+		for p := p0; p < p1; p++ {
+			if sc.stamps[p] == sc.epoch {
+				continue // decided by the band probe
+			}
+			maxV := pt.numV[p]
+			if gm.numV > maxV {
+				maxV = gm.numV
+			}
+			ub := pt.numV[p] - pt.dq[p] + acc[p-p0] + gm.wilds
+			if maxV-ub > int32(tau) {
+				continue
+			}
+			if filter.LabelOverlapScreen(pl.qsigs[pt.IDs[p]], &gm.set, int(gm.wilds), int(gm.numV), tau) {
+				out = append(out, pt.IDs[p])
+			}
+		}
+	}
+	sc.cands = out
+	return out, probes, dupes
+}
+
+// UPartitions partitions the uncertain side alone by band-key ownership: the
+// resident join service routes each delta join through the shard owning each
+// resident graph. The returned lists are ascending and disjoint, and cover
+// every index in u.
+func UPartitions(u []*ugraph.Graph, shards, bands int) [][]int32 {
+	if shards < 1 {
+		shards = 1
+	}
+	if bands < 1 {
+		bands = 1
+	}
+	parts := make([][]int32, shards)
+	var set graph.LabelSet
+	keys := make([]uint64, 0, bands)
+	for gi, g := range u {
+		filter.UnionConcreteLabels(g, &set)
+		keys = filter.AppendBandKeys(keys[:0], &set, bands)
+		o := filter.BandOwner(keys, shards)
+		parts[o] = append(parts[o], int32(gi))
+	}
+	return parts
+}

@@ -1,0 +1,197 @@
+package shard_test
+
+import (
+	"sort"
+	"testing"
+
+	"simjoin/internal/core"
+	"simjoin/internal/filter"
+	"simjoin/internal/graph"
+	"simjoin/internal/shard"
+	"simjoin/internal/ugraph"
+	"simjoin/internal/workload"
+)
+
+// sharedLabelWorkload builds nd queries and nu uncertain graphs that all
+// share the exact label set {x, y}: identical band keys in every band, so
+// every pair collides everywhere — the worst case for cross-band dedup.
+func sharedLabelWorkload(nd, nu int) ([]*graph.Graph, []*ugraph.Graph) {
+	d := make([]*graph.Graph, nd)
+	for i := range d {
+		g := graph.New(3)
+		g.AddVertex("x")
+		g.AddVertex("y")
+		g.AddVertex("x")
+		g.MustAddEdge(0, 1, "e")
+		if i%2 == 0 {
+			g.MustAddEdge(1, 2, "e")
+		}
+		d[i] = g
+	}
+	u := make([]*ugraph.Graph, nu)
+	for j := range u {
+		g := ugraph.New(3)
+		g.AddVertex(ugraph.Label{Name: "x", P: 1})
+		g.AddVertex(ugraph.Label{Name: "y", P: 0.7}, ugraph.Label{Name: "x", P: 0.3})
+		g.AddVertex(ugraph.Label{Name: "y", P: 1})
+		g.MustAddEdge(0, 1, "e")
+		if j%2 == 0 {
+			g.MustAddEdge(1, 2, "e")
+		}
+		u[j] = g
+	}
+	return d, u
+}
+
+func TestPlanPartitionsCoverBothSides(t *testing.T) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 60
+	d, u := workload.ER(cfg)
+	qsigs := filter.NewQSigs(d)
+	for _, shards := range []int{1, 2, 3, 8, 97} {
+		pl := shard.Build(qsigs, u, shards, 4)
+		seenQ := make([]bool, len(d))
+		for a, pt := range pl.Parts {
+			for _, id := range pt.IDs {
+				if seenQ[id] {
+					t.Fatalf("shards=%d: query %d in two partitions", shards, id)
+				}
+				seenQ[id] = true
+				if pl.QOwner[id] != int32(a) {
+					t.Fatalf("shards=%d: QOwner[%d]=%d but found in partition %d", shards, id, pl.QOwner[id], a)
+				}
+			}
+		}
+		for i, ok := range seenQ {
+			if !ok {
+				t.Fatalf("shards=%d: query %d in no partition", shards, i)
+			}
+		}
+		seenU := make([]bool, len(u))
+		for b, part := range pl.UParts {
+			if !sort.SliceIsSorted(part, func(i, j int) bool { return part[i] < part[j] }) {
+				t.Fatalf("shards=%d: UParts[%d] not ascending", shards, b)
+			}
+			for _, gi := range part {
+				if seenU[gi] {
+					t.Fatalf("shards=%d: uncertain %d in two partitions", shards, gi)
+				}
+				seenU[gi] = true
+			}
+		}
+		for i, ok := range seenU {
+			if !ok {
+				t.Fatalf("shards=%d: uncertain %d in no partition", shards, i)
+			}
+		}
+	}
+}
+
+// TestPlanCandidatesMatchIndex pins the equivalence the sharded join builds
+// on: per uncertain graph, the disjoint union of per-partition candidate sets
+// equals the unsharded index's candidate set exactly.
+func TestPlanCandidatesMatchIndex(t *testing.T) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 80
+	cfg.LabelAlphabet = 6 // dense label reuse: band collisions guaranteed
+	d, u := workload.ER(cfg)
+	qsigs := filter.NewQSigs(d)
+	idx := core.BuildIndex(d)
+	for _, shards := range []int{1, 2, 5, 8} {
+		for _, bands := range []int{1, 4} {
+			pl := shard.Build(qsigs, u, shards, bands)
+			var sc shard.Scratch
+			var probes, dupes int64
+			for _, tau := range []int{0, 1, 3} {
+				for gi := range u {
+					var got []int
+					for a := 0; a < shards; a++ {
+						cands, p, dd := pl.Candidates(a, gi, tau, &sc)
+						probes += p
+						dupes += dd
+						for _, id := range cands {
+							got = append(got, int(id))
+						}
+					}
+					sort.Ints(got)
+					want := idx.Candidates(u[gi], tau)
+					if len(got) != len(want) {
+						t.Fatalf("shards=%d bands=%d tau=%d g=%d: %d candidates, index has %d",
+							shards, bands, tau, gi, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("shards=%d bands=%d tau=%d g=%d: candidate sets differ at %d: %d vs %d",
+								shards, bands, tau, gi, i, got[i], want[i])
+						}
+					}
+				}
+			}
+			if probes == 0 {
+				t.Fatalf("shards=%d bands=%d: band tables never probed", shards, bands)
+			}
+			_ = dupes // may be zero when no query collides in two bands
+		}
+	}
+}
+
+// TestPlanCandidatesDedupAllBandsCollide crafts a workload where every query
+// shares one label set, so every pair collides in every band; each pair must
+// still be screened exactly once, with the duplicates counted.
+func TestPlanCandidatesDedupAllBandsCollide(t *testing.T) {
+	d, u := sharedLabelWorkload(12, 5)
+	qsigs := filter.NewQSigs(d)
+	const bands = 4
+	pl := shard.Build(qsigs, u, 3, bands)
+	var sc shard.Scratch
+	idx := core.BuildIndex(d)
+	for gi := range u {
+		var total int
+		var dupes, probes int64
+		for a := 0; a < pl.Shards; a++ {
+			cands, p, dd := pl.Candidates(a, gi, 2, &sc)
+			total += len(cands)
+			probes += p
+			dupes += dd
+		}
+		// Identical label sets: every band bucket holds the whole partition,
+		// so probes = bands × |D| and all but the first hit per pair are
+		// suppressed duplicates.
+		if probes != int64(bands*len(d)) {
+			t.Fatalf("g=%d: probes=%d, want %d", gi, probes, bands*len(d))
+		}
+		if dupes != int64((bands-1)*len(d)) {
+			t.Fatalf("g=%d: dupes=%d, want %d", gi, dupes, (bands-1)*len(d))
+		}
+		if want := len(idx.Candidates(u[gi], 2)); total != want {
+			t.Fatalf("g=%d: %d candidates after dedup, index has %d", gi, total, want)
+		}
+	}
+}
+
+func TestUPartitionsCoverAndRouteLikeBuild(t *testing.T) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Count = 50
+	d, u := workload.ER(cfg)
+	qsigs := filter.NewQSigs(d)
+	for _, shards := range []int{1, 4, 9} {
+		parts := shard.UPartitions(u, shards, 4)
+		pl := shard.Build(qsigs, u, shards, 4)
+		if len(parts) != shards {
+			t.Fatalf("got %d partitions, want %d", len(parts), shards)
+		}
+		seen := 0
+		for b, part := range parts {
+			seen += len(part)
+			for _, gi := range part {
+				if pl.UOwner[gi] != int32(b) {
+					t.Fatalf("shards=%d: UPartitions routes %d to %d, Build to %d",
+						shards, gi, b, pl.UOwner[gi])
+				}
+			}
+		}
+		if seen != len(u) {
+			t.Fatalf("shards=%d: partitions cover %d of %d graphs", shards, seen, len(u))
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestScaledDeterministic pins that the generator is a pure function of its
+// config: the milestone bench and the equivalence experiments rely on
+// regenerating the identical workload from the config alone.
+func TestScaledDeterministic(t *testing.T) {
+	cfg := SmokeScaledConfig()
+	d1, u1 := Scaled(cfg)
+	d2, u2 := Scaled(cfg)
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatal("query side differs between identical configs")
+	}
+	if !reflect.DeepEqual(u1, u2) {
+		t.Fatal("uncertain side differs between identical configs")
+	}
+
+	cfg.Seed = 8
+	d3, _ := Scaled(cfg)
+	if reflect.DeepEqual(d1, d3) {
+		t.Fatal("different seeds produced identical query sides")
+	}
+}
+
+// TestScaledShape sanity-checks sizes and label discipline on the smoke
+// config: counts honour the config, every graph is within the vertex bounds,
+// and uncertain vertices carry proper distributions.
+func TestScaledShape(t *testing.T) {
+	cfg := SmokeScaledConfig()
+	d, u := Scaled(cfg)
+	if len(d) != cfg.Queries || len(u) != cfg.Uncertain {
+		t.Fatalf("sizes = %d x %d, want %d x %d", len(d), len(u), cfg.Queries, cfg.Uncertain)
+	}
+	for i, g := range d {
+		if n := g.NumVertices(); n < cfg.MinVertices || n > cfg.MaxVertices+0 {
+			t.Fatalf("query %d has %d vertices, want in [%d, %d]", i, n, cfg.MinVertices, cfg.MaxVertices)
+		}
+	}
+	multi := 0
+	for _, g := range u {
+		for v := 0; v < g.NumVertices(); v++ {
+			labels := g.Labels(v)
+			if len(labels) > 1 {
+				multi++
+				sum := 0.0
+				for _, l := range labels {
+					sum += l.P
+				}
+				if sum < 0.99 || sum > 1.01 {
+					t.Fatalf("uncertain vertex distribution sums to %v", sum)
+				}
+				if labels[0].P < labels[len(labels)-1].P {
+					t.Fatal("true label does not carry the highest confidence")
+				}
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no uncertain vertices generated")
+	}
+}
+
+// TestScaledWithScale pins the scaling knob: counts multiply, distribution
+// parameters stay fixed, and nothing collapses below one.
+func TestScaledWithScale(t *testing.T) {
+	cfg := MilestoneScaledConfig()
+	small := cfg.WithScale(0.001)
+	if small.Queries != 1000 || small.Uncertain != 100 || small.Templates != 10 {
+		t.Fatalf("WithScale(0.001) = %d/%d/%d, want 1000/100/10",
+			small.Queries, small.Uncertain, small.Templates)
+	}
+	if small.LabelAlphabet != cfg.LabelAlphabet || small.ClusterLabels != cfg.ClusterLabels {
+		t.Fatal("WithScale changed distribution parameters")
+	}
+	tiny := cfg.WithScale(1e-12)
+	if tiny.Queries != 1 || tiny.Uncertain != 1 || tiny.Templates != 1 {
+		t.Fatalf("WithScale floor = %d/%d/%d, want 1/1/1", tiny.Queries, tiny.Uncertain, tiny.Templates)
+	}
+}

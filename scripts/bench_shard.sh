@@ -1,0 +1,60 @@
+#!/bin/sh
+# Benchmark the sharded join against the single-engine path and emit the
+# BENCH_shard.json trajectory (same v2 schema as scripts/bench.sh).
+#
+# Two suites run:
+#   BenchmarkShardedJoin      smoke-scale template workload (10^3 x 10^2),
+#                             single vs 2/8 shards vs 8 shards + block screen
+#   BenchmarkShardMilestone   the 10^6 x 10^5 milestone workload at the
+#                             fraction in SHARD_MILESTONE (skipped when unset;
+#                             the committed baseline was measured at 0.1, i.e.
+#                             10^5 x 10^4 = 10^9 pairs on one core)
+#
+# CI gates BENCH_shard.json with scripts/benchgate and
+# `-optional '^BenchmarkShardMilestone'`, so routine runs may skip the
+# milestone suite without failing the gate.
+#
+# Environment overrides:
+#   COUNT            repetitions per benchmark (default 3)
+#   SHARD_MILESTONE  milestone fraction in (0, 1]; empty skips the milestone
+#   OUT              output JSON path (default BENCH_shard.json)
+set -eu
+
+COUNT="${COUNT:-3}"
+OUT="${OUT:-BENCH_shard.json}"
+PATTERN='^BenchmarkShard(edJoin|Milestone)$'
+
+raw=$(SHARD_MILESTONE="${SHARD_MILESTONE:-}" go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" -timeout 2h .)
+echo "$raw"
+
+echo "$raw" | awk -v out="$OUT" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+	ns[name] += $3
+	for (i = 4; i <= NF; i++) {
+		if ($(i) == "B/op")      bytes[name]  += $(i - 1)
+		if ($(i) == "allocs/op") allocs[name] += $(i - 1)
+	}
+	n[name]++
+}
+END {
+	printf "{\n  \"benchmarks\": {\n" > out
+	i = 0
+	for (name in n) keys[i++] = name
+	# Deterministic key order via a simple insertion sort.
+	for (a = 1; a < i; a++) {
+		for (b = a; b > 0 && keys[b] < keys[b-1]; b--) {
+			tmp = keys[b]; keys[b] = keys[b-1]; keys[b-1] = tmp
+		}
+	}
+	for (a = 0; a < i; a++) {
+		name = keys[a]
+		printf "    \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f, \"samples\": %d}%s\n", \
+			name, ns[name] / n[name], bytes[name] / n[name], allocs[name] / n[name], n[name], \
+			(a < i - 1) ? "," : "" > out
+	}
+	printf "  }\n}\n" > out
+}
+'
+echo "wrote $OUT"

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -109,18 +110,25 @@ func main() {
 	stats := flag.String("stats", "", "simjoin -stats-json document from the deterministic CI workload; gates per-bound prune-rate drift against the baseline's prune_rates")
 	maxPrune := flag.Float64("max-prune-drift", 5, "prune-rate drift budget in percentage points")
 	updatePrune := flag.Bool("update-prune", false, "rewrite the baseline with the prune rates measured in -stats (v2 schema) and exit")
+	optional := flag.String("optional", "", "regexp of baseline benchmarks that may be absent from the current run (reported SKIPPED instead of failing as MISSING; e.g. env-gated milestone benches)")
 	flag.Parse()
 
-	if err := run(*baseline, *current, *stats, *maxRegress, *maxAllocs, *maxPrune, *updatePrune); err != nil {
+	if err := run(*baseline, *current, *stats, *optional, *maxRegress, *maxAllocs, *maxPrune, *updatePrune); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath, currentPath, statsPath string, maxRegress, maxAllocs, maxPrune float64, updatePrune bool) error {
+func run(baselinePath, currentPath, statsPath, optional string, maxRegress, maxAllocs, maxPrune float64, updatePrune bool) error {
 	base, err := load(baselinePath)
 	if err != nil {
 		return err
+	}
+	var optionalRe *regexp.Regexp
+	if optional != "" {
+		if optionalRe, err = regexp.Compile(optional); err != nil {
+			return fmt.Errorf("-optional: %w", err)
+		}
 	}
 
 	if updatePrune {
@@ -146,7 +154,7 @@ func run(baselinePath, currentPath, statsPath string, maxRegress, maxAllocs, max
 	if err != nil {
 		return err
 	}
-	if err := gate(base.Benchmarks, cur.Benchmarks, maxRegress, maxAllocs); err != nil {
+	if err := gate(base.Benchmarks, cur.Benchmarks, optionalRe, maxRegress, maxAllocs); err != nil {
 		return err
 	}
 	if statsPath != "" {
@@ -165,7 +173,7 @@ func writeBaseline(path string, doc *baselineDoc) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func gate(base, cur map[string]result, budget, allocsBudget float64) error {
+func gate(base, cur map[string]result, optional *regexp.Regexp, budget, allocsBudget float64) error {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		names = append(names, name)
@@ -176,6 +184,12 @@ func gate(base, cur map[string]result, budget, allocsBudget float64) error {
 		b := base[name]
 		c, ok := cur[name]
 		if !ok {
+			// Env-gated benches (e.g. the full shard milestone) are baked
+			// into the baseline but absent from routine CI runs.
+			if optional != nil && optional.MatchString(name) {
+				fmt.Printf("SKIPPED %-24s not in current run (-optional)\n", name)
+				continue
+			}
 			fmt.Printf("MISSING %-24s not in current run\n", name)
 			failed = true
 			continue

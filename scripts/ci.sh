@@ -20,8 +20,8 @@ go build ./...
 echo "== go test (shuffled)"
 go test -shuffle=on ./...
 
-echo "== go test -race, shuffled (core, filter, ged, obs, fault, server)"
-go test -race -shuffle=on ./internal/core ./internal/filter ./internal/ged ./internal/obs ./internal/fault ./internal/server
+echo "== go test -race, shuffled (core, filter, shard, ged, obs, fault, server)"
+go test -race -shuffle=on ./internal/core ./internal/filter ./internal/shard ./internal/ged ./internal/obs ./internal/fault ./internal/server
 
 echo "== fault injection (failpoints armed end-to-end)"
 # Arm failpoints through the environment and run a small join: the pipeline
@@ -32,6 +32,10 @@ SIMJOIN_FAILPOINTS='ged.compute=error#5,core.pair=panic#1' \
 # kernels must flow into the identical quarantine/recovery machinery.
 SIMJOIN_FAILPOINTS='ged.compute=error#5,core.pair=panic#1' \
 	go run ./cmd/simjoin -workload er -scale 0.3 -tau 1 -alpha 0.5 -mode simj -block-size 256 >/dev/null
+# And through the sharded pipelines: a fault in one shard's engine must be
+# quarantined there while the other shards' results merge normally.
+SIMJOIN_FAILPOINTS='ged.compute=error#5,core.pair=panic#1' \
+	go run ./cmd/simjoin -workload er -scale 0.3 -tau 1 -alpha 0.5 -mode simj -shards 4 >/dev/null
 
 echo "== observability artifacts (explain report, event log, trace, metrics)"
 # Run the deterministic CI workload fully instrumented and archive what it
@@ -52,6 +56,12 @@ test -s "$ART/events.jsonl"
 go run ./cmd/simjoin -workload er -scale 0.5 -tau 1 -alpha 0.5 -mode opt \
 	-block-size 256 -explain > "$ART/join-explain-block.txt"
 grep -Eq '^[[:space:]]*-1[[:space:]]+block' "$ART/join-explain-block.txt"
+# The sharded merge stage's -explain view: the per-shard balance table and
+# the max/mean imbalance line must render with one row per shard.
+go run ./cmd/simjoin -workload er -scale 0.5 -tau 1 -alpha 0.5 -mode opt \
+	-shards 4 -explain > "$ART/join-explain-shard.txt"
+grep -q 'per-shard balance (merge stage):' "$ART/join-explain-shard.txt"
+grep -q 'shard imbalance (max/mean pairs):' "$ART/join-explain-shard.txt"
 
 echo "== chaos soak (simjoind + loadgen, failpoints armed, race-built)"
 # Out-of-process half of the chaos harness (the in-process half is
@@ -103,5 +113,14 @@ trap 'rm -rf "$benchtmp"' EXIT
 OUT="$benchtmp/bench.json" COUNT=3 make bench-join >/dev/null
 go run ./scripts/benchgate -baseline BENCH_join.json -current "$benchtmp/bench.json" \
 	-max-regress 25 -max-allocs-regress 10 -stats "$ART/stats.json" -max-prune-drift 5
+
+echo "== sharded-join regression gate (vs BENCH_shard.json, milestone entries optional)"
+# bench_shard.sh measures the sharded pipelines against the single engine on
+# the smoke template workload. The committed baseline also carries the
+# env-gated BenchmarkShardMilestone trajectory (measured with SHARD_MILESTONE
+# set); routine CI skips it, so those entries pass through -optional.
+OUT="$benchtmp/bench_shard.json" COUNT=3 make bench-shard >/dev/null
+go run ./scripts/benchgate -baseline BENCH_shard.json -current "$benchtmp/bench_shard.json" \
+	-max-regress 25 -max-allocs-regress 10 -optional '^BenchmarkShardMilestone'
 
 echo "CI passed"
