@@ -27,6 +27,7 @@ import (
 	"simjoin/internal/filter"
 	"simjoin/internal/graph"
 	"simjoin/internal/obs"
+	"simjoin/internal/plan"
 	"simjoin/internal/ugraph"
 	"simjoin/internal/workload"
 )
@@ -37,7 +38,8 @@ func main() {
 		tau       = flag.Int("tau", 1, "GED threshold")
 		alpha     = flag.Float64("alpha", 0.9, "similarity probability threshold")
 		mode      = flag.String("mode", "opt", "pruning mode: css|simj|opt")
-		filters   = flag.String("filters", "", "comma-separated filter chain overriding the mode's default bound order, e.g. 'count,css,prob' (bounds: "+strings.Join(filter.BoundNames(), ", ")+")")
+		filters   = flag.String("filters", "", "comma-separated filter chain overriding the mode's default bound order, e.g. 'count,css,prob', or 'auto' to reorder the mode's chain online by measured effective cost (bounds: "+strings.Join(filter.BoundNames(), ", ")+")")
+		planFlag  = flag.String("plan", "", "cost-based planning: 'auto' (adaptive chain + source selection), 'chain' (adaptive chain only), 'source' (cardinality-aware source selection only)")
 		gn        = flag.Int("gn", 10, "possible-world group count (opt mode)")
 		blockSize = flag.Int("block-size", 0, "screen whole blocks of this many uncertain graphs with the SoA bit kernels before any per-pair bound (0 = scalar path)")
 		shards    = flag.Int("shards", 0, "partition both workload sides into this many banded shards, each its own join pipeline with a dedup merge stage (0/1 = single engine)")
@@ -155,7 +157,7 @@ func main() {
 	// kills the process the default way (stop() restores default handling).
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *wl, *tau, *alpha, *mode, *filters, *gn, *blockSize, *shards, *bands, experiments.Scale(*scale), *show, obsCfg, robust); err != nil {
+	if err := run(ctx, *wl, *tau, *alpha, *mode, *filters, *planFlag, *gn, *blockSize, *shards, *bands, experiments.Scale(*scale), *show, obsCfg, robust); err != nil {
 		fmt.Fprintln(os.Stderr, "simjoin:", err)
 		os.Exit(1)
 	}
@@ -179,7 +181,7 @@ type obsConfig struct {
 	progress    time.Duration
 }
 
-func run(ctx context.Context, wl string, tau int, alpha float64, modeName, filters string, gn, blockSize, shards, bands int, scale experiments.Scale, show int, oc obsConfig, rc robustConfig) error {
+func run(ctx context.Context, wl string, tau int, alpha float64, modeName, filters, planName string, gn, blockSize, shards, bands int, scale experiments.Scale, show int, oc obsConfig, rc robustConfig) error {
 	opts := core.DefaultOptions()
 	opts.Tau = tau
 	opts.Alpha = alpha
@@ -246,7 +248,26 @@ func run(ctx context.Context, wl string, tau int, alpha float64, modeName, filte
 	default:
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
-	if filters != "" {
+	var planCfg *plan.Config
+	switch planName {
+	case "":
+	case "auto":
+		planCfg = plan.Auto()
+	case "chain":
+		planCfg = plan.AutoChain()
+	case "source":
+		planCfg = plan.AutoSource()
+	default:
+		return fmt.Errorf("unknown -plan %q (want auto, chain or source)", planName)
+	}
+	switch {
+	case filters == "auto":
+		// Keep the mode's chain but let the optimizer reorder it online.
+		if planCfg == nil {
+			planCfg = plan.AutoChain()
+		}
+		planCfg.Chain = true
+	case filters != "":
 		chain, err := filter.ParseChain(filters)
 		if err != nil {
 			return err
@@ -257,6 +278,10 @@ func run(ctx context.Context, wl string, tau int, alpha float64, modeName, filte
 			names[i] = b.Name()
 		}
 		chainDesc = strings.Join(names, ",")
+	}
+	opts.Planner = planCfg
+	if planCfg != nil && planCfg.Chain {
+		chainDesc += " (adaptive)"
 	}
 
 	var (
@@ -375,6 +400,10 @@ func run(ctx context.Context, wl string, tau int, alpha float64, modeName, filte
 		if len(per) > 0 {
 			fmt.Println()
 			core.WriteShardTable(os.Stdout, per)
+		}
+		if planCfg != nil {
+			fmt.Println()
+			core.WritePlanReport(os.Stdout, planCfg, &st)
 		}
 	}
 	if err := flushArtifacts(oc, &st, reg, tr, opts.Events, eventsFile); err != nil {

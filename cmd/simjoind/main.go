@@ -23,14 +23,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"simjoin/internal/core"
 	"simjoin/internal/experiments"
 	"simjoin/internal/fault"
+	"simjoin/internal/filter"
 	"simjoin/internal/graph"
 	"simjoin/internal/obs"
+	"simjoin/internal/plan"
 	"simjoin/internal/qa"
 	"simjoin/internal/server"
 	"simjoin/internal/ugraph"
@@ -42,6 +45,7 @@ func main() {
 		wl        = flag.String("workload", "er", "workload: er|sf|qald|webq|mm")
 		tau       = flag.Int("tau", 2, "GED threshold")
 		alpha     = flag.Float64("alpha", 0.5, "similarity probability threshold")
+		filters   = flag.String("filters", "", "comma-separated filter chain overriding the mode's default bound order, e.g. 'count,css,prob', or 'auto' to reorder the chain online by measured effective cost (bounds: "+strings.Join(filter.BoundNames(), ", ")+"); per-request \"filters\" fields override this")
 		blockSize = flag.Int("block-size", 0, "SoA block-screening width (0 = scalar path)")
 		shards    = flag.Int("shards", 0, "route the resident side across this many banded shards; delta joins walk it shard by shard (0/1 = unsharded)")
 		bands     = flag.Int("bands", 4, "signature bands per shard key (with -shards)")
@@ -102,6 +106,16 @@ func main() {
 	opts.Tau = *tau
 	opts.Alpha = *alpha
 	opts.BlockSize = *blockSize
+	switch {
+	case *filters == "auto":
+		opts.Planner = plan.AutoChain()
+	case *filters != "":
+		chain, err := filter.ParseChain(*filters)
+		if err != nil {
+			fatal(err)
+		}
+		opts.FilterChain = chain
+	}
 
 	fmt.Fprintf(os.Stderr, "simjoind: loading workload %q (scale %v)...\n", *wl, *scale)
 	start := time.Now()

@@ -103,6 +103,7 @@ func joinEngine(ctx context.Context, src CandidateSource, opts Options) ([]Pair,
 		}
 	}
 	jo := newJoinObs(&opts)
+	jo.startPlanner(&opts, chain)
 	stopProgress := jo.startProgress(&opts, src.TotalPairs())
 	defer stopProgress()
 	stopWatchdog := jo.startWatchdog(&opts)
@@ -194,6 +195,7 @@ func joinEngine(ctx context.Context, src CandidateSource, opts Options) ([]Pair,
 		total.CSSPruned += skipped // prescreens are implied by the CSS stage
 		total.IndexSkipped += skipped
 	}
+	jo.finishPlanner(&opts, &total)
 	finishStats(&total, jo)
 	if err := ctx.Err(); err != nil {
 		total.Cancelled = true
@@ -221,13 +223,19 @@ type crossSource struct {
 }
 
 func newCrossSource(d []*graph.Graph, u []*ugraph.Graph) *crossSource {
+	return newCrossSourceSigs(d, filter.NewQSigs(d), u)
+}
+
+// newCrossSourceSigs is newCrossSource reusing query signatures the caller
+// already built (the source planner computes them for its estimate).
+func newCrossSourceSigs(d []*graph.Graph, qsigs []*filter.QSig, u []*ugraph.Graph) *crossSource {
 	qis := make([]int, len(d))
 	for i := range qis {
 		qis[i] = i
 	}
 	return &crossSource{
 		d:     d,
-		qsigs: filter.NewQSigs(d),
+		qsigs: qsigs,
 		u:     u,
 		gsigs: filter.NewGSigs(u),
 		qis:   qis,

@@ -1,0 +1,113 @@
+package core
+
+// Cardinality-aware source planning: the bridge between internal/plan's
+// estimator/decision table and this package's CandidateSource zoo. JoinContext
+// routes here when Options.Planner asks for source selection and the caller
+// left the source knobs (Shards, BlockSize) open; the planner folds the query
+// side's signatures into a label summary, predicts the candidate workload,
+// and dispatches to the cross, indexed, block-screened, or sharded pipeline.
+// Every source is result-equivalent (the prescreens are implied by the CSS
+// bound), so the choice moves only wall-clock time, never the answer.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"simjoin/internal/filter"
+	"simjoin/internal/graph"
+	"simjoin/internal/plan"
+	"simjoin/internal/ugraph"
+)
+
+// plannedJoin is JoinContext's source-planning path. The query signatures are
+// built once and reused by whichever source wins, so planning adds one
+// estimator fold plus a strided sample of the uncertain side — no per-pair
+// work — on top of the join the caller would have run anyway.
+func plannedJoin(ctx context.Context, d []*graph.Graph, u []*ugraph.Graph, opts Options) ([]Pair, Stats, error) {
+	if err := opts.normalise(); err != nil {
+		return nil, Stats{}, err
+	}
+	p := opts.Planner
+	qsigs := filter.NewQSigs(d)
+	estPairs, estCands := plan.EstimateJoin(plan.NewEstimator(qsigs), u, opts.Tau)
+	dec := p.Decide(estPairs, estCands, len(u))
+	if dec.Choice == plan.SourceBlock {
+		dec.BlockSize = filter.DefaultBlockSize
+	}
+	p.Report.NoteDecision(dec)
+
+	switch dec.Choice {
+	case plan.SourceSharded:
+		opts.Shards = dec.Shards
+		pairs, st, _, err := shardedJoin(ctx, qsigs, d, u, opts)
+		return pairs, st, err
+	case plan.SourceBlock:
+		opts.BlockSize = dec.BlockSize // joinEngine wraps the source in the block screen
+		return joinEngine(ctx, newCrossSourceSigs(d, qsigs, u), opts)
+	case plan.SourceIndexed:
+		return joinEngine(ctx, buildIndexSigs(d, qsigs).Source(u), opts)
+	default: // plan.SourceCross
+		return joinEngine(ctx, newCrossSourceSigs(d, qsigs, u), opts)
+	}
+}
+
+// buildIndexSigs is BuildIndex reusing query signatures the caller already
+// built (the planner computes them for its estimate before choosing the
+// indexed source).
+func buildIndexSigs(d []*graph.Graph, qsigs []*filter.QSig) *Index {
+	idx := &Index{
+		d:      d,
+		qsigs:  qsigs,
+		bySize: make(map[int][]int),
+	}
+	idx.minSize = int(^uint(0) >> 1)
+	for i, q := range d {
+		size := q.Size()
+		idx.bySize[size] = append(idx.bySize[size], i)
+		if size < idx.minSize {
+			idx.minSize = size
+		}
+		if size > idx.maxSize {
+			idx.maxSize = size
+		}
+	}
+	return idx
+}
+
+// WritePlanReport renders what the planners did — the adopted chain orders
+// with their reorder/epoch totals, and the source decision with its
+// estimate-vs-actual columns — for -explain output. st supplies the actuals:
+// total pairs and the count surviving the source's prescreens
+// (Pairs − IndexSkipped), the quantity EstCandidates predicts. No-op when the
+// config carries no report or the report is empty.
+func WritePlanReport(w io.Writer, p *plan.Config, st *Stats) {
+	if p == nil || p.Report == nil {
+		return
+	}
+	orders, reorders, epochs := p.Report.Chain()
+	dec := p.Report.Decision()
+	if len(orders) == 0 && dec == nil {
+		return
+	}
+	fmt.Fprintln(w, "planner:")
+	if len(orders) > 0 {
+		fmt.Fprintf(w, "  adaptive chain: epochs=%d reorders=%d epoch-time=%s\n",
+			epochs, reorders, st.PlanEpochTime)
+		for _, o := range orders {
+			fmt.Fprintf(w, "    order: %s\n", o)
+		}
+	}
+	if dec != nil {
+		fmt.Fprintf(w, "  source: %s (%s)\n", dec.Choice, dec.Reason)
+		if dec.Shards > 0 {
+			fmt.Fprintf(w, "    shards: %d\n", dec.Shards)
+		}
+		if dec.BlockSize > 0 {
+			fmt.Fprintf(w, "    block size: %d\n", dec.BlockSize)
+		}
+		fmt.Fprintf(w, "    %-22s %12s %12s\n", "", "estimated", "actual")
+		fmt.Fprintf(w, "    %-22s %12d %12d\n", "pairs", dec.EstPairs, st.Pairs)
+		fmt.Fprintf(w, "    %-22s %12d %12d\n", "prescreen survivors", dec.EstCandidates, st.Pairs-st.IndexSkipped)
+	}
+}

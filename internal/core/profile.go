@@ -295,22 +295,39 @@ func WriteShardTable(w io.Writer, per []Stats) {
 	fmt.Fprintf(w, "shard imbalance (max/mean pairs): %.3f\n", ShardImbalance(per))
 }
 
-// effectiveCostRanks assigns each profile entry its 1-based rank under
-// ascending effective cost (ties broken by chain position).
-func effectiveCostRanks(prof []BoundCost) []int {
+// effectiveCostLess is the one deterministic comparator behind every
+// effective-cost ranking: ascending effective cost, ties broken by chain
+// position, then by bound name. The name tie-break matters for name-folded
+// profiles (ProfileByBound) where several bounds can share a position; without
+// it two equal-cost bounds would rank in map-iteration order.
+func effectiveCostLess(a, b *BoundCost) bool {
+	ca, cb := a.EffectiveCost(), b.EffectiveCost()
+	if ca != cb {
+		return ca < cb
+	}
+	if a.Pos != b.Pos {
+		return a.Pos < b.Pos
+	}
+	return a.Bound < b.Bound
+}
+
+// effectiveCostIndex returns the profile's indices sorted by effectiveCostLess.
+func effectiveCostIndex(prof []BoundCost) []int {
 	idx := make([]int, len(prof))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
-		ca, cb := prof[idx[a]].EffectiveCost(), prof[idx[b]].EffectiveCost()
-		if ca != cb {
-			return ca < cb
-		}
-		return prof[idx[a]].Pos < prof[idx[b]].Pos
+		return effectiveCostLess(&prof[idx[a]], &prof[idx[b]])
 	})
+	return idx
+}
+
+// effectiveCostRanks assigns each profile entry its 1-based rank under
+// ascending effective cost (ties broken by chain position, then bound name).
+func effectiveCostRanks(prof []BoundCost) []int {
 	ranks := make([]int, len(prof))
-	for r, i := range idx {
+	for r, i := range effectiveCostIndex(prof) {
 		ranks[i] = r + 1
 	}
 	return ranks
@@ -318,26 +335,54 @@ func effectiveCostRanks(prof []BoundCost) []int {
 
 // EffectiveCostOrder returns the bound names ordered by ascending effective
 // cost — the chain order a greedy cost-based optimizer would pick from this
-// profile, as a "-filters"-compatible comma-separated list.
+// profile, as a "-filters"-compatible comma-separated list. Repeated names
+// (one bound profiled at several positions, e.g. a merged cross-order
+// profile) appear once, at their cheapest rank.
 func EffectiveCostOrder(prof []BoundCost) string {
-	idx := make([]int, len(prof))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ca, cb := prof[idx[a]].EffectiveCost(), prof[idx[b]].EffectiveCost()
-		if ca != cb {
-			return ca < cb
-		}
-		return prof[idx[a]].Pos < prof[idx[b]].Pos
-	})
+	seen := make(map[string]bool, len(prof))
 	out := ""
-	for i, j := range idx {
-		if i > 0 {
+	for _, j := range effectiveCostIndex(prof) {
+		if seen[prof[j].Bound] {
+			continue
+		}
+		seen[prof[j].Bound] = true
+		if out != "" {
 			out += ","
 		}
 		out += prof[j].Bound
 	}
+	return out
+}
+
+// ProfileByBound folds a profile by bound name, summing evals, prunes and
+// nanos across chain positions; each entry keeps the smallest position the
+// bound appeared at, and the result is sorted by name. This is the positional
+// profile's order-independent view: two runs of the same chain under
+// different adaptive orders (or differently-ordered shards of one join)
+// produce name-folded profiles whose eval/prune totals are directly
+// comparable, which is why the prune-drift tooling keys on it.
+func ProfileByBound(prof []BoundCost) []BoundCost {
+	byName := make(map[string]*BoundCost, len(prof))
+	for i := range prof {
+		bc := &prof[i]
+		f := byName[bc.Bound]
+		if f == nil {
+			c := *bc
+			byName[bc.Bound] = &c
+			continue
+		}
+		f.Evals += bc.Evals
+		f.Prunes += bc.Prunes
+		f.Nanos += bc.Nanos
+		if bc.Pos < f.Pos {
+			f.Pos = bc.Pos
+		}
+	}
+	out := make([]BoundCost, 0, len(byName))
+	for _, bc := range byName {
+		out = append(out, *bc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bound < out[j].Bound })
 	return out
 }
 

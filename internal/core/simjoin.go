@@ -26,6 +26,7 @@ import (
 	"simjoin/internal/ged"
 	"simjoin/internal/graph"
 	"simjoin/internal/obs"
+	"simjoin/internal/plan"
 	"simjoin/internal/ugraph"
 )
 
@@ -150,6 +151,23 @@ type Options struct {
 	// pick the default chain when it is empty). Per-bound prune counts land
 	// in Stats.PrunedBy.
 	FilterChain []filter.Bound
+
+	// Planner, when non-nil, enables the internal/plan planners. With
+	// Planner.Chain the engine reorders the resolved bound chain online:
+	// after a warm-up epoch that measures every bound on every pair, only a
+	// sampled subset keeps measuring the full chain while the rest
+	// short-circuit the adopted ascending-effective-cost order, recomputed
+	// every epoch with hysteresis (DESIGN.md §16). Every bound is sound, so
+	// results, Candidates and every verification counter are identical to
+	// the static chain — only PrunedBy/CSSPruned/ProbPruned attribution and
+	// BoundProfile shapes move. With Planner.Source, Join picks the
+	// candidate source (cross vs indexed vs block vs sharded) from a
+	// label-summary cardinality estimate instead of using the cross
+	// product; explicit Shards/BlockSize settings take precedence.
+	// Reorder/epoch totals land in Stats.PlanReorders/PlanEpochs, and
+	// Planner.Report (when set) records adopted orders and the source
+	// decision for -explain.
+	Planner *plan.Config
 
 	// Obs, when non-nil, receives live metrics for the run: per-stage
 	// latency histograms, per-filter prune counters, GED engine metrics,
@@ -348,6 +366,14 @@ type Stats struct {
 	// and were handed to the ladder's fallback rungs.
 	BudgetFallbacks int64
 	DeadlineHits    int64 // per-pair soft deadline expiries
+	// PlanEpochs counts adaptive-chain epoch recomputations and
+	// PlanReorders how many of them adopted a new bound order; both are 0
+	// unless Options.Planner enables the adaptive chain. PlanEpochTime is
+	// the wall time those recomputations took (off the pair hot path — at
+	// most one worker per stratum pays it per epoch).
+	PlanEpochs    int64
+	PlanReorders  int64
+	PlanEpochTime time.Duration
 	// QuarantinedPairs counts pairs whose processing panicked; the panics
 	// are contained per pair and documented in Quarantined.
 	QuarantinedPairs int64
@@ -411,6 +437,9 @@ func (s *Stats) add(o *Stats) {
 	s.ApproxPairs += o.ApproxPairs
 	s.BudgetFallbacks += o.BudgetFallbacks
 	s.DeadlineHits += o.DeadlineHits
+	s.PlanEpochs += o.PlanEpochs
+	s.PlanReorders += o.PlanReorders
+	s.PlanEpochTime += o.PlanEpochTime
 	s.QuarantinedPairs += o.QuarantinedPairs
 	s.Cancelled = s.Cancelled || o.Cancelled
 	s.Quarantined = append(s.Quarantined, o.Quarantined...)
@@ -448,6 +477,11 @@ func JoinContext(ctx context.Context, d []*graph.Graph, u []*ugraph.Graph, opts 
 	if opts.Shards > 1 {
 		pairs, st, _, err := shardedJoin(ctx, nil, d, u, opts)
 		return pairs, st, err
+	}
+	// The source planner only fills choices the caller left open: explicit
+	// Shards (above) or BlockSize settings win over the estimate.
+	if p := opts.Planner; p != nil && p.Source && opts.BlockSize == 0 {
+		return plannedJoin(ctx, d, u, opts)
 	}
 	return joinEngine(ctx, newCrossSource(d, u), opts)
 }
@@ -595,50 +629,163 @@ func prunephase(pi *pairIn, opts *Options, chain []filter.Bound, st *rec) ([]ugr
 		Scratch:    &st.fsc,
 	}
 	pc := &st.pctx
+	if st.jo.ctrl != nil {
+		return prunephaseAdaptive(pi, chain, st, pc)
+	}
 	profiled := st.jo.profile
 	var groups []ugraph.Group
 	for i, b := range chain {
-		var out filter.Outcome
-		if profiled {
-			t0 := time.Now()
-			out = b.Apply(pc)
-			d := time.Since(t0)
-			st.jo.filt.RecordBoundTimed(b.Name(), out, d)
-			if i < len(st.prof) {
-				st.prof[i].nanos += int64(d)
-			}
-			if st.evSampled {
-				st.ev.Bounds = append(st.ev.Bounds, obs.BoundObs{Bound: b.Name(), Ns: int64(d), Pruned: out.Pruned})
-			}
-		} else {
-			out = b.Apply(pc)
-			st.jo.filt.RecordBound(b.Name(), out)
-		}
-		if i < len(st.prof) {
-			st.prof[i].evals++
-			if out.Pruned {
-				st.prof[i].prunes++
-			}
-		}
-		st.GroupsBuilt += out.GroupsBuilt
-		st.GroupsPruned += out.GroupsCSSPruned
+		out := st.applyBound(pc, b, i, profiled)
 		if out.Groups != nil {
 			groups = out.Groups
 		}
 		if out.Pruned {
-			if st.PrunedBy == nil {
-				st.PrunedBy = make(map[string]int64)
-			}
-			st.PrunedBy[b.Name()]++
-			if b.Kind() == filter.Structural {
-				st.CSSPruned++
-			} else {
-				st.ProbPruned++
-			}
-			return nil, b.Name()
+			return nil, st.bookPrune(b)
 		}
 	}
 	return groups, ""
+}
+
+// prunephaseAdaptive is prunephase under the online chain optimizer. The
+// controller classifies every pair: warm-up pairs evaluate the *full* chain
+// in static order (no short-circuit) and feed the controller's unconditional
+// selectivity/cost tallies; thereafter a pair may probe one due bound ahead
+// of the walk (still unconditional — the probe runs regardless of any other
+// bound's outcome) while the rest of the chain walks the adopted order and
+// short-circuits on the first prune. All paths book evaluations into the
+// worker's profile shard at the bound's *static* chain position, so merged
+// BoundProfiles stay comparable across engines that adopted different
+// orders (and ProfileByBound folds them by name). On a warm-up pair the
+// prune is attributed to the earliest-in-static-order bound that fired —
+// exactly what the static chain would report.
+func prunephaseAdaptive(pi *pairIn, chain []filter.Bound, st *rec, pc *filter.PairContext) ([]ugraph.Group, string) {
+	ctrl := st.jo.ctrl
+	var key uint64
+	if ctrl.Stratified() {
+		key = pi.gs.BandKey()
+	}
+	order, probe := ctrl.Next(key)
+	var groups []ugraph.Group
+	if probe == plan.ProbeAll {
+		prunedAt := -1
+		for i, b := range chain {
+			out, nanos := st.applyBoundTimed(pc, b, i)
+			ctrl.Record(key, i, out.Pruned, nanos)
+			if out.Groups != nil {
+				groups = out.Groups
+			}
+			if out.Pruned && prunedAt < 0 {
+				prunedAt = i
+			}
+		}
+		if prunedAt >= 0 {
+			return nil, st.bookPrune(chain[prunedAt])
+		}
+		return groups, ""
+	}
+	profiled := st.jo.profile
+	groupsFrom := -1
+	if probe >= 0 {
+		out, nanos := st.applyBoundTimed(pc, chain[probe], probe)
+		ctrl.Record(key, probe, out.Pruned, nanos)
+		if out.Pruned {
+			// The probed bound is sound, so the pair is pruned either way;
+			// skipping the walk just attributes the prune to the probe.
+			return nil, st.bookPrune(chain[probe])
+		}
+		if out.Groups != nil {
+			groups, groupsFrom = out.Groups, probe
+		}
+	}
+	walk := func(i int) bool {
+		if i == probe {
+			return false // already evaluated ahead of the walk
+		}
+		out := st.applyBound(pc, chain[i], i, profiled)
+		// Keep the groups of the highest-static-position setter: on a
+		// surviving pair every bound runs regardless of walk order, so this
+		// reproduces exactly what the static left-to-right walk keeps.
+		if out.Groups != nil && i > groupsFrom {
+			groups, groupsFrom = out.Groups, i
+		}
+		return out.Pruned
+	}
+	if order == nil { // post-warm-up but no order adopted yet: static walk
+		for i := range chain {
+			if walk(i) {
+				return nil, st.bookPrune(chain[i])
+			}
+		}
+		return groups, ""
+	}
+	for _, i := range order {
+		if walk(i) {
+			return nil, st.bookPrune(chain[i])
+		}
+	}
+	return groups, ""
+}
+
+// applyBound runs one bound on the pair and books the evaluation into the
+// worker's profile shard (at static chain position i), the filter metrics,
+// and — when the pair is event-sampled — the event record. timed selects the
+// time.Now bracket; untimed evaluations book zero nanoseconds.
+func (st *rec) applyBound(pc *filter.PairContext, b filter.Bound, i int, timed bool) filter.Outcome {
+	if timed {
+		out, _ := st.applyBoundTimed(pc, b, i)
+		return out
+	}
+	out := b.Apply(pc)
+	st.jo.filt.RecordBound(b.Name(), out)
+	st.bookOutcome(out, i, 0)
+	return out
+}
+
+// applyBoundTimed is applyBound with the wall-clock bracket always on (the
+// adaptive controller needs per-eval nanoseconds even when no registry is
+// attached); it returns the evaluation's duration in nanoseconds.
+func (st *rec) applyBoundTimed(pc *filter.PairContext, b filter.Bound, i int) (filter.Outcome, int64) {
+	t0 := time.Now()
+	out := b.Apply(pc)
+	d := time.Since(t0)
+	if st.jo.profile {
+		st.jo.filt.RecordBoundTimed(b.Name(), out, d)
+		if st.evSampled {
+			st.ev.Bounds = append(st.ev.Bounds, obs.BoundObs{Bound: b.Name(), Ns: int64(d), Pruned: out.Pruned})
+		}
+	} else {
+		st.jo.filt.RecordBound(b.Name(), out)
+	}
+	st.bookOutcome(out, i, int64(d))
+	return out, int64(d)
+}
+
+// bookOutcome lands one evaluation in the worker's profile shard and the
+// group tallies.
+func (st *rec) bookOutcome(out filter.Outcome, i int, nanos int64) {
+	if i < len(st.prof) {
+		st.prof[i].evals++
+		st.prof[i].nanos += nanos
+		if out.Pruned {
+			st.prof[i].prunes++
+		}
+	}
+	st.GroupsBuilt += out.GroupsBuilt
+	st.GroupsPruned += out.GroupsCSSPruned
+}
+
+// bookPrune attributes a pruned pair to the bound that eliminated it.
+func (st *rec) bookPrune(b filter.Bound) string {
+	if st.PrunedBy == nil {
+		st.PrunedBy = make(map[string]int64)
+	}
+	st.PrunedBy[b.Name()]++
+	if b.Kind() == filter.Structural {
+		st.CSSPruned++
+	} else {
+		st.ProbPruned++
+	}
+	return b.Name()
 }
 
 // exactOutcome reports how the exact enumeration rung ended.

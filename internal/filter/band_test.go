@@ -144,3 +144,29 @@ func TestLabelOverlapScreenMatchesDefinition(t *testing.T) {
 		t.Fatalf("deficit-1 pair pruned at tau=1")
 	}
 }
+
+func TestGSigBandKeyMatchesLabelSetKey(t *testing.T) {
+	// The memoized GSig.BandKey must equal band 0 of AppendBandKeys over the
+	// graph's union concrete-label set, and stay stable across calls.
+	u := ugraph.New(2)
+	u.AddVertex(ugraph.Label{Name: "a", P: 0.6}, ugraph.Label{Name: "b", P: 0.4})
+	u.AddVertex(ugraph.Label{Name: "c", P: 1})
+	gs := NewGSig(u)
+
+	var set graph.LabelSet
+	UnionConcreteLabels(u, &set)
+	want := AppendBandKeys(nil, &set, 1)[0]
+	if got := gs.BandKey(); got != want {
+		t.Fatalf("BandKey = %#x, want %#x", got, want)
+	}
+	if got := gs.BandKey(); got != want {
+		t.Fatalf("second BandKey = %#x, want %#x (memoization broke)", got, want)
+	}
+
+	// An all-wildcard graph keys to EmptyBandKey.
+	w := ugraph.New(1)
+	w.AddVertex(ugraph.Label{Name: "?x", P: 1})
+	if got := NewGSig(w).BandKey(); got != EmptyBandKey {
+		t.Fatalf("all-wildcard BandKey = %#x, want EmptyBandKey", got)
+	}
+}

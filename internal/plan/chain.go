@@ -1,0 +1,324 @@
+package plan
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChainController is the online filter-chain optimizer: it decides, pair by
+// pair, how to evaluate the chain — full measurement, a single-bound probe,
+// or a plain walk of the currently adopted order — and recomputes that order
+// at epoch boundaries from its own accumulated per-bound tallies.
+//
+// The state machine per stratum (DESIGN.md §16):
+//
+//	warm-up   pairs 1..WarmupPairs: every pair measures the full chain
+//	          (ProbeAll) to seed every bound's unconditional tallies.
+//	adapted   thereafter pairs walk the adopted order and short-circuit on
+//	          the first prune. A short-circuited walk only observes bounds
+//	          the earlier ones failed to prune, so it must not feed the
+//	          tallies; instead each bound keeps its own probe schedule: when
+//	          due, it is evaluated once ahead of the walk (Next returns its
+//	          position) and Recorded — an unconditional sample, since the
+//	          probe runs on the pair regardless of any other bound's outcome.
+//	          A bound's probe period starts at SampleEvery and doubles after
+//	          every probe up to ProbeMaxGap, so settled expensive bounds cost
+//	          a handful of extra evaluations instead of one per SampleEvery
+//	          pairs.
+//	epoch     the first pair past the next epoch boundary recomputes the
+//	          candidate order (ascending effective cost, ties broken by
+//	          static position then name) and adopts it only when its modeled
+//	          expected cost beats the current order's by > Hysteresis.
+//
+// All hot-path state is atomic; the epoch recomputation takes a per-stratum
+// try-lock so at most one worker pays for it while the rest keep joining.
+type ChainController struct {
+	cfg     Config
+	names   []string
+	strata  []stratum
+	onEpoch func(nanos int64)
+}
+
+// Probe dispositions returned by Next alongside the adopted order.
+const (
+	// ProbeNone: walk the order (nil = static), short-circuiting on the
+	// first prune; record nothing.
+	ProbeNone = -1
+	// ProbeAll: warm-up — evaluate the full chain in static order and Record
+	// every bound.
+	ProbeAll = -2
+)
+
+// stratum is one independent learning domain (the whole join, or one MinHash
+// band-key residue class when Config.Strata > 1).
+type stratum struct {
+	pairs     atomic.Int64
+	nextEpoch atomic.Int64
+	// order is the adopted permutation of chain positions, nil while the
+	// static order is still in force.
+	order atomic.Pointer[[]int]
+	// cost is the modeled expected cost (ns/pair) of the adopted order,
+	// stored as math.Float64bits; 0 means "not yet modeled".
+	cost     atomic.Uint64
+	reorders atomic.Int64
+	epochs   atomic.Int64
+	mu       sync.Mutex // serialises epoch recomputation
+	bounds   []boundTally
+}
+
+// boundTally is one bound's unconditional observation totals, fed only by
+// warm-up pairs and probes.
+type boundTally struct {
+	evals  atomic.Int64
+	prunes atomic.Int64
+	nanos  atomic.Int64
+	// nextProbe is the stratum pair number at or after which this bound is
+	// due for a probe; gap is its current probe period (0 = not yet probed,
+	// read as SampleEvery), doubling after every probe up to ProbeMaxGap.
+	nextProbe atomic.Int64
+	gap       atomic.Int64
+}
+
+// NewChainController builds a controller for a chain of the named bounds.
+// cfg is copied with defaults applied; names must match the engine's chain
+// order (names[i] is the bound at static position i).
+func NewChainController(cfg Config, names []string) *ChainController {
+	cfg = cfg.withDefaults()
+	c := &ChainController{
+		cfg:    cfg,
+		names:  append([]string(nil), names...),
+		strata: make([]stratum, cfg.Strata),
+	}
+	for i := range c.strata {
+		c.strata[i].bounds = make([]boundTally, len(names))
+	}
+	return c
+}
+
+// SetOnEpoch installs a callback invoked with the wall-clock nanoseconds of
+// each epoch recomputation (the engine feeds its epoch-seconds histogram).
+// Must be set before the controller is shared across workers.
+func (c *ChainController) SetOnEpoch(fn func(nanos int64)) { c.onEpoch = fn }
+
+// Stratified reports whether callers must supply a real band key to Next and
+// Record (false means any key, conventionally 0, lands in the one stratum).
+func (c *ChainController) Stratified() bool { return len(c.strata) > 1 }
+
+func (c *ChainController) stratum(key uint64) *stratum {
+	if len(c.strata) == 1 {
+		return &c.strata[0]
+	}
+	return &c.strata[key%uint64(len(c.strata))]
+}
+
+// Next books one pair into the stratum keyed by key and returns how to
+// evaluate it: probe == ProbeAll means run the *full* chain in static order
+// and Record every bound (warm-up); probe >= 0 means evaluate the bound at
+// that static position first, Record it, then walk the returned order
+// skipping it; ProbeNone means walk the order (nil = static),
+// short-circuiting on the first prune, recording nothing. At most one bound
+// is probed per pair — the first due one in static order.
+func (c *ChainController) Next(key uint64) (order []int, probe int) {
+	s := c.stratum(key)
+	k := s.pairs.Add(1)
+	if k <= int64(c.cfg.WarmupPairs) {
+		return nil, ProbeAll
+	}
+	if k > s.nextEpoch.Load() {
+		c.epoch(s, k)
+	}
+	probe = ProbeNone
+	for i := range s.bounds {
+		b := &s.bounds[i]
+		np := b.nextProbe.Load()
+		if np > k {
+			continue
+		}
+		g := b.gap.Load()
+		if g == 0 {
+			g = int64(c.cfg.SampleEvery)
+		}
+		// The CAS claims the probe: under concurrency exactly one pair takes
+		// a due bound, the rest see the advanced deadline and move on.
+		if b.nextProbe.CompareAndSwap(np, k+g) {
+			if ng := g * 2; ng <= int64(c.cfg.ProbeMaxGap) {
+				b.gap.Store(ng)
+			} else {
+				b.gap.Store(int64(c.cfg.ProbeMaxGap))
+			}
+			probe = i
+			break
+		}
+	}
+	if p := s.order.Load(); p != nil {
+		return *p, probe
+	}
+	return nil, probe
+}
+
+// Record books one measured bound evaluation: the bound at static position
+// pos ran for nanos and did or did not prune. Only warm-up pairs and probes
+// may be recorded, or the selectivities stop being unconditional.
+func (c *ChainController) Record(key uint64, pos int, pruned bool, nanos int64) {
+	s := c.stratum(key)
+	b := &s.bounds[pos]
+	b.evals.Add(1)
+	if pruned {
+		b.prunes.Add(1)
+	}
+	b.nanos.Add(nanos)
+}
+
+// epoch recomputes the stratum's order at a boundary. TryLock keeps the hot
+// path wait-free: a worker that loses the race simply keeps joining with the
+// current order.
+func (c *ChainController) epoch(s *stratum, k int64) {
+	if !s.mu.TryLock() {
+		return
+	}
+	defer s.mu.Unlock()
+	if k <= s.nextEpoch.Load() {
+		return // another worker already ran this boundary
+	}
+	t0 := time.Now()
+
+	n := len(s.bounds)
+	sel := make([]float64, n)
+	cost := make([]float64, n)
+	eff := make([]float64, n)
+	for i := range s.bounds {
+		b := &s.bounds[i]
+		evals := b.evals.Load()
+		if evals > 0 {
+			sel[i] = float64(b.prunes.Load()) / float64(evals)
+			cost[i] = float64(b.nanos.Load()) / float64(evals)
+		}
+		if sel[i] > 0 {
+			eff[i] = cost[i] / sel[i]
+		} else {
+			eff[i] = math.Inf(1)
+		}
+	}
+
+	// Candidate: ascending effective cost, ties broken by static position
+	// then name — the same deterministic rule core's -explain ranks use.
+	cand := make([]int, n)
+	for i := range cand {
+		cand[i] = i
+	}
+	sort.SliceStable(cand, func(a, b int) bool {
+		ia, ib := cand[a], cand[b]
+		if eff[ia] != eff[ib] {
+			return eff[ia] < eff[ib]
+		}
+		if ia != ib {
+			return ia < ib
+		}
+		return c.names[ia] < c.names[ib]
+	})
+
+	cur := s.order.Load()
+	curOrder := identity(n)
+	if cur != nil {
+		curOrder = *cur
+	}
+	curCost := expectedCost(curOrder, sel, cost)
+	candCost := expectedCost(cand, sel, cost)
+	adopt := false
+	switch {
+	case cur == nil && !sameOrder(cand, curOrder):
+		// First adoption: the static order carries no prior investment, so
+		// any modeled improvement is worth taking.
+		adopt = candCost < curCost
+	default:
+		adopt = candCost < curCost*(1-c.cfg.Hysteresis)
+	}
+	if adopt && !sameOrder(cand, curOrder) {
+		s.order.Store(&cand)
+		s.cost.Store(math.Float64bits(candCost))
+		s.reorders.Add(1)
+	}
+
+	s.epochs.Add(1)
+	s.nextEpoch.Store(k + int64(c.cfg.EpochPairs))
+	if c.onEpoch != nil {
+		c.onEpoch(int64(time.Since(t0)))
+	}
+}
+
+// expectedCost models the per-pair cost of walking the chain in the given
+// order: each bound's cost is paid only by the fraction of pairs no earlier
+// bound pruned.
+func expectedCost(order []int, sel, cost []float64) float64 {
+	pass := 1.0
+	total := 0.0
+	for _, i := range order {
+		total += pass * cost[i]
+		pass *= 1 - sel[i]
+	}
+	return total
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func sameOrder(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Totals sums reorder and epoch counts across strata.
+func (c *ChainController) Totals() (reorders, epochs int64) {
+	for i := range c.strata {
+		reorders += c.strata[i].reorders.Load()
+		epochs += c.strata[i].epochs.Load()
+	}
+	return reorders, epochs
+}
+
+// OrderNames renders the adopted order(s) as comma-joined bound names; strata
+// still on the static order render as the static chain. Distinct stratum
+// orders are joined with " | " (deduplicated, input order preserved).
+func (c *ChainController) OrderNames() string {
+	seen := make([]string, 0, len(c.strata))
+	for i := range c.strata {
+		var ord []int
+		if p := c.strata[i].order.Load(); p != nil {
+			ord = *p
+		} else {
+			ord = identity(len(c.names))
+		}
+		parts := make([]string, len(ord))
+		for j, idx := range ord {
+			parts[j] = c.names[idx]
+		}
+		s := strings.Join(parts, ",")
+		dup := false
+		for _, prev := range seen {
+			if prev == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen = append(seen, s)
+		}
+	}
+	return strings.Join(seen, " | ")
+}

@@ -1,0 +1,143 @@
+package plan
+
+import (
+	"math"
+	"math/bits"
+
+	"simjoin/internal/filter"
+	"simjoin/internal/graph"
+	"simjoin/internal/ugraph"
+)
+
+// estimateSample caps how many uncertain graphs EstimateJoin probes; beyond
+// it the resident side is sampled at an even stride.
+const estimateSample = 256
+
+// Estimator is the label summary of the certain (query) side, folded from
+// the signatures the join computes anyway: per-label query counts, a size
+// histogram keyed the same way the size index buckets (|V|+|E|), and the
+// wildcard-query count. It answers "how many queries can possibly survive
+// the size and label prescreens against this uncertain graph?" in O(tau +
+// distinct labels of g) without touching a single pair.
+type Estimator struct {
+	total  int
+	wilds  int // queries with at least one wildcard vertex (match any label)
+	bySize map[int]int
+	// labels counts queries *containing* each label; reps attributes each
+	// query to exactly one label (its smallest concrete id), so rep sums
+	// never multi-count a query the way plain union bounds do.
+	labels  map[graph.LabelID]int
+	reps    map[graph.LabelID]int
+	scratch graph.LabelSet
+}
+
+// NewEstimator folds the query-side signatures into a label summary.
+func NewEstimator(qsigs []*filter.QSig) *Estimator {
+	e := &Estimator{
+		total:  len(qsigs),
+		bySize: make(map[int]int),
+		labels: make(map[graph.LabelID]int),
+		reps:   make(map[graph.LabelID]int),
+	}
+	for _, qs := range qsigs {
+		e.bySize[qs.NumV+qs.NumE]++
+		if qs.VWilds > 0 {
+			e.wilds++
+		}
+		// Distinct labels per query (VSet, not the VLabels multiset), so a
+		// query contributes at most once per label.
+		first := true
+		e.forEachLabel(&qs.VSet, func(id graph.LabelID) {
+			e.labels[id]++
+			if first {
+				e.reps[id]++ // forEachLabel iterates ascending: the first id is the query's minimum
+				first = false
+			}
+		})
+	}
+	return e
+}
+
+// forEachLabel iterates the distinct label ids of a bitset.
+func (e *Estimator) forEachLabel(set *graph.LabelSet, fn func(graph.LabelID)) {
+	for wi, w := range set.Words() {
+		for ; w != 0; w &= w - 1 {
+			fn(graph.LabelID(wi*64 + bits.TrailingZeros64(w)))
+		}
+	}
+}
+
+// Candidates estimates how many queries survive the size window and label
+// overlap prescreens against one uncertain graph: the size-window count,
+// scaled by the fraction of queries sharing at least one concrete label with
+// g (or wildcard queries, which overlap everything). A graph with wildcard
+// candidates overlaps every query, so only the size window cuts.
+func (e *Estimator) Candidates(gSize int, gSet *graph.LabelSet, gWilds, tau int) int64 {
+	if e.total == 0 {
+		return 0
+	}
+	sizeCount := 0
+	for s := gSize - tau; s <= gSize+tau; s++ {
+		sizeCount += e.bySize[s]
+	}
+	reach := e.total
+	if gWilds == 0 {
+		// How many queries share a label with g? Three summaries bracket it:
+		// the union sum Σ count(l) is an upper bound (it multi-counts
+		// queries sharing several of g's labels); the largest single count
+		// max count(l) is a true lower bound (every query carrying that one
+		// label overlaps); the representative sum Σ rep(l) never
+		// multi-counts and is exact whenever g's label set covers each
+		// overlapping query's minimum label (e.g. disjoint label families).
+		// The estimate takes the sharper of the two lower summaries, capped
+		// by the union bound.
+		var sum, best, rep int
+		e.forEachLabel(gSet, func(id graph.LabelID) {
+			c := e.labels[id]
+			sum += c
+			if c > best {
+				best = c
+			}
+			rep += e.reps[id]
+		})
+		r := rep
+		if best > r {
+			r = best
+		}
+		r += e.wilds
+		if upper := e.wilds + sum; r > upper {
+			r = upper
+		}
+		if r < reach {
+			reach = r
+		}
+	}
+	return int64(math.Round(float64(sizeCount) * float64(reach) / float64(e.total)))
+}
+
+// EstimateJoin predicts the join's workload: the exact cross-product size and
+// the estimated candidate count after size/label prescreens, extrapolated
+// from an evenly-strided sample of the uncertain side.
+func EstimateJoin(e *Estimator, u []*ugraph.Graph, tau int) (estPairs, estCands int64) {
+	estPairs = int64(e.total) * int64(len(u))
+	if estPairs == 0 {
+		return estPairs, 0
+	}
+	step := 1
+	if len(u) > estimateSample {
+		step = len(u) / estimateSample
+	}
+	var sum float64
+	n := 0
+	for i := 0; i < len(u); i += step {
+		g := u[i]
+		wilds := filter.UnionConcreteLabels(g, &e.scratch)
+		sum += float64(e.Candidates(g.Size(), &e.scratch, wilds, tau))
+		n++
+	}
+	estCands = int64(math.Round(sum / float64(n) * float64(len(u))))
+	if estCands > estPairs {
+		estCands = estPairs
+	}
+	return estPairs, estCands
+}

@@ -64,6 +64,18 @@ func parseNTripleLine(text string) (Triple, error) {
 	if len(terms) != 3 {
 		return Triple{}, fmt.Errorf("expected 3 terms, found %d", len(terms))
 	}
+	// Reject terms the writer cannot re-serialise: subjects and predicates
+	// always go back inside angle brackets, where a '>' would cut the
+	// re-read short; objects holding a '"' must be bracketed, which rules
+	// out '>' and the whitespace that forces quoting.
+	for _, term := range terms[:2] {
+		if strings.ContainsRune(term, '>') {
+			return Triple{}, fmt.Errorf("'>' in subject/predicate term %q", term)
+		}
+	}
+	if strings.ContainsRune(terms[2], '"') && strings.ContainsAny(terms[2], " \t>") {
+		return Triple{}, fmt.Errorf("unserialisable object term %q", terms[2])
+	}
 	return Triple{terms[0], terms[1], terms[2]}, nil
 }
 
@@ -91,7 +103,9 @@ func (st *Store) WriteNTriples(w io.Writer) error {
 }
 
 func formatObject(o string) string {
-	if strings.ContainsAny(o, " \t") {
+	// Quoting must cover '>' too: a bracketed term stops at the first '>'
+	// on the way back in.
+	if strings.ContainsAny(o, " \t>") {
 		return `"` + o + `"`
 	}
 	return "<" + o + ">"

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"unicode/utf8"
 
+	"simjoin/internal/filter"
 	"simjoin/internal/graph"
 	"simjoin/internal/sparql"
 )
@@ -63,6 +64,11 @@ type JoinRequest struct {
 	// Alpha optionally overrides the similarity-probability threshold,
 	// required in (0, 1].
 	Alpha *float64 `json:"alpha,omitempty"`
+	// Filters optionally overrides the service's filter chain for this
+	// request: a comma-separated bound list validated against the bound
+	// registry (e.g. "count,css,prob"), or "auto" to let the adaptive
+	// optimizer reorder the service's chain online.
+	Filters string `json:"filters,omitempty"`
 	// Limit caps the matches returned (0 = all, bounded by Limits.MaxLimit).
 	Limit int `json:"limit,omitempty"`
 }
@@ -113,6 +119,11 @@ func DecodeJoinRequest(body []byte, lim Limits) (*JoinRequest, *graph.Graph, err
 	}
 	if req.Limit < 0 || req.Limit > lim.MaxLimit {
 		return nil, nil, badRequestf("limit %d outside [0, %d]", req.Limit, lim.MaxLimit)
+	}
+	if req.Filters != "" && req.Filters != "auto" {
+		if _, err := filter.ParseChain(req.Filters); err != nil {
+			return nil, nil, badRequestf("%v", err)
+		}
 	}
 	switch {
 	case req.Query != "" && req.Graph != nil:

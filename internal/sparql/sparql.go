@@ -168,8 +168,12 @@ func tokenize(input string) ([]token, error) {
 			toks = append(toks, token{text: input[i+1 : i+1+end], literal: true})
 			i += end + 2
 		default:
+			// A bare word also stops at '"' and '<': they open literal/IRI
+			// tokens, and letting them ride inside a bare word would produce
+			// terms Term.String cannot re-serialise (a bracket-rendered value
+			// holding '>' cuts the re-parse short at the first '>').
 			j := i
-			for j < len(input) && !strings.ContainsRune(" \t\n\r{}.", rune(input[j])) {
+			for j < len(input) && !strings.ContainsRune(" \t\n\r{}.\"<", rune(input[j])) {
 				j++
 			}
 			toks = append(toks, token{text: input[i:j]})

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Benchmark the adaptive planner against the static chain and emit a
+# machine-readable summary.
+#
+# Runs the planner suite (BenchmarkJoinPlanStatic vs BenchmarkJoinPlanAdaptive
+# on the adversarial workload whose static chain order is maximally wrong, and
+# BenchmarkJoinPlanER vs BenchmarkJoinPlanERAdaptive pinning the controller's
+# measurement overhead on a well-ordered chain) with -benchmem, averages the
+# repetitions, and writes BENCH_plan.json in the v2 schema:
+# {"benchmarks": {name: {ns_per_op, allocs_per_op, bytes_per_op, samples}}}.
+# The raw `go test` output is echoed so regressions are visible in logs too.
+#
+# Environment overrides:
+#   COUNT   repetitions per benchmark (default 5)
+#   PATTERN benchmark regexp (default the planner suite above)
+#   OUT     output JSON path (default BENCH_plan.json)
+set -eu
+
+COUNT="${COUNT:-5}"
+PATTERN="${PATTERN:-^BenchmarkJoinPlan}"
+OUT="${OUT:-BENCH_plan.json}"
+
+raw=$(go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" .)
+echo "$raw"
+
+echo "$raw" | awk -v out="$OUT" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+	ns[name] += $3
+	for (i = 4; i <= NF; i++) {
+		if ($(i) == "B/op")      bytes[name]  += $(i - 1)
+		if ($(i) == "allocs/op") allocs[name] += $(i - 1)
+	}
+	n[name]++
+}
+END {
+	printf "{\n  \"benchmarks\": {\n" > out
+	count = 0
+	for (name in n) count++
+	i = 0
+	# Deterministic key order via a simple insertion sort.
+	for (name in n) keys[i++] = name
+	for (a = 1; a < i; a++) {
+		for (b = a; b > 0 && keys[b] < keys[b-1]; b--) {
+			tmp = keys[b]; keys[b] = keys[b-1]; keys[b-1] = tmp
+		}
+	}
+	for (a = 0; a < i; a++) {
+		name = keys[a]
+		printf "    \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f, \"samples\": %d}%s\n", \
+			name, ns[name] / n[name], bytes[name] / n[name], allocs[name] / n[name], n[name], \
+			(a < i - 1) ? "," : "" > out
+	}
+	printf "  }\n}\n" > out
+}
+'
+echo "wrote $OUT"

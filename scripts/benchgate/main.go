@@ -6,11 +6,12 @@
 // instead of silently rotting the baseline.
 //
 // The baseline's v2 schema additionally carries per-bound prune rates
-// measured on the deterministic CI workload; passing -stats (a
-// `simjoin -stats-json` document from the same workload) gates prune-rate
-// drift too, so a bounds change that silently weakens pruning fails the same
-// way a slowdown does. Legacy v1 baselines (a plain benchmark map) still
-// load.
+// measured on the deterministic CI workload, keyed by bound name (folded
+// across chain positions, so adaptive reordering doesn't shift the keys);
+// passing -stats (a `simjoin -stats-json` document from the same workload)
+// gates prune-rate drift too, so a bounds change that silently weakens
+// pruning fails the same way a slowdown does. Legacy v1 baselines (a plain
+// benchmark map) still load.
 //
 //	go run ./scripts/benchgate -baseline BENCH_join.json -current /tmp/bench.json \
 //	    -max-regress 25 -max-allocs-regress 10 -stats /tmp/stats.json -max-prune-drift 5
@@ -79,7 +80,10 @@ type statsDoc struct {
 	} `json:"stats"`
 }
 
-// pruneRates extracts bound@pos → prune-rate from a stats document.
+// pruneRates extracts bound name → prune-rate from a stats document. Entries
+// are folded by name (evals and prunes summed across chain positions) so the
+// gate compares the same bound across runs even when the adaptive planner —
+// or a deliberate chain reshuffle — placed it at a different position.
 func pruneRates(path string) (map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -92,12 +96,23 @@ func pruneRates(path string) (map[string]float64, error) {
 	if len(doc.Stats.BoundProfile) == 0 {
 		return nil, fmt.Errorf("%s: no BoundProfile (run simjoin with -stats-json)", path)
 	}
-	rates := make(map[string]float64, len(doc.Stats.BoundProfile))
+	type tally struct{ evals, prunes int64 }
+	byName := make(map[string]*tally, len(doc.Stats.BoundProfile))
 	for _, bc := range doc.Stats.BoundProfile {
-		if bc.Evals == 0 {
+		t := byName[bc.Bound]
+		if t == nil {
+			t = &tally{}
+			byName[bc.Bound] = t
+		}
+		t.evals += bc.Evals
+		t.prunes += bc.Prunes
+	}
+	rates := make(map[string]float64, len(byName))
+	for name, t := range byName {
+		if t.evals == 0 {
 			continue
 		}
-		rates[fmt.Sprintf("%s@%d", bc.Bound, bc.Pos)] = float64(bc.Prunes) / float64(bc.Evals)
+		rates[name] = float64(t.prunes) / float64(t.evals)
 	}
 	return rates, nil
 }

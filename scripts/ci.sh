@@ -20,8 +20,8 @@ go build ./...
 echo "== go test (shuffled)"
 go test -shuffle=on ./...
 
-echo "== go test -race, shuffled (core, filter, shard, ged, obs, fault, server)"
-go test -race -shuffle=on ./internal/core ./internal/filter ./internal/shard ./internal/ged ./internal/obs ./internal/fault ./internal/server
+echo "== go test -race, shuffled (core, filter, shard, ged, obs, fault, server, plan)"
+go test -race -shuffle=on ./internal/core ./internal/filter ./internal/shard ./internal/ged ./internal/obs ./internal/fault ./internal/server ./internal/plan
 
 echo "== fault injection (failpoints armed end-to-end)"
 # Arm failpoints through the environment and run a small join: the pipeline
@@ -62,6 +62,32 @@ go run ./cmd/simjoin -workload er -scale 0.5 -tau 1 -alpha 0.5 -mode opt \
 	-shards 4 -explain > "$ART/join-explain-shard.txt"
 grep -q 'per-shard balance (merge stage):' "$ART/join-explain-shard.txt"
 grep -q 'shard imbalance (max/mean pairs):' "$ART/join-explain-shard.txt"
+
+echo "== adaptive-vs-static equivalence (-plan chain must not change the join)"
+# The race matrix above already pins the equivalence property tests
+# (TestAdaptiveChainMatchesStatic and friends); this drives the same contract
+# end-to-end through the CLI on the deterministic workload: the adaptive
+# chain must report exactly the matches the static chain reports, and the
+# same pair total. Result lines are rank-stripped and sorted so only the
+# match set and its SimP/ged values are compared.
+static_out=$(go run ./cmd/simjoin -workload er -scale 0.5 -tau 2 -alpha 0.3 -mode simj \
+	-filters count,lm,cstar,css,prob -show 100000)
+adaptive_out=$(go run ./cmd/simjoin -workload er -scale 0.5 -tau 2 -alpha 0.3 -mode simj \
+	-filters count,lm,cstar,css,prob -show 100000 -plan chain)
+norm_matches() { printf '%s\n' "$1" | sed -n 's/^\[[0-9]*\] //p' | sort; }
+pair_total() { printf '%s\n' "$1" | sed -n 's/^pairs: \([0-9]*\) .*/\1/p'; }
+# Guard against the comparison going vacuous: this workload must keep
+# producing matches, or the step compares two empty sets.
+test -n "$(norm_matches "$static_out")"
+if [ "$(norm_matches "$static_out")" != "$(norm_matches "$adaptive_out")" ]; then
+	echo "adaptive chain changed the join's matches:"
+	norm_matches "$static_out" > "$ART/equiv-static.txt"
+	norm_matches "$adaptive_out" > "$ART/equiv-adaptive.txt"
+	diff -u "$ART/equiv-static.txt" "$ART/equiv-adaptive.txt" || true
+	exit 1
+fi
+test -n "$(pair_total "$static_out")"
+test "$(pair_total "$static_out")" = "$(pair_total "$adaptive_out")"
 
 echo "== chaos soak (simjoind + loadgen, failpoints armed, race-built)"
 # Out-of-process half of the chaos harness (the in-process half is
@@ -122,5 +148,25 @@ echo "== sharded-join regression gate (vs BENCH_shard.json, milestone entries op
 OUT="$benchtmp/bench_shard.json" COUNT=3 make bench-shard >/dev/null
 go run ./scripts/benchgate -baseline BENCH_shard.json -current "$benchtmp/bench_shard.json" \
 	-max-regress 25 -max-allocs-regress 10 -optional '^BenchmarkShardMilestone'
+
+echo "== planner regression gate (vs BENCH_plan.json; adaptive must beat static)"
+# bench_plan.sh measures the adaptive chain against the static chain on the
+# adversarial workload (static order maximally wrong) and on a well-ordered ER
+# join (pins the controller's probe/bookkeeping overhead). Beyond the usual
+# per-benchmark regression bounds, the headline claim is asserted directly:
+# the adaptive join must stay faster than the static one on the adversarial
+# workload, or the reordering machinery has stopped earning its keep.
+OUT="$benchtmp/bench_plan.json" COUNT=3 make bench-plan >/dev/null
+go run ./scripts/benchgate -baseline BENCH_plan.json -current "$benchtmp/bench_plan.json" \
+	-max-regress 25 -max-allocs-regress 10
+static_ns=$(sed -n 's/.*"BenchmarkJoinPlanStatic": {"ns_per_op": \([0-9]*\),.*/\1/p' "$benchtmp/bench_plan.json")
+adaptive_ns=$(sed -n 's/.*"BenchmarkJoinPlanAdaptive": {"ns_per_op": \([0-9]*\),.*/\1/p' "$benchtmp/bench_plan.json")
+test -n "$static_ns" && test -n "$adaptive_ns"
+if [ "$adaptive_ns" -ge "$static_ns" ]; then
+	echo "adaptive chain no longer beats the static chain on the adversarial workload:"
+	echo "  static   $static_ns ns/op"
+	echo "  adaptive $adaptive_ns ns/op"
+	exit 1
+fi
 
 echo "CI passed"

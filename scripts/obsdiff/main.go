@@ -1,7 +1,9 @@
 // Command obsdiff compares two `simjoin -stats-json` snapshots and reports
 // drift in the quantities a pipeline change is most likely to disturb
-// silently: per-bound prune rates (the filter chain's measured selectivity at
-// each position) and per-stage latency quantiles. It exits non-zero when the
+// silently: per-bound prune rates (the filter chain's measured selectivity,
+// folded by bound name so adaptive reordering or a deliberate chain reshuffle
+// doesn't misalign the comparison) and per-stage latency quantiles. It exits
+// non-zero when the
 // prune-rate drift exceeds its budget, so CI can pin the filter chain's
 // pruning behaviour on a deterministic workload across PRs; latency drift is
 // reported but only gated when a budget is set (wall time is noisy in CI).
@@ -71,13 +73,14 @@ func diff(a, b *doc, maxPrune, maxLatency float64) error {
 	failed := false
 
 	fmt.Println("per-bound prune rates:")
-	fmt.Printf("  %-4s %-12s %10s %10s %10s\n", "pos", "bound", "before", "after", "drift(pp)")
-	bProf := profileByKey(b.Stats.BoundProfile)
-	for i := range a.Stats.BoundProfile {
-		ac := &a.Stats.BoundProfile[i]
-		bc, ok := bProf[profKey{ac.Pos, ac.Bound}]
+	fmt.Printf("  %-12s %10s %10s %10s\n", "bound", "before", "after", "drift(pp)")
+	aProf := core.ProfileByBound(a.Stats.BoundProfile)
+	bByName := profileByName(core.ProfileByBound(b.Stats.BoundProfile))
+	for i := range aProf {
+		ac := &aProf[i]
+		bc, ok := bByName[ac.Bound]
 		if !ok {
-			fmt.Printf("  %-4d %-12s %10.4f %10s missing in after run\n", ac.Pos, ac.Bound, ac.Selectivity(), "-")
+			fmt.Printf("  %-12s %10.4f %10s missing in after run\n", ac.Bound, ac.Selectivity(), "-")
 			failed = true
 			continue
 		}
@@ -87,13 +90,13 @@ func diff(a, b *doc, maxPrune, maxLatency float64) error {
 			status = "  DRIFTED"
 			failed = true
 		}
-		fmt.Printf("  %-4d %-12s %10.4f %10.4f %+10.2f%s\n",
-			ac.Pos, ac.Bound, ac.Selectivity(), bc.Selectivity(), drift, status)
+		fmt.Printf("  %-12s %10.4f %10.4f %+10.2f%s\n",
+			ac.Bound, ac.Selectivity(), bc.Selectivity(), drift, status)
 	}
-	for i := range b.Stats.BoundProfile {
-		bc := &b.Stats.BoundProfile[i]
-		if _, ok := profileByKey(a.Stats.BoundProfile)[profKey{bc.Pos, bc.Bound}]; !ok {
-			fmt.Printf("  %-4d %-12s %10s %10.4f new in after run\n", bc.Pos, bc.Bound, "-", bc.Selectivity())
+	aByName := profileByName(aProf)
+	for _, bc := range core.ProfileByBound(b.Stats.BoundProfile) {
+		if _, ok := aByName[bc.Bound]; !ok {
+			fmt.Printf("  %-12s %10s %10.4f new in after run\n", bc.Bound, "-", bc.Selectivity())
 		}
 	}
 
@@ -127,15 +130,10 @@ func diff(a, b *doc, maxPrune, maxLatency float64) error {
 	return nil
 }
 
-type profKey struct {
-	pos   int
-	bound string
-}
-
-func profileByKey(prof []core.BoundCost) map[profKey]*core.BoundCost {
-	m := make(map[profKey]*core.BoundCost, len(prof))
+func profileByName(prof []core.BoundCost) map[string]*core.BoundCost {
+	m := make(map[string]*core.BoundCost, len(prof))
 	for i := range prof {
-		m[profKey{prof[i].Pos, prof[i].Bound}] = &prof[i]
+		m[prof[i].Bound] = &prof[i]
 	}
 	return m
 }
